@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"regcluster/internal/matrix"
+)
+
+func TestRunSynthetic(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "d.tsv")
+	truth := filepath.Join(dir, "t.json")
+	var stdout strings.Builder
+	err := run([]string{
+		"-kind", "synthetic", "-genes", "100", "-conds", "12", "-clusters", "3",
+		"-seed", "4", "-out", out, "-truth", truth,
+	}, &stdout, &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := matrix.ReadTSVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 100 || m.Cols() != 12 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	raw, err := os.ReadFile(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gt []struct {
+		Chain    []int `json:"Chain"`
+		PMembers []int `json:"PMembers"`
+	}
+	if err := json.Unmarshal(raw, &gt); err != nil {
+		t.Fatal(err)
+	}
+	if len(gt) != 3 {
+		t.Fatalf("%d planted clusters in truth file", len(gt))
+	}
+	if !strings.Contains(stdout.String(), "wrote 100x12 matrix") {
+		t.Errorf("stdout: %s", stdout.String())
+	}
+}
+
+func TestRunYeast(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "y.tsv")
+	var stdout strings.Builder
+	err := run([]string{"-kind", "yeast", "-clusters", "2", "-out", out}, &stdout, &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := matrix.ReadTSVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2884 || m.Cols() != 17 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sink strings.Builder
+	if err := run([]string{}, &sink, &sink); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run([]string{"-kind", "weird", "-out", filepath.Join(t.TempDir(), "x.tsv")}, &sink, &sink); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run([]string{"-genes", "0", "-out", filepath.Join(t.TempDir(), "x.tsv")}, &sink, &sink); err == nil {
+		t.Error("invalid generator config accepted")
+	}
+	if err := run([]string{"-out", "/nonexistent-dir/x.tsv", "-genes", "10", "-conds", "5", "-clusters", "0"}, &sink, &sink); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

@@ -1,0 +1,140 @@
+// Command experiments regenerates the tables and figures of the reg-cluster
+// paper's evaluation. Each experiment id matches the DESIGN.md index:
+//
+//	fig7-genes      E1: runtime vs #genes (Figure 7 left)
+//	fig7-conds      E2: runtime vs #conditions (Figure 7 middle)
+//	fig7-clus       E3: runtime vs #clusters (Figure 7 right)
+//	yeast           E4+E5: Section 5.2 effectiveness, Figure 8 detail, Table 2
+//	running-example E6: Table 1 / Figures 3 & 6 walk-through
+//	comparison      E7: Figure 1 / Figure 4 model comparison
+//	ablation        E8: pruning-strategy ablation
+//	recovery        E9: planted-cluster recovery across all implemented models
+//	noise           E10: recovery under increasing measurement noise vs ε
+//	tricluster3d    E11: 3-D triCluster planted-block recovery
+//	all             everything above in sequence
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp yeast -yeastfile tavazoie.tsv   # use the real benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"regcluster/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+const line = "================================================================"
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp       = fs.String("exp", "all", "experiment id (see package doc)")
+		seed      = fs.Int64("seed", 1, "random seed for synthetic workloads")
+		yeastFile = fs.String("yeastfile", "", "path to the real Tavazoie TSV (default: generated substitute)")
+		quick     = fs.Bool("quick", false, "use reduced sweeps for a fast smoke run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	one := func(id string) error {
+		switch id {
+		case "fig7-genes":
+			return figure7(stdout, experiments.AxisGenes, *seed, *quick)
+		case "fig7-conds":
+			return figure7(stdout, experiments.AxisConds, *seed, *quick)
+		case "fig7-clus":
+			return figure7(stdout, experiments.AxisClusters, *seed, *quick)
+		case "yeast":
+			r, err := experiments.Yeast(*yeastFile, 2006)
+			if err != nil {
+				return err
+			}
+			experiments.WriteYeast(stdout, r)
+			return nil
+		case "running-example":
+			return experiments.RunningExampleReport(stdout)
+		case "comparison":
+			r, err := experiments.Comparison()
+			if err != nil {
+				return err
+			}
+			experiments.WriteComparison(stdout, r)
+			return nil
+		case "noise":
+			pts, err := experiments.NoiseSensitivity(*seed)
+			if err != nil {
+				return err
+			}
+			experiments.WriteNoise(stdout, pts)
+			return nil
+		case "tricluster3d":
+			r, err := experiments.Tricluster3D(*seed)
+			if err != nil {
+				return err
+			}
+			experiments.WriteTricluster3D(stdout, r)
+			return nil
+		case "recovery":
+			pts, err := experiments.Recovery(*seed)
+			if err != nil {
+				return err
+			}
+			experiments.WriteRecovery(stdout, pts)
+			return nil
+		case "ablation":
+			genes, conds, clusters := 3000, 30, 30
+			if *quick {
+				genes, conds, clusters = 500, 15, 8
+			}
+			pts, err := experiments.Ablation(genes, conds, clusters, *seed)
+			if err != nil {
+				return err
+			}
+			experiments.WriteAblation(stdout, pts)
+			return nil
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"running-example", "comparison", "recovery", "noise", "tricluster3d", "fig7-genes", "fig7-conds", "fig7-clus", "yeast", "ablation"}
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Fprintf(stdout, "\n%s\n\n", line)
+		}
+		if err := one(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func figure7(w io.Writer, axis experiments.Figure7Axis, seed int64, quick bool) error {
+	points := experiments.DefaultSweep(axis)
+	if quick {
+		points = points[:2]
+	}
+	pts, err := experiments.Figure7(axis, points, seed)
+	if err != nil {
+		return err
+	}
+	experiments.WriteFigure7(w, axis, pts)
+	return nil
+}

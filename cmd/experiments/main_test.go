@@ -1,0 +1,110 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRunningExample(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "running-example"}, &out, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"RWave", "mined clusters (1)", "γ=0.15"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunComparison(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "comparison"}, &out, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "reg-cluster groups all six profiles:        true") {
+		t.Errorf("comparison result wrong:\n%s", out.String())
+	}
+}
+
+func TestRunQuickSweep(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "fig7-genes", "-quick"}, &out, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	// Quick mode runs only the first two sweep points.
+	if !strings.Contains(out.String(), "1000") || !strings.Contains(out.String(), "2000") {
+		t.Errorf("sweep points missing:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "5000") {
+		t.Error("quick mode ran the full sweep")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sink strings.Builder
+	if err := run([]string{"-exp", "nope"}, &sink, &sink); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-badflag"}, &sink, &sink); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunRecovery(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "recovery"}, &out, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "reg-cluster") {
+		t.Errorf("recovery report incomplete:\n%s", out.String())
+	}
+}
+
+func TestRunYeastAndNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiments in -short mode")
+	}
+	var out strings.Builder
+	if err := run([]string{"-exp", "yeast"}, &out, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 2") {
+		t.Error("yeast report incomplete")
+	}
+	out.Reset()
+	if err := run([]string{"-exp", "noise"}, &out, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E10") {
+		t.Error("noise report incomplete")
+	}
+}
+
+func TestRunAblationQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiments in -short mode")
+	}
+	var out strings.Builder
+	if err := run([]string{"-exp", "ablation", "-quick"}, &out, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "full (paper)") {
+		t.Errorf("ablation report incomplete:\n%s", out.String())
+	}
+}
+
+func TestRunFig7OtherAxes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiments in -short mode")
+	}
+	for _, exp := range []string{"fig7-conds", "fig7-clus"} {
+		var out strings.Builder
+		if err := run([]string{"-exp", exp, "-quick"}, &out, &strings.Builder{}); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "Figure 7") {
+			t.Errorf("%s report incomplete", exp)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Command goenrich scores gene sets against a GO annotation file with the
+// hypergeometric term finder — the offline equivalent of the yeast genome GO
+// Term Finder the paper uses for Table 2.
+//
+// Usage:
+//
+//	goenrich -expr expression.tsv -annotations go.tsv -genes "YAL001C,YAL002W,..."
+//	regcluster -in expression.tsv -json | goenrich -expr expression.tsv -annotations go.tsv -clusters -
+//
+// With -clusters, a regcluster JSON report document is read (from a file or
+// stdin with "-") and every cluster's gene set is scored; otherwise -genes
+// supplies one comma-separated gene list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"regcluster/internal/matrix"
+	"regcluster/internal/ontology"
+	"regcluster/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "goenrich:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("goenrich", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exprPath  = fs.String("expr", "", "expression TSV defining the gene universe (required)")
+		annotPath = fs.String("annotations", "", "GO annotation TSV: gene, termID, termName, namespace (required)")
+		genesCSV  = fs.String("genes", "", "comma-separated gene names to score")
+		clusters  = fs.String("clusters", "", `regcluster JSON report to score per cluster ("-" = stdin)`)
+		top       = fs.Int("top", 1, "terms reported per namespace")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *exprPath == "" || *annotPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-expr and -annotations are required")
+	}
+	if (*genesCSV == "") == (*clusters == "") {
+		return fmt.Errorf("exactly one of -genes or -clusters must be given")
+	}
+
+	m, err := matrix.ReadTSVFile(*exprPath)
+	if err != nil {
+		return err
+	}
+	geneIndex := make(map[string]int, m.Rows())
+	for i := 0; i < m.Rows(); i++ {
+		geneIndex[m.RowName(i)] = i
+	}
+	af, err := os.Open(*annotPath)
+	if err != nil {
+		return err
+	}
+	corpus, skipped, err := ontology.ReadAnnotations(af, geneIndex, m.Rows())
+	af.Close()
+	if err != nil {
+		return err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(stderr, "goenrich: %d annotations for genes outside the expression panel skipped\n", skipped)
+	}
+
+	score := func(label string, genes []int) {
+		fmt.Fprintf(stdout, "%s (%d genes):\n", label, len(genes))
+		for _, ns := range ontology.Namespaces() {
+			es := corpus.TermFinder(genes, ns)
+			if len(es) == 0 {
+				fmt.Fprintf(stdout, "  %-20s —\n", ns)
+				continue
+			}
+			n := *top
+			if n > len(es) {
+				n = len(es)
+			}
+			for _, e := range es[:n] {
+				fmt.Fprintf(stdout, "  %-20s %s %s (p=%.3g, %d/%d genes)\n",
+					ns, e.Term.ID, e.Term.Name, e.PValue, e.Overlap, e.Query)
+			}
+		}
+	}
+
+	if *genesCSV != "" {
+		var genes []int
+		for _, name := range strings.Split(*genesCSV, ",") {
+			name = strings.TrimSpace(name)
+			g, ok := geneIndex[name]
+			if !ok {
+				return fmt.Errorf("gene %q not in the expression panel", name)
+			}
+			genes = append(genes, g)
+		}
+		score("query", genes)
+		return nil
+	}
+
+	var r io.Reader
+	if *clusters == "-" {
+		r = stdin
+	} else {
+		f, err := os.Open(*clusters)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := report.Read(r)
+	if err != nil {
+		return err
+	}
+	resolved, err := doc.Resolve(m)
+	if err != nil {
+		return err
+	}
+	for i, b := range resolved {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		score(fmt.Sprintf("cluster %d", i+1), b.Genes())
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"regcluster/internal/core"
+	"regcluster/internal/paperdata"
+	"regcluster/internal/report"
+)
+
+// fixture writes an expression panel and a matching annotation file where
+// genes g1 and g3 share the "co-reg" process term.
+func fixture(t *testing.T) (exprPath, annotPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	exprPath = filepath.Join(dir, "expr.tsv")
+	if err := paperdata.RunningExample().WriteTSVFile(exprPath); err != nil {
+		t.Fatal(err)
+	}
+	annotPath = filepath.Join(dir, "go.tsv")
+	annots := `! test annotations
+g1	GO:0000100	co-reg process	P
+g3	GO:0000100	co-reg process	P
+g2	GO:0000200	other process	P
+g1	GO:0000300	shared function	F
+g2	GO:0000300	shared function	F
+g3	GO:0000300	shared function	F
+`
+	if err := os.WriteFile(annotPath, []byte(annots), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return exprPath, annotPath
+}
+
+func TestRunGeneList(t *testing.T) {
+	expr, annot := fixture(t)
+	var out strings.Builder
+	err := run([]string{
+		"-expr", expr, "-annotations", annot, "-genes", "g1, g3",
+	}, strings.NewReader(""), &out, &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "co-reg process") {
+		t.Errorf("top process term missing:\n%s", text)
+	}
+	if !strings.Contains(text, "2/2 genes") {
+		t.Errorf("overlap missing:\n%s", text)
+	}
+}
+
+func TestRunClustersFromReport(t *testing.T) {
+	expr, annot := fixture(t)
+	// Build a report document for the paper's cluster {g1, g3 | g2}.
+	m := paperdata.RunningExample()
+	p := core.Params{MinG: 3, MinC: 5, Gamma: 0.15, Epsilon: 0.1}
+	res, err := core.Mine(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := report.FromResult(m, p, res)
+	var docBuf strings.Builder
+	if err := doc.Write(&docBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	err = run([]string{
+		"-expr", expr, "-annotations", annot, "-clusters", "-",
+	}, strings.NewReader(docBuf.String()), &out, &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "cluster 1 (3 genes)") {
+		t.Errorf("cluster header missing:\n%s", text)
+	}
+	// All three genes carry the shared function term: 3/3 overlap.
+	if !strings.Contains(text, "shared function (p=") || !strings.Contains(text, "3/3 genes") {
+		t.Errorf("function enrichment missing:\n%s", text)
+	}
+}
+
+func TestRunSkipsForeignAnnotations(t *testing.T) {
+	expr, annot := fixture(t)
+	raw, err := os.ReadFile(annot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withForeign := string(raw) + "NOTAGENE\tGO:0000100\tco-reg process\tP\n"
+	if err := os.WriteFile(annot, []byte(withForeign), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var errOut strings.Builder
+	err = run([]string{"-expr", expr, "-annotations", annot, "-genes", "g1"},
+		strings.NewReader(""), &strings.Builder{}, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "1 annotations") {
+		t.Errorf("skip note missing: %s", errOut.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	expr, annot := fixture(t)
+	var sink strings.Builder
+	cases := [][]string{
+		{},                                     // missing required flags
+		{"-expr", expr},                        // missing annotations
+		{"-expr", expr, "-annotations", annot}, // neither genes nor clusters
+		{"-expr", expr, "-annotations", annot, "-genes", "a", "-clusters", "-"}, // both
+		{"-expr", expr, "-annotations", annot, "-genes", "ghost"},               // unknown gene
+		{"-expr", "/missing.tsv", "-annotations", annot, "-genes", "g1"},        // missing expr
+		{"-expr", expr, "-annotations", "/missing.tsv", "-genes", "g1"},         // missing annotations
+	}
+	for i, args := range cases {
+		if err := run(args, strings.NewReader(""), &sink, &sink); err == nil {
+			t.Errorf("case %d accepted: %v", i, args)
+		}
+	}
+}

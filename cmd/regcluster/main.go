@@ -1,0 +1,134 @@
+// Command regcluster mines reg-clusters from a tab-separated gene expression
+// matrix and prints them in the paper's chain notation.
+//
+// Usage:
+//
+//	regcluster -in expression.tsv -ming 20 -minc 6 -gamma 0.05 -epsilon 1.0
+//
+// The input format is one header line (gene column label plus condition
+// names) followed by one line per gene; "NA"/empty cells are treated as
+// missing and imputed with the row mean. With -json the clusters are emitted
+// as a report document instead of text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"regcluster/internal/core"
+	"regcluster/internal/dataset"
+	"regcluster/internal/eval"
+	"regcluster/internal/matrix"
+	"regcluster/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "regcluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("regcluster", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in        = fs.String("in", "", "input TSV file (required)")
+		minG      = fs.Int("ming", 20, "minimum number of genes per cluster (MinG)")
+		minC      = fs.Int("minc", 6, "minimum number of conditions per cluster (MinC)")
+		gamma     = fs.Float64("gamma", 0.05, "regulation threshold γ (fraction of each gene's range)")
+		epsilon   = fs.Float64("epsilon", 1.0, "coherence threshold ε")
+		absGamma  = fs.Bool("absgamma", false, "treat -gamma as an absolute per-gene threshold")
+		gammaMode = fs.String("gammamode", "range", `per-gene threshold scheme: "range" (Equation 4), "mean" (γ × mean|expr|), "nearestpair" (average adjacent gap; ignores -gamma)`)
+		maxOut    = fs.Int("max", 0, "stop after this many clusters (0 = unlimited)")
+		maximal   = fs.Bool("maximal", false, "post-filter: drop clusters contained in another cluster")
+		asJSON    = fs.Bool("json", false, "emit JSON instead of text")
+		showStats = fs.Bool("stats", false, "print search statistics to stderr")
+		parallel  = fs.Int("parallel", 1, "worker count (0 = all cores, 1 = sequential)")
+		validate  = fs.Bool("validate", false, "re-check every cluster against Definition 3.2 before output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		fs.Usage()
+		return fmt.Errorf("-in is required")
+	}
+	m, err := dataset.LoadTSV(*in)
+	if err != nil {
+		return err
+	}
+	p := core.Params{
+		MinG: *minG, MinC: *minC,
+		Gamma: *gamma, Epsilon: *epsilon,
+		AbsoluteGamma: *absGamma,
+		MaxClusters:   *maxOut,
+	}
+	switch *gammaMode {
+	case "range":
+		// Equation 4 default; Gamma/AbsoluteGamma apply as-is.
+	case "mean":
+		p.CustomGammas = core.ThresholdsMeanFraction(m, *gamma)
+	case "nearestpair":
+		p.CustomGammas = core.ThresholdsNearestPair(m)
+	default:
+		return fmt.Errorf("unknown -gammamode %q", *gammaMode)
+	}
+	start := time.Now()
+	var res *core.Result
+	if *parallel == 1 {
+		res, err = core.Mine(m, p)
+	} else {
+		res, err = core.MineParallel(m, p, *parallel)
+	}
+	if err != nil {
+		return err
+	}
+	clusters := res.Clusters
+	if *maximal {
+		clusters = eval.MaximalOnly(clusters)
+	}
+	if *validate {
+		if err := eval.ValidateAll(m, p, clusters); err != nil {
+			return err
+		}
+		fmt.Fprintln(stderr, "regcluster: all clusters validate against Definition 3.2")
+	}
+	if *showStats {
+		fmt.Fprintf(stderr, "mined %d clusters (%d after filters) in %s; stats %+v\n",
+			len(res.Clusters), len(clusters), time.Since(start).Round(time.Millisecond), res.Stats)
+	}
+	if *asJSON {
+		doc := report.FromResult(m, p, &core.Result{Clusters: clusters, Stats: res.Stats})
+		return doc.Write(stdout)
+	}
+	writeText(stdout, m, clusters)
+	return nil
+}
+
+func writeText(w io.Writer, m *matrix.Matrix, clusters []*core.Bicluster) {
+	for i, b := range clusters {
+		g, c := b.Dims()
+		fmt.Fprintf(w, "cluster %d: %d genes x %d conditions\n", i+1, g, c)
+		fmt.Fprintf(w, "  chain:")
+		for _, cc := range b.Chain {
+			fmt.Fprintf(w, " %s", m.ColName(cc))
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  p-members:")
+		for _, gg := range b.PMembers {
+			fmt.Fprintf(w, " %s", m.RowName(gg))
+		}
+		fmt.Fprintln(w)
+		if len(b.NMembers) > 0 {
+			fmt.Fprintf(w, "  n-members:")
+			for _, gg := range b.NMembers {
+				fmt.Fprintf(w, " %s", m.RowName(gg))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"regcluster/internal/paperdata"
+)
+
+func writeRunningExample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "running.tsv")
+	if err := paperdata.RunningExample().WriteTSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTextOutput(t *testing.T) {
+	path := writeRunningExample(t)
+	var out, errb strings.Builder
+	err := run([]string{
+		"-in", path, "-ming", "3", "-minc", "5", "-gamma", "0.15", "-epsilon", "0.1",
+		"-stats", "-validate",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"cluster 1: 3 genes x 5 conditions", "chain: c7 c9 c5 c1 c3", "p-members: g1 g3", "n-members: g2"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(errb.String(), "validate against Definition 3.2") {
+		t.Errorf("stderr missing validation note: %s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "mined 1 clusters") {
+		t.Errorf("stderr missing stats: %s", errb.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeRunningExample(t)
+	var out strings.Builder
+	err := run([]string{
+		"-in", path, "-ming", "3", "-minc", "5", "-gamma", "0.15", "-epsilon", "0.1",
+		"-json", "-parallel", "0",
+	}, &out, &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Clusters []struct {
+			Chain    []string `json:"chain"`
+			PMembers []string `json:"p_members"`
+			NMembers []string `json:"n_members"`
+		} `json:"clusters"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(doc.Clusters) != 1 || len(doc.Clusters[0].Chain) != 5 {
+		t.Fatalf("JSON document wrong: %+v", doc)
+	}
+	if doc.Clusters[0].NMembers[0] != "g2" {
+		t.Fatalf("n-members: %v", doc.Clusters[0].NMembers)
+	}
+}
+
+func TestRunMaximalAndMax(t *testing.T) {
+	path := writeRunningExample(t)
+	var out strings.Builder
+	err := run([]string{
+		"-in", path, "-ming", "2", "-minc", "3", "-gamma", "0.15", "-epsilon", "0.1",
+		"-maximal", "-max", "50",
+	}, &out, &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cluster 1:") {
+		t.Fatalf("no clusters printed:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sink strings.Builder
+	if err := run([]string{}, &sink, &sink); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent/x.tsv"}, &sink, &sink); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeRunningExample(t)
+	if err := run([]string{"-in", path, "-ming", "0"}, &sink, &sink); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if err := run([]string{"-badflag"}, &sink, &sink); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunGammaModes(t *testing.T) {
+	path := writeRunningExample(t)
+	for _, mode := range []string{"range", "mean", "nearestpair"} {
+		var out strings.Builder
+		err := run([]string{
+			"-in", path, "-ming", "2", "-minc", "4", "-gamma", "0.1", "-epsilon", "0.5",
+			"-gammamode", mode, "-validate",
+		}, &out, &strings.Builder{})
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+	var sink strings.Builder
+	if err := run([]string{"-in", path, "-gammamode", "weird"}, &sink, &sink); err == nil {
+		t.Error("unknown gamma mode accepted")
+	}
+}

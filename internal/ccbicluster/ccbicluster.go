@@ -1,0 +1,311 @@
+// Package ccbicluster implements the Cheng & Church δ-bicluster algorithm
+// (ISMB 2000), the heuristic mean-squared-residue biclustering the reg-cluster
+// paper cites as the origin of the regulation-focused view of expression
+// analysis and as a baseline that cannot capture shifting-and-scaling
+// patterns (its residue score is zero only for purely additive patterns).
+//
+// The algorithm greedily carves one low-residue submatrix at a time from the
+// matrix: multiple node deletion, single node deletion, node addition
+// (including inverted rows, Cheng & Church's device for negative
+// correlation on the additive scale), then masks the found bicluster with
+// random values and repeats.
+package ccbicluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"regcluster/internal/matrix"
+)
+
+// Params configures the miner.
+type Params struct {
+	// Delta is the maximum acceptable mean squared residue.
+	Delta float64
+	// Alpha is the multiple-node-deletion aggressiveness (paper uses 1.2).
+	Alpha float64
+	// N is the number of biclusters to mine.
+	N int
+	// Seed drives the masking randomness.
+	Seed int64
+	// MultipleThreshold is the matrix size above which multiple node
+	// deletion is used (the paper uses 100).
+	MultipleThreshold int
+}
+
+// DefaultParams returns the settings of the original paper (δ must still be
+// chosen per dataset).
+func DefaultParams(delta float64, n int) Params {
+	return Params{Delta: delta, Alpha: 1.2, N: n, MultipleThreshold: 100}
+}
+
+// Bicluster is one δ-bicluster. InvertedRows lists member rows whose
+// *mirror image* fits the bicluster (negative correlation on the additive
+// scale); they are also present in Rows.
+type Bicluster struct {
+	Rows, Cols   []int
+	InvertedRows []int
+	MSR          float64
+}
+
+// Mine extracts up to p.N δ-biclusters from m. The input matrix is not
+// modified (masking happens on a copy).
+func Mine(m *matrix.Matrix, p Params) ([]Bicluster, error) {
+	if p.Delta < 0 || p.N < 1 {
+		return nil, fmt.Errorf("ccbicluster: need Delta >= 0 and N >= 1, got %v/%d", p.Delta, p.N)
+	}
+	if p.Alpha < 1 {
+		return nil, fmt.Errorf("ccbicluster: Alpha %v must be >= 1", p.Alpha)
+	}
+	if m.Rows() < 2 || m.Cols() < 2 {
+		return nil, nil
+	}
+	work := m.Clone()
+	rng := rand.New(rand.NewSource(p.Seed))
+	lo, hi := m.MinMax()
+	var out []Bicluster
+	for k := 0; k < p.N; k++ {
+		b := mineOne(work, p)
+		if len(b.Rows) < 2 || len(b.Cols) < 2 {
+			break
+		}
+		out = append(out, b)
+		// Mask the found cells with uniform noise so the next round finds a
+		// different bicluster.
+		for _, i := range b.Rows {
+			for _, j := range b.Cols {
+				work.Set(i, j, lo+rng.Float64()*(hi-lo))
+			}
+		}
+	}
+	return out, nil
+}
+
+// state tracks the working submatrix.
+type state struct {
+	m          *matrix.Matrix
+	rows, cols []int
+}
+
+func (s *state) msr() float64 { return s.m.MeanSquaredResidue(s.rows, s.cols) }
+
+// means returns rowMean[i], colMean[j] and the overall mean of the current
+// submatrix.
+func (s *state) means() (rowMean, colMean []float64, all float64) {
+	rowMean = make([]float64, len(s.rows))
+	colMean = make([]float64, len(s.cols))
+	for ri, r := range s.rows {
+		for ci, c := range s.cols {
+			v := s.m.At(r, c)
+			rowMean[ri] += v
+			colMean[ci] += v
+			all += v
+		}
+	}
+	nr, nc := float64(len(s.rows)), float64(len(s.cols))
+	for ri := range rowMean {
+		rowMean[ri] /= nc
+	}
+	for ci := range colMean {
+		colMean[ci] /= nr
+	}
+	all /= nr * nc
+	return rowMean, colMean, all
+}
+
+// rowResidues returns d(i) for every current row; colResidues likewise.
+func (s *state) rowResidues() []float64 {
+	rowMean, colMean, all := s.means()
+	out := make([]float64, len(s.rows))
+	for ri, r := range s.rows {
+		sum := 0.0
+		for ci, c := range s.cols {
+			res := s.m.At(r, c) - rowMean[ri] - colMean[ci] + all
+			sum += res * res
+		}
+		out[ri] = sum / float64(len(s.cols))
+	}
+	return out
+}
+
+func (s *state) colResidues() []float64 {
+	rowMean, colMean, all := s.means()
+	out := make([]float64, len(s.cols))
+	for ci, c := range s.cols {
+		sum := 0.0
+		for ri, r := range s.rows {
+			res := s.m.At(r, c) - rowMean[ri] - colMean[ci] + all
+			sum += res * res
+		}
+		out[ci] = sum / float64(len(s.rows))
+	}
+	return out
+}
+
+func mineOne(m *matrix.Matrix, p Params) Bicluster {
+	s := &state{m: m, rows: seq(m.Rows()), cols: seq(m.Cols())}
+	multipleNodeDeletion(s, p)
+	singleNodeDeletion(s, p)
+	inverted := nodeAddition(s, p)
+	sort.Ints(s.rows)
+	sort.Ints(s.cols)
+	sort.Ints(inverted)
+	return Bicluster{Rows: s.rows, Cols: s.cols, InvertedRows: inverted, MSR: s.msr()}
+}
+
+// multipleNodeDeletion removes all rows (then columns) whose mean residue
+// exceeds Alpha×MSR, while the submatrix is large and MSR > Delta.
+func multipleNodeDeletion(s *state, p Params) {
+	for s.msr() > p.Delta {
+		changed := false
+		if len(s.rows) > p.MultipleThreshold {
+			h := s.msr()
+			d := s.rowResidues()
+			var keep []int
+			for ri, r := range s.rows {
+				if d[ri] <= p.Alpha*h {
+					keep = append(keep, r)
+				}
+			}
+			if len(keep) >= 2 && len(keep) < len(s.rows) {
+				s.rows = keep
+				changed = true
+			}
+		}
+		if len(s.cols) > p.MultipleThreshold {
+			h := s.msr()
+			d := s.colResidues()
+			var keep []int
+			for ci, c := range s.cols {
+				if d[ci] <= p.Alpha*h {
+					keep = append(keep, c)
+				}
+			}
+			if len(keep) >= 2 && len(keep) < len(s.cols) {
+				s.cols = keep
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// singleNodeDeletion removes the single row or column with the largest mean
+// residue until MSR <= Delta.
+func singleNodeDeletion(s *state, p Params) {
+	for s.msr() > p.Delta && (len(s.rows) > 2 || len(s.cols) > 2) {
+		dr := s.rowResidues()
+		dc := s.colResidues()
+		bestRow, bestRowVal := -1, -1.0
+		for ri := range s.rows {
+			if dr[ri] > bestRowVal {
+				bestRow, bestRowVal = ri, dr[ri]
+			}
+		}
+		bestCol, bestColVal := -1, -1.0
+		for ci := range s.cols {
+			if dc[ci] > bestColVal {
+				bestCol, bestColVal = ci, dc[ci]
+			}
+		}
+		if bestRowVal >= bestColVal && len(s.rows) > 2 {
+			s.rows = append(s.rows[:bestRow], s.rows[bestRow+1:]...)
+		} else if len(s.cols) > 2 {
+			s.cols = append(s.cols[:bestCol], s.cols[bestCol+1:]...)
+		} else {
+			s.rows = append(s.rows[:bestRow], s.rows[bestRow+1:]...)
+		}
+	}
+}
+
+// nodeAddition grows the bicluster back: columns then rows whose mean residue
+// does not exceed the current MSR, including inverted rows. Returns the
+// inverted row ids added.
+func nodeAddition(s *state, p Params) (inverted []int) {
+	invertedSet := map[int]bool{}
+	for {
+		changed := false
+		// Columns.
+		h := s.msr()
+		rowMean, _, all := s.means()
+		inCols := toSet(s.cols)
+		for c := 0; c < s.m.Cols(); c++ {
+			if inCols[c] {
+				continue
+			}
+			colMean := 0.0
+			for _, r := range s.rows {
+				colMean += s.m.At(r, c)
+			}
+			colMean /= float64(len(s.rows))
+			sum := 0.0
+			for ri, r := range s.rows {
+				res := s.m.At(r, c) - rowMean[ri] - colMean + all
+				sum += res * res
+			}
+			if sum/float64(len(s.rows)) <= h {
+				s.cols = append(s.cols, c)
+				inCols[c] = true
+				changed = true
+			}
+		}
+		// Rows (straight and inverted).
+		h = s.msr()
+		_, colMean2, all2 := s.means()
+		inRows := toSet(s.rows)
+		for r := 0; r < s.m.Rows(); r++ {
+			if inRows[r] {
+				continue
+			}
+			rm := 0.0
+			for _, c := range s.cols {
+				rm += s.m.At(r, c)
+			}
+			rm /= float64(len(s.cols))
+			straight, inverse := 0.0, 0.0
+			for ci, c := range s.cols {
+				res := s.m.At(r, c) - rm - colMean2[ci] + all2
+				straight += res * res
+				ires := -s.m.At(r, c) + rm - colMean2[ci] + all2
+				inverse += ires * ires
+			}
+			n := float64(len(s.cols))
+			if straight/n <= h {
+				s.rows = append(s.rows, r)
+				inRows[r] = true
+				changed = true
+			} else if inverse/n <= h {
+				s.rows = append(s.rows, r)
+				inRows[r] = true
+				invertedSet[r] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for r := range invertedSet {
+		inverted = append(inverted, r)
+	}
+	return inverted
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func toSet(xs []int) map[int]bool {
+	s := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		s[x] = true
+	}
+	return s
+}

@@ -1,0 +1,189 @@
+package ccbicluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"regcluster/internal/matrix"
+)
+
+// plantAdditive embeds a perfect additive (pure shifting) bicluster into a
+// noisy background.
+func plantAdditive(t *testing.T, seed int64) (*matrix.Matrix, []int, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.New(30, 12)
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			m.Set(i, j, rng.Float64()*100)
+		}
+	}
+	rows := []int{2, 5, 9, 14, 20}
+	cols := []int{1, 3, 6, 8, 10}
+	base := []float64{5, 40, 15, 60, 25}
+	for ri, r := range rows {
+		shift := float64(ri) * 7
+		for ci, c := range cols {
+			m.Set(r, c, base[ci]+shift)
+		}
+	}
+	return m, rows, cols
+}
+
+func TestMSRZeroForAdditive(t *testing.T) {
+	m, rows, cols := plantAdditive(t, 1)
+	if msr := m.MeanSquaredResidue(rows, cols); msr > 1e-18 {
+		t.Fatalf("MSR of planted additive block = %v, want ~0", msr)
+	}
+}
+
+func TestMineRecoversPlantedBicluster(t *testing.T) {
+	m, rows, cols := plantAdditive(t, 2)
+	got, err := Mine(m, DefaultParams(5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no bicluster found")
+	}
+	b := got[0]
+	if b.MSR > 5 {
+		t.Fatalf("result MSR %v exceeds delta", b.MSR)
+	}
+	// The planted block should be (mostly) inside the result.
+	inRows := toSet(b.Rows)
+	inCols := toSet(b.Cols)
+	hitR, hitC := 0, 0
+	for _, r := range rows {
+		if inRows[r] {
+			hitR++
+		}
+	}
+	for _, c := range cols {
+		if inCols[c] {
+			hitC++
+		}
+	}
+	// Cheng & Church is a greedy heuristic; demand most, not all, of the
+	// planted block back.
+	if hitR < 4 || hitC < 3 {
+		t.Errorf("planted block poorly recovered: %d/5 rows, %d/5 cols (got rows %v cols %v)",
+			hitR, hitC, b.Rows, b.Cols)
+	}
+}
+
+func TestInvertedRowAddition(t *testing.T) {
+	// A mirrored row (negative correlation on the additive scale) should be
+	// added as an inverted row.
+	m := matrix.New(6, 6)
+	base := []float64{1, 4, 2, 6, 3, 5}
+	for i := 0; i < 5; i++ {
+		for j, v := range base {
+			m.Set(i, j, v+float64(i))
+		}
+	}
+	for j, v := range base {
+		m.Set(5, j, 10-v) // mirror
+	}
+	got, err := Mine(m, DefaultParams(0.001, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no bicluster")
+	}
+	b := got[0]
+	if len(b.InvertedRows) != 1 || b.InvertedRows[0] != 5 {
+		t.Errorf("inverted rows = %v, want [5]", b.InvertedRows)
+	}
+	if !toSet(b.Rows)[5] {
+		t.Error("inverted row must also appear in Rows")
+	}
+}
+
+func TestMaskingYieldsDistinctBiclusters(t *testing.T) {
+	m, _, _ := plantAdditive(t, 3)
+	got, err := Mine(m, DefaultParams(30, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 2 {
+		t.Skipf("only %d biclusters found", len(got))
+	}
+	// Consecutive results must not be identical.
+	for i := 1; i < len(got); i++ {
+		if equalInts(got[i].Rows, got[i-1].Rows) && equalInts(got[i].Cols, got[i-1].Cols) {
+			t.Fatal("masking failed: identical consecutive biclusters")
+		}
+	}
+}
+
+func TestShiftingAndScalingEscapesMSR(t *testing.T) {
+	// The reg-cluster paper's point: a shifting-and-scaling pattern is NOT a
+	// low-MSR bicluster. Scale one row of a perfect additive block.
+	m := matrix.New(4, 5)
+	base := []float64{0, 10, 4, 14, 8}
+	for i := 0; i < 4; i++ {
+		for j, v := range base {
+			m.Set(i, j, v)
+		}
+	}
+	rows := []int{0, 1, 2, 3}
+	cols := []int{0, 1, 2, 3, 4}
+	if m.MeanSquaredResidue(rows, cols) != 0 {
+		t.Fatal("setup broken")
+	}
+	m.ShiftScaleRow(3, 3, 2) // now a shifting-and-scaling relative
+	if msr := m.MeanSquaredResidue(rows, cols); msr < 1 {
+		t.Fatalf("MSR = %v; scaling should inflate the residue", msr)
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	m := matrix.New(5, 5)
+	if _, err := Mine(m, Params{Delta: -1, Alpha: 1.2, N: 1}); err == nil {
+		t.Error("negative delta accepted")
+	}
+	if _, err := Mine(m, Params{Delta: 1, Alpha: 0.5, N: 1}); err == nil {
+		t.Error("alpha < 1 accepted")
+	}
+	if _, err := Mine(m, Params{Delta: 1, Alpha: 1.2, N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	got, err := Mine(matrix.New(1, 1), DefaultParams(1, 1))
+	if err != nil || got != nil {
+		t.Error("degenerate matrix should return no clusters, no error")
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	m, _, _ := plantAdditive(t, 4)
+	a, err := Mine(m, DefaultParams(10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(m, DefaultParams(10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic result count")
+	}
+	for i := range a {
+		if !equalInts(a[i].Rows, b[i].Rows) || !equalInts(a[i].Cols, b[i].Cols) {
+			t.Fatal("non-deterministic biclusters")
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

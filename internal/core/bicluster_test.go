@@ -1,0 +1,143 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"regcluster/internal/matrix"
+	"regcluster/internal/paperdata"
+)
+
+func TestBiclusterAccessors(t *testing.T) {
+	b := &Bicluster{Chain: []int{6, 8, 4, 0, 2}, PMembers: []int{0, 2}, NMembers: []int{1}}
+	if got := b.Genes(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("Genes = %v", got)
+	}
+	if got := b.Conditions(); !reflect.DeepEqual(got, []int{0, 2, 4, 6, 8}) {
+		t.Errorf("Conditions = %v", got)
+	}
+	if g, c := b.Dims(); g != 3 || c != 5 {
+		t.Errorf("Dims = %d,%d", g, c)
+	}
+	if b.Cells() != 15 {
+		t.Errorf("Cells = %d", b.Cells())
+	}
+	// Conditions must not mutate Chain.
+	if !reflect.DeepEqual(b.Chain, []int{6, 8, 4, 0, 2}) {
+		t.Error("Conditions() mutated Chain")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := &Bicluster{Chain: []int{0, 1, 2}, PMembers: []int{0, 1, 2, 3}}
+	b := &Bicluster{Chain: []int{2, 3}, PMembers: []int{2, 3}, NMembers: []int{4}}
+	// Shared genes {2,3}, shared conditions {2} → 2 cells.
+	if got := a.OverlapCells(b); got != 2 {
+		t.Errorf("OverlapCells = %d, want 2", got)
+	}
+	// min cells = 6 (b), fraction = 2/6.
+	if got := a.OverlapFraction(b); got < 0.333 || got > 0.334 {
+		t.Errorf("OverlapFraction = %v", got)
+	}
+	if a.OverlapFraction(a) != 1 {
+		t.Errorf("self overlap = %v, want 1", a.OverlapFraction(a))
+	}
+	empty := &Bicluster{}
+	if empty.OverlapFraction(a) != 0 {
+		t.Error("empty cluster overlap should be 0")
+	}
+}
+
+func TestKeyDistinguishesMemberSplit(t *testing.T) {
+	a := &Bicluster{Chain: []int{0, 1}, PMembers: []int{1, 2}, NMembers: []int{3}}
+	b := &Bicluster{Chain: []int{0, 1}, PMembers: []int{1}, NMembers: []int{2, 3}}
+	c := &Bicluster{Chain: []int{1, 0}, PMembers: []int{1, 2}, NMembers: []int{3}}
+	if a.Key() == b.Key() {
+		t.Error("keys must distinguish the p/n split")
+	}
+	if a.Key() == c.Key() {
+		t.Error("keys must distinguish chain order")
+	}
+	if a.Key() != (&Bicluster{Chain: []int{0, 1}, PMembers: []int{1, 2}, NMembers: []int{3}}).Key() {
+		t.Error("identical clusters must share a key")
+	}
+}
+
+func TestBiclusterString(t *testing.T) {
+	b := &Bicluster{Chain: []int{6, 8}, PMembers: []int{0}, NMembers: []int{1}}
+	s := b.String()
+	if !strings.Contains(s, "c6") || !strings.Contains(s, "c8") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	cases := []struct{ a, b, want []int }{
+		{[]int{1, 2, 3}, []int{2, 3, 4}, []int{2, 3}},
+		{[]int{1, 2}, []int{3, 4}, nil},
+		{nil, []int{1}, nil},
+		{[]int{5}, []int{5}, []int{5}},
+	}
+	for _, tc := range cases {
+		if got := intersectSorted(tc.a, tc.b); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("intersect(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMaximalWindows(t *testing.T) {
+	mk := func(hs ...float64) []extMember {
+		out := make([]extMember, len(hs))
+		for i, h := range hs {
+			out[i] = extMember{member{i, true}, h}
+		}
+		return out
+	}
+	cases := []struct {
+		hs     []float64
+		eps    float64
+		minLen int
+		want   [][2]int
+	}{
+		{[]float64{1, 1, 1}, 0, 3, [][2]int{{0, 2}}},
+		{[]float64{0, 0.5, 1, 1.5}, 0.5, 2, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+		{[]float64{0, 0.5, 1, 1.5}, 1.0, 3, [][2]int{{0, 2}, {1, 3}}},
+		{[]float64{0, 10, 20}, 1, 2, nil},
+		{[]float64{0, 0.1, 5, 5.1}, 0.2, 2, [][2]int{{0, 1}, {2, 3}}},
+		// A maximal window smaller than minLen is dropped but must not
+		// suppress later windows.
+		{[]float64{0, 0.1, 5, 9, 9.1, 9.2}, 0.5, 3, [][2]int{{3, 5}}},
+		{nil, 1, 1, nil},
+	}
+	for i, tc := range cases {
+		got := maximalWindows(mk(tc.hs...), tc.eps, tc.minLen)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("case %d: windows = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestCheckBiclusterRejectsBadClusters(t *testing.T) {
+	m := runningMatrix()
+	p := runningParams()
+	good := &Bicluster{Chain: []int{6, 8, 4, 0, 2}, PMembers: []int{0, 2}, NMembers: []int{1}}
+	if err := CheckBicluster(m, p, good); err != nil {
+		t.Fatalf("paper cluster rejected: %v", err)
+	}
+	bad := []*Bicluster{
+		// too few conditions
+		{Chain: []int{6, 8}, PMembers: []int{0, 2}, NMembers: []int{1}},
+		// n-members outnumber p-members
+		{Chain: []int{6, 8, 4, 0, 2}, PMembers: []int{1}, NMembers: []int{0, 2}},
+		// wrong direction for g2 (listed as p-member but falls)
+		{Chain: []int{6, 8, 4, 0, 2}, PMembers: []int{0, 1, 2}},
+	}
+	for i, b := range bad {
+		if err := CheckBicluster(m, p, b); err == nil {
+			t.Errorf("bad cluster %d accepted", i)
+		}
+	}
+}
+
+func runningMatrix() *matrix.Matrix { return paperdata.RunningExample() }

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"regcluster/internal/matrix"
+)
+
+// bruteForceChains enumerates EVERY valid reg-cluster of m under p by brute
+// force: all ordered condition sequences of length >= MinC (via DFS over
+// permutations), with the maximal coherent gene windows per sequence,
+// filtered by the representative rule. It is exponential and only usable on
+// tiny matrices; the miner must reproduce its output exactly.
+func bruteForceChains(m *matrix.Matrix, p Params) map[string]bool {
+	out := map[string]bool{}
+	n := m.Cols()
+	gammas := make([]float64, m.Rows())
+	for g := range gammas {
+		gammas[g] = p.Gamma * m.RowRange(g)
+	}
+
+	type dirGene struct {
+		gene int
+		up   bool
+	}
+	// follows reports whether the gene (in direction up) steps from a to b
+	// with a significant regulation.
+	follows := func(dg dirGene, a, b int) bool {
+		d := m.At(dg.gene, b) - m.At(dg.gene, a)
+		if !dg.up {
+			d = -d
+		}
+		return d > gammas[dg.gene]
+	}
+	hOf := func(dg dirGene, chain []int, k int) float64 {
+		return (m.At(dg.gene, chain[k+1]) - m.At(dg.gene, chain[k])) /
+			(m.At(dg.gene, chain[1]) - m.At(dg.gene, chain[0]))
+	}
+
+	var rec func(chain []int, members []dirGene)
+	rec = func(chain []int, members []dirGene) {
+		if len(chain) >= p.MinC {
+			// Representative rule.
+			pc := 0
+			for _, dg := range members {
+				if dg.up {
+					pc++
+				}
+			}
+			nc := len(members) - pc
+			if (pc > nc || (pc == nc && chain[0] > chain[len(chain)-1])) && len(members) >= p.MinG {
+				b := &Bicluster{Chain: append([]int(nil), chain...)}
+				for _, dg := range members {
+					if dg.up {
+						b.PMembers = append(b.PMembers, dg.gene)
+					} else {
+						b.NMembers = append(b.NMembers, dg.gene)
+					}
+				}
+				sortInts(b.PMembers)
+				sortInts(b.NMembers)
+				out[b.Key()] = true
+			}
+		}
+		// Extend by every unused condition.
+		used := map[int]bool{}
+		for _, c := range chain {
+			used[c] = true
+		}
+		for c := 0; c < n; c++ {
+			if used[c] {
+				continue
+			}
+			// Members stepping to c.
+			var stepped []dirGene
+			for _, dg := range members {
+				if follows(dg, chain[len(chain)-1], c) {
+					stepped = append(stepped, dg)
+				}
+			}
+			if len(stepped) < p.MinG {
+				continue
+			}
+			newChain := append(append([]int(nil), chain...), c)
+			// All maximal coherent windows on the H score of the new pair
+			// (pairs validated incrementally, as in Definition 3.2 the
+			// earlier pairs were already enforced on a superset).
+			if len(newChain) < 3 {
+				rec(newChain, stepped)
+				continue
+			}
+			type scored struct {
+				dg dirGene
+				h  float64
+			}
+			ss := make([]scored, len(stepped))
+			for i, dg := range stepped {
+				ss[i] = scored{dg, hOf(dg, newChain, len(newChain)-2)}
+			}
+			// Sort by h.
+			for i := 1; i < len(ss); i++ {
+				for j := i; j > 0 && (ss[j].h < ss[j-1].h || (ss[j].h == ss[j-1].h && less(ss[j].dg, ss[j-1].dg))); j-- {
+					ss[j], ss[j-1] = ss[j-1], ss[j]
+				}
+			}
+			prevR := -1
+			r := 0
+			for l := 0; l < len(ss); l++ {
+				if r < l {
+					r = l
+				}
+				for r+1 < len(ss) && ss[r+1].h-ss[l].h <= p.Epsilon {
+					r++
+				}
+				if r-l+1 >= p.MinG && r > prevR {
+					var w []dirGene
+					for k := l; k <= r; k++ {
+						w = append(w, ss[k].dg)
+					}
+					rec(newChain, w)
+					prevR = r
+				}
+			}
+		}
+	}
+
+	for c := 0; c < n; c++ {
+		var members []dirGene
+		for g := 0; g < m.Rows(); g++ {
+			members = append(members, dirGene{g, true}, dirGene{g, false})
+		}
+		rec([]int{c}, members)
+	}
+	return out
+}
+
+func less(a, b struct {
+	gene int
+	up   bool
+}) bool {
+	if a.gene != b.gene {
+		return a.gene < b.gene
+	}
+	return a.up && !b.up
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// TestMinerMatchesBruteForce cross-validates the production miner against
+// the exponential reference enumerator on many small random matrices: the
+// outputs must agree exactly (both soundness AND completeness).
+func TestMinerMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(20060101))
+	for trial := 0; trial < 60; trial++ {
+		genes := 3 + rng.Intn(4) // 3..6
+		conds := 3 + rng.Intn(3) // 3..5
+		m := matrix.New(genes, conds)
+		for g := 0; g < genes; g++ {
+			for c := 0; c < conds; c++ {
+				// Coarse values create ties and many boundary regulations.
+				m.Set(g, c, float64(rng.Intn(12)))
+			}
+		}
+		p := Params{
+			MinG:    2,
+			MinC:    2 + rng.Intn(2),
+			Gamma:   []float64{0, 0.1, 0.2}[rng.Intn(3)],
+			Epsilon: []float64{0, 0.25, 1.0}[rng.Intn(3)],
+		}
+		res, err := Mine(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]bool{}
+		for _, b := range res.Clusters {
+			got[b.Key()] = true
+		}
+		want := bruteForceChains(m, p)
+		for k := range want {
+			if !got[k] {
+				t.Errorf("trial %d (%dx%d, %+v): miner MISSED cluster %s\nmatrix:\n%v",
+					trial, genes, conds, p, k, m)
+			}
+		}
+		for k := range got {
+			if !want[k] {
+				t.Errorf("trial %d (%dx%d, %+v): miner INVENTED cluster %s\nmatrix:\n%v",
+					trial, genes, conds, p, k, m)
+			}
+		}
+		if t.Failed() {
+			return
+		}
+	}
+}

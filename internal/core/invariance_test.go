@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"regcluster/internal/matrix"
+)
+
+// permuteConds returns a copy of m with columns permuted by perm
+// (new column j holds old column perm[j]).
+func permuteConds(m *matrix.Matrix, perm []int) *matrix.Matrix {
+	out := matrix.New(m.Rows(), m.Cols())
+	for g := 0; g < m.Rows(); g++ {
+		for j, src := range perm {
+			out.Set(g, j, m.At(g, src))
+		}
+	}
+	return out
+}
+
+// permuteGenes returns a copy with rows permuted (new row i holds old row
+// perm[i]).
+func permuteGenes(m *matrix.Matrix, perm []int) *matrix.Matrix {
+	out := matrix.New(m.Rows(), m.Cols())
+	for i, src := range perm {
+		for j := 0; j < m.Cols(); j++ {
+			out.Set(i, j, m.At(src, j))
+		}
+	}
+	return out
+}
+
+// canonicalKeys maps each cluster through the inverse relabeling and returns
+// sorted keys, so results on permuted matrices can be compared directly.
+func canonicalKeys(t *testing.T, clusters []*Bicluster, geneMap, condMap []int) []string {
+	t.Helper()
+	keys := make([]string, 0, len(clusters))
+	for _, b := range clusters {
+		nb := &Bicluster{}
+		for _, c := range b.Chain {
+			nb.Chain = append(nb.Chain, condMap[c])
+		}
+		for _, g := range b.PMembers {
+			nb.PMembers = append(nb.PMembers, geneMap[g])
+		}
+		for _, g := range b.NMembers {
+			nb.NMembers = append(nb.NMembers, geneMap[g])
+		}
+		sort.Ints(nb.PMembers)
+		sort.Ints(nb.NMembers)
+		keys = append(keys, nb.Key())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TestGenePermutationInvariance: relabeling genes must relabel the clusters
+// and nothing else.
+func TestGenePermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		m := randomMatrix(25, 8, int64(trial))
+		p := Params{MinG: 3, MinC: 3, Gamma: 0.08, Epsilon: 0.3}
+		base, err := Mine(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := rng.Perm(m.Rows())
+		pm := permuteGenes(m, perm)
+		permuted, err := Mine(pm, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := canonicalKeys(t, base.Clusters, identity(m.Rows()), identity(m.Cols()))
+		got := canonicalKeys(t, permuted.Clusters, perm, identity(m.Cols()))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: gene permutation changed the cluster set (%d vs %d)",
+				trial, len(got), len(want))
+		}
+	}
+}
+
+// TestConditionPermutationInvariance: relabeling conditions must relabel the
+// chains and nothing else, for clusters with a STRICT p-member majority.
+// Clusters whose p- and n-members tie are inherently label-dependent: the
+// paper's representative rule breaks ties by condition id, and the Equation 7
+// baseline differs per orientation (so a tied cluster may only materialize
+// as a maximal window in one orientation). We therefore compare the
+// strict-majority subset, orientation-normalized.
+func TestConditionPermutationInvariance(t *testing.T) {
+	normalize := func(keys []string, clusters []*Bicluster, condMap []int) []string {
+		out := make([]string, 0, len(clusters))
+		for _, b := range clusters {
+			if len(b.PMembers) == len(b.NMembers) {
+				continue // tie: label-dependent by design
+			}
+			chain := make([]int, len(b.Chain))
+			for i, c := range b.Chain {
+				chain[i] = condMap[c]
+			}
+			// Orientation-normalize: represent by the lexicographically
+			// smaller of (chain, reversed chain with p/n swapped).
+			fwd := &Bicluster{Chain: chain, PMembers: append([]int(nil), b.PMembers...), NMembers: append([]int(nil), b.NMembers...)}
+			rev := &Bicluster{Chain: reverseInts(chain), PMembers: append([]int(nil), b.NMembers...), NMembers: append([]int(nil), b.PMembers...)}
+			sort.Ints(fwd.PMembers)
+			sort.Ints(fwd.NMembers)
+			sort.Ints(rev.PMembers)
+			sort.Ints(rev.NMembers)
+			k := fwd.Key()
+			if rk := rev.Key(); rk < k {
+				k = rk
+			}
+			out = append(out, k)
+		}
+		sort.Strings(out)
+		return out
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		m := randomMatrix(25, 7, int64(100+trial))
+		p := Params{MinG: 3, MinC: 3, Gamma: 0.08, Epsilon: 0.3}
+		base, err := Mine(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := rng.Perm(m.Cols())
+		// inverse permutation: new column j holds old column perm[j], so an
+		// index c in the permuted matrix maps back to perm[c].
+		pm := permuteConds(m, perm)
+		permuted, err := Mine(pm, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := normalize(nil, base.Clusters, identity(m.Cols()))
+		got := normalize(nil, permuted.Clusters, perm)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: condition permutation changed the cluster set (%d vs %d)",
+				trial, len(got), len(want))
+		}
+	}
+}
+
+// TestShiftScaleWholeMatrixInvariance: applying one global affine transform
+// d := s1*d + s2 (s1 > 0) to the WHOLE matrix preserves every cluster
+// exactly — both the regulation threshold (Equation 4) and the coherence
+// score (Equation 7) are affine-invariant.
+func TestShiftScaleWholeMatrixInvariance(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		m := randomMatrix(20, 7, int64(200+trial))
+		p := Params{MinG: 3, MinC: 3, Gamma: 0.1, Epsilon: 0.25}
+		base, err := Mine(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1 := 0.5 + float64(trial)
+		s2 := float64(trial*13) - 40
+		tm := m.Clone()
+		for g := 0; g < tm.Rows(); g++ {
+			tm.ShiftScaleRow(g, s1, s2)
+		}
+		trans, err := Mine(tm, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameClusterKeys(base.Clusters, trans.Clusters) {
+			t.Fatalf("trial %d: global affine transform changed the cluster set (%d vs %d)",
+				trial, len(trans.Clusters), len(base.Clusters))
+		}
+	}
+}
+
+// TestNegatedMatrixSwapsMembers: negating the whole matrix turns every
+// cluster's chain around — p-members and n-members swap roles, the cluster
+// structure is otherwise preserved.
+func TestNegatedMatrixSwapsMembers(t *testing.T) {
+	m := matrix.FromRows([][]float64{
+		{1, 5, 9, 13},
+		{2, 10, 18, 26},
+		{40, 30, 20, 10},
+	})
+	p := Params{MinG: 3, MinC: 4, Gamma: 0.1, Epsilon: 1e-9}
+	base, err := Mine(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Clusters) != 1 {
+		t.Fatalf("setup: %d clusters", len(base.Clusters))
+	}
+	neg := m.Clone()
+	for g := 0; g < neg.Rows(); g++ {
+		neg.ShiftScaleRow(g, -1, 0)
+	}
+	negRes, err := Mine(neg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(negRes.Clusters) != 1 {
+		t.Fatalf("negated: %d clusters", len(negRes.Clusters))
+	}
+	b, nb := base.Clusters[0], negRes.Clusters[0]
+	if !reflect.DeepEqual(b.PMembers, nb.PMembers) || !reflect.DeepEqual(b.NMembers, nb.NMembers) {
+		t.Fatalf("negation should preserve the p/n split via chain reversal: %v vs %v", b, nb)
+	}
+	if !reflect.DeepEqual(reverseInts(b.Chain), nb.Chain) {
+		t.Fatalf("negation should reverse the chain: %v vs %v", b.Chain, nb.Chain)
+	}
+}
+
+// TestInfiniteValuesNeverCluster documents behaviour on ±Inf cells: the
+// affected gene's range is infinite, so its regulation threshold is infinite
+// and it can never join a cluster; other genes are unaffected.
+func TestInfiniteValuesNeverCluster(t *testing.T) {
+	m := matrix.FromRows([][]float64{
+		{1, 2, 3, 4},
+		{2, 4, 6, 8},
+		{math.Inf(1), 1, 2, 3},
+	})
+	p := Params{MinG: 2, MinC: 4, Gamma: 0.1, Epsilon: 0.5}
+	res, err := Mine(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range res.Clusters {
+		for _, g := range b.Genes() {
+			if g == 2 {
+				t.Fatalf("gene with Inf cell joined a cluster: %v", b)
+			}
+		}
+	}
+	if len(res.Clusters) == 0 {
+		t.Fatal("finite genes should still cluster")
+	}
+}
+
+func reverseInts(xs []int) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[len(xs)-1-i] = x
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regcluster/internal/matrix"
+)
+
+// TestLemma32Forward: if d_i = s1·d_j + s2 then all adjacent-pair H scores
+// agree exactly (the "only if" direction of Lemma 3.2).
+func TestLemma32Forward(t *testing.T) {
+	f := func(vals [6]float64, s1f, s2f float64) bool {
+		s1 := math.Mod(math.Abs(s1f), 10) + 0.1 // bounded, non-zero
+		if s1f < 0 {
+			s1 = -s1
+		}
+		s2 := math.Mod(s2f, 100)
+		base := make([]float64, 6)
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			base[i] = math.Mod(v, 50)
+		}
+		// Need strictly distinct sorted values for well-defined chains.
+		for i := range base {
+			base[i] += float64(i) * 100 // force strict increase
+		}
+		m := matrix.New(2, 6)
+		for c, v := range base {
+			m.Set(0, c, v)
+			m.Set(1, c, s1*v+s2)
+		}
+		chain := []int{0, 1, 2, 3, 4, 5}
+		for k := 1; k+1 < len(chain); k++ {
+			h0 := coherenceH(m, 0, chain[0], chain[1], chain[k], chain[k+1])
+			h1 := coherenceH(m, 1, chain[0], chain[1], chain[k], chain[k+1])
+			if math.Abs(h0-h1) > 1e-9*math.Max(1, math.Abs(h0)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLemma32Backward: if all adjacent-pair H scores agree (ε = 0) then the
+// two profiles are affinely related on the chain — recover s1 and s2 from
+// the baseline pair and verify every other condition (the "if" direction).
+func TestLemma32Backward(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(4)
+		// Build gene j with strictly increasing values, then gene i with the
+		// SAME H profile but constructed step-by-step (not via an explicit
+		// affine map): equality of H scores must force the affine relation.
+		dj := make([]float64, n)
+		dj[0] = rng.Float64() * 10
+		for k := 1; k < n; k++ {
+			dj[k] = dj[k-1] + 0.5 + rng.Float64()*5
+		}
+		baseI0 := rng.Float64() * 20
+		baseStep := 0.5 + rng.Float64()*5 // d_i's first step
+		di := make([]float64, n)
+		di[0] = baseI0
+		di[1] = baseI0 + baseStep
+		for k := 1; k+1 < n; k++ {
+			h := (dj[k+1] - dj[k]) / (dj[1] - dj[0])
+			di[k+1] = di[k] + h*(di[1]-di[0])
+		}
+		// Now verify: s1 = Δi/Δj over the baseline, s2 = di0 − s1·dj0, and
+		// di == s1·dj + s2 everywhere.
+		s1 := (di[1] - di[0]) / (dj[1] - dj[0])
+		s2 := di[0] - s1*dj[0]
+		for k := 0; k < n; k++ {
+			want := s1*dj[k] + s2
+			if math.Abs(di[k]-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Fatalf("trial %d: Lemma 3.2 backward failed at k=%d: %v vs %v",
+					trial, k, di[k], want)
+			}
+		}
+	}
+}
+
+// TestLemma32NegativeScaling: the equivalence holds for negative s1 with the
+// n-member reading (values fall along the chain but H stays equal).
+func TestLemma32NegativeScaling(t *testing.T) {
+	base := []float64{2, 5, 9, 14, 20}
+	m := matrix.New(2, 5)
+	for c, v := range base {
+		m.Set(0, c, v)
+		m.Set(1, c, -2.5*v+100)
+	}
+	chain := []int{0, 1, 2, 3, 4}
+	for k := 1; k+1 < len(chain); k++ {
+		h0 := coherenceH(m, 0, chain[0], chain[1], chain[k], chain[k+1])
+		h1 := coherenceH(m, 1, chain[0], chain[1], chain[k], chain[k+1])
+		if math.Abs(h0-h1) > 1e-12 {
+			t.Fatalf("pair %d: H %v vs %v", k, h0, h1)
+		}
+		if h0 <= 0 {
+			t.Fatalf("H must stay positive for both orientations, got %v", h0)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"regcluster/internal/matrix"
+	"regcluster/internal/rwave"
+)
+
+// Result is the outcome of one Mine call.
+type Result struct {
+	Clusters []*Bicluster
+	Stats    Stats
+}
+
+// member is one (gene, direction) entry of the current search node: up means
+// the gene complies with the chain (p-member), otherwise with its inversion
+// (n-member). At chain lengths 0 and 1 a gene may appear in both directions;
+// from length 2 on the directions are mutually exclusive.
+type member struct {
+	gene int
+	up   bool
+}
+
+// extMember is a member that survived a candidate extension, with its
+// coherence score H(j, c_{k1}, c_{k2}, c_{km}, c_i) (Equation 7).
+type extMember struct {
+	member
+	h float64
+}
+
+// Mine discovers all reg-clusters of m under p (Definition 3.2), returning
+// them in deterministic depth-first enumeration order.
+func Mine(m *matrix.Matrix, p Params) (*Result, error) {
+	models, err := prepare(m, p)
+	if err != nil {
+		return nil, err
+	}
+	mn := &miner{m: m, p: p, models: models, seen: make(map[string]bool)}
+	mn.run()
+	return &Result{Clusters: mn.out, Stats: mn.stats}, nil
+}
+
+// prepare validates the inputs and builds the per-gene RWave models.
+func prepare(m *matrix.Matrix, p Params) ([]*rwave.Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.CustomGammas != nil && len(p.CustomGammas) != m.Rows() {
+		return nil, fmt.Errorf("core: %d CustomGammas for %d genes", len(p.CustomGammas), m.Rows())
+	}
+	if m.HasNaN() {
+		return nil, fmt.Errorf("core: matrix contains NaN cells; impute first (matrix.FillNaN)")
+	}
+	models := make([]*rwave.Model, m.Rows())
+	for g := range models {
+		switch {
+		case p.CustomGammas != nil:
+			models[g] = rwave.BuildAbsolute(m, g, p.CustomGammas[g])
+		case p.AbsoluteGamma:
+			models[g] = rwave.BuildAbsolute(m, g, p.Gamma)
+		default:
+			models[g] = rwave.Build(m, g, p.Gamma)
+		}
+	}
+	return models, nil
+}
+
+type miner struct {
+	m      *matrix.Matrix
+	p      Params
+	models []*rwave.Model
+	seen   map[string]bool // pruning (3b) duplicate-state keys
+	out    []*Bicluster
+	visit  Visitor // when set, clusters stream to it instead of out
+	stats  Stats
+	stop   bool // set when a safety cap fires or the visitor stops
+}
+
+func (mn *miner) run() {
+	for c := 0; c < mn.m.Cols() && !mn.stop; c++ {
+		mn.runFrom(c)
+	}
+}
+
+// runFrom mines the level-1 subtree rooted at starting condition c. Every
+// gene joins in each direction it could sustain (pruning (2) estimates the
+// reachable chain length as MaxUp/DownChainFrom).
+func (mn *miner) runFrom(c int) {
+	nGenes := mn.m.Rows()
+	members := make([]member, 0, nGenes)
+	for g := 0; g < nGenes; g++ {
+		mod := mn.models[g]
+		if mn.p.DisableChainLengthPruning || mod.MaxUpChainFrom(c) >= mn.p.MinC {
+			members = append(members, member{g, true})
+		} else {
+			mn.stats.MembersDroppedByLength++
+		}
+		if mn.p.DisableChainLengthPruning || mod.MaxDownChainFrom(c) >= mn.p.MinC {
+			members = append(members, member{g, false})
+		} else {
+			mn.stats.MembersDroppedByLength++
+		}
+	}
+	mn.mineC2([]int{c}, members)
+}
+
+// mineC2 is the MineC² subroutine of Figure 5.
+func (mn *miner) mineC2(chain []int, members []member) {
+	if mn.stop {
+		return
+	}
+	mn.stats.Nodes++
+	if mn.p.MaxNodes > 0 && mn.stats.Nodes > mn.p.MaxNodes {
+		mn.stats.Truncated = true
+		mn.stop = true
+		return
+	}
+
+	// Pruning (1): not enough distinct genes.
+	if distinctGenes(members) < mn.p.MinG {
+		mn.stats.PrunedMinG++
+		return
+	}
+	// Pruning (3a): p-members can never reach a majority in this subtree.
+	pCount := 0
+	for _, mb := range members {
+		if mb.up {
+			pCount++
+		}
+	}
+	if !mn.p.DisableMajorityPruning && 2*pCount < mn.p.MinG {
+		mn.stats.PrunedMajority++
+		return
+	}
+
+	// Output test + pruning (3b).
+	if len(chain) >= mn.p.MinC && mn.isRepresentative(chain, members, pCount) {
+		b := mn.toBicluster(chain, members)
+		key := b.Key()
+		if mn.seen[key] {
+			mn.stats.Duplicates++
+			if !mn.p.DisableDedupPruning {
+				return // the subtree rooted here was fully explored before
+			}
+		} else {
+			mn.seen[key] = true
+			mn.stats.Clusters++
+			if mn.visit != nil {
+				if !mn.visit(b) {
+					mn.stats.Truncated = true
+					mn.stop = true
+					return
+				}
+			} else {
+				mn.out = append(mn.out, b)
+			}
+			if mn.p.MaxClusters > 0 && mn.stats.Clusters >= mn.p.MaxClusters {
+				mn.stats.Truncated = true
+				mn.stop = true
+				return
+			}
+		}
+	}
+
+	mn.extend(chain, members, pCount)
+}
+
+// extend generates candidate successor conditions for the chain tail and
+// recurses into every validated sliding window.
+func (mn *miner) extend(chain []int, members []member, pCount int) {
+	last := chain[len(chain)-1]
+	inChain := make(map[int]bool, len(chain))
+	for _, c := range chain {
+		inChain[c] = true
+	}
+
+	var candidates []int
+	if mn.p.NaiveCandidates {
+		for c := 0; c < mn.m.Cols(); c++ {
+			if !inChain[c] {
+				candidates = append(candidates, c)
+			}
+		}
+	} else {
+		// Scan only the regulation successors of the chain tail over the
+		// p-members' RWave models (justified by pruning (3a): a candidate
+		// supported by no p-member cannot lead to a representative chain).
+		seen := make(map[int]bool)
+		for _, mb := range members {
+			if !mb.up {
+				continue
+			}
+			mod := mn.models[mb.gene]
+			for r := mod.SuccessorStartRank(last); r < mod.Conditions(); r++ {
+				c := mod.Order(r)
+				if !seen[c] && !inChain[c] {
+					seen[c] = true
+					candidates = append(candidates, c)
+				}
+			}
+		}
+		sort.Ints(candidates)
+	}
+
+	for _, ci := range candidates {
+		if mn.stop {
+			return
+		}
+		mn.stats.CandidatesExamined++
+		ext := mn.matchCandidate(chain, members, last, ci)
+		if len(ext) == 0 {
+			continue
+		}
+		windows := maximalWindows(ext, mn.p.Epsilon, mn.p.MinG)
+		if len(windows) == 0 {
+			mn.stats.PrunedCoherence++
+			continue
+		}
+		newChain := append(chain[:len(chain):len(chain)], ci)
+		for _, w := range windows {
+			nm := make([]member, 0, w[1]-w[0]+1)
+			for k := w[0]; k <= w[1]; k++ {
+				nm = append(nm, ext[k].member)
+			}
+			sortMembers(nm)
+			mn.mineC2(newChain, nm)
+		}
+	}
+}
+
+// matchCandidate returns the members of the current node that extend to
+// chain+ci — p-members for which ci is a regulation successor of the tail,
+// n-members for which it is a regulation predecessor — each with its
+// Equation 7 coherence score, sorted by score.
+func (mn *miner) matchCandidate(chain []int, members []member, last, ci int) []extMember {
+	chainLen := len(chain)
+	var ext []extMember
+	for _, mb := range members {
+		mod := mn.models[mb.gene]
+		if mb.up {
+			if !mod.IsSuccessor(last, ci) {
+				continue
+			}
+			if !mn.p.DisableChainLengthPruning && chainLen+mod.MaxUpChainFrom(ci) < mn.p.MinC {
+				mn.stats.MembersDroppedByLength++
+				continue
+			}
+		} else {
+			if !mod.IsPredecessor(last, ci) {
+				continue
+			}
+			if !mn.p.DisableChainLengthPruning && chainLen+mod.MaxDownChainFrom(ci) < mn.p.MinC {
+				mn.stats.MembersDroppedByLength++
+				continue
+			}
+		}
+		h := 1.0
+		if chainLen >= 2 {
+			base := mod.ValueOf(chain[1]) - mod.ValueOf(chain[0])
+			h = (mod.ValueOf(ci) - mod.ValueOf(last)) / base
+		}
+		ext = append(ext, extMember{member{mb.gene, mb.up}, h})
+	}
+	sort.Slice(ext, func(a, b int) bool {
+		if ext[a].h != ext[b].h {
+			return ext[a].h < ext[b].h
+		}
+		if ext[a].gene != ext[b].gene {
+			return ext[a].gene < ext[b].gene
+		}
+		return ext[a].up && !ext[b].up
+	})
+	return ext
+}
+
+// isRepresentative implements the canonical-direction rule: the chain whose
+// compliant genes form the majority is the representative; ties go to the
+// chain starting at the larger condition id.
+func (mn *miner) isRepresentative(chain []int, members []member, pCount int) bool {
+	nCount := len(members) - pCount
+	if pCount != nCount {
+		return pCount > nCount
+	}
+	return chain[0] > chain[len(chain)-1]
+}
+
+func (mn *miner) toBicluster(chain []int, members []member) *Bicluster {
+	b := &Bicluster{Chain: append([]int(nil), chain...)}
+	for _, mb := range members {
+		if mb.up {
+			b.PMembers = append(b.PMembers, mb.gene)
+		} else {
+			b.NMembers = append(b.NMembers, mb.gene)
+		}
+	}
+	sort.Ints(b.PMembers)
+	sort.Ints(b.NMembers)
+	return b
+}
+
+// maximalWindows returns the index ranges [l, r] (inclusive) of all maximal
+// sliding windows over the score-sorted ext slice whose H spread is at most
+// eps and whose size is at least minLen.
+func maximalWindows(ext []extMember, eps float64, minLen int) [][2]int {
+	var out [][2]int
+	r := 0
+	prevR := -1
+	for l := 0; l < len(ext); l++ {
+		if r < l {
+			r = l
+		}
+		for r+1 < len(ext) && ext[r+1].h-ext[l].h <= eps {
+			r++
+		}
+		if r-l+1 >= minLen && r > prevR {
+			out = append(out, [2]int{l, r})
+			prevR = r
+		}
+	}
+	return out
+}
+
+func sortMembers(ms []member) {
+	sort.Slice(ms, func(a, b int) bool {
+		if ms[a].gene != ms[b].gene {
+			return ms[a].gene < ms[b].gene
+		}
+		return ms[a].up && !ms[b].up
+	})
+}
+
+func distinctGenes(ms []member) int {
+	// ms is sorted by gene.
+	n := 0
+	prev := -1
+	for _, mb := range ms {
+		if mb.gene != prev {
+			n++
+			prev = mb.gene
+		}
+	}
+	return n
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"regcluster/internal/matrix"
+)
+
+// MineParallel mines the same cluster set as Mine using a pool of workers,
+// one level-1 subtree (starting condition) per task. Subtrees are
+// independent: a representative chain lives entirely in the subtree of its
+// first condition, so no cross-worker deduplication is needed and the merged
+// result — ordered by starting condition, then depth-first as in Mine — is
+// identical to the sequential output.
+//
+// workers <= 0 selects GOMAXPROCS. The MaxClusters and MaxNodes caps are
+// enforced per worker in parallel mode, so a truncated parallel run may
+// return more clusters than a truncated sequential one; untruncated runs are
+// always identical.
+func MineParallel(m *matrix.Matrix, p Params, workers int) (*Result, error) {
+	models, err := prepare(m, p)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nConds := m.Cols()
+	if workers > nConds {
+		workers = nConds
+	}
+	if workers <= 1 {
+		mn := &miner{m: m, p: p, models: models, seen: make(map[string]bool)}
+		mn.run()
+		return &Result{Clusters: mn.out, Stats: mn.stats}, nil
+	}
+
+	type subtree struct {
+		out   []*Bicluster
+		stats Stats
+	}
+	results := make([]subtree, nConds)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range next {
+				mn := &miner{m: m, p: p, models: models, seen: make(map[string]bool)}
+				mn.runFrom(c)
+				results[c] = subtree{out: mn.out, stats: mn.stats}
+			}
+		}()
+	}
+	for c := 0; c < nConds; c++ {
+		next <- c
+	}
+	close(next)
+	wg.Wait()
+
+	res := &Result{}
+	for _, sub := range results {
+		res.Clusters = append(res.Clusters, sub.out...)
+		res.Stats.Nodes += sub.stats.Nodes
+		res.Stats.Clusters += sub.stats.Clusters
+		res.Stats.Duplicates += sub.stats.Duplicates
+		res.Stats.PrunedMinG += sub.stats.PrunedMinG
+		res.Stats.PrunedMajority += sub.stats.PrunedMajority
+		res.Stats.PrunedCoherence += sub.stats.PrunedCoherence
+		res.Stats.MembersDroppedByLength += sub.stats.MembersDroppedByLength
+		res.Stats.CandidatesExamined += sub.stats.CandidatesExamined
+		res.Stats.Truncated = res.Stats.Truncated || sub.stats.Truncated
+	}
+	return res, nil
+}

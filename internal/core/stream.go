@@ -1,0 +1,22 @@
+package core
+
+import "regcluster/internal/matrix"
+
+// Visitor receives mined clusters as the depth-first search discovers them.
+// Returning false stops the search immediately; the clusters seen so far are
+// exactly the prefix of Mine's output.
+type Visitor func(b *Bicluster) bool
+
+// MineFunc streams reg-clusters to the visitor instead of accumulating them,
+// bounding memory on result-heavy parameter settings and enabling early
+// exit. The enumeration order is identical to Mine's. The returned Stats
+// reflect the work done up to the stop point.
+func MineFunc(m *matrix.Matrix, p Params, visit Visitor) (Stats, error) {
+	models, err := prepare(m, p)
+	if err != nil {
+		return Stats{}, err
+	}
+	mn := &miner{m: m, p: p, models: models, seen: make(map[string]bool), visit: visit}
+	mn.run()
+	return mn.stats, nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"regcluster/internal/matrix"
+	"regcluster/internal/opcluster"
+)
+
+// TestGammaZeroTendencyEquivalence: at γ = 0 and unbounded ε the regulation
+// model degenerates to the strict tendency model — for every condition
+// sequence, the genes strictly rising along it (an OP-cluster) are exactly
+// the p-members a reg-cluster chain on that sequence may carry. We verify
+// set equality per sequence between the two miners' outputs on random data.
+func TestGammaZeroTendencyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 20; trial++ {
+		genes := 4 + rng.Intn(5)
+		conds := 3 + rng.Intn(3)
+		m := matrix.New(genes, conds)
+		for g := 0; g < genes; g++ {
+			for c := 0; c < conds; c++ {
+				// Continuous values: no ties, so strict rising order is
+				// unambiguous for both models.
+				m.Set(g, c, rng.Float64()*100)
+			}
+		}
+		minG, minC := 2, 3
+
+		ops, err := opcluster.Mine(m, opcluster.Params{MinG: minG, MinC: minC, Strict: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opByChain := map[string][]int{}
+		for _, b := range ops {
+			opByChain[chainKey(b.Seq)] = b.Genes
+		}
+
+		res, err := Mine(m, Params{MinG: minG, MinC: minC, Gamma: 0, Epsilon: 1e18})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every reg-cluster's p-members must be a subset of the OP-cluster
+		// on the same sequence, and its n-members of the reversed sequence.
+		for _, b := range res.Clusters {
+			if op, ok := opByChain[chainKey(b.Chain)]; ok {
+				if !subsetOf(b.PMembers, op) {
+					t.Fatalf("trial %d: p-members %v not within OPSM genes %v for chain %v",
+						trial, b.PMembers, op, b.Chain)
+				}
+			} else if len(b.PMembers) >= minG {
+				t.Fatalf("trial %d: chain %v with %d p-members missing from OPSM output",
+					trial, b.Chain, len(b.PMembers))
+			}
+			rev := reverseInts(b.Chain)
+			if op, ok := opByChain[chainKey(rev)]; ok {
+				if !subsetOf(b.NMembers, op) {
+					t.Fatalf("trial %d: n-members %v not within OPSM genes %v for reversed chain %v",
+						trial, b.NMembers, op, rev)
+				}
+			} else if len(b.NMembers) >= minG {
+				t.Fatalf("trial %d: reversed chain %v with %d n-members missing from OPSM output",
+					trial, rev, len(b.NMembers))
+			}
+		}
+		// Conversely: every OP-cluster must be recoverable as the p-member
+		// set of SOME reg-cluster on its sequence (possibly split across
+		// orientations by the representative rule — accept either
+		// orientation carrying the genes).
+		for _, ob := range ops {
+			found := false
+			for _, b := range res.Clusters {
+				if chainKey(b.Chain) == chainKey(ob.Seq) && subsetOf(ob.Genes, b.PMembers) {
+					found = true
+					break
+				}
+				if chainKey(reverseInts(b.Chain)) == chainKey(ob.Seq) && subsetOf(ob.Genes, b.NMembers) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: OPSM (%v, %v) has no reg-cluster counterpart",
+					trial, ob.Seq, ob.Genes)
+			}
+		}
+	}
+}
+
+func chainKey(chain []int) string {
+	out := make([]byte, 0, len(chain)*3)
+	for _, c := range chain {
+		out = append(out, byte('0'+c/10), byte('0'+c%10), ',')
+	}
+	return string(out)
+}
+
+func subsetOf(small, big []int) bool {
+	set := map[int]bool{}
+	for _, x := range big {
+		set[x] = true
+	}
+	for _, x := range small {
+		if !set[x] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"regcluster/internal/matrix"
+)
+
+// Section 3.1 of the paper defaults to γ_i = γ × (max−min) per gene but
+// notes that other per-gene regulation thresholds can be plugged in (the
+// normalized threshold of Ji & Tan, the nearest-pair average of OP-Cluster,
+// the average expression value of Chen et al.). These helpers compute such
+// alternatives as explicit per-gene threshold vectors for Params.CustomGammas.
+
+// ThresholdsRangeFraction returns γ × (max−min) per gene — the paper's
+// Equation 4 default, exposed for symmetry.
+func ThresholdsRangeFraction(m *matrix.Matrix, gamma float64) []float64 {
+	out := make([]float64, m.Rows())
+	for g := range out {
+		out[g] = gamma * m.RowRange(g)
+	}
+	return out
+}
+
+// ThresholdsMeanFraction returns γ × mean(|row|) per gene — the
+// average-expression-value style threshold of Chen, Filkov & Skiena.
+func ThresholdsMeanFraction(m *matrix.Matrix, gamma float64) []float64 {
+	out := make([]float64, m.Rows())
+	for g := range out {
+		row := m.Row(g)
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Abs(v)
+		}
+		if len(row) > 0 {
+			out[g] = gamma * sum / float64(len(row))
+		}
+	}
+	return out
+}
+
+// ThresholdsNearestPair returns, per gene, the average difference between
+// every pair of adjacent values in the sorted profile — the OP-Cluster
+// (Liu & Wang) style threshold: steps smaller than the typical adjacent gap
+// are treated as noise.
+func ThresholdsNearestPair(m *matrix.Matrix) []float64 {
+	out := make([]float64, m.Rows())
+	for g := range out {
+		row := append([]float64(nil), m.Row(g)...)
+		sort.Float64s(row)
+		if len(row) < 2 {
+			continue
+		}
+		sum := 0.0
+		for i := 1; i < len(row); i++ {
+			sum += row[i] - row[i-1]
+		}
+		out[g] = sum / float64(len(row)-1)
+	}
+	return out
+}

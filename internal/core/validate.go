@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"regcluster/internal/matrix"
+)
+
+// CheckBicluster verifies that b is a valid reg-cluster of m under p by
+// testing Definition 3.2 directly from the raw expression values (without the
+// RWave index): every p-member must be strictly up-regulated across every
+// adjacent chain step, every n-member strictly down-regulated, and all member
+// H scores per adjacent pair must agree within Epsilon. It also checks the
+// MinG/MinC sizes and the representative-majority rule. A nil error means b
+// is valid.
+func CheckBicluster(m *matrix.Matrix, p Params, b *Bicluster) error {
+	if g, c := b.Dims(); g < p.MinG || c < p.MinC {
+		return fmt.Errorf("core: cluster %dx%d below MinG=%d/MinC=%d", g, c, p.MinG, p.MinC)
+	}
+	if len(b.PMembers) < len(b.NMembers) {
+		return fmt.Errorf("core: %d p-members < %d n-members: not a representative chain",
+			len(b.PMembers), len(b.NMembers))
+	}
+	gammaOf := func(g int) float64 {
+		switch {
+		case p.CustomGammas != nil:
+			return p.CustomGammas[g]
+		case p.AbsoluteGamma:
+			return p.Gamma
+		default:
+			return p.Gamma * m.RowRange(g)
+		}
+	}
+	for _, g := range b.PMembers {
+		gi := gammaOf(g)
+		for k := 0; k+1 < len(b.Chain); k++ {
+			d := m.At(g, b.Chain[k+1]) - m.At(g, b.Chain[k])
+			if d <= gi {
+				return fmt.Errorf("core: p-member g%d step c%d→c%d rises %v, need > γ_i=%v",
+					g, b.Chain[k], b.Chain[k+1], d, gi)
+			}
+		}
+	}
+	for _, g := range b.NMembers {
+		gi := gammaOf(g)
+		for k := 0; k+1 < len(b.Chain); k++ {
+			d := m.At(g, b.Chain[k]) - m.At(g, b.Chain[k+1])
+			if d <= gi {
+				return fmt.Errorf("core: n-member g%d step c%d→c%d falls %v, need > γ_i=%v",
+					g, b.Chain[k], b.Chain[k+1], d, gi)
+			}
+		}
+	}
+	// Coherence (Definition 3.2 condition 2): per adjacent pair, the H
+	// scores of all members must lie within Epsilon of each other.
+	genes := append(append([]int(nil), b.PMembers...), b.NMembers...)
+	for k := 1; k+1 < len(b.Chain); k++ {
+		lo, hi := 0.0, 0.0
+		for idx, g := range genes {
+			h := coherenceH(m, g, b.Chain[0], b.Chain[1], b.Chain[k], b.Chain[k+1])
+			if idx == 0 {
+				lo, hi = h, h
+				continue
+			}
+			if h < lo {
+				lo = h
+			}
+			if h > hi {
+				hi = h
+			}
+		}
+		if hi-lo > p.Epsilon {
+			return fmt.Errorf("core: pair c%d→c%d H spread %v exceeds ε=%v",
+				b.Chain[k], b.Chain[k+1], hi-lo, p.Epsilon)
+		}
+	}
+	return nil
+}
+
+// coherenceH computes H(i, c1, c2, ck, ck1) of Equation 7:
+// (d[i][ck1]-d[i][ck]) / (d[i][c2]-d[i][c1]).
+func coherenceH(m *matrix.Matrix, gene, c1, c2, ck, ck1 int) float64 {
+	return (m.At(gene, ck1) - m.At(gene, ck)) / (m.At(gene, c2) - m.At(gene, c1))
+}
+
+// CoherenceH is the exported Equation 7 score, used by the evaluation
+// toolkit and the experiment harness.
+func CoherenceH(m *matrix.Matrix, gene, c1, c2, ck, ck1 int) float64 {
+	return coherenceH(m, gene, c1, c2, ck, ck1)
+}

@@ -1,0 +1,306 @@
+// Package dataset provides the gene expression datasets of the paper's
+// effectiveness study (Section 5.2).
+//
+// The paper evaluates on the Tavazoie/Church benchmark of 2884 yeast genes
+// under 17 conditions (http://arep.med.harvard.edu/biclustering/). That file
+// cannot be fetched in this offline reproduction, so GenerateYeastLike builds
+// a deterministic substitute with the same shape, a comparable value range,
+// and realistic per-gene structure: most genes sit in a tight baseline band
+// with a handful of spike responses (so, as in the real data, only a
+// minority of genes can sustain a long regulation chain at γ=0.05), plus a
+// configurable number of planted co-regulated modules with positive and
+// negative members. LoadTSV accepts the real file when it is available; both
+// paths feed the identical mining code.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"regcluster/internal/matrix"
+)
+
+// YeastGenes and YeastConds are the dimensions of the Tavazoie benchmark.
+const (
+	YeastGenes = 2884
+	YeastConds = 17
+)
+
+// Module is the ground truth of one planted co-regulated gene module.
+type Module struct {
+	// Chain lists the module's condition indices in increasing order of the
+	// base profile — the representative regulation chain to rediscover.
+	Chain []int
+	// PMembers rise along Chain; NMembers fall. Both ascending.
+	PMembers, NMembers []int
+}
+
+// Genes returns all member genes, ascending.
+func (mod *Module) Genes() []int {
+	out := make([]int, 0, len(mod.PMembers)+len(mod.NMembers))
+	out = append(out, mod.PMembers...)
+	out = append(out, mod.NMembers...)
+	sort.Ints(out)
+	return out
+}
+
+// YeastConfig parameterizes the substitute generator.
+type YeastConfig struct {
+	Genes, Conds int
+	// Modules is the number of planted co-regulated modules.
+	Modules int
+	// MinModuleGenes/MaxModuleGenes bound the module sizes (paper-scale
+	// default 15–80).
+	MinModuleGenes, MaxModuleGenes int
+	// MinModuleConds/MaxModuleConds bound the subspace widths (default 6–9).
+	MinModuleConds, MaxModuleConds int
+	// SpikeRate is the per-cell probability that a background gene leaves
+	// its baseline band (default 0.22 — keeps most background chains under
+	// the MinC=6 of Section 5.2).
+	SpikeRate float64
+	// GammaEmbed is the regulation threshold every planted module satisfies
+	// with margin (default 0.10, double the Section 5.2 mining γ=0.05).
+	GammaEmbed float64
+	Seed       int64
+}
+
+// DefaultYeastConfig returns the substitution described in DESIGN.md §4.
+func DefaultYeastConfig() YeastConfig {
+	return YeastConfig{
+		Genes: YeastGenes, Conds: YeastConds,
+		Modules:        12,
+		MinModuleGenes: 18, MaxModuleGenes: 32,
+		MinModuleConds: 6, MaxModuleConds: 8,
+		SpikeRate:  0.18,
+		GammaEmbed: 0.10,
+		Seed:       2006,
+	}
+}
+
+func (c *YeastConfig) fillDefaults() {
+	d := DefaultYeastConfig()
+	if c.MinModuleGenes == 0 {
+		c.MinModuleGenes = d.MinModuleGenes
+	}
+	if c.MaxModuleGenes == 0 {
+		c.MaxModuleGenes = d.MaxModuleGenes
+	}
+	if c.MinModuleConds == 0 {
+		c.MinModuleConds = d.MinModuleConds
+	}
+	if c.MaxModuleConds == 0 {
+		c.MaxModuleConds = d.MaxModuleConds
+	}
+	if c.SpikeRate == 0 {
+		c.SpikeRate = d.SpikeRate
+	}
+	if c.GammaEmbed == 0 {
+		c.GammaEmbed = d.GammaEmbed
+	}
+}
+
+func (c YeastConfig) validate() error {
+	if c.Genes <= 0 || c.Conds < 2 || c.Modules < 0 {
+		return fmt.Errorf("dataset: invalid dimensions in %+v", c)
+	}
+	if c.MinModuleGenes < 2 || c.MaxModuleGenes < c.MinModuleGenes {
+		return fmt.Errorf("dataset: bad module gene bounds %d..%d", c.MinModuleGenes, c.MaxModuleGenes)
+	}
+	if c.MinModuleConds < 2 || c.MaxModuleConds < c.MinModuleConds || c.MaxModuleConds > c.Conds {
+		return fmt.Errorf("dataset: bad module cond bounds %d..%d (conds %d)", c.MinModuleConds, c.MaxModuleConds, c.Conds)
+	}
+	if c.SpikeRate < 0 || c.SpikeRate > 1 {
+		return fmt.Errorf("dataset: SpikeRate %v out of [0,1]", c.SpikeRate)
+	}
+	if c.GammaEmbed <= 0 || c.GammaEmbed >= 0.5 {
+		return fmt.Errorf("dataset: GammaEmbed %v out of (0,0.5)", c.GammaEmbed)
+	}
+	return nil
+}
+
+// GenerateYeastLike builds the substitute matrix. It returns the matrix
+// (gene names in yeast ORF style, condition names per the Tavazoie
+// time-course labels) and the planted module ground truth used by the GO
+// enrichment substrate.
+func GenerateYeastLike(cfg YeastConfig) (*matrix.Matrix, []Module, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := matrix.New(cfg.Genes, cfg.Conds)
+
+	// Background: every gene holds a tight baseline band plus occasional
+	// spikes. The band is narrower than GammaEmbed times the gene's value
+	// spread, so within-band moves are never regulations at the Section 5.2
+	// threshold and background regulation chains stay short.
+	for g := 0; g < cfg.Genes; g++ {
+		base := 40 + rng.Float64()*260        // baseline level
+		spread := 150 + rng.Float64()*350     // distance to the largest spike
+		band := cfg.GammaEmbed * 0.4 * spread // within-band jitter
+		row := m.Row(g)
+		for c := range row {
+			if rng.Float64() < cfg.SpikeRate {
+				row[c] = base + rng.Float64()*spread
+			} else {
+				row[c] = base + rng.Float64()*band
+			}
+		}
+	}
+
+	// Plant modules on disjoint gene sets.
+	pool := rng.Perm(cfg.Genes)
+	poolAt := 0
+	var modules []Module
+	for k := 0; k < cfg.Modules; k++ {
+		size := cfg.MinModuleGenes + rng.Intn(cfg.MaxModuleGenes-cfg.MinModuleGenes+1)
+		width := cfg.MinModuleConds + rng.Intn(cfg.MaxModuleConds-cfg.MinModuleConds+1)
+		if poolAt+size > len(pool) {
+			break // gene pool exhausted; plant fewer modules
+		}
+		genes := pool[poolAt : poolAt+size]
+		poolAt += size
+		chain := rng.Perm(cfg.Conds)[:width]
+		nNeg := size / 4
+		if 2*nNeg >= size {
+			nNeg = (size - 1) / 2
+		}
+
+		// Step fractions with every fraction at least 5% above GammaEmbed.
+		fractions := stepFractions(rng, width-1, cfg.GammaEmbed*1.05)
+		if fractions == nil {
+			return nil, nil, fmt.Errorf("dataset: width %d incompatible with GammaEmbed %v", width, cfg.GammaEmbed)
+		}
+
+		mod := Module{Chain: append([]int(nil), chain...)}
+		inChain := make(map[int]bool, width)
+		for _, c := range chain {
+			inChain[c] = true
+		}
+		for gi, g := range genes {
+			neg := gi < nNeg
+			// The member's planted values must span beyond its remaining
+			// background cells so that the gene's full-row range equals the
+			// planted span and every chain step clears γ_i by construction.
+			bgLo, bgHi := rowBoundsExcluding(m, g, inChain)
+			span := (bgHi - bgLo) * (1.3 + 0.7*rng.Float64())
+			lo := bgLo - (span-(bgHi-bgLo))*rng.Float64()
+			cum := 0.0
+			for s, c := range chain {
+				if s > 0 {
+					cum += fractions[s-1]
+				}
+				v := lo + cum*span
+				if neg {
+					v = lo + (1-cum)*span
+				}
+				m.Set(g, c, v)
+			}
+			if neg {
+				mod.NMembers = append(mod.NMembers, g)
+			} else {
+				mod.PMembers = append(mod.PMembers, g)
+			}
+		}
+		sort.Ints(mod.PMembers)
+		sort.Ints(mod.NMembers)
+		modules = append(modules, mod)
+	}
+
+	for g := 0; g < m.Rows(); g++ {
+		m.SetRowName(g, orfName(g))
+	}
+	for c := 0; c < m.Cols(); c++ {
+		m.SetColName(c, yeastCondName(c))
+	}
+	return m, modules, nil
+}
+
+// rowBoundsExcluding returns the min and max of gene g's cells outside the
+// given condition set.
+func rowBoundsExcluding(m *matrix.Matrix, g int, exclude map[int]bool) (lo, hi float64) {
+	first := true
+	row := m.Row(g)
+	for c, v := range row {
+		if exclude[c] {
+			continue
+		}
+		if first {
+			lo, hi = v, v
+			first = false
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if first { // module covers every condition
+		return 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	return lo, hi
+}
+
+// stepFractions returns n positive fractions summing to 1 whose minimum
+// exceeds gammaT, or nil when n*gammaT >= 1 makes that impossible.
+func stepFractions(rng *rand.Rand, n int, gammaT float64) []float64 {
+	if n <= 0 || float64(n)*gammaT >= 0.999 {
+		return nil
+	}
+	vMax := 1/(float64(n)*gammaT) - 1
+	v := vMax * 0.8
+	if v > 1 {
+		v = 1
+	}
+	raw := make([]float64, n)
+	sum := 0.0
+	for i := range raw {
+		raw[i] = 1 + rng.Float64()*v
+		sum += raw[i]
+	}
+	for i := range raw {
+		raw[i] /= sum
+	}
+	return raw
+}
+
+// LoadTSV loads a real expression file (for example the Tavazoie benchmark)
+// and fills missing values so the miners can run on it.
+func LoadTSV(path string) (*matrix.Matrix, error) {
+	m, err := matrix.ReadTSVFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m.FillNaN()
+	return m, nil
+}
+
+// orfName produces systematic yeast ORF-style names (YAL001C, YAL002W, ...)
+// cycling through chromosomes and arms.
+func orfName(i int) string {
+	chrom := rune('A' + (i/200)%16)
+	arm := "L"
+	if (i/100)%2 == 1 {
+		arm = "R"
+	}
+	strand := "W"
+	if i%2 == 1 {
+		strand = "C"
+	}
+	return fmt.Sprintf("Y%c%s%03d%s", chrom, arm, i%1000, strand)
+}
+
+// yeastCondName labels the 17 Tavazoie conditions: two cell-cycle
+// time-courses (cdc15 and alpha-factor arrest) as in the benchmark.
+func yeastCondName(c int) string {
+	if c < 8 {
+		return fmt.Sprintf("cdc15_t%d", c*10)
+	}
+	return fmt.Sprintf("alpha_t%d", (c-8)*7)
+}

@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"regcluster/internal/core"
+	"regcluster/internal/matrix"
+)
+
+func TestGenerateYeastLikeShape(t *testing.T) {
+	m, modules, err := GenerateYeastLike(DefaultYeastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != YeastGenes || m.Cols() != YeastConds {
+		t.Fatalf("shape %dx%d, want %dx%d", m.Rows(), m.Cols(), YeastGenes, YeastConds)
+	}
+	if len(modules) != 12 {
+		t.Fatalf("%d modules, want 12", len(modules))
+	}
+	if m.RowName(0) == "g0" {
+		t.Error("gene names should be ORF-style")
+	}
+	if m.ColName(0) != "cdc15_t0" {
+		t.Errorf("condition name %q", m.ColName(0))
+	}
+}
+
+func TestGenerateYeastLikeDeterministic(t *testing.T) {
+	a, _, err := GenerateYeastLike(DefaultYeastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := GenerateYeastLike(DefaultYeastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same config must reproduce the same matrix")
+	}
+}
+
+func TestPlantedModulesRemainValid(t *testing.T) {
+	// The noise pass must not damage the planted modules: every module must
+	// still satisfy Definition 3.2 at the embedding threshold.
+	m, modules, err := GenerateYeastLike(YeastConfig{Genes: 400, Conds: 17, Modules: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{MinG: 2, MinC: 2, Gamma: 0.05, Epsilon: 1e-9}
+	for k, mod := range modules {
+		b := &core.Bicluster{Chain: mod.Chain, PMembers: mod.PMembers, NMembers: mod.NMembers}
+		if err := core.CheckBicluster(m, p, b); err != nil {
+			t.Errorf("module %d invalid after noise: %v", k, err)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	for _, cfg := range []YeastConfig{{Genes: 0, Conds: 17}, {Genes: 10, Conds: 1}, {Genes: 10, Conds: 10, Modules: -1}} {
+		if _, _, err := GenerateYeastLike(cfg); err == nil {
+			t.Errorf("invalid config accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestLoadTSVFillsMissing(t *testing.T) {
+	m := matrix.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	path := filepath.Join(t.TempDir(), "expr.tsv")
+	if err := m.WriteTSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("round trip mismatch")
+	}
+	// A file with NA cells loads without NaN.
+	raw := "gene\ta\tb\ng1\t1\tNA\ng2\t2\t3\n"
+	path2 := filepath.Join(t.TempDir(), "na.tsv")
+	if err := writeFile(path2, raw); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := LoadTSV(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.HasNaN() {
+		t.Fatal("LoadTSV must fill missing values")
+	}
+}
+
+func TestOrfNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < YeastGenes; i++ {
+		n := orfName(i)
+		if seen[n] {
+			t.Fatalf("duplicate ORF name %q at %d", n, i)
+		}
+		seen[n] = true
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

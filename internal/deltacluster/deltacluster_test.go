@@ -1,0 +1,127 @@
+package deltacluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"regcluster/internal/matrix"
+)
+
+func TestResidueZeroForShifting(t *testing.T) {
+	base := []float64{1, 7, 3, 9, 5}
+	m := matrix.New(4, 5)
+	for i := 0; i < 4; i++ {
+		for j, v := range base {
+			m.Set(i, j, v+float64(3*i))
+		}
+	}
+	if r := Residue(m, []int{0, 1, 2, 3}, []int{0, 1, 2, 3, 4}); r > 1e-12 {
+		t.Fatalf("residue of shifting pattern = %v, want 0", r)
+	}
+}
+
+func TestResiduePositiveForScaling(t *testing.T) {
+	// A scaled row breaks the additive model: residue must be positive —
+	// the paper's point that δ-clusters cannot absorb scaling.
+	base := []float64{1, 7, 3, 9, 5}
+	m := matrix.New(3, 5)
+	for i := 0; i < 3; i++ {
+		for j, v := range base {
+			m.Set(i, j, v)
+		}
+	}
+	m.ShiftScaleRow(2, 4, 0)
+	if r := Residue(m, []int{0, 1, 2}, []int{0, 1, 2, 3, 4}); r < 0.5 {
+		t.Fatalf("residue of scaled member = %v, want clearly positive", r)
+	}
+	if Residue(m, nil, nil) != 0 {
+		t.Fatal("empty residue should be 0")
+	}
+}
+
+func TestMineImprovesResidue(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := matrix.New(20, 8)
+	for g := 0; g < 20; g++ {
+		for c := 0; c < 8; c++ {
+			m.Set(g, c, rng.Float64()*50)
+		}
+	}
+	// Plant a perfect shifting block on rows 3,7,11,15 cols 1,3,5,7.
+	rows := []int{3, 7, 11, 15}
+	cols := []int{1, 3, 5, 7}
+	base := []float64{5, 25, 15, 35}
+	for ri, r := range rows {
+		for ci, c := range cols {
+			m.Set(r, c, base[ci]+float64(10*ri))
+		}
+	}
+	got, err := Mine(m, DefaultParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d clusters", len(got))
+	}
+	// Residues sorted ascending; best must be far below the global residue.
+	global := Residue(m, seq(20), seq(8))
+	if got[0].Residue >= global {
+		t.Fatalf("no improvement: best %v vs global %v", got[0].Residue, global)
+	}
+	for _, b := range got {
+		if len(b.Genes) < 2 || len(b.Conds) < 2 {
+			t.Fatalf("cluster below minimum size: %+v", b)
+		}
+	}
+}
+
+func TestMineDeterministic(t *testing.T) {
+	m := matrix.New(10, 6)
+	rng := rand.New(rand.NewSource(1))
+	for g := 0; g < 10; g++ {
+		for c := 0; c < 6; c++ {
+			m.Set(g, c, rng.Float64())
+		}
+	}
+	p := DefaultParams(2)
+	p.Seed = 9
+	a, err := Mine(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a {
+		if math.Abs(a[k].Residue-b[k].Residue) > 0 {
+			t.Fatal("nondeterministic under fixed seed")
+		}
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	m := matrix.New(5, 5)
+	if _, err := Mine(m, Params{K: 0, MinG: 2, MinC: 2, InitProb: 0.5}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Mine(m, Params{K: 1, MinG: 1, MinC: 2, InitProb: 0.5}); err == nil {
+		t.Error("MinG=1 accepted")
+	}
+	if _, err := Mine(m, Params{K: 1, MinG: 2, MinC: 2, InitProb: 0}); err == nil {
+		t.Error("InitProb=0 accepted")
+	}
+	got, err := Mine(matrix.New(1, 1), DefaultParams(1))
+	if err != nil || got != nil {
+		t.Error("degenerate matrix should return nil, nil")
+	}
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

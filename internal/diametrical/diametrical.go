@@ -1,0 +1,141 @@
+// Package diametrical implements diametrical clustering (Dhillon, Marcotte &
+// Roshan — Bioinformatics 2003), reference [9] of the reg-cluster paper: a
+// k-means-style algorithm that groups genes by the SQUARED Pearson
+// correlation to a cluster prototype, so strongly anti-correlated genes land
+// in the same cluster. The paper cites it as the state of the art for
+// negative correlation — but only in FULL space; the comparison tests show
+// it cannot pick up subspace co-regulation, which reg-cluster does.
+package diametrical
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"regcluster/internal/matrix"
+)
+
+// Params configures the clustering.
+type Params struct {
+	// K is the number of clusters.
+	K int
+	// MaxIter bounds the refinement rounds.
+	MaxIter int
+	// Seed drives the initialization.
+	Seed int64
+}
+
+// Cluster is one diametrical cluster: member genes split by the sign of
+// their correlation with the prototype.
+type Cluster struct {
+	// Positive and Negative list member genes correlated, respectively
+	// anti-correlated, with the cluster prototype (both ascending).
+	Positive, Negative []int
+}
+
+// Genes returns all members ascending.
+func (c *Cluster) Genes() []int {
+	out := append(append([]int(nil), c.Positive...), c.Negative...)
+	sort.Ints(out)
+	return out
+}
+
+// Cluster partitions the gene rows into k diametrical clusters. Genes with
+// constant profiles are assigned to the cluster whose prototype they match
+// least badly (correlation 0), like any other gene.
+func ClusterGenes(m *matrix.Matrix, p Params) ([]Cluster, error) {
+	n := m.Rows()
+	if p.K < 1 || p.K > n {
+		return nil, fmt.Errorf("diametrical: K=%d out of 1..%d", p.K, n)
+	}
+	if p.MaxIter < 1 {
+		p.MaxIter = 50
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// Z-score profiles once; correlation becomes a dot product / dims.
+	z := m.Clone().NormalizeRows()
+	dims := m.Cols()
+
+	// Prototypes start as random gene profiles.
+	protos := make([][]float64, p.K)
+	for i, g := range rng.Perm(n)[:p.K] {
+		protos[i] = append([]float64(nil), z.Row(g)...)
+	}
+	assign := make([]int, n)
+	for iter := 0; iter < p.MaxIter; iter++ {
+		changed := false
+		for g := 0; g < n; g++ {
+			best, bestScore := 0, math.Inf(-1)
+			for k := range protos {
+				r := dot(z.Row(g), protos[k]) / float64(dims)
+				if s := r * r; s > bestScore {
+					best, bestScore = k, s
+				}
+			}
+			if assign[g] != best {
+				assign[g] = best
+				changed = true
+			}
+		}
+		// Prototype update: sign-aligned mean of members (the power-method
+		// step of the original algorithm), re-normalized.
+		for k := range protos {
+			sum := make([]float64, dims)
+			count := 0
+			for g := 0; g < n; g++ {
+				if assign[g] != k {
+					continue
+				}
+				row := z.Row(g)
+				sign := 1.0
+				if dot(row, protos[k]) < 0 {
+					sign = -1
+				}
+				for j := 0; j < dims; j++ {
+					sum[j] += sign * row[j]
+				}
+				count++
+			}
+			if count == 0 {
+				copy(sum, z.Row(rng.Intn(n)))
+				count = 1
+			}
+			norm := 0.0
+			for j := range sum {
+				sum[j] /= float64(count)
+				norm += sum[j] * sum[j]
+			}
+			norm = math.Sqrt(norm / float64(dims))
+			if norm > 0 {
+				for j := range sum {
+					sum[j] /= norm
+				}
+			}
+			protos[k] = sum
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+
+	out := make([]Cluster, p.K)
+	for g := 0; g < n; g++ {
+		k := assign[g]
+		if dot(z.Row(g), protos[k]) >= 0 {
+			out[k].Positive = append(out[k].Positive, g)
+		} else {
+			out[k].Negative = append(out[k].Negative, g)
+		}
+	}
+	return out, nil
+}
+
+func dot(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}

@@ -1,0 +1,177 @@
+package diametrical
+
+import (
+	"math/rand"
+	"testing"
+
+	"regcluster/internal/matrix"
+)
+
+// antiCorrelatedPair builds two diametrical groups: group A and its mirror
+// share a cluster, group B (a different shape) forms another.
+func antiCorrelatedPair(t *testing.T) (*matrix.Matrix, []int, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2))
+	shapeA := []float64{1, 5, 2, 8, 3, 9}
+	shapeB := []float64{9, 1, 8, 2, 7, 3}
+	m := matrix.New(24, 6)
+	var groupA, groupB []int
+	for g := 0; g < 24; g++ {
+		var shape []float64
+		sign := 1.0
+		switch {
+		case g < 8:
+			shape = shapeA
+			groupA = append(groupA, g)
+		case g < 16:
+			shape = shapeA
+			sign = -1 // anti-correlated with A
+			groupA = append(groupA, g)
+		default:
+			shape = shapeB
+			groupB = append(groupB, g)
+		}
+		scale := 0.5 + rng.Float64()*2
+		shift := rng.Float64() * 10
+		for c, v := range shape {
+			m.Set(g, c, sign*scale*v+shift+rng.Float64()*0.1)
+		}
+	}
+	return m, groupA, groupB
+}
+
+func TestAntiCorrelatedGenesShareCluster(t *testing.T) {
+	m, groupA, groupB := antiCorrelatedPair(t)
+	clusters, err := ClusterGenes(m, Params{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("%d clusters", len(clusters))
+	}
+	// Find the cluster holding gene 0; it must hold (nearly) all of group A
+	// including the mirrored half, and little of group B.
+	var a *Cluster
+	for i := range clusters {
+		for _, g := range clusters[i].Genes() {
+			if g == 0 {
+				a = &clusters[i]
+			}
+		}
+	}
+	if a == nil {
+		t.Fatal("gene 0 unassigned")
+	}
+	inA := map[int]bool{}
+	for _, g := range a.Genes() {
+		inA[g] = true
+	}
+	hitsA := 0
+	for _, g := range groupA {
+		if inA[g] {
+			hitsA++
+		}
+	}
+	if hitsA < len(groupA)-1 {
+		t.Errorf("cluster holds %d/%d of the diametrical group", hitsA, len(groupA))
+	}
+	for _, g := range groupB {
+		if inA[g] {
+			t.Errorf("group B gene %d leaked into the diametrical cluster", g)
+		}
+	}
+	// The mirrored half must appear on the Negative side.
+	if len(a.Negative) == 0 {
+		t.Error("no anti-correlated members recorded")
+	}
+}
+
+func TestAllGenesAssignedOnce(t *testing.T) {
+	m, _, _ := antiCorrelatedPair(t)
+	clusters, err := ClusterGenes(m, Params{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	total := 0
+	for _, c := range clusters {
+		for _, g := range c.Genes() {
+			if seen[g] {
+				t.Fatalf("gene %d assigned twice", g)
+			}
+			seen[g] = true
+			total++
+		}
+	}
+	if total != m.Rows() {
+		t.Fatalf("%d of %d genes assigned", total, m.Rows())
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	m, _, _ := antiCorrelatedPair(t)
+	a, err := ClusterGenes(m, Params{K: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ClusterGenes(m, Params{K: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		ag, bg := a[i].Genes(), b[i].Genes()
+		if len(ag) != len(bg) {
+			t.Fatal("nondeterministic")
+		}
+		for j := range ag {
+			if ag[j] != bg[j] {
+				t.Fatal("nondeterministic")
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := matrix.New(4, 3)
+	if _, err := ClusterGenes(m, Params{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := ClusterGenes(m, Params{K: 5}); err == nil {
+		t.Error("K>genes accepted")
+	}
+}
+
+// TestFullSpaceLimitation documents the paper's criticism: diametrical
+// clustering judges correlation over ALL conditions, so genes co-regulated
+// only in a subspace do not pair up.
+func TestFullSpaceLimitation(t *testing.T) {
+	// Genes 0,1 perfectly anti-correlated on conditions 0..2 but identical
+	// on 3..5 (which dominate): full-space correlation is positive and weak.
+	m := matrix.FromRows([][]float64{
+		{1, 5, 9, 100, 200, 300},
+		{9, 5, 1, 100, 200, 300},
+		{50, 50, 50, -100, -200, -300},
+		{51, 49, 50, -100, -200, -300},
+	})
+	clusters, err := ClusterGenes(m, Params{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 and 1 cluster together — but as POSITIVE partners (the subspace
+	// anti-correlation is invisible in full space).
+	for _, c := range clusters {
+		in := map[int]bool{}
+		for _, g := range c.Genes() {
+			in[g] = true
+		}
+		if in[0] && in[1] && len(c.Negative) > 0 {
+			neg := map[int]bool{}
+			for _, g := range c.Negative {
+				neg[g] = true
+			}
+			if neg[0] != neg[1] {
+				t.Error("full-space method unexpectedly detected the subspace anti-correlation")
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package eval provides cluster-quality metrics for the experiments: match
+// scores against planted ground truth, the pairwise overlap statistics of
+// Section 5.2, subsumption filtering and whole-result validation.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"regcluster/internal/core"
+	"regcluster/internal/matrix"
+	"regcluster/internal/synthetic"
+)
+
+// Jaccard returns |a ∩ b| / |a ∪ b| over integer sets (inputs need not be
+// sorted or deduplicated). The Jaccard of two empty sets is 0.
+func Jaccard(a, b []int) float64 {
+	sa, sb := toSet(a), toSet(b)
+	inter := 0
+	for x := range sa {
+		if sb[x] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// GeneMatchScore is the Prelić gene match score S(M1 → M2): the average over
+// clusters of M1 of the best gene-set Jaccard against any cluster of M2. It
+// is 0 when M1 is empty.
+func GeneMatchScore(from, to [][]int) float64 {
+	if len(from) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, a := range from {
+		best := 0.0
+		for _, b := range to {
+			if j := Jaccard(a, b); j > best {
+				best = j
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(from))
+}
+
+// CellJaccard returns the Jaccard index of the CELL sets (gene × condition
+// pairs) of two biclusters — stricter than gene-set Jaccard because the
+// subspaces must also align.
+func CellJaccard(a, b *core.Bicluster) float64 {
+	inter := a.OverlapCells(b)
+	union := a.Cells() + b.Cells() - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// CellMatchScore is the cell-level Prelić score S(M1 → M2): the average over
+// clusters of M1 of the best CellJaccard against any cluster of M2.
+func CellMatchScore(from, to []*core.Bicluster) float64 {
+	if len(from) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, a := range from {
+		best := 0.0
+		for _, b := range to {
+			if j := CellJaccard(a, b); j > best {
+				best = j
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(from))
+}
+
+// RelevanceRecovery scores a mined result against planted ground truth:
+// relevance = S(mined → truth) penalizes spurious clusters, recovery =
+// S(truth → mined) penalizes missed ones. Both use gene-set Jaccard.
+func RelevanceRecovery(mined []*core.Bicluster, truth []synthetic.Embedded) (relevance, recovery float64) {
+	ms := make([][]int, len(mined))
+	for i, b := range mined {
+		ms[i] = b.Genes()
+	}
+	ts := make([][]int, len(truth))
+	for i, e := range truth {
+		ts[i] = e.Genes()
+	}
+	return GeneMatchScore(ms, ts), GeneMatchScore(ts, ms)
+}
+
+// OverlapStats summarizes the pairwise cell-overlap fractions of a result
+// set — the Section 5.2 statistic ("the percentage of overlapping cells ...
+// generally ranges from 0% to 85%").
+type OverlapStats struct {
+	Min, Max, Mean float64
+	Pairs          int
+}
+
+// Overlaps computes OverlapStats over all unordered cluster pairs. With
+// fewer than two clusters all fields are zero.
+func Overlaps(clusters []*core.Bicluster) OverlapStats {
+	var s OverlapStats
+	if len(clusters) < 2 {
+		return s
+	}
+	s.Min = 1
+	sum := 0.0
+	for i := 0; i < len(clusters); i++ {
+		for j := i + 1; j < len(clusters); j++ {
+			f := clusters[i].OverlapFraction(clusters[j])
+			if f < s.Min {
+				s.Min = f
+			}
+			if f > s.Max {
+				s.Max = f
+			}
+			sum += f
+			s.Pairs++
+		}
+	}
+	s.Mean = sum / float64(s.Pairs)
+	return s
+}
+
+// NonOverlapping greedily selects up to k clusters with zero pairwise cell
+// overlap, preferring larger clusters — the paper reports "three
+// non-overlapping bi-reg-clusters" this way. Fewer than k may be returned.
+func NonOverlapping(clusters []*core.Bicluster, k int) []*core.Bicluster {
+	order := make([]*core.Bicluster, len(clusters))
+	copy(order, clusters)
+	sort.SliceStable(order, func(a, b int) bool { return order[a].Cells() > order[b].Cells() })
+	var out []*core.Bicluster
+	for _, c := range order {
+		if len(out) == k {
+			break
+		}
+		ok := true
+		for _, chosen := range out {
+			if c.OverlapCells(chosen) > 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// MaximalOnly drops every cluster whose gene set and condition set are both
+// subsets of another cluster's (the optional maximality post-filter of
+// DESIGN.md §6). Order of survivors is preserved.
+func MaximalOnly(clusters []*core.Bicluster) []*core.Bicluster {
+	var out []*core.Bicluster
+	for i, b := range clusters {
+		subsumed := false
+		for j, o := range clusters {
+			if i == j {
+				continue
+			}
+			if covers(o, b) && (!covers(b, o) || j < i) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// covers reports genes(b) ⊆ genes(a) and conditions(b) ⊆ conditions(a).
+func covers(a, b *core.Bicluster) bool {
+	return subset(b.Genes(), a.Genes()) && subset(b.Conditions(), a.Conditions())
+}
+
+func subset(small, big []int) bool {
+	s := toSet(big)
+	for _, x := range small {
+		if !s[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateAll checks every cluster of a result against Definition 3.2 and
+// returns the first failure, if any.
+func ValidateAll(m *matrix.Matrix, p core.Params, clusters []*core.Bicluster) error {
+	for i, b := range clusters {
+		if err := core.CheckBicluster(m, p, b); err != nil {
+			return fmt.Errorf("eval: cluster %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func toSet(xs []int) map[int]bool {
+	s := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		s[x] = true
+	}
+	return s
+}

@@ -1,0 +1,170 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"regcluster/internal/core"
+	"regcluster/internal/paperdata"
+	"regcluster/internal/synthetic"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-12 }
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want float64
+	}{
+		{[]int{1, 2, 3}, []int{2, 3, 4}, 0.5},
+		{[]int{1}, []int{1}, 1},
+		{[]int{1}, []int{2}, 0},
+		{nil, nil, 0},
+		{[]int{1, 1, 2}, []int{2, 2}, 0.5}, // dedup
+	}
+	for _, tc := range cases {
+		if got := Jaccard(tc.a, tc.b); !almost(got, tc.want) {
+			t.Errorf("Jaccard(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestGeneMatchScore(t *testing.T) {
+	m1 := [][]int{{1, 2, 3}, {10, 11}}
+	m2 := [][]int{{1, 2, 3}, {10, 12}}
+	// First cluster matches perfectly (1.0); second best-matches {10,12}
+	// with Jaccard 1/3.
+	want := (1.0 + 1.0/3) / 2
+	if got := GeneMatchScore(m1, m2); !almost(got, want) {
+		t.Errorf("GeneMatchScore = %v, want %v", got, want)
+	}
+	if GeneMatchScore(nil, m2) != 0 {
+		t.Error("empty from-set should score 0")
+	}
+	if GeneMatchScore(m1, nil) != 0 {
+		t.Error("empty to-set should score 0")
+	}
+}
+
+func TestRelevanceRecoveryPerfect(t *testing.T) {
+	mined := []*core.Bicluster{
+		{Chain: []int{0, 1, 2}, PMembers: []int{1, 2}, NMembers: []int{3}},
+	}
+	truth := []synthetic.Embedded{
+		{Chain: []int{0, 1, 2}, PMembers: []int{1, 2}, NMembers: []int{3}},
+	}
+	rel, rec := RelevanceRecovery(mined, truth)
+	if rel != 1 || rec != 1 {
+		t.Errorf("rel=%v rec=%v, want 1,1", rel, rec)
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := &core.Bicluster{Chain: []int{0, 1}, PMembers: []int{0, 1}}
+	b := &core.Bicluster{Chain: []int{0, 1}, PMembers: []int{0, 1}}
+	c := &core.Bicluster{Chain: []int{5, 6}, PMembers: []int{9}}
+	s := Overlaps([]*core.Bicluster{a, b, c})
+	if s.Pairs != 3 {
+		t.Fatalf("Pairs = %d", s.Pairs)
+	}
+	if s.Max != 1 || s.Min != 0 {
+		t.Errorf("Min/Max = %v/%v, want 0/1", s.Min, s.Max)
+	}
+	if !almost(s.Mean, 1.0/3) {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if empty := Overlaps(nil); empty.Pairs != 0 || empty.Max != 0 {
+		t.Error("empty Overlaps should be zero")
+	}
+}
+
+func TestNonOverlapping(t *testing.T) {
+	big := &core.Bicluster{Chain: []int{0, 1, 2}, PMembers: []int{0, 1, 2, 3}}
+	mid := &core.Bicluster{Chain: []int{0, 1}, PMembers: []int{0, 1}} // overlaps big
+	far := &core.Bicluster{Chain: []int{5, 6}, PMembers: []int{8, 9}}
+	got := NonOverlapping([]*core.Bicluster{mid, far, big}, 3)
+	if len(got) != 2 {
+		t.Fatalf("selected %d clusters, want 2: %v", len(got), got)
+	}
+	if got[0] != big || got[1] != far {
+		t.Errorf("selection wrong: %v", got)
+	}
+	if got := NonOverlapping([]*core.Bicluster{big, far}, 1); len(got) != 1 || got[0] != big {
+		t.Error("k limit ignored or priority wrong")
+	}
+}
+
+func TestMaximalOnly(t *testing.T) {
+	big := &core.Bicluster{Chain: []int{0, 1, 2}, PMembers: []int{0, 1, 2}}
+	sub := &core.Bicluster{Chain: []int{0, 1}, PMembers: []int{0, 1}}
+	other := &core.Bicluster{Chain: []int{4, 5}, PMembers: []int{7, 8}}
+	got := MaximalOnly([]*core.Bicluster{sub, big, other})
+	if len(got) != 2 || got[0] != big || got[1] != other {
+		t.Fatalf("MaximalOnly = %v", got)
+	}
+	// Exact duplicates: exactly one survives.
+	dup1 := &core.Bicluster{Chain: []int{0}, PMembers: []int{0}}
+	dup2 := &core.Bicluster{Chain: []int{0}, PMembers: []int{0}}
+	if got := MaximalOnly([]*core.Bicluster{dup1, dup2}); len(got) != 1 {
+		t.Fatalf("duplicate handling: %v", got)
+	}
+}
+
+func TestValidateAll(t *testing.T) {
+	m := paperdata.RunningExample()
+	p := core.Params{MinG: 3, MinC: 5, Gamma: 0.15, Epsilon: 0.1}
+	good := []*core.Bicluster{
+		{Chain: paperdata.RunningExampleChain(), PMembers: []int{0, 2}, NMembers: []int{1}},
+	}
+	if err := ValidateAll(m, p, good); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	bad := append(good, &core.Bicluster{Chain: []int{0, 1, 2, 3, 4}, PMembers: []int{0, 1, 2}})
+	if err := ValidateAll(m, p, bad); err == nil {
+		t.Fatal("invalid set accepted")
+	}
+}
+
+// TestEndToEndMetrics: the miner on a planted dataset should achieve high
+// recovery.
+func TestEndToEndMetrics(t *testing.T) {
+	cfg := synthetic.Config{Genes: 300, Conds: 15, Clusters: 4, AvgClusterGenes: 12, Seed: 8}
+	m, truth, err := synthetic.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Mine(m, core.Params{MinG: 8, MinC: 5, Gamma: 0.1, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rec := RelevanceRecovery(res.Clusters, truth)
+	if rec < 0.9 {
+		t.Errorf("recovery = %v, want >= 0.9", rec)
+	}
+	if err := ValidateAll(m, core.Params{MinG: 8, MinC: 5, Gamma: 0.1, Epsilon: 0.01}, res.Clusters); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellJaccardAndMatchScore(t *testing.T) {
+	a := &core.Bicluster{Chain: []int{0, 1}, PMembers: []int{0, 1}}                  // cells {0,1}x{0,1}
+	b := &core.Bicluster{Chain: []int{1, 2}, PMembers: []int{1}, NMembers: []int{2}} // cells {1,2}x{1,2}
+	// Intersection: genes {1} x conds {1} = 1 cell; union = 4+4-1 = 7.
+	if got := CellJaccard(a, b); !almost(got, 1.0/7) {
+		t.Errorf("CellJaccard = %v, want 1/7", got)
+	}
+	if CellJaccard(a, a) != 1 {
+		t.Error("self CellJaccard != 1")
+	}
+	empty := &core.Bicluster{}
+	if CellJaccard(empty, empty) != 0 {
+		t.Error("empty CellJaccard should be 0")
+	}
+	score := CellMatchScore([]*core.Bicluster{a}, []*core.Bicluster{a, b})
+	if score != 1 {
+		t.Errorf("CellMatchScore = %v, want 1 (exact match available)", score)
+	}
+	if CellMatchScore(nil, []*core.Bicluster{a}) != 0 {
+		t.Error("empty from-set should score 0")
+	}
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"regcluster/internal/core"
+	"regcluster/internal/dataset"
+	"regcluster/internal/matrix"
+	"regcluster/internal/paperdata"
+)
+
+// TestFigure7SmallSweep runs a miniature Figure 7 panel end to end.
+func TestFigure7SmallSweep(t *testing.T) {
+	pts, err := Figure7(AxisGenes, []int{200, 400}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Param != 200 || pts[1].Param != 400 {
+		t.Fatalf("points = %+v", pts)
+	}
+	for _, p := range pts {
+		if p.Runtime <= 0 || p.Nodes == 0 {
+			t.Errorf("empty measurement: %+v", p)
+		}
+	}
+	var sb strings.Builder
+	WriteFigure7(&sb, AxisGenes, pts)
+	if !strings.Contains(sb.String(), "#genes") {
+		t.Errorf("report missing axis label:\n%s", sb.String())
+	}
+}
+
+func TestFigure7DefaultSweeps(t *testing.T) {
+	if got := DefaultSweep(AxisGenes); len(got) != 5 || got[2] != 3000 {
+		t.Errorf("genes sweep %v", got)
+	}
+	if got := DefaultSweep(AxisConds); got[len(got)-1] != 30 {
+		t.Errorf("conds sweep %v", got)
+	}
+	if got := DefaultSweep(AxisClusters); got[2] != 30 {
+		t.Errorf("clusters sweep %v", got)
+	}
+	for _, a := range []Figure7Axis{AxisGenes, AxisConds, AxisClusters} {
+		if a.String() == "?" {
+			t.Error("unnamed axis")
+		}
+	}
+}
+
+// TestYeastSmall runs the Section 5.2 pipeline on a reduced substitute.
+func TestYeastSmall(t *testing.T) {
+	cfg := dataset.YeastConfig{Genes: 600, Conds: 17, Modules: 4, Seed: 3}
+	m, modules, err := dataset.GenerateYeastLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 600 || len(modules) != 4 {
+		t.Fatalf("setup: %dx%d, %d modules", m.Rows(), m.Cols(), len(modules))
+	}
+	// Drive the full experiment on the default substitute but through a
+	// fast path: mine the small matrix directly with the Section 5.2
+	// parameters and check the structural claims.
+	res, err := core.Mine(m, YeastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 {
+		t.Fatal("no clusters on the yeast-like substitute")
+	}
+	withN := 0
+	for _, b := range res.Clusters {
+		if len(b.NMembers) > 0 {
+			withN++
+		}
+	}
+	if withN == 0 {
+		t.Error("no cluster has n-members — negative co-regulation lost")
+	}
+	// Crossovers are the Figure 8 signature.
+	sawCrossover := false
+	for _, b := range res.Clusters {
+		if CrossoverCount(m, b) > 0 {
+			sawCrossover = true
+			break
+		}
+	}
+	if !sawCrossover {
+		t.Error("no p/n crossovers observed")
+	}
+}
+
+// TestYeastFullPipeline exercises Yeast() itself on a tiny config via the
+// real entry point — we shrink through the package seam by running on the
+// default-path but asserting only invariants. Kept moderate to bound test
+// time.
+func TestYeastFullPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full yeast pipeline in -short mode")
+	}
+	r, err := Yeast("", 2006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Clusters) < 10 {
+		t.Errorf("only %d clusters; expected tens", len(r.Clusters))
+	}
+	if r.Maximal == 0 || r.Maximal > len(r.Clusters) {
+		t.Errorf("maximal count %d of %d", r.Maximal, len(r.Clusters))
+	}
+	if len(r.Selected) == 0 {
+		t.Error("no non-overlapping clusters selected")
+	}
+	if r.GO == nil || len(r.TopTerms) != len(r.Selected) {
+		t.Fatal("GO enrichment missing")
+	}
+	for i, terms := range r.TopTerms {
+		for ns, e := range terms {
+			if e.PValue > 1e-10 {
+				t.Errorf("cluster %d %v p-value %v — expected Table-2-style extremes", i, ns, e.PValue)
+			}
+		}
+	}
+	var sb strings.Builder
+	WriteYeast(&sb, r)
+	out := sb.String()
+	for _, want := range []string{"Section 5.2", "Figure 8", "Table 2", "p="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestComparison verifies the E7 claims programmatically.
+func TestComparison(t *testing.T) {
+	r, err := Comparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.RegClusterAllSix {
+		t.Error("reg-cluster must group all six Figure 1 profiles")
+	}
+	if r.PClusterAllSix {
+		t.Error("pCluster must NOT group all six (it cannot mix shifting with scaling)")
+	}
+	if r.ScalingAllSix {
+		t.Error("the scaling model must NOT group all six")
+	}
+	if r.PClusterBestGroup < 4 {
+		t.Errorf("pCluster should at least find the 4 shifted profiles, got %d", r.PClusterBestGroup)
+	}
+	if r.ScalingBestGroup < 4 {
+		t.Errorf("scaling should at least find the 4 scaled profiles, got %d", r.ScalingBestGroup)
+	}
+	if !r.RegClusterExcludesOutlier {
+		t.Error("reg-cluster must exclude the Figure 4 outlier")
+	}
+	if !r.TendencyKeepsOutlier {
+		t.Error("the tendency model should wrongly keep the Figure 4 outlier")
+	}
+	var sb strings.Builder
+	WriteComparison(&sb, r)
+	if !strings.Contains(sb.String(), "Figure 1") || !strings.Contains(sb.String(), "Figure 4") {
+		t.Error("comparison report incomplete")
+	}
+}
+
+// TestAblationSmall verifies E8: all variants agree on output and the
+// all-disabled variant does at least as much work.
+func TestAblationSmall(t *testing.T) {
+	pts, err := Ablation(300, 12, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(AblationVariants()) {
+		t.Fatalf("%d points", len(pts))
+	}
+	base := pts[0]
+	for _, p := range pts {
+		if !p.SameOutput {
+			t.Errorf("variant %q changed the output", p.Name)
+		}
+		if p.Clusters != base.Clusters {
+			t.Errorf("variant %q cluster count %d != %d", p.Name, p.Clusters, base.Clusters)
+		}
+	}
+	all := pts[len(pts)-1]
+	if all.Stats.Nodes < base.Stats.Nodes {
+		t.Errorf("all-disabled visited fewer nodes (%d) than the paper config (%d)",
+			all.Stats.Nodes, base.Stats.Nodes)
+	}
+	var sb strings.Builder
+	WriteAblation(&sb, pts)
+	if !strings.Contains(sb.String(), "variant") {
+		t.Error("ablation report incomplete")
+	}
+}
+
+func TestRunningExampleReport(t *testing.T) {
+	var sb strings.Builder
+	if err := RunningExampleReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"RWave", "mined clusters (1)", "c7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCrossoverCount(t *testing.T) {
+	m := matrix.FromRows([][]float64{
+		{0, 10, 20}, // rises through the faller
+		{15, 8, 1},  // falls through the riser
+		{100, 110, 120},
+	})
+	b := &core.Bicluster{Chain: []int{0, 1, 2}, PMembers: []int{0, 2}, NMembers: []int{1}}
+	// g0 crosses g1 between c0 and c1 (difference flips sign); g2 stays
+	// above g1 throughout.
+	if got := CrossoverCount(m, b); got == 0 {
+		t.Errorf("expected crossovers, got %d", got)
+	}
+	noN := &core.Bicluster{Chain: b.Chain, PMembers: []int{0, 2}}
+	if CrossoverCount(m, noN) != 0 {
+		t.Error("no n-members should mean no crossovers")
+	}
+	// The paper's running example profiles touch at the chain end but never
+	// strictly cross inside it.
+	rm := paperdata.RunningExample()
+	rb := &core.Bicluster{Chain: paperdata.RunningExampleChain(), PMembers: []int{0, 2}, NMembers: []int{1}}
+	if got := CrossoverCount(rm, rb); got != 0 {
+		t.Errorf("running example should have no strict crossovers, got %d", got)
+	}
+}
+
+func TestMiningDefaults(t *testing.T) {
+	p := MiningDefaults(3000)
+	if p.MinG != 30 || p.MinC != 6 || p.Gamma != 0.1 || p.Epsilon != 0.01 {
+		t.Errorf("defaults %+v", p)
+	}
+	if MiningDefaults(50).MinG != 2 {
+		t.Error("MinG floor missing")
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"regcluster/internal/core"
+	"regcluster/internal/eval"
+	"regcluster/internal/synthetic"
+)
+
+// NoisePoint is one measurement of experiment E10.
+type NoisePoint struct {
+	// Sigma is the noise level: each planted cell is perturbed by a uniform
+	// offset in ±Sigma × (gene range).
+	Sigma float64
+	// Epsilon is the coherence threshold used for mining at this level.
+	Epsilon float64
+	// Recovery is the gene-set match score S(truth → mined).
+	Recovery float64
+	// RecoveryTightEps is the recovery when mining keeps the noise-free
+	// ε = 0.01 — demonstrating why the threshold must scale with noise.
+	RecoveryTightEps float64
+	Clusters         int
+	Runtime          time.Duration
+}
+
+// NoiseSensitivity runs E10: planted shifting-and-scaling clusters are
+// perturbed with increasing relative noise; at each level the miner runs
+// twice — once with ε matched to the noise and once with the tight
+// noise-free ε. Recovery with matched ε should degrade gracefully while the
+// tight setting collapses, quantifying the role of the coherence threshold.
+func NoiseSensitivity(seed int64) ([]NoisePoint, error) {
+	cfg := synthetic.Config{
+		Genes: 400, Conds: 14, Clusters: 4, AvgClusterGenes: 14, Seed: seed,
+	}
+	sigmas := []float64{0, 0.005, 0.01, 0.02, 0.04}
+	var out []NoisePoint
+	for _, sigma := range sigmas {
+		m, truth, err := synthetic.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Perturb every planted cell by ±sigma × rowRange.
+		rng := rand.New(rand.NewSource(seed + int64(sigma*10000)))
+		for _, e := range truth {
+			for _, g := range e.Genes() {
+				spread := m.RowRange(g)
+				for _, c := range e.Chain {
+					m.Set(g, c, m.At(g, c)+(rng.Float64()*2-1)*sigma*spread)
+				}
+			}
+		}
+		// Matched ε: H scores move by O(noise / minimum step). The planted
+		// steps are ≳ γ_embed × range, so ε ≈ 4·sigma/γ_embed covers the
+		// spread with margin.
+		matched := 0.01 + 4*sigma/0.15
+		p := core.Params{MinG: 8, MinC: 5, Gamma: 0.08, Epsilon: matched}
+		start := time.Now()
+		res, err := core.Mine(m, p)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		_, rec := eval.RelevanceRecovery(res.Clusters, truth)
+
+		tight := p
+		tight.Epsilon = 0.01
+		resTight, err := core.Mine(m, tight)
+		if err != nil {
+			return nil, err
+		}
+		_, recTight := eval.RelevanceRecovery(resTight.Clusters, truth)
+
+		out = append(out, NoisePoint{
+			Sigma:            sigma,
+			Epsilon:          matched,
+			Recovery:         rec,
+			RecoveryTightEps: recTight,
+			Clusters:         len(res.Clusters),
+			Runtime:          elapsed,
+		})
+	}
+	return out, nil
+}
+
+// WriteNoise renders the E10 report.
+func WriteNoise(w io.Writer, points []NoisePoint) {
+	fmt.Fprintln(w, "E10 — noise sensitivity: recovery of planted clusters under per-cell noise ±σ×range")
+	fmt.Fprintf(w, "%8s %10s %18s %18s %10s %12s\n",
+		"σ", "matched ε", "recovery(matched)", "recovery(ε=0.01)", "clusters", "runtime")
+	for _, p := range points {
+		fmt.Fprintf(w, "%8.3f %10.3f %18.3f %18.3f %10d %12s\n",
+			p.Sigma, p.Epsilon, p.Recovery, p.RecoveryTightEps, p.Clusters,
+			p.Runtime.Round(time.Millisecond))
+	}
+	fmt.Fprintln(w, "\nthe coherence threshold must scale with measurement noise: matched ε degrades")
+	fmt.Fprintln(w, "gracefully while the noise-free setting collapses once σ exceeds its window.")
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRecoveryOrdering verifies the E9 headline: the reg-cluster model
+// recovers the planted shifting-and-scaling clusters perfectly while the
+// pure-pattern baselines cannot.
+func TestRecoveryOrdering(t *testing.T) {
+	pts, err := Recovery(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := map[string]float64{}
+	for _, p := range pts {
+		scores[p.Model] = p.Recovery
+	}
+	if scores["reg-cluster"] < 0.999 {
+		t.Errorf("reg-cluster recovery = %v, want 1.0", scores["reg-cluster"])
+	}
+	for _, model := range []string{"pCluster (shifting)", "scaling (triCluster)"} {
+		if scores[model] > 0.3 {
+			t.Errorf("%s recovery = %v — pure-pattern model should fail on shifting-and-scaling data",
+				model, scores[model])
+		}
+	}
+	// The tendency model catches positive members but not the full mixed
+	// cluster, so it lands strictly between.
+	if op := scores["OP-cluster (tendency)"]; op >= scores["reg-cluster"] || op <= scores["pCluster (shifting)"] {
+		t.Errorf("OP-cluster recovery = %v, want strictly between pattern baselines and reg-cluster", op)
+	}
+	// Report renders.
+	var sb strings.Builder
+	WriteRecovery(&sb, pts)
+	if !strings.Contains(sb.String(), "reg-cluster") {
+		t.Error("report incomplete")
+	}
+	// Sorted descending.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Recovery > pts[i-1].Recovery {
+			t.Fatal("points not sorted by recovery")
+		}
+	}
+}
+
+// TestNoiseSensitivity verifies the E10 claims: with matched ε recovery
+// stays high as noise grows, while the noise-free ε collapses.
+func TestNoiseSensitivity(t *testing.T) {
+	pts, err := NoiseSensitivity(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].Recovery < 0.999 || pts[0].RecoveryTightEps < 0.999 {
+		t.Errorf("noise-free recovery should be perfect: %+v", pts[0])
+	}
+	last := pts[len(pts)-1]
+	if last.Recovery < 0.8 {
+		t.Errorf("matched ε should keep recovery high at σ=%v, got %v", last.Sigma, last.Recovery)
+	}
+	if last.RecoveryTightEps > 0.2 {
+		t.Errorf("tight ε should collapse at σ=%v, got %v", last.Sigma, last.RecoveryTightEps)
+	}
+	var sb strings.Builder
+	WriteNoise(&sb, pts)
+	if !strings.Contains(sb.String(), "E10") {
+		t.Error("report incomplete")
+	}
+}
+
+func TestTricluster3D(t *testing.T) {
+	r, err := Tricluster3D(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Recovered != r.Planted {
+		t.Errorf("recovered %d of %d planted 3-D blocks", r.Recovered, r.Planted)
+	}
+	var sb strings.Builder
+	WriteTricluster3D(&sb, r)
+	if !strings.Contains(sb.String(), "E11") {
+		t.Error("report incomplete")
+	}
+}

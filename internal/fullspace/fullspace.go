@@ -1,0 +1,202 @@
+// Package fullspace implements the classic full-space clustering algorithms
+// the paper's related-work section contrasts with subspace methods:
+// agglomerative hierarchical clustering (Eisen et al. 1998) and k-means
+// (Tavazoie et al. 1999). They judge similarity over *all* conditions, which
+// is exactly why they miss subspace co-regulation — the comparison harness
+// uses them to demonstrate that.
+package fullspace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"regcluster/internal/matrix"
+)
+
+// Distance selects the gene-profile dissimilarity.
+type Distance int
+
+const (
+	// Euclidean distance on raw profiles.
+	Euclidean Distance = iota
+	// PearsonDist is 1 − r: correlated genes are close, anti-correlated far.
+	PearsonDist
+)
+
+// rowDistance computes the selected distance between two gene rows.
+func rowDistance(m *matrix.Matrix, d Distance, a, b int) float64 {
+	switch d {
+	case Euclidean:
+		ra, rb := m.Row(a), m.Row(b)
+		sum := 0.0
+		for j := range ra {
+			diff := ra[j] - rb[j]
+			sum += diff * diff
+		}
+		return math.Sqrt(sum)
+	case PearsonDist:
+		return 1 - m.PearsonRows(a, b, nil)
+	}
+	panic(fmt.Sprintf("fullspace: unknown distance %d", d))
+}
+
+// Hierarchical performs average-linkage agglomerative clustering of the gene
+// rows and cuts the dendrogram into k clusters. It returns the clusters as
+// gene-index lists (each ascending, ordered by smallest member).
+func Hierarchical(m *matrix.Matrix, k int, dist Distance) ([][]int, error) {
+	n := m.Rows()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("fullspace: k=%d out of range 1..%d", k, n)
+	}
+	// Active cluster list with average-linkage distances maintained via the
+	// Lance–Williams update. O(n^2) memory, O(n^3) worst-case time: fine for
+	// the thousands-of-genes scale of this repository.
+	clusters := make([][]int, n)
+	for i := range clusters {
+		clusters[i] = []int{i}
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i < j {
+				d[i][j] = rowDistance(m, dist, i, j)
+			}
+		}
+	}
+	dAt := func(i, j int) float64 {
+		if i > j {
+			i, j = j, i
+		}
+		return d[i][j]
+	}
+	setD := func(i, j int, v float64) {
+		if i > j {
+			i, j = j, i
+		}
+		d[i][j] = v
+	}
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+	for len(active) > k {
+		// Find the closest active pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for x := 0; x < len(active); x++ {
+			for y := x + 1; y < len(active); y++ {
+				if v := dAt(active[x], active[y]); v < best {
+					bi, bj, best = active[x], active[y], v
+				}
+			}
+		}
+		// Merge bj into bi with average linkage.
+		ni, nj := float64(len(clusters[bi])), float64(len(clusters[bj]))
+		for _, a := range active {
+			if a == bi || a == bj {
+				continue
+			}
+			v := (ni*dAt(bi, a) + nj*dAt(bj, a)) / (ni + nj)
+			setD(bi, a, v)
+		}
+		clusters[bi] = append(clusters[bi], clusters[bj]...)
+		clusters[bj] = nil
+		for x, a := range active {
+			if a == bj {
+				active = append(active[:x], active[x+1:]...)
+				break
+			}
+		}
+	}
+	var out [][]int
+	for _, a := range active {
+		c := append([]int(nil), clusters[a]...)
+		sort.Ints(c)
+		out = append(out, c)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out, nil
+}
+
+// KMeans partitions the gene rows into k clusters with Lloyd's algorithm
+// (random initial centroids from the data, fixed iteration cap, deterministic
+// under seed). Empty clusters are reseeded from the farthest point.
+func KMeans(m *matrix.Matrix, k, maxIter int, seed int64) ([][]int, error) {
+	n, dims := m.Rows(), m.Cols()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("fullspace: k=%d out of range 1..%d", k, n)
+	}
+	if maxIter < 1 {
+		maxIter = 50
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centroids := make([][]float64, k)
+	for i, g := range rng.Perm(n)[:k] {
+		centroids[i] = append([]float64(nil), m.Row(g)...)
+	}
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for g := 0; g < n; g++ {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				dd := 0.0
+				row := m.Row(g)
+				for j := 0; j < dims; j++ {
+					diff := row[j] - centroids[c][j]
+					dd += diff * diff
+				}
+				if dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			if assign[g] != best {
+				assign[g] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		for c := range centroids {
+			for j := range centroids[c] {
+				centroids[c][j] = 0
+			}
+		}
+		for g := 0; g < n; g++ {
+			c := assign[g]
+			counts[c]++
+			row := m.Row(g)
+			for j := 0; j < dims; j++ {
+				centroids[c][j] += row[j]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Reseed an empty cluster from a random gene.
+				copy(centroids[c], m.Row(rng.Intn(n)))
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] /= float64(counts[c])
+			}
+		}
+	}
+	out := make([][]int, k)
+	for g, c := range assign {
+		out[c] = append(out[c], g)
+	}
+	// Drop empties, order by smallest member.
+	var res [][]int
+	for _, c := range out {
+		if len(c) > 0 {
+			res = append(res, c)
+		}
+	}
+	sort.Slice(res, func(a, b int) bool { return res[a][0] < res[b][0] })
+	return res, nil
+}

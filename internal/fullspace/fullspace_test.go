@@ -1,0 +1,153 @@
+package fullspace
+
+import (
+	"reflect"
+	"testing"
+
+	"regcluster/internal/matrix"
+)
+
+func twoBlobs() *matrix.Matrix {
+	return matrix.FromRows([][]float64{
+		{0, 0, 0},
+		{0.5, 0.2, 0.1},
+		{0.1, 0.4, 0.3},
+		{10, 10, 10},
+		{10.2, 9.8, 10.1},
+		{9.9, 10.3, 10.2},
+	})
+}
+
+func TestHierarchicalTwoBlobs(t *testing.T) {
+	got, err := Hierarchical(twoBlobs(), 2, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1, 2}, {3, 4, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("clusters = %v, want %v", got, want)
+	}
+}
+
+func TestHierarchicalKEqualsN(t *testing.T) {
+	m := twoBlobs()
+	got, err := Hierarchical(m, m.Rows(), Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != m.Rows() {
+		t.Fatalf("k=n should give singletons, got %d clusters", len(got))
+	}
+}
+
+func TestHierarchicalPearson(t *testing.T) {
+	// Correlation distance groups by shape, not magnitude.
+	m := matrix.FromRows([][]float64{
+		{1, 2, 3, 4},
+		{10, 20, 30, 40}, // same shape as row 0
+		{4, 3, 2, 1},
+		{40, 30, 20, 10}, // same shape as row 2
+	})
+	got, err := Hierarchical(m, 2, PearsonDist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("clusters = %v, want %v", got, want)
+	}
+}
+
+func TestHierarchicalValidation(t *testing.T) {
+	m := twoBlobs()
+	if _, err := Hierarchical(m, 0, Euclidean); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Hierarchical(m, 7, Euclidean); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestKMeansTwoBlobs(t *testing.T) {
+	got, err := KMeans(twoBlobs(), 2, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d clusters", len(got))
+	}
+	want := [][]int{{0, 1, 2}, {3, 4, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("clusters = %v, want %v", got, want)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	a, err := KMeans(twoBlobs(), 2, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(twoBlobs(), 2, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different partitions")
+	}
+}
+
+func TestKMeansCoversAllGenes(t *testing.T) {
+	m := twoBlobs()
+	got, err := KMeans(m, 3, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range got {
+		for _, g := range c {
+			if seen[g] {
+				t.Fatalf("gene %d assigned twice", g)
+			}
+			seen[g] = true
+		}
+	}
+	if len(seen) != m.Rows() {
+		t.Fatalf("%d of %d genes assigned", len(seen), m.Rows())
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	m := twoBlobs()
+	if _, err := KMeans(m, 0, 10, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(m, 100, 10, 1); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+// TestFullSpaceMissesSubspacePattern documents why the paper moves beyond
+// full-space clustering: two genes identical on a 3-condition subspace but
+// wildly different elsewhere land in different full-space clusters.
+func TestFullSpaceMissesSubspacePattern(t *testing.T) {
+	m := matrix.FromRows([][]float64{
+		{1, 2, 3, 100, 200, 300},
+		{1, 2, 3, -100, -200, -300},
+		{50, 60, 70, 100, 200, 300},
+	})
+	got, err := Hierarchical(m, 2, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full space: g0 pairs with g2 (shared tail dominates), not with g1
+	// despite the perfect 3-condition subspace match.
+	for _, c := range got {
+		set := map[int]bool{}
+		for _, g := range c {
+			set[g] = true
+		}
+		if set[0] && set[1] {
+			t.Fatal("full-space clustering unexpectedly grouped the subspace pair")
+		}
+	}
+}

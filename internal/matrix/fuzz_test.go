@@ -1,0 +1,38 @@
+package matrix
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadTSV ensures the parser never panics and that everything it accepts
+// survives a write/read round trip.
+func FuzzReadTSV(f *testing.F) {
+	f.Add("gene\ta\tb\ng1\t1\t2\n")
+	f.Add("g1\t1\t2\ng2\t3\t4\n")
+	f.Add("# comment\n\ng1\tNA\t\n")
+	f.Add("gene\ta\ng1\tnot-a-number\n")
+	f.Add("\t\t\t\n")
+	f.Add("g1\t1e308\t-1e308\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadTSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if m.Rows() == 0 {
+			t.Fatal("accepted matrix with zero rows")
+		}
+		var sb strings.Builder
+		if err := m.WriteTSV(&sb); err != nil {
+			t.Fatalf("write after accept: %v", err)
+		}
+		back, err := ReadTSV(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("reread of own output failed: %v\noutput: %q", err, sb.String())
+		}
+		if back.Rows() != m.Rows() || back.Cols() != m.Cols() {
+			t.Fatalf("round trip changed shape: %dx%d vs %dx%d",
+				back.Rows(), back.Cols(), m.Rows(), m.Cols())
+		}
+	})
+}

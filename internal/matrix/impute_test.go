@@ -1,0 +1,82 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKNNImputeUsesNearestNeighbours(t *testing.T) {
+	m := FromRows([][]float64{
+		{1, 2, 3, 4},
+		{1.1, 2.1, 3.1, 4.1},           // near row 0
+		{100, 200, 300, 400},           // far
+		{1.05, 2.05, math.NaN(), 4.05}, // to impute; nearest are rows 0,1
+	})
+	n := m.KNNImpute(2)
+	if n != 1 {
+		t.Fatalf("imputed %d cells, want 1", n)
+	}
+	got := m.At(3, 2)
+	// Average of rows 0 and 1 at column 2: (3 + 3.1)/2 = 3.05.
+	if math.Abs(got-3.05) > 1e-12 {
+		t.Fatalf("imputed value %v, want 3.05 (not influenced by the far row)", got)
+	}
+}
+
+func TestKNNImputeFallbackRowMean(t *testing.T) {
+	// Only one row, so there are no complete donors: fallback to row mean.
+	m := FromRows([][]float64{{2, 4, math.NaN()}})
+	if n := m.KNNImpute(3); n != 1 {
+		t.Fatalf("imputed %d", n)
+	}
+	if m.At(0, 2) != 3 {
+		t.Fatalf("fallback = %v, want row mean 3", m.At(0, 2))
+	}
+}
+
+func TestKNNImputeAllNaNRow(t *testing.T) {
+	m := FromRows([][]float64{
+		{math.NaN(), math.NaN()},
+		{math.NaN(), math.NaN()},
+	})
+	m.KNNImpute(1)
+	if m.HasNaN() {
+		t.Fatal("NaNs remain")
+	}
+	if m.At(0, 0) != 0 {
+		t.Fatalf("all-NaN fallback = %v, want 0", m.At(0, 0))
+	}
+}
+
+func TestKNNImputeNoHoles(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if n := m.KNNImpute(2); n != 0 {
+		t.Fatalf("imputed %d on a complete matrix", n)
+	}
+}
+
+func TestKNNImputeKClamp(t *testing.T) {
+	m := FromRows([][]float64{
+		{1, 2},
+		{math.NaN(), 2},
+	})
+	if n := m.KNNImpute(0); n != 1 { // k clamped to 1
+		t.Fatalf("imputed %d", n)
+	}
+	if m.At(1, 0) != 1 {
+		t.Fatalf("imputed %v, want 1", m.At(1, 0))
+	}
+}
+
+func TestPartialDist(t *testing.T) {
+	a := []float64{0, math.NaN(), 3}
+	b := []float64{4, 5, math.NaN()}
+	d, n := partialDist(a, b)
+	if n != 1 || d != 4 {
+		t.Fatalf("partialDist = %v,%d", d, n)
+	}
+	_, n = partialDist([]float64{math.NaN()}, []float64{1})
+	if n != 0 {
+		t.Fatal("no shared columns should report 0")
+	}
+}

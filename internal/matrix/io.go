@@ -1,0 +1,187 @@
+package matrix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadTSV parses a tab-separated expression matrix from r.
+//
+// The expected layout matches common microarray distributions (including the
+// Tavazoie/Church yeast file): an optional header line whose first field
+// labels the gene column followed by condition names, then one line per gene
+// with the gene name in the first field and one numeric expression value per
+// condition. Empty fields and the strings "NA", "NaN", "null" (any case)
+// parse as NaN. Lines starting with '#' and blank lines are skipped.
+func ReadTSV(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+
+	var colNames []string
+	var rowNames []string
+	var rows [][]float64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if colNames == nil && rows == nil {
+			// Decide whether this first content line is a header: it is a
+			// header unless every field after the first parses as a number.
+			if isHeaderLine(fields) {
+				colNames = append([]string(nil), fields[1:]...)
+				continue
+			}
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("matrix: line %d: need a name and at least one value", lineNo)
+		}
+		vals := make([]float64, len(fields)-1)
+		for k, f := range fields[1:] {
+			v, err := parseCell(f)
+			if err != nil {
+				return nil, fmt.Errorf("matrix: line %d field %d: %v", lineNo, k+2, err)
+			}
+			vals[k] = v
+		}
+		if len(rows) > 0 && len(vals) != len(rows[0]) {
+			return nil, fmt.Errorf("matrix: line %d: %d values, want %d", lineNo, len(vals), len(rows[0]))
+		}
+		rowNames = append(rowNames, fields[0])
+		rows = append(rows, vals)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("matrix: read: %v", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("matrix: empty input")
+	}
+	if colNames != nil && len(colNames) != len(rows[0]) {
+		return nil, fmt.Errorf("matrix: header has %d conditions but rows have %d", len(colNames), len(rows[0]))
+	}
+	m := FromRows(rows)
+	copy(m.rowNames, rowNames)
+	if colNames != nil {
+		copy(m.colNames, colNames)
+	}
+	return m, nil
+}
+
+func isHeaderLine(fields []string) bool {
+	if len(fields) < 2 {
+		return true
+	}
+	for _, f := range fields[1:] {
+		if _, err := parseCell(f); err != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func parseCell(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	switch strings.ToLower(s) {
+	case "", "na", "nan", "null":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// ReadTSVFile reads a matrix from the named file via ReadTSV.
+func ReadTSVFile(path string) (*Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTSV(f)
+}
+
+// WriteTSV writes the matrix in the format accepted by ReadTSV, including a
+// header line.
+func (m *Matrix) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("gene"); err != nil {
+		return err
+	}
+	for j := 0; j < m.cols; j++ {
+		bw.WriteByte('\t')
+		bw.WriteString(m.colNames[j])
+	}
+	bw.WriteByte('\n')
+	for i := 0; i < m.rows; i++ {
+		bw.WriteString(m.rowNames[i])
+		for j := 0; j < m.cols; j++ {
+			bw.WriteByte('\t')
+			v := m.data[i*m.cols+j]
+			if math.IsNaN(v) {
+				bw.WriteString("NA")
+			} else {
+				bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// WriteTSVFile writes the matrix to the named file via WriteTSV.
+func (m *Matrix) WriteTSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteTSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// HasNaN reports whether any cell is NaN.
+func (m *Matrix) HasNaN() bool {
+	for _, v := range m.data {
+		if math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// FillNaN replaces every NaN cell with the mean of the non-NaN values of its
+// row (or 0 for an all-NaN row) and returns the number of cells replaced.
+// Microarray files routinely contain missing values; the miners require a
+// complete matrix.
+func (m *Matrix) FillNaN() int {
+	replaced := 0
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		sum, n := 0.0, 0
+		for _, v := range row {
+			if !math.IsNaN(v) {
+				sum += v
+				n++
+			}
+		}
+		mean := 0.0
+		if n > 0 {
+			mean = sum / float64(n)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) {
+				row[j] = mean
+				replaced++
+			}
+		}
+	}
+	return replaced
+}

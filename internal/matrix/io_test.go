@@ -1,0 +1,175 @@
+package matrix
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadTSVWithHeader(t *testing.T) {
+	in := "gene\tcold\theat\n" +
+		"g1\t1.5\t-2\n" +
+		"g2\t3\t4\n"
+	m, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	if m.ColName(1) != "heat" || m.RowName(1) != "g2" {
+		t.Fatalf("names: %q %q", m.ColName(1), m.RowName(1))
+	}
+	if m.At(0, 1) != -2 || m.At(1, 0) != 3 {
+		t.Fatalf("values wrong: %v", m)
+	}
+}
+
+func TestReadTSVWithoutHeader(t *testing.T) {
+	in := "ORF1\t1\t2\t3\nORF2\t4\t5\t6\n"
+	m, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	if m.RowName(0) != "ORF1" {
+		t.Fatalf("row name %q", m.RowName(0))
+	}
+	if m.ColName(0) != "c0" {
+		t.Fatalf("default col name %q", m.ColName(0))
+	}
+}
+
+func TestReadTSVMissingValues(t *testing.T) {
+	in := "g1\t1\tNA\t\tNaN\n"
+	m, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j < 4; j++ {
+		if !math.IsNaN(m.At(0, j)) {
+			t.Fatalf("col %d = %v, want NaN", j, m.At(0, j))
+		}
+	}
+	if !m.HasNaN() {
+		t.Fatal("HasNaN = false")
+	}
+	if n := m.FillNaN(); n != 3 {
+		t.Fatalf("FillNaN replaced %d, want 3", n)
+	}
+	if m.HasNaN() {
+		t.Fatal("NaNs remain after FillNaN")
+	}
+	// Mean of the single non-NaN value (1) fills the rest.
+	if m.At(0, 1) != 1 {
+		t.Fatalf("filled value %v, want 1", m.At(0, 1))
+	}
+}
+
+func TestReadTSVSkipsCommentsAndBlank(t *testing.T) {
+	in := "# comment\n\ngene\ta\tb\n# another\ng1\t1\t2\n"
+	m, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 1 || m.Cols() != 2 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	cases := []string{
+		"",                         // empty
+		"gene\ta\tb\ng1\t1\n",      // width mismatch vs header
+		"g1\t1\t2\ng2\t1\n",        // ragged rows
+		"g1\t1\t2\ng2\tfoo\tbar\n", // non-numeric after first data row fixed width
+	}
+	for i, in := range cases {
+		if _, err := ReadTSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, in)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := FromRows([][]float64{{1.25, -3e-7, 0}, {math.NaN(), 2, 42}})
+	m.SetRowName(0, "YBR001")
+	m.SetColName(2, "t30")
+	var sb strings.Builder
+	if err := m.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back) {
+		t.Fatalf("round trip mismatch:\n%v\nvs\n%v", m, back)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	path := filepath.Join(t.TempDir(), "m.tsv")
+	if err := m.WriteTSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := ReadTSVFile(filepath.Join(t.TempDir(), "missing.tsv")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestTransforms(t *testing.T) {
+	m := FromRows([][]float64{{1, math.E, 0}})
+	lg := m.LogTransform()
+	if lg.At(0, 0) != 0 || !almost(lg.At(0, 1), 1, 1e-12) {
+		t.Fatalf("log: %v", lg)
+	}
+	if !math.IsNaN(lg.At(0, 2)) {
+		t.Fatal("log of non-positive should be NaN")
+	}
+	ex := FromRows([][]float64{{0, 1}}).ExpTransform()
+	if ex.At(0, 0) != 1 || !almost(ex.At(0, 1), math.E, 1e-12) {
+		t.Fatalf("exp: %v", ex)
+	}
+}
+
+func TestNormalizeRows(t *testing.T) {
+	m := FromRows([][]float64{{2, 4, 6}, {5, 5, 5}})
+	m.NormalizeRows()
+	if !almost(m.RowMean(0), 0, 1e-12) || !almost(m.RowStd(0), 1, 1e-12) {
+		t.Fatalf("row 0 not z-scored: mean %v std %v", m.RowMean(0), m.RowStd(0))
+	}
+	for j := 0; j < 3; j++ {
+		if m.At(1, j) != 0 {
+			t.Fatal("constant row should be centered to 0")
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("shape %dx%d", tr.Rows(), tr.Cols())
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 0) != 1 {
+		t.Fatalf("transpose values wrong: %v", tr)
+	}
+	if tr.RowName(0) != m.ColName(0) {
+		t.Fatal("transpose must swap names")
+	}
+	if !m.Transpose().Transpose().Equal(m) {
+		t.Fatal("double transpose != identity")
+	}
+}

@@ -1,0 +1,269 @@
+// Package matrix provides the dense, labelled 2-D expression matrix that all
+// mining algorithms in this repository operate on.
+//
+// A Matrix holds one float64 value per (gene, condition) cell in a single
+// contiguous backing slice, together with row (gene) and column (condition)
+// names. Rows correspond to genes and columns to experimental conditions,
+// following the convention of the reg-cluster paper.
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of expression levels with named rows
+// (genes) and columns (conditions). The zero value is an empty matrix; use
+// New or NewWithNames to construct a usable one.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+	rowNames   []string
+	colNames   []string
+}
+
+// New returns a rows×cols matrix initialized to zero with generated names
+// ("g0".."gN" for rows, "c0".."cM" for columns).
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimensions %dx%d", rows, cols))
+	}
+	m := &Matrix{
+		rows:     rows,
+		cols:     cols,
+		data:     make([]float64, rows*cols),
+		rowNames: make([]string, rows),
+		colNames: make([]string, cols),
+	}
+	for i := range m.rowNames {
+		m.rowNames[i] = fmt.Sprintf("g%d", i)
+	}
+	for j := range m.colNames {
+		m.colNames[j] = fmt.Sprintf("c%d", j)
+	}
+	return m
+}
+
+// NewWithNames returns a matrix with the given row and column names, sized
+// len(rowNames)×len(colNames), initialized to zero. The name slices are
+// copied.
+func NewWithNames(rowNames, colNames []string) *Matrix {
+	m := New(len(rowNames), len(colNames))
+	copy(m.rowNames, rowNames)
+	copy(m.colNames, colNames)
+	return m
+}
+
+// FromRows builds a matrix from a slice of equal-length rows. The data is
+// copied. It panics if the rows are ragged.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("matrix: ragged input: row %d has %d values, want %d", i, len(r), cols))
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// Rows returns the number of rows (genes).
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns (conditions).
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the value at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.boundsCheck(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the value at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.boundsCheck(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) boundsCheck(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a view of row i as a slice. The returned slice aliases the
+// matrix storage; mutating it mutates the matrix.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols : (i+1)*m.cols]
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: col %d out of range %d", j, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// RowName returns the name of row i.
+func (m *Matrix) RowName(i int) string { return m.rowNames[i] }
+
+// ColName returns the name of column j.
+func (m *Matrix) ColName(j int) string { return m.colNames[j] }
+
+// SetRowName assigns the name of row i.
+func (m *Matrix) SetRowName(i int, name string) { m.rowNames[i] = name }
+
+// SetColName assigns the name of column j.
+func (m *Matrix) SetColName(j int, name string) { m.colNames[j] = name }
+
+// RowNames returns a copy of the row name list.
+func (m *Matrix) RowNames() []string {
+	out := make([]string, m.rows)
+	copy(out, m.rowNames)
+	return out
+}
+
+// ColNames returns a copy of the column name list.
+func (m *Matrix) ColNames() []string {
+	out := make([]string, m.cols)
+	copy(out, m.colNames)
+	return out
+}
+
+// RowIndex returns the index of the row with the given name, or -1.
+func (m *Matrix) RowIndex(name string) int {
+	for i, n := range m.rowNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColIndex returns the index of the column with the given name, or -1.
+func (m *Matrix) ColIndex(name string) int {
+	for j, n := range m.colNames {
+		if n == name {
+			return j
+		}
+	}
+	return -1
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{
+		rows:     m.rows,
+		cols:     m.cols,
+		data:     make([]float64, len(m.data)),
+		rowNames: make([]string, len(m.rowNames)),
+		colNames: make([]string, len(m.colNames)),
+	}
+	copy(c.data, m.data)
+	copy(c.rowNames, m.rowNames)
+	copy(c.colNames, m.colNames)
+	return c
+}
+
+// Submatrix extracts the submatrix induced by the given row and column index
+// lists (in the given order, duplicates allowed). Names are carried over.
+func (m *Matrix) Submatrix(rowIdx, colIdx []int) *Matrix {
+	s := New(len(rowIdx), len(colIdx))
+	for i, r := range rowIdx {
+		s.rowNames[i] = m.rowNames[r]
+		for j, c := range colIdx {
+			s.data[i*s.cols+j] = m.At(r, c)
+		}
+	}
+	for j, c := range colIdx {
+		s.colNames[j] = m.colNames[c]
+	}
+	return s
+}
+
+// Equal reports whether the two matrices have identical shape, names and
+// values (exact float comparison; NaNs compare equal to NaNs).
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.rowNames {
+		if m.rowNames[i] != o.rowNames[i] {
+			return false
+		}
+	}
+	for j := range m.colNames {
+		if m.colNames[j] != o.colNames[j] {
+			return false
+		}
+	}
+	for k := range m.data {
+		a, b := m.data[k], o.data[k]
+		if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualWithin reports whether the two matrices have identical shape and
+// values that agree within tol. Names are ignored.
+func (m *Matrix) EqualWithin(o *Matrix, tol float64) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for k := range m.data {
+		if math.Abs(m.data[k]-o.data[k]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact human-readable table, truncated for large
+// matrices.
+func (m *Matrix) String() string {
+	const maxRows, maxCols = 12, 14
+	s := fmt.Sprintf("matrix %dx%d\n", m.rows, m.cols)
+	nr, nc := m.rows, m.cols
+	if nr > maxRows {
+		nr = maxRows
+	}
+	if nc > maxCols {
+		nc = maxCols
+	}
+	s += "gene"
+	for j := 0; j < nc; j++ {
+		s += "\t" + m.colNames[j]
+	}
+	if nc < m.cols {
+		s += "\t..."
+	}
+	s += "\n"
+	for i := 0; i < nr; i++ {
+		s += m.rowNames[i]
+		for j := 0; j < nc; j++ {
+			s += fmt.Sprintf("\t%.4g", m.At(i, j))
+		}
+		if nc < m.cols {
+			s += "\t..."
+		}
+		s += "\n"
+	}
+	if nr < m.rows {
+		s += "...\n"
+	}
+	return s
+}

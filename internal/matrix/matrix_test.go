@@ -1,0 +1,203 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewDimensionsAndDefaults(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	if m.RowName(0) != "g0" || m.RowName(2) != "g2" {
+		t.Errorf("default row names wrong: %q %q", m.RowName(0), m.RowName(2))
+	}
+	if m.ColName(0) != "c0" || m.ColName(3) != "c3" {
+		t.Errorf("default col names wrong: %q %q", m.ColName(0), m.ColName(3))
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("cell (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1, 2) did not panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestSetAt(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 1, 3.5)
+	m.Set(1, 0, -2)
+	if m.At(0, 1) != 3.5 || m.At(1, 0) != -2 || m.At(0, 0) != 0 {
+		t.Fatalf("Set/At mismatch: %v", m)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	for _, idx := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d,%d) did not panic", idx[0], idx[1])
+				}
+			}()
+			m.At(idx[0], idx[1])
+		}()
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %v", m.At(1, 2))
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m := FromRows(nil)
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatalf("empty FromRows: %dx%d", m.Rows(), m.Cols())
+	}
+}
+
+func TestRowAliasesStorage(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	r[1] = 99
+	if m.At(0, 1) != 99 {
+		t.Fatal("Row does not alias matrix storage")
+	}
+	// The full-slice expression must prevent append from bleeding into row 1.
+	r = append(r, 7)
+	if m.At(1, 0) != 3 {
+		t.Fatal("append through row view corrupted the next row")
+	}
+}
+
+func TestColCopies(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Col(1)
+	if c[0] != 2 || c[1] != 4 {
+		t.Fatalf("Col(1) = %v", c)
+	}
+	c[0] = 42
+	if m.At(0, 1) != 2 {
+		t.Fatal("Col must return a copy")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.SetRowName(0, "alpha")
+	c := m.Clone()
+	c.Set(0, 0, 100)
+	c.SetRowName(0, "beta")
+	if m.At(0, 0) != 1 || m.RowName(0) != "alpha" {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Fatal("Clone not Equal to original")
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	m := FromRows([][]float64{
+		{1, 2, 3, 4},
+		{5, 6, 7, 8},
+		{9, 10, 11, 12},
+	})
+	s := m.Submatrix([]int{2, 0}, []int{3, 1})
+	want := FromRows([][]float64{{12, 10}, {4, 2}})
+	if !s.EqualWithin(want, 0) {
+		t.Fatalf("Submatrix = %v", s)
+	}
+	if s.RowName(0) != "g2" || s.ColName(0) != "c3" {
+		t.Fatalf("Submatrix names not carried: %q %q", s.RowName(0), s.ColName(0))
+	}
+}
+
+func TestIndexLookups(t *testing.T) {
+	m := New(2, 3)
+	m.SetRowName(1, "YAL001C")
+	m.SetColName(2, "heat")
+	if m.RowIndex("YAL001C") != 1 || m.ColIndex("heat") != 2 {
+		t.Fatal("name lookup failed")
+	}
+	if m.RowIndex("nope") != -1 || m.ColIndex("nope") != -1 {
+		t.Fatal("missing name should return -1")
+	}
+}
+
+func TestEqualNaN(t *testing.T) {
+	a := FromRows([][]float64{{math.NaN(), 1}})
+	b := FromRows([][]float64{{math.NaN(), 1}})
+	if !a.Equal(b) {
+		t.Fatal("NaN cells should compare equal in Equal")
+	}
+	b.Set(0, 1, 2)
+	if a.Equal(b) {
+		t.Fatal("different values compared equal")
+	}
+}
+
+func TestNamesAreCopies(t *testing.T) {
+	names := []string{"a", "b"}
+	m := NewWithNames(names, []string{"x"})
+	names[0] = "mutated"
+	if m.RowName(0) != "a" {
+		t.Fatal("NewWithNames must copy name slices")
+	}
+	got := m.RowNames()
+	got[0] = "mutated"
+	if m.RowName(0) != "a" {
+		t.Fatal("RowNames must return a copy")
+	}
+}
+
+func TestStringTruncates(t *testing.T) {
+	m := New(30, 30)
+	s := m.String()
+	if len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+	// Must mention shape and be truncated with ellipses.
+	if !contains(s, "matrix 30x30") || !contains(s, "...") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,123 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// QuantileNormalize forces every column (condition/array) to share the same
+// value distribution — the standard between-array normalization for
+// microarray panels (Bolstad et al. 2003). Each column is ranked, the
+// row-wise means of the sorted columns form the reference distribution, and
+// every cell is replaced by the reference value of its rank (ties receive
+// the average of their reference values). The receiver is modified in place
+// and returned.
+func (m *Matrix) QuantileNormalize() *Matrix {
+	if m.rows == 0 || m.cols == 0 {
+		return m
+	}
+	// Sort each column, accumulate the reference distribution.
+	ref := make([]float64, m.rows)
+	type rankedCell struct {
+		row int
+		v   float64
+	}
+	ranked := make([][]rankedCell, m.cols)
+	for c := 0; c < m.cols; c++ {
+		col := make([]rankedCell, m.rows)
+		for r := 0; r < m.rows; r++ {
+			col[r] = rankedCell{r, m.At(r, c)}
+		}
+		sort.Slice(col, func(a, b int) bool { return col[a].v < col[b].v })
+		ranked[c] = col
+		for i, rc := range col {
+			ref[i] += rc.v
+		}
+	}
+	for i := range ref {
+		ref[i] /= float64(m.cols)
+	}
+	// Assign reference values by rank, averaging over tied runs.
+	for c := 0; c < m.cols; c++ {
+		col := ranked[c]
+		i := 0
+		for i < len(col) {
+			j := i
+			for j+1 < len(col) && col[j+1].v == col[i].v {
+				j++
+			}
+			avg := 0.0
+			for k := i; k <= j; k++ {
+				avg += ref[k]
+			}
+			avg /= float64(j - i + 1)
+			for k := i; k <= j; k++ {
+				m.Set(col[k].row, c, avg)
+			}
+			i = j + 1
+		}
+	}
+	return m
+}
+
+// FilterLowVariance returns a new matrix keeping only the genes whose
+// profile variance is at least the q-th quantile of all gene variances
+// (q in [0,1]; q=0.5 keeps the more variable half). The kept gene indices
+// (into the original matrix) are returned alongside. Pre-filtering is how
+// microarray pipelines drop the flat genes that can never show regulation.
+func (m *Matrix) FilterLowVariance(q float64) (*Matrix, []int, error) {
+	if q < 0 || q > 1 {
+		return nil, nil, fmt.Errorf("matrix: quantile %v out of [0,1]", q)
+	}
+	vars := make([]float64, m.rows)
+	for g := 0; g < m.rows; g++ {
+		std := m.RowStd(g)
+		vars[g] = std * std
+	}
+	sorted := append([]float64(nil), vars...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	if len(sorted) == 0 {
+		return m.Clone(), nil, nil
+	}
+	threshold := sorted[idx]
+	var keep []int
+	for g, v := range vars {
+		if v >= threshold {
+			keep = append(keep, g)
+		}
+	}
+	cols := make([]int, m.cols)
+	for j := range cols {
+		cols[j] = j
+	}
+	return m.Submatrix(keep, cols), keep, nil
+}
+
+// Discretize maps every gene's profile onto integer levels 0..levels-1 by
+// equal-width binning of the gene's own range (per-gene, as tendency-based
+// methods do). Constant genes map to level 0. Returns a new matrix.
+func (m *Matrix) Discretize(levels int) (*Matrix, error) {
+	if levels < 2 {
+		return nil, fmt.Errorf("matrix: need at least 2 levels, got %d", levels)
+	}
+	out := m.Clone()
+	for g := 0; g < m.rows; g++ {
+		lo := m.RowMin(g)
+		span := m.RowRange(g)
+		row := out.Row(g)
+		for j, v := range row {
+			if span == 0 || math.IsNaN(v) {
+				row[j] = 0
+				continue
+			}
+			level := int((v - lo) / span * float64(levels))
+			if level >= levels {
+				level = levels - 1
+			}
+			row[j] = float64(level)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package matrix
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestQuantileNormalizeEqualizesDistributions(t *testing.T) {
+	m := FromRows([][]float64{
+		{5, 2, 100},
+		{2, 4, 300},
+		{3, 6, 200},
+		{4, 8, 400},
+	})
+	m.QuantileNormalize()
+	// After normalization, every column holds the same multiset of values.
+	ref := m.Col(0)
+	sort.Float64s(ref)
+	for c := 1; c < m.Cols(); c++ {
+		col := m.Col(c)
+		sort.Float64s(col)
+		if !reflect.DeepEqual(col, ref) {
+			t.Fatalf("column %d distribution differs: %v vs %v", c, col, ref)
+		}
+	}
+	// Rank order within each column is preserved.
+	if !(m.At(1, 0) < m.At(2, 0) && m.At(2, 0) < m.At(3, 0) && m.At(3, 0) < m.At(0, 0)) {
+		t.Fatalf("column 0 order broken: %v", m.Col(0))
+	}
+}
+
+func TestQuantileNormalizeTies(t *testing.T) {
+	m := FromRows([][]float64{
+		{1, 10},
+		{1, 20},
+		{2, 30},
+	})
+	m.QuantileNormalize()
+	// The two tied cells in column 0 must receive identical values.
+	if m.At(0, 0) != m.At(1, 0) {
+		t.Fatalf("tied cells split: %v vs %v", m.At(0, 0), m.At(1, 0))
+	}
+	if m.At(2, 0) <= m.At(0, 0) {
+		t.Fatal("order violated after tie averaging")
+	}
+}
+
+func TestQuantileNormalizeEmpty(t *testing.T) {
+	m := New(0, 0)
+	if got := m.QuantileNormalize(); got != m {
+		t.Fatal("empty matrix normalize should be a no-op returning receiver")
+	}
+}
+
+func TestFilterLowVariance(t *testing.T) {
+	m := FromRows([][]float64{
+		{1, 1, 1},    // var 0
+		{0, 10, 20},  // high var
+		{5, 5.1, 5},  // tiny var
+		{0, 50, 100}, // highest var
+	})
+	filtered, keep, err := m.FilterLowVariance(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median threshold keeps the two most variable genes (and any at the
+	// threshold).
+	if len(keep) < 2 || len(keep) > 3 {
+		t.Fatalf("kept %v", keep)
+	}
+	set := map[int]bool{}
+	for _, g := range keep {
+		set[g] = true
+	}
+	if !set[1] || !set[3] {
+		t.Fatalf("high-variance genes dropped: %v", keep)
+	}
+	if set[0] {
+		t.Fatal("constant gene survived the median filter")
+	}
+	if filtered.Rows() != len(keep) || filtered.Cols() != 3 {
+		t.Fatalf("filtered shape %dx%d", filtered.Rows(), filtered.Cols())
+	}
+	// q=0 keeps everything.
+	all, keepAll, err := m.FilterLowVariance(0)
+	if err != nil || all.Rows() != 4 || len(keepAll) != 4 {
+		t.Fatalf("q=0: %v %v", keepAll, err)
+	}
+	if _, _, err := m.FilterLowVariance(1.5); err == nil {
+		t.Fatal("q>1 accepted")
+	}
+}
+
+func TestDiscretize(t *testing.T) {
+	m := FromRows([][]float64{
+		{0, 5, 10},
+		{3, 3, 3}, // constant
+	})
+	d, err := m.Discretize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.At(0, 0) != 0 || d.At(0, 1) != 1 || d.At(0, 2) != 1 {
+		t.Fatalf("levels: %v", d.Row(0))
+	}
+	for j := 0; j < 3; j++ {
+		if d.At(1, j) != 0 {
+			t.Fatal("constant gene should be all level 0")
+		}
+	}
+	// Max value lands in the top level, not out of range.
+	d3, err := m.Discretize(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.At(0, 2) != 2 {
+		t.Fatalf("max level = %v", d3.At(0, 2))
+	}
+	if _, err := m.Discretize(1); err == nil {
+		t.Fatal("levels=1 accepted")
+	}
+	// NaN maps to level 0.
+	nan := FromRows([][]float64{{0, math.NaN(), 10}})
+	dn, err := nan.Discretize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn.At(0, 1) != 0 {
+		t.Fatalf("NaN level = %v", dn.At(0, 1))
+	}
+	// Original untouched.
+	if m.At(0, 1) != 5 {
+		t.Fatal("Discretize mutated the receiver")
+	}
+}

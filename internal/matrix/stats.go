@@ -1,0 +1,170 @@
+package matrix
+
+import "math"
+
+// RowMin returns the minimum value in row i.
+func (m *Matrix) RowMin(i int) float64 {
+	row := m.Row(i)
+	min := math.Inf(1)
+	for _, v := range row {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// RowMax returns the maximum value in row i.
+func (m *Matrix) RowMax(i int) float64 {
+	row := m.Row(i)
+	max := math.Inf(-1)
+	for _, v := range row {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// RowRange returns RowMax(i) - RowMin(i), the expression range of gene i used
+// by Equation 4 of the paper to derive the per-gene regulation threshold.
+func (m *Matrix) RowRange(i int) float64 {
+	row := m.Row(i)
+	if len(row) == 0 {
+		return 0
+	}
+	min, max := row[0], row[0]
+	for _, v := range row[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return max - min
+}
+
+// RowMean returns the arithmetic mean of row i.
+func (m *Matrix) RowMean(i int) float64 {
+	row := m.Row(i)
+	if len(row) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range row {
+		sum += v
+	}
+	return sum / float64(len(row))
+}
+
+// RowStd returns the population standard deviation of row i.
+func (m *Matrix) RowStd(i int) float64 {
+	row := m.Row(i)
+	if len(row) == 0 {
+		return 0
+	}
+	mean := m.RowMean(i)
+	ss := 0.0
+	for _, v := range row {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(row)))
+}
+
+// Mean returns the mean over all cells.
+func (m *Matrix) Mean() float64 {
+	if len(m.data) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range m.data {
+		sum += v
+	}
+	return sum / float64(len(m.data))
+}
+
+// MinMax returns the global minimum and maximum over all cells.
+func (m *Matrix) MinMax() (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, v := range m.data {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// PearsonRows returns the Pearson correlation coefficient between rows i and
+// j over the given column subset (all columns when cols is nil). It returns 0
+// when either row is constant on the subset.
+func (m *Matrix) PearsonRows(i, j int, cols []int) float64 {
+	if cols == nil {
+		cols = make([]int, m.cols)
+		for k := range cols {
+			cols[k] = k
+		}
+	}
+	n := float64(len(cols))
+	if n == 0 {
+		return 0
+	}
+	var sx, sy float64
+	for _, c := range cols {
+		sx += m.At(i, c)
+		sy += m.At(j, c)
+	}
+	mx, my := sx/n, sy/n
+	var sxy, sxx, syy float64
+	for _, c := range cols {
+		dx := m.At(i, c) - mx
+		dy := m.At(j, c) - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// MeanSquaredResidue computes the mean squared residue score of Cheng &
+// Church (2000) for the submatrix induced by rows and cols of m. A perfectly
+// additive (pure shifting) bicluster has score 0.
+func (m *Matrix) MeanSquaredResidue(rows, cols []int) float64 {
+	if len(rows) == 0 || len(cols) == 0 {
+		return 0
+	}
+	nr, nc := float64(len(rows)), float64(len(cols))
+	rowMean := make([]float64, len(rows))
+	colMean := make([]float64, len(cols))
+	total := 0.0
+	for ri, r := range rows {
+		for ci, c := range cols {
+			v := m.At(r, c)
+			rowMean[ri] += v
+			colMean[ci] += v
+			total += v
+		}
+	}
+	for ri := range rowMean {
+		rowMean[ri] /= nc
+	}
+	for ci := range colMean {
+		colMean[ci] /= nr
+	}
+	mean := total / (nr * nc)
+	score := 0.0
+	for ri, r := range rows {
+		for ci, c := range cols {
+			res := m.At(r, c) - rowMean[ri] - colMean[ci] + mean
+			score += res * res
+		}
+	}
+	return score / (nr * nc)
+}

@@ -1,0 +1,146 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRowStats(t *testing.T) {
+	m := FromRows([][]float64{
+		{10, -14.5, 15, 10.5, 0, 14.5, -15, 0, -5, -5}, // g1 of Table 1
+	})
+	if got := m.RowMin(0); got != -15 {
+		t.Errorf("RowMin = %v, want -15", got)
+	}
+	if got := m.RowMax(0); got != 15 {
+		t.Errorf("RowMax = %v, want 15", got)
+	}
+	if got := m.RowRange(0); got != 30 {
+		t.Errorf("RowRange = %v, want 30", got)
+	}
+	want := (10 - 14.5 + 15 + 10.5 + 0 + 14.5 - 15 + 0 - 5 - 5) / 10
+	if got := m.RowMean(0); !almost(got, want, 1e-12) {
+		t.Errorf("RowMean = %v, want %v", got, want)
+	}
+}
+
+func TestConstantRow(t *testing.T) {
+	m := FromRows([][]float64{{3, 3, 3, 3}})
+	if m.RowRange(0) != 0 || m.RowStd(0) != 0 {
+		t.Fatalf("constant row: range %v std %v", m.RowRange(0), m.RowStd(0))
+	}
+}
+
+func TestMeanAndMinMax(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.Mean() != 2.5 {
+		t.Errorf("Mean = %v", m.Mean())
+	}
+	min, max := m.MinMax()
+	if min != 1 || max != 4 {
+		t.Errorf("MinMax = %v,%v", min, max)
+	}
+}
+
+func TestPearsonRows(t *testing.T) {
+	m := FromRows([][]float64{
+		{1, 2, 3, 4},
+		{2, 4, 6, 8}, // perfect positive
+		{4, 3, 2, 1}, // perfect negative
+		{5, 5, 5, 5}, // constant
+	})
+	if r := m.PearsonRows(0, 1, nil); !almost(r, 1, 1e-12) {
+		t.Errorf("pos corr = %v", r)
+	}
+	if r := m.PearsonRows(0, 2, nil); !almost(r, -1, 1e-12) {
+		t.Errorf("neg corr = %v", r)
+	}
+	if r := m.PearsonRows(0, 3, nil); r != 0 {
+		t.Errorf("constant row corr = %v, want 0", r)
+	}
+}
+
+func TestPearsonSubset(t *testing.T) {
+	m := FromRows([][]float64{
+		{1, 100, 2, -7, 3},
+		{10, -3, 20, 55, 30},
+	})
+	// On columns {0,2,4} the rows are perfectly positively correlated.
+	if r := m.PearsonRows(0, 1, []int{0, 2, 4}); !almost(r, 1, 1e-12) {
+		t.Errorf("subset corr = %v, want 1", r)
+	}
+}
+
+func TestMeanSquaredResidueShiftingIsZero(t *testing.T) {
+	// A pure shifting bicluster has MSR exactly 0.
+	base := []float64{3, 1, 4, 1, 5}
+	m := New(4, 5)
+	shifts := []float64{0, 2, -1, 10}
+	for i, s := range shifts {
+		for j, v := range base {
+			m.Set(i, j, v+s)
+		}
+	}
+	if msr := m.MeanSquaredResidue([]int{0, 1, 2, 3}, []int{0, 1, 2, 3, 4}); !almost(msr, 0, 1e-12) {
+		t.Fatalf("MSR of shifting pattern = %v, want 0", msr)
+	}
+}
+
+func TestMeanSquaredResidueDetectsIncoherence(t *testing.T) {
+	m := FromRows([][]float64{
+		{1, 2, 3},
+		{3, 1, 9},
+	})
+	if msr := m.MeanSquaredResidue([]int{0, 1}, []int{0, 1, 2}); msr <= 0 {
+		t.Fatalf("MSR = %v, want > 0", msr)
+	}
+	if msr := m.MeanSquaredResidue(nil, nil); msr != 0 {
+		t.Fatalf("empty MSR = %v", msr)
+	}
+}
+
+// Property: RowRange is invariant under shifting and scales with |s1| under
+// ShiftScaleRow — the fact Equation 4 relies on to make γ_i follow the gene.
+func TestRowRangeShiftScaleProperty(t *testing.T) {
+	f := func(vals [6]float64, s1, s2 float64) bool {
+		if math.Abs(s1) > 1e6 || math.Abs(s2) > 1e6 {
+			return true // avoid float blow-up; quick can generate huge values
+		}
+		for _, v := range vals {
+			if math.Abs(v) > 1e6 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		m := FromRows([][]float64{vals[:]})
+		before := m.RowRange(0)
+		m.ShiftScaleRow(0, s1, s2)
+		after := m.RowRange(0)
+		return almost(after, math.Abs(s1)*before, 1e-6*(1+math.Abs(s1)*before))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MeanSquaredResidue of any submatrix is non-negative.
+func TestMSRNonNegativeProperty(t *testing.T) {
+	f := func(vals [4][4]float64) bool {
+		rows := make([][]float64, 4)
+		for i := range vals {
+			for j := range vals[i] {
+				if math.IsNaN(vals[i][j]) || math.IsInf(vals[i][j], 0) || math.Abs(vals[i][j]) > 1e8 {
+					return true
+				}
+			}
+			rows[i] = vals[i][:]
+		}
+		m := FromRows(rows)
+		return m.MeanSquaredResidue([]int{0, 1, 2, 3}, []int{0, 1, 2, 3}) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package matrix
+
+import "math"
+
+// LogTransform returns a new matrix whose cells are log(v) (natural
+// logarithm). This is the global transformation that pCluster and δ-cluster
+// assume turns scaling patterns into shifting patterns (Equation 1 of the
+// paper). Non-positive cells map to NaN.
+func (m *Matrix) LogTransform() *Matrix {
+	out := m.Clone()
+	for k, v := range out.data {
+		if v <= 0 {
+			out.data[k] = math.NaN()
+		} else {
+			out.data[k] = math.Log(v)
+		}
+	}
+	return out
+}
+
+// ExpTransform returns a new matrix whose cells are e^v. This is the global
+// transformation that triCluster assumes turns shifting patterns into scaling
+// patterns (Equation 2 of the paper).
+func (m *Matrix) ExpTransform() *Matrix {
+	out := m.Clone()
+	for k, v := range out.data {
+		out.data[k] = math.Exp(v)
+	}
+	return out
+}
+
+// ShiftScaleRow applies d := s1*d + s2 to every cell of row i in place.
+// Shifting-and-scaling a profile preserves reg-cluster membership structure
+// up to the regulation threshold rescaling (Equation 5).
+func (m *Matrix) ShiftScaleRow(i int, s1, s2 float64) {
+	row := m.Row(i)
+	for j, v := range row {
+		row[j] = s1*v + s2
+	}
+}
+
+// NormalizeRows z-scores every row in place: x := (x-mean)/std. Rows with
+// zero standard deviation are centered only. Returns the receiver for
+// chaining.
+func (m *Matrix) NormalizeRows() *Matrix {
+	for i := 0; i < m.rows; i++ {
+		mean := m.RowMean(i)
+		std := m.RowStd(i)
+		row := m.Row(i)
+		for j, v := range row {
+			if std > 0 {
+				row[j] = (v - mean) / std
+			} else {
+				row[j] = v - mean
+			}
+		}
+	}
+	return m
+}
+
+// Transpose returns a new matrix with rows and columns exchanged.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewWithNames(m.colNames, m.rowNames)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}

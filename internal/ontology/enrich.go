@@ -1,0 +1,159 @@
+package ontology
+
+import (
+	"math"
+	"sort"
+)
+
+// Enrichment is one term's score for a query gene set.
+type Enrichment struct {
+	Term *Term
+	// Overlap is the number of query genes annotated with the term.
+	Overlap int
+	// Query is the query set size, after restriction to the population.
+	Query int
+	// PValue is the one-sided hypergeometric tail P(X >= Overlap).
+	PValue float64
+}
+
+// TermFinder scores every term of the given namespace against the query gene
+// set and returns the enrichments sorted by ascending p-value (ties broken by
+// larger overlap, then term id). Terms with zero overlap are omitted. This is
+// the computation of the yeast genome GO Term Finder used for Table 2.
+func (g *GO) TermFinder(genes []int, ns Namespace) []Enrichment {
+	query := dedupInts(append([]int(nil), genes...))
+	n := len(query)
+	var out []Enrichment
+	for _, t := range g.terms {
+		if t.Namespace != ns {
+			continue
+		}
+		x := 0
+		for _, gene := range query {
+			if t.genes[gene] {
+				x++
+			}
+		}
+		if x == 0 {
+			continue
+		}
+		p := HypergeomTail(g.population, t.Size(), n, x)
+		out = append(out, Enrichment{Term: t, Overlap: x, Query: n, PValue: p})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].PValue != out[b].PValue {
+			return out[a].PValue < out[b].PValue
+		}
+		if out[a].Overlap != out[b].Overlap {
+			return out[a].Overlap > out[b].Overlap
+		}
+		return out[a].Term.ID < out[b].Term.ID
+	})
+	return out
+}
+
+// TopTerms returns the single most enriched term per namespace, in Table 2
+// column order. Namespaces with no overlapping term are omitted from the map.
+func (g *GO) TopTerms(genes []int) map[Namespace]Enrichment {
+	out := make(map[Namespace]Enrichment, numNamespaces)
+	for _, ns := range Namespaces() {
+		if es := g.TermFinder(genes, ns); len(es) > 0 {
+			out[ns] = es[0]
+		}
+	}
+	return out
+}
+
+// HypergeomTail returns P(X >= x) for X ~ Hypergeometric(N, K, n): drawing n
+// genes from a population of N of which K are annotated. Computed in log
+// space for numerical stability at the extreme p-values of Table 2.
+func HypergeomTail(N, K, n, x int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	if K < 0 || n < 0 || N <= 0 || K > N || n > N {
+		return math.NaN()
+	}
+	hi := n
+	if K < hi {
+		hi = K
+	}
+	if x > hi {
+		return 0
+	}
+	// Accumulate sum of exp(logPMF(i)) scaled by the max term.
+	logs := make([]float64, 0, hi-x+1)
+	maxLog := math.Inf(-1)
+	for i := x; i <= hi; i++ {
+		if n-i > N-K {
+			continue // impossible draw
+		}
+		l := lchoose(K, i) + lchoose(N-K, n-i) - lchoose(N, n)
+		logs = append(logs, l)
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	if len(logs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, l := range logs {
+		sum += math.Exp(l - maxLog)
+	}
+	p := math.Exp(maxLog) * sum
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// LogHypergeomTail returns ln P(X >= x), usable when the p-value underflows
+// float64 (below ~1e-308).
+func LogHypergeomTail(N, K, n, x int) float64 {
+	if x <= 0 {
+		return 0
+	}
+	hi := n
+	if K < hi {
+		hi = K
+	}
+	if x > hi {
+		return math.Inf(-1)
+	}
+	maxLog := math.Inf(-1)
+	var logs []float64
+	for i := x; i <= hi; i++ {
+		if n-i > N-K {
+			continue
+		}
+		l := lchoose(K, i) + lchoose(N-K, n-i) - lchoose(N, n)
+		logs = append(logs, l)
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	if len(logs) == 0 {
+		return math.Inf(-1)
+	}
+	sum := 0.0
+	for _, l := range logs {
+		sum += math.Exp(l - maxLog)
+	}
+	out := maxLog + math.Log(sum)
+	if out > 0 {
+		out = 0
+	}
+	return out
+}
+
+// lchoose returns ln C(n, k).
+func lchoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}

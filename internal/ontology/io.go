@@ -1,0 +1,115 @@
+package ontology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Annotation file format: a simplified GAF-style TSV with one line per
+// (gene, term) association —
+//
+//	geneName <TAB> termID <TAB> termName <TAB> namespace
+//
+// where namespace is one of P/F/C (or the full words process/function/
+// component, any case). Lines starting with '!' or '#' and blank lines are
+// skipped, matching GAF conventions.
+
+// ReadAnnotations parses an annotation file against a fixed gene-name
+// universe (name → index). Associations for unknown genes are counted and
+// skipped, not an error (real GAF files cover more genes than any one
+// expression panel).
+func ReadAnnotations(r io.Reader, geneIndex map[string]int, population int) (*GO, int, error) {
+	corpus := NewGO(population)
+	type termAcc struct {
+		name  string
+		ns    Namespace
+		genes []int
+	}
+	terms := map[string]*termAcc{}
+	var order []string
+	skipped := 0
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "!") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 4 {
+			return nil, 0, fmt.Errorf("ontology: line %d: need gene, termID, termName, namespace", lineNo)
+		}
+		ns, err := parseNamespace(fields[3])
+		if err != nil {
+			return nil, 0, fmt.Errorf("ontology: line %d: %v", lineNo, err)
+		}
+		g, ok := geneIndex[fields[0]]
+		if !ok {
+			skipped++
+			continue
+		}
+		id := fields[1]
+		acc, ok := terms[id]
+		if !ok {
+			acc = &termAcc{name: fields[2], ns: ns}
+			terms[id] = acc
+			order = append(order, id)
+		}
+		acc.genes = append(acc.genes, g)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("ontology: read: %v", err)
+	}
+	sort.Strings(order)
+	for _, id := range order {
+		acc := terms[id]
+		corpus.AddTerm(id, acc.name, acc.ns, acc.genes)
+	}
+	return corpus, skipped, nil
+}
+
+// WriteAnnotations emits the corpus in the format ReadAnnotations accepts,
+// using the provided gene names (indexed by gene id).
+func (g *GO) WriteAnnotations(w io.Writer, geneNames []string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "! simplified GAF: gene\ttermID\ttermName\tnamespace")
+	for _, t := range g.terms {
+		for _, gene := range t.Genes() {
+			if gene >= len(geneNames) {
+				return fmt.Errorf("ontology: gene %d has no name (have %d names)", gene, len(geneNames))
+			}
+			fmt.Fprintf(bw, "%s\t%s\t%s\t%s\n", geneNames[gene], t.ID, t.Name, nsCode(t.Namespace))
+		}
+	}
+	return bw.Flush()
+}
+
+func parseNamespace(s string) (Namespace, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "p", "process", "biological_process":
+		return Process, nil
+	case "f", "function", "molecular_function":
+		return Function, nil
+	case "c", "component", "cellular_component":
+		return Component, nil
+	}
+	return 0, fmt.Errorf("unknown namespace %q", s)
+}
+
+func nsCode(ns Namespace) string {
+	switch ns {
+	case Process:
+		return "P"
+	case Function:
+		return "F"
+	case Component:
+		return "C"
+	}
+	return "?"
+}

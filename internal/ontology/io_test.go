@@ -1,0 +1,90 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleIndex() map[string]int {
+	return map[string]int{"YAL001C": 0, "YAL002W": 1, "YAL003W": 2}
+}
+
+func TestReadAnnotations(t *testing.T) {
+	in := `! header comment
+YAL001C	GO:0006260	DNA replication	P
+YAL002W	GO:0006260	DNA replication	process
+YAL003W	GO:0003887	DNA-directed DNA polymerase activity	F
+UNKNOWN	GO:0006260	DNA replication	P
+
+# another comment
+YAL001C	GO:0005657	replication fork	C
+`
+	corpus, skipped, err := ReadAnnotations(strings.NewReader(in), sampleIndex(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1 (the UNKNOWN gene)", skipped)
+	}
+	terms := corpus.Terms()
+	if len(terms) != 3 {
+		t.Fatalf("%d terms", len(terms))
+	}
+	// Terms are sorted by id: GO:0003887, GO:0005657, GO:0006260.
+	if terms[0].ID != "GO:0003887" || terms[0].Namespace != Function {
+		t.Errorf("term 0: %+v", terms[0])
+	}
+	if terms[2].Size() != 2 {
+		t.Errorf("DNA replication should annotate 2 known genes, got %d", terms[2].Size())
+	}
+	// Enrichment works end-to-end on the parsed corpus.
+	es := corpus.TermFinder([]int{0, 1}, Process)
+	if len(es) != 1 || es[0].Overlap != 2 {
+		t.Fatalf("enrichment on parsed corpus: %+v", es)
+	}
+}
+
+func TestReadAnnotationsErrors(t *testing.T) {
+	idx := sampleIndex()
+	if _, _, err := ReadAnnotations(strings.NewReader("YAL001C\tGO:1\n"), idx, 3); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, _, err := ReadAnnotations(strings.NewReader("YAL001C\tGO:1\tx\tweird\n"), idx, 3); err == nil {
+		t.Error("bad namespace accepted")
+	}
+}
+
+func TestAnnotationsRoundTrip(t *testing.T) {
+	g := NewGO(3)
+	g.AddTerm("GO:0000001", "alpha process", Process, []int{0, 2})
+	g.AddTerm("GO:0000002", "beta function", Function, []int{1})
+	names := []string{"YAL001C", "YAL002W", "YAL003W"}
+	var sb strings.Builder
+	if err := g.WriteAnnotations(&sb, names); err != nil {
+		t.Fatal(err)
+	}
+	back, skipped, err := ReadAnnotations(strings.NewReader(sb.String()), sampleIndex(), 3)
+	if err != nil || skipped != 0 {
+		t.Fatalf("round trip: %v skipped=%d", err, skipped)
+	}
+	if len(back.Terms()) != 2 {
+		t.Fatalf("%d terms after round trip", len(back.Terms()))
+	}
+	for i, want := range []struct {
+		id   string
+		size int
+	}{{"GO:0000001", 2}, {"GO:0000002", 1}} {
+		if back.Terms()[i].ID != want.id || back.Terms()[i].Size() != want.size {
+			t.Errorf("term %d: %+v", i, back.Terms()[i])
+		}
+	}
+}
+
+func TestWriteAnnotationsMissingName(t *testing.T) {
+	g := NewGO(3)
+	g.AddTerm("GO:1", "x", Process, []int{2})
+	var sb strings.Builder
+	if err := g.WriteAnnotations(&sb, []string{"only-one"}); err == nil {
+		t.Error("missing gene name accepted")
+	}
+}

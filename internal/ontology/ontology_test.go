@@ -1,0 +1,217 @@
+package ontology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLchoose(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 2, 10}, {10, 0, 1}, {10, 10, 1}, {6, 3, 20}, {52, 5, 2598960},
+	}
+	for _, tc := range cases {
+		got := math.Exp(lchoose(tc.n, tc.k))
+		if !almost(got, tc.want, tc.want*1e-9) {
+			t.Errorf("C(%d,%d) = %v, want %v", tc.n, tc.k, got, tc.want)
+		}
+	}
+	if !math.IsInf(lchoose(3, 5), -1) || !math.IsInf(lchoose(3, -1), -1) {
+		t.Error("out-of-range lchoose should be -Inf")
+	}
+}
+
+// TestHypergeomExact checks small cases against exactly enumerable values.
+func TestHypergeomExact(t *testing.T) {
+	// Urn: N=10, K=4 annotated, draw n=3. P(X>=1) = 1 - C(6,3)/C(10,3)
+	//   = 1 - 20/120 = 5/6.
+	if got := HypergeomTail(10, 4, 3, 1); !almost(got, 5.0/6, 1e-12) {
+		t.Errorf("P(X>=1) = %v, want 5/6", got)
+	}
+	// P(X>=3) = C(4,3)*C(6,0)/C(10,3) = 4/120.
+	if got := HypergeomTail(10, 4, 3, 3); !almost(got, 4.0/120, 1e-12) {
+		t.Errorf("P(X>=3) = %v, want 1/30", got)
+	}
+	// Boundary behaviour.
+	if HypergeomTail(10, 4, 3, 0) != 1 {
+		t.Error("P(X>=0) must be 1")
+	}
+	if HypergeomTail(10, 4, 3, 4) != 0 {
+		t.Error("P(X>=4) with n=3 must be 0")
+	}
+	if !math.IsNaN(HypergeomTail(10, 20, 3, 1)) {
+		t.Error("K > N must be NaN")
+	}
+}
+
+// TestHypergeomMonotone: the tail must be non-increasing in x and sum
+// consistency must hold: P(X>=x) = sum of PMF over the support.
+func TestHypergeomMonotone(t *testing.T) {
+	N, K, n := 500, 60, 40
+	prev := 1.0
+	for x := 0; x <= n; x++ {
+		p := HypergeomTail(N, K, n, x)
+		if p > prev+1e-12 {
+			t.Fatalf("tail increased at x=%d: %v > %v", x, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestLogHypergeomTailConsistency(t *testing.T) {
+	N, K, n := 2884, 120, 21
+	for x := 1; x <= 21; x++ {
+		p := HypergeomTail(N, K, n, x)
+		lp := LogHypergeomTail(N, K, n, x)
+		if p > 0 {
+			if !almost(math.Log(p), lp, 1e-9*math.Abs(lp)+1e-12) {
+				t.Errorf("x=%d: log(%v)=%v vs %v", x, p, math.Log(p), lp)
+			}
+		}
+	}
+	if LogHypergeomTail(10, 4, 3, 0) != 0 {
+		t.Error("ln P(X>=0) must be 0")
+	}
+	if !math.IsInf(LogHypergeomTail(10, 4, 3, 4), -1) {
+		t.Error("impossible overlap must give -Inf")
+	}
+}
+
+func TestTermFinderRanksPlantedTermFirst(t *testing.T) {
+	// 1000 genes; module = genes 0..19 fully annotated by "planted";
+	// a decoy annotates 200 random genes.
+	g := NewGO(1000)
+	module := make([]int, 20)
+	for i := range module {
+		module[i] = i
+	}
+	g.AddTerm("GO:0000001", "planted", Process, module)
+	rng := rand.New(rand.NewSource(1))
+	g.AddTerm("GO:0000002", "decoy", Process, rng.Perm(1000)[:200])
+
+	es := g.TermFinder(module, Process)
+	if len(es) == 0 || es[0].Term.Name != "planted" {
+		t.Fatalf("planted term not ranked first: %+v", es)
+	}
+	if es[0].Overlap != 20 {
+		t.Errorf("overlap = %d, want 20", es[0].Overlap)
+	}
+	// A perfect 20/20 overlap out of 20 annotated in 1000 is astronomically
+	// significant.
+	if es[0].PValue > 1e-20 {
+		t.Errorf("p-value = %v, want < 1e-20", es[0].PValue)
+	}
+}
+
+func TestTermFinderOmitsZeroOverlap(t *testing.T) {
+	g := NewGO(100)
+	g.AddTerm("GO:1", "far away", Function, []int{90, 91, 92})
+	if es := g.TermFinder([]int{1, 2, 3}, Function); len(es) != 0 {
+		t.Fatalf("zero-overlap term reported: %+v", es)
+	}
+}
+
+func TestTermFinderNamespaceIsolation(t *testing.T) {
+	g := NewGO(100)
+	g.AddTerm("GO:1", "proc", Process, []int{1, 2, 3})
+	g.AddTerm("GO:2", "func", Function, []int{1, 2, 3})
+	if es := g.TermFinder([]int{1, 2, 3}, Component); len(es) != 0 {
+		t.Fatal("component query must not see other namespaces")
+	}
+	if es := g.TermFinder([]int{1, 2, 3}, Process); len(es) != 1 || es[0].Term.Name != "proc" {
+		t.Fatalf("process query wrong: %+v", es)
+	}
+}
+
+func TestSynthesizeCorrelatesWithModules(t *testing.T) {
+	modules := [][]int{
+		rangeInts(0, 25),
+		rangeInts(100, 130),
+	}
+	g := Synthesize(2884, modules, 7)
+	if g.Population() != 2884 {
+		t.Fatalf("population %d", g.Population())
+	}
+	// Every namespace must give the planted module an extreme p-value.
+	top := g.TopTerms(modules[0])
+	for _, ns := range Namespaces() {
+		e, ok := top[ns]
+		if !ok {
+			t.Fatalf("no %v term for module 0", ns)
+		}
+		if e.PValue > 1e-6 {
+			t.Errorf("%v top p-value %v for planted module, want extreme", ns, e.PValue)
+		}
+	}
+	// The first module's Process term carries the paper's Table 2 name.
+	if es := g.TermFinder(modules[0], Process); es[0].Term.Name != "DNA replication" {
+		t.Errorf("module 0 process term = %q", es[0].Term.Name)
+	}
+	// A random gene set must NOT look enriched.
+	rng := rand.New(rand.NewSource(3))
+	random := rng.Perm(2884)[:25]
+	if es := g.TermFinder(random, Process); len(es) > 0 && es[0].PValue < 1e-6 {
+		t.Errorf("random set scored p=%v — annotations leak", es[0].PValue)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	modules := [][]int{rangeInts(0, 20)}
+	a := Synthesize(500, modules, 42)
+	b := Synthesize(500, modules, 42)
+	if len(a.Terms()) != len(b.Terms()) {
+		t.Fatal("term counts differ")
+	}
+	for i := range a.Terms() {
+		ta, tb := a.Terms()[i], b.Terms()[i]
+		if ta.ID != tb.ID || ta.Size() != tb.Size() {
+			t.Fatalf("term %d differs: %v vs %v", i, ta, tb)
+		}
+	}
+}
+
+func TestAddTermValidation(t *testing.T) {
+	g := NewGO(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-population gene accepted")
+		}
+	}()
+	g.AddTerm("GO:1", "bad", Process, []int{10})
+}
+
+func TestNamespaceString(t *testing.T) {
+	if Process.String() != "Process" || Component.String() != "Cellular Component" {
+		t.Error("namespace names wrong")
+	}
+	if Namespace(9).String() == "" {
+		t.Error("unknown namespace should still render")
+	}
+}
+
+func TestTermAccessors(t *testing.T) {
+	g := NewGO(10)
+	tm := g.AddTerm("GO:1", "t", Process, []int{3, 1, 3})
+	if tm.Size() != 2 {
+		t.Fatalf("Size = %d, want 2 (dedup)", tm.Size())
+	}
+	if gs := tm.Genes(); len(gs) != 2 || gs[0] != 1 || gs[1] != 3 {
+		t.Fatalf("Genes = %v", gs)
+	}
+	if !tm.Annotates(1) || tm.Annotates(2) {
+		t.Fatal("Annotates wrong")
+	}
+}
+
+func rangeInts(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+// Package opcluster implements an OP-Cluster / OPSM-style *tendency-based*
+// baseline (Liu & Wang — ICDM 2003; Ben-Dor et al. — RECOMB 2002): it mines
+// order-preserving submatrices, i.e. gene sets whose expression values rise
+// synchronously along some condition sequence, with no coherence or
+// regulation guarantee.
+//
+// The paper's comparison points (Sections 1.3 and 3.3): tendency models
+// cannot apply a non-zero regulation threshold, and on the Figure 4
+// projection they wrongly keep the outlier gene g2 because it shares the
+// same condition ordering as g1 and g3.
+package opcluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"regcluster/internal/matrix"
+)
+
+// Params configures the miner.
+type Params struct {
+	// MinG and MinC are the minimum bicluster dimensions.
+	MinG, MinC int
+	// Strict requires strictly increasing values along the sequence; when
+	// false, ties are allowed to continue a sequence.
+	Strict bool
+	// MaxNodes optionally caps the search.
+	MaxNodes int
+}
+
+// Bicluster is one order-preserving submatrix: the condition sequence along
+// which every member gene's expression is non-decreasing (or strictly
+// increasing under Strict), and the member genes (ascending).
+type Bicluster struct {
+	Seq   []int
+	Genes []int
+}
+
+// Key returns a canonical identity string.
+func (b Bicluster) Key() string {
+	var sb strings.Builder
+	for _, c := range b.Seq {
+		sb.WriteString(strconv.Itoa(c))
+		sb.WriteByte(',')
+	}
+	sb.WriteByte('|')
+	for _, g := range b.Genes {
+		sb.WriteString(strconv.Itoa(g))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// IsOrderPreserving verifies that every gene's values follow the sequence.
+func IsOrderPreserving(m *matrix.Matrix, genes, seq []int, strict bool) bool {
+	for _, g := range genes {
+		for k := 0; k+1 < len(seq); k++ {
+			a, b := m.At(g, seq[k]), m.At(g, seq[k+1])
+			if strict && b <= a || !strict && b < a {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Mine enumerates all order-preserving submatrices of m with at least MinG
+// genes and MinC conditions. A sequence and its reverse are distinct
+// clusters: they collect the genes that rise, respectively fall, along the
+// sequence.
+func Mine(m *matrix.Matrix, p Params) ([]Bicluster, error) {
+	if p.MinG < 1 || p.MinC < 2 {
+		return nil, fmt.Errorf("opcluster: need MinG >= 1 and MinC >= 2, got %d/%d", p.MinG, p.MinC)
+	}
+	e := &engine{m: m, p: p, seen: map[string]bool{}}
+	all := make([]int, m.Rows())
+	for g := range all {
+		all[g] = g
+	}
+	for c := 0; c < m.Cols() && !e.stop; c++ {
+		e.grow([]int{c}, all)
+	}
+	return e.out, nil
+}
+
+type engine struct {
+	m     *matrix.Matrix
+	p     Params
+	seen  map[string]bool
+	out   []Bicluster
+	nodes int
+	stop  bool
+}
+
+func (e *engine) grow(seq []int, genes []int) {
+	if e.stop {
+		return
+	}
+	e.nodes++
+	if e.p.MaxNodes > 0 && e.nodes > e.p.MaxNodes {
+		e.stop = true
+		return
+	}
+	if len(genes) < e.p.MinG {
+		return
+	}
+	if len(seq) >= e.p.MinC {
+		b := Bicluster{Seq: append([]int(nil), seq...), Genes: append([]int(nil), genes...)}
+		sort.Ints(b.Genes)
+		key := b.Key()
+		if !e.seen[key] {
+			e.seen[key] = true
+			e.out = append(e.out, b)
+		}
+	}
+	last := seq[len(seq)-1]
+	inSeq := make(map[int]bool, len(seq))
+	for _, c := range seq {
+		inSeq[c] = true
+	}
+	for c := 0; c < e.m.Cols(); c++ {
+		if inSeq[c] {
+			continue
+		}
+		var keep []int
+		for _, g := range genes {
+			a, b := e.m.At(g, last), e.m.At(g, c)
+			if e.p.Strict && b > a || !e.p.Strict && b >= a {
+				keep = append(keep, g)
+			}
+		}
+		if len(keep) >= e.p.MinG {
+			e.grow(append(append([]int(nil), seq...), c), keep)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package opcluster
+
+import (
+	"testing"
+
+	"regcluster/internal/matrix"
+	"regcluster/internal/paperdata"
+)
+
+func TestMineSimpleOrder(t *testing.T) {
+	m := matrix.FromRows([][]float64{
+		{1, 2, 3},
+		{10, 20, 30},
+		{3, 2, 1},
+	})
+	got, err := Mine(m, Params{MinG: 2, MinC: 3, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rising pair {g0, g1} along c0,c1,c2 must be found; falling g2 along
+	// the reverse is alone (below MinG).
+	found := false
+	for _, b := range got {
+		if len(b.Genes) == 2 && b.Genes[0] == 0 && b.Genes[1] == 1 &&
+			len(b.Seq) == 3 && b.Seq[0] == 0 && b.Seq[2] == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("rising pair not found: %v", got)
+	}
+	for _, b := range got {
+		if !IsOrderPreserving(m, b.Genes, b.Seq, true) {
+			t.Errorf("invalid OPSM output: %+v", b)
+		}
+	}
+}
+
+// TestFigure4OutlierIsKept reproduces the paper's Section 3.3 comparison: on
+// the projection of Table 1 onto c2, c4, c8, c10, the tendency model groups
+// all three genes — including the outlier g2 — because they share the same
+// condition ordering, while reg-cluster rejects g2.
+func TestFigure4OutlierIsKept(t *testing.T) {
+	m := paperdata.OutlierProjection()
+	got, err := Mine(m, Params{MinG: 3, MinC: 4, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range got {
+		if len(b.Genes) == 3 && len(b.Seq) == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tendency model should group all three genes on the Figure 4 projection: %v", got)
+	}
+}
+
+func TestFallingGenesFormTheirOwnCluster(t *testing.T) {
+	m := matrix.FromRows([][]float64{
+		{1, 2, 3},
+		{6, 5, 4},
+		{9, 8, 7},
+	})
+	got, err := Mine(m, Params{MinG: 2, MinC: 3, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range got {
+		if len(b.Genes) == 2 && b.Genes[0] == 1 && b.Genes[1] == 2 &&
+			b.Seq[0] == 2 && b.Seq[2] == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("falling pair along reversed sequence not found: %v", got)
+	}
+}
+
+func TestTies(t *testing.T) {
+	m := matrix.FromRows([][]float64{
+		{1, 1, 2},
+		{3, 3, 4},
+	})
+	// Strict: the tie c0/c1 cannot be part of a strict sequence.
+	got, err := Mine(m, Params{MinG: 2, MinC: 3, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("strict mode must reject ties: %v", got)
+	}
+	// Non-strict accepts them.
+	got, err = Mine(m, Params{MinG: 2, MinC: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("non-strict mode should accept ties")
+	}
+}
+
+func TestMineValidationAndCap(t *testing.T) {
+	m := matrix.New(3, 3)
+	if _, err := Mine(m, Params{MinG: 0, MinC: 2}); err == nil {
+		t.Error("MinG=0 accepted")
+	}
+	if _, err := Mine(m, Params{MinG: 1, MinC: 1}); err == nil {
+		t.Error("MinC=1 accepted")
+	}
+	// All-zero matrix, non-strict: explosion capped by MaxNodes.
+	got, err := Mine(matrix.New(5, 6), Params{MinG: 2, MinC: 2, MaxNodes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) > 10 {
+		t.Fatalf("MaxNodes ignored: %d", len(got))
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	a := Bicluster{Seq: []int{1, 2}, Genes: []int{3}}
+	b := Bicluster{Seq: []int{2, 1}, Genes: []int{3}}
+	c := Bicluster{Seq: []int{1, 2}, Genes: []int{4}}
+	if a.Key() == b.Key() || a.Key() == c.Key() {
+		t.Error("keys collide")
+	}
+	// The naive comma-free concatenation pitfall: {12} vs {1,2}.
+	d := Bicluster{Seq: []int{12}, Genes: []int{3}}
+	if a.Key() == d.Key() {
+		t.Error("key ambiguity between {1,2} and {12}")
+	}
+}

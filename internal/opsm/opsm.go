@@ -1,0 +1,278 @@
+// Package opsm implements the order-preserving submatrix model of Ben-Dor,
+// Chor, Karp & Yakhini (RECOMB 2002) — reference [3] of the reg-cluster
+// paper and the statistical ancestor of the tendency-based models.
+//
+// An OPSM of size s is a column sequence (t1 < t2 < ... in expression order)
+// together with the genes whose values rise along it. The algorithm grows
+// *partial models* — a prefix and a suffix of the final sequence — keeping
+// the ℓ highest-support candidates per round (beam search), exactly as in
+// the original paper. Model quality is the binomial upper bound on the
+// probability that k of n genes support a random s-column ordering
+// (p_support = 1/s!).
+package opsm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"regcluster/internal/matrix"
+)
+
+// Params configures the search.
+type Params struct {
+	// Size is the target number of columns s of the model.
+	Size int
+	// Beam is ℓ, the number of partial models kept per growing round
+	// (the original paper uses 100).
+	Beam int
+}
+
+// Model is one order-preserving submatrix.
+type Model struct {
+	// Columns in the discovered expression order.
+	Columns []int
+	// Genes supporting the full ordering, ascending.
+	Genes []int
+	// Significance is the binomial upper-bound score ln P(X >= k) with
+	// X ~ Bin(n, 1/s!); more negative is better.
+	Significance float64
+}
+
+// partial is a Ben-Dor partial model: the first a and last b columns of the
+// final s-sequence are fixed.
+type partial struct {
+	prefix, suffix []int
+	support        int
+}
+
+// Mine finds the most significant OPSM of the requested size via beam
+// search, returning the best complete models (at most Beam, sorted by
+// support then significance).
+func Mine(m *matrix.Matrix, p Params) ([]Model, error) {
+	n := m.Cols()
+	if p.Size < 2 || p.Size > n {
+		return nil, fmt.Errorf("opsm: Size %d out of 2..%d", p.Size, n)
+	}
+	if p.Beam < 1 {
+		p.Beam = 100
+	}
+
+	// Round 0: all (first, last) column pairs as (1,1)-partial models.
+	var beam []partial
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			pm := partial{prefix: []int{a}, suffix: []int{b}}
+			pm.support = countSupport(m, pm, p.Size)
+			if pm.support > 0 {
+				beam = append(beam, pm)
+			}
+		}
+	}
+	trim(&beam, p.Beam)
+
+	// Grow: alternately extend the prefix and the suffix until the model is
+	// complete (prefix+suffix == Size).
+	for used := 2; used < p.Size; used++ {
+		var next []partial
+		for _, pm := range beam {
+			inUse := map[int]bool{}
+			for _, c := range pm.prefix {
+				inUse[c] = true
+			}
+			for _, c := range pm.suffix {
+				inUse[c] = true
+			}
+			extendPrefix := len(pm.prefix) <= len(pm.suffix)
+			for c := 0; c < n; c++ {
+				if inUse[c] {
+					continue
+				}
+				var cand partial
+				if extendPrefix {
+					cand = partial{
+						prefix: append(append([]int(nil), pm.prefix...), c),
+						suffix: pm.suffix,
+					}
+				} else {
+					cand = partial{
+						prefix: pm.prefix,
+						suffix: append([]int{c}, pm.suffix...),
+					}
+				}
+				cand.support = countSupport(m, cand, p.Size)
+				if cand.support > 0 {
+					next = append(next, cand)
+				}
+			}
+		}
+		trim(&next, p.Beam)
+		beam = next
+		if len(beam) == 0 {
+			return nil, nil
+		}
+	}
+
+	// Complete models: prefix+suffix spans all s columns.
+	out := make([]Model, 0, len(beam))
+	seen := map[string]bool{}
+	for _, pm := range beam {
+		cols := append(append([]int(nil), pm.prefix...), pm.suffix...)
+		key := fmt.Sprint(cols)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		genes := supportingGenes(m, cols)
+		if len(genes) == 0 {
+			continue
+		}
+		out = append(out, Model{
+			Columns:      cols,
+			Genes:        genes,
+			Significance: lbinomTail(m.Rows(), len(genes), 1/factorial(p.Size)),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a].Genes) != len(out[b].Genes) {
+			return len(out[a].Genes) > len(out[b].Genes)
+		}
+		return out[a].Significance < out[b].Significance
+	})
+	return out, nil
+}
+
+// countSupport counts genes consistent with the partial model under the
+// Ben-Dor semantics: the prefix columns are in rising order and hold the
+// (len(prefix)) smallest gaps... precisely, a gene supports the partial
+// model if prefix values rise, suffix values rise, every prefix value is
+// below every suffix value, and there is "room" between them for the
+// remaining size-a-b middle columns (at least that many other columns have
+// values strictly between prefix-max and suffix-min).
+func countSupport(m *matrix.Matrix, pm partial, size int) int {
+	count := 0
+	for g := 0; g < m.Rows(); g++ {
+		if supports(m, g, pm, size) {
+			count++
+		}
+	}
+	return count
+}
+
+func supports(m *matrix.Matrix, g int, pm partial, size int) bool {
+	row := m.Row(g)
+	for i := 1; i < len(pm.prefix); i++ {
+		if row[pm.prefix[i]] <= row[pm.prefix[i-1]] {
+			return false
+		}
+	}
+	for i := 1; i < len(pm.suffix); i++ {
+		if row[pm.suffix[i]] <= row[pm.suffix[i-1]] {
+			return false
+		}
+	}
+	hi := row[pm.suffix[0]]
+	lo := row[pm.prefix[len(pm.prefix)-1]]
+	if lo >= hi {
+		return false
+	}
+	middle := size - len(pm.prefix) - len(pm.suffix)
+	if middle == 0 {
+		return true
+	}
+	inUse := map[int]bool{}
+	for _, c := range pm.prefix {
+		inUse[c] = true
+	}
+	for _, c := range pm.suffix {
+		inUse[c] = true
+	}
+	room := 0
+	for c := 0; c < m.Cols(); c++ {
+		if !inUse[c] && row[c] > lo && row[c] < hi {
+			room++
+		}
+	}
+	return room >= middle
+}
+
+// supportingGenes lists genes strictly rising along the complete column
+// sequence.
+func supportingGenes(m *matrix.Matrix, cols []int) []int {
+	var out []int
+	for g := 0; g < m.Rows(); g++ {
+		row := m.Row(g)
+		ok := true
+		for i := 1; i < len(cols); i++ {
+			if row[cols[i]] <= row[cols[i-1]] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func trim(beam *[]partial, l int) {
+	sort.SliceStable(*beam, func(a, b int) bool { return (*beam)[a].support > (*beam)[b].support })
+	if len(*beam) > l {
+		*beam = (*beam)[:l]
+	}
+}
+
+// lbinomTail returns ln P(X >= k) for X ~ Binomial(n, p), computed in log
+// space.
+func lbinomTail(n, k int, p float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > n || p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return 0
+	}
+	maxLog := math.Inf(-1)
+	logs := make([]float64, 0, n-k+1)
+	lp, lq := math.Log(p), math.Log(1-p)
+	for i := k; i <= n; i++ {
+		l := lchoose(n, i) + float64(i)*lp + float64(n-i)*lq
+		logs = append(logs, l)
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	sum := 0.0
+	for _, l := range logs {
+		sum += math.Exp(l - maxLog)
+	}
+	out := maxLog + math.Log(sum)
+	if out > 0 {
+		out = 0
+	}
+	return out
+}
+
+func lchoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}
+
+func factorial(n int) float64 {
+	out := 1.0
+	for i := 2; i <= n; i++ {
+		out *= float64(i)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package opsm
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"regcluster/internal/matrix"
+)
+
+// plantOrder builds a matrix where a group of genes shares a hidden column
+// ordering against noise genes.
+func plantOrder(t *testing.T, seed int64) (*matrix.Matrix, []int, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.New(40, 8)
+	for g := 0; g < 40; g++ {
+		for c := 0; c < 8; c++ {
+			m.Set(g, c, rng.Float64()*100)
+		}
+	}
+	order := []int{5, 2, 7, 0} // hidden rising sequence
+	members := []int{3, 9, 15, 21, 27, 33}
+	for _, g := range members {
+		base := rng.Float64() * 20
+		for i, c := range order {
+			m.Set(g, c, base+float64(i+1)*25+rng.Float64())
+		}
+	}
+	return m, members, order
+}
+
+func TestMineRecoversPlantedOrder(t *testing.T) {
+	m, members, order := plantOrder(t, 1)
+	got, err := Mine(m, Params{Size: 4, Beam: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("nothing mined")
+	}
+	best := got[0]
+	if !reflect.DeepEqual(best.Columns, order) {
+		t.Fatalf("columns = %v, want %v", best.Columns, order)
+	}
+	gset := map[int]bool{}
+	for _, g := range best.Genes {
+		gset[g] = true
+	}
+	for _, g := range members {
+		if !gset[g] {
+			t.Errorf("planted member %d missing", g)
+		}
+	}
+	if best.Significance > -5 {
+		t.Errorf("planted model significance %v, want strongly negative", best.Significance)
+	}
+}
+
+func TestSupportSemantics(t *testing.T) {
+	m := matrix.FromRows([][]float64{
+		{1, 5, 3, 9}, // rises along 0,2,1,3
+	})
+	// Partial model (prefix=[0], suffix=[3], size 4): needs 2 middle columns
+	// strictly between row[0]=1 and row[3]=9 → columns 1 and 2 qualify.
+	pm := partial{prefix: []int{0}, suffix: []int{3}}
+	if !supports(m, 0, pm, 4) {
+		t.Fatal("should support with enough middle room")
+	}
+	// Size 5 impossible: only 2 middle columns exist.
+	if supports(m, 0, pm, 5) {
+		t.Fatal("supported despite missing middle room")
+	}
+	// Prefix above suffix never supports.
+	pm2 := partial{prefix: []int{3}, suffix: []int{0}}
+	if supports(m, 0, pm2, 2) {
+		t.Fatal("lo >= hi must not support")
+	}
+}
+
+func TestSupportingGenesStrictOrder(t *testing.T) {
+	m := matrix.FromRows([][]float64{
+		{1, 2, 3},
+		{1, 1, 3}, // tie: not strictly rising
+		{3, 2, 1},
+	})
+	got := supportingGenes(m, []int{0, 1, 2})
+	if !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("supporting genes %v", got)
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	m := matrix.New(4, 4)
+	if _, err := Mine(m, Params{Size: 1}); err == nil {
+		t.Error("Size=1 accepted")
+	}
+	if _, err := Mine(m, Params{Size: 9}); err == nil {
+		t.Error("Size>cols accepted")
+	}
+}
+
+func TestLBinomTail(t *testing.T) {
+	// P(X>=1) for Bin(2, 0.5) = 0.75.
+	if got := math.Exp(lbinomTail(2, 1, 0.5)); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("P(X>=1) = %v", got)
+	}
+	if lbinomTail(5, 0, 0.5) != 0 {
+		t.Error("P(X>=0) must be 1 (ln = 0)")
+	}
+	if !math.IsInf(lbinomTail(5, 6, 0.5), -1) {
+		t.Error("k>n must be -Inf")
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	if factorial(4) != 24 || factorial(0) != 1 {
+		t.Error("factorial wrong")
+	}
+}

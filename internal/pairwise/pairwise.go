@@ -1,0 +1,210 @@
+// Package pairwise is a generic engine for pattern-based biclustering models
+// whose validity is a *pairwise-condition window* constraint: a bicluster
+// (X, C) is valid iff for every pair of conditions (a, b) in C the scores
+// {score(g, a, b) : g in X} fit a coherence window.
+//
+// Both baseline models of the paper's comparison instantiate this engine:
+// δ-pCluster (Wang et al. 2002) with score = d_ga − d_gb and absolute window
+// span δ, and the triCluster-style scaling model (Zhao & Zaki 2005) with
+// score = d_ga / d_gb and a multiplicative window. Because window fitting is
+// monotone (subsets of a fitting gene set still fit), the engine validates
+// only the new condition pairs on every extension.
+package pairwise
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"regcluster/internal/matrix"
+)
+
+// ScoreFunc scores one gene on an ordered condition pair.
+type ScoreFunc func(m *matrix.Matrix, gene, condA, condB int) float64
+
+// FitFunc reports whether a score window [lo, hi] (lo <= hi) is coherent.
+// It must be monotone: if [lo, hi] fits, every subinterval fits.
+type FitFunc func(lo, hi float64) bool
+
+// Params bound the search.
+type Params struct {
+	// MinG and MinC are the minimum bicluster dimensions.
+	MinG, MinC int
+	// MaxNodes, when positive, caps the search-tree size.
+	MaxNodes int
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.MinG < 1 || p.MinC < 2 {
+		return fmt.Errorf("pairwise: need MinG >= 1 and MinC >= 2, got %d/%d", p.MinG, p.MinC)
+	}
+	return nil
+}
+
+// Bicluster is one mined (gene set, condition set) pair; both ascending.
+type Bicluster struct {
+	Genes []int
+	Conds []int
+}
+
+// Key returns a canonical identity string.
+func (b Bicluster) Key() string {
+	var sb strings.Builder
+	for i, g := range b.Genes {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(g))
+	}
+	sb.WriteByte('|')
+	for i, c := range b.Conds {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(c))
+	}
+	return sb.String()
+}
+
+// Mine enumerates all maximal-window biclusters of m under the given score
+// and fit functions. Condition sets are enumerated in ascending index order
+// (sets, not sequences); gene sets are refined by maximal sliding windows per
+// new condition pair. Duplicate (genes, conds) results are suppressed.
+func Mine(m *matrix.Matrix, score ScoreFunc, fit FitFunc, p Params) ([]Bicluster, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{m: m, score: score, fit: fit, p: p, seen: map[string]bool{}}
+	all := make([]int, m.Rows())
+	for g := range all {
+		all[g] = g
+	}
+	for c := 0; c <= m.Cols()-p.MinC && !e.stop; c++ {
+		e.grow([]int{c}, all)
+	}
+	return e.out, nil
+}
+
+type engine struct {
+	m     *matrix.Matrix
+	score ScoreFunc
+	fit   FitFunc
+	p     Params
+	seen  map[string]bool
+	out   []Bicluster
+	nodes int
+	stop  bool
+}
+
+func (e *engine) grow(conds []int, genes []int) {
+	if e.stop {
+		return
+	}
+	e.nodes++
+	if e.p.MaxNodes > 0 && e.nodes > e.p.MaxNodes {
+		e.stop = true
+		return
+	}
+	if len(genes) < e.p.MinG {
+		return
+	}
+	if len(conds) >= e.p.MinC {
+		b := Bicluster{Genes: append([]int(nil), genes...), Conds: append([]int(nil), conds...)}
+		sort.Ints(b.Genes)
+		key := b.Key()
+		if e.seen[key] {
+			return
+		}
+		e.seen[key] = true
+		e.out = append(e.out, b)
+	}
+	last := conds[len(conds)-1]
+	for c := last + 1; c < e.m.Cols(); c++ {
+		// Remaining conditions must still allow reaching MinC.
+		if len(conds)+1+(e.m.Cols()-c-1) < e.p.MinC {
+			break
+		}
+		for _, sub := range e.refine(conds, genes, c) {
+			e.grow(append(append([]int(nil), conds...), c), sub)
+		}
+	}
+}
+
+// refine returns the maximal gene subsets of genes that keep every new pair
+// (a, c), a in conds, within a fitting window. Each pair may split the set
+// into several maximal windows; refinement explores their cross product
+// depth-first, deduplicating identical survivor sets.
+func (e *engine) refine(conds []int, genes []int, c int) [][]int {
+	sets := [][]int{genes}
+	for _, a := range conds {
+		var next [][]int
+		for _, set := range sets {
+			next = append(next, e.windowsForPair(set, a, c)...)
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		sets = dedupSets(next)
+	}
+	return sets
+}
+
+// windowsForPair sorts the genes by score(g, a, c) and returns the maximal
+// windows of size >= MinG whose [lo, hi] fits.
+func (e *engine) windowsForPair(genes []int, a, c int) [][]int {
+	type gs struct {
+		gene int
+		s    float64
+	}
+	scored := make([]gs, len(genes))
+	for i, g := range genes {
+		scored[i] = gs{g, e.score(e.m, g, a, c)}
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].s != scored[j].s {
+			return scored[i].s < scored[j].s
+		}
+		return scored[i].gene < scored[j].gene
+	})
+	var out [][]int
+	r, prevR := 0, -1
+	for l := 0; l < len(scored); l++ {
+		if r < l {
+			r = l
+		}
+		for r+1 < len(scored) && e.fit(scored[l].s, scored[r+1].s) {
+			r++
+		}
+		if r-l+1 >= e.p.MinG && r > prevR && e.fit(scored[l].s, scored[r].s) {
+			w := make([]int, 0, r-l+1)
+			for k := l; k <= r; k++ {
+				w = append(w, scored[k].gene)
+			}
+			out = append(out, w)
+			prevR = r
+		}
+	}
+	return out
+}
+
+func dedupSets(sets [][]int) [][]int {
+	seen := map[string]bool{}
+	var out [][]int
+	for _, s := range sets {
+		sorted := append([]int(nil), s...)
+		sort.Ints(sorted)
+		var sb strings.Builder
+		for _, g := range sorted {
+			sb.WriteString(strconv.Itoa(g))
+			sb.WriteByte(',')
+		}
+		k := sb.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, sorted)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package pairwise
+
+import (
+	"reflect"
+	"testing"
+
+	"regcluster/internal/matrix"
+)
+
+func diffScore(m *matrix.Matrix, g, a, b int) float64 { return m.At(g, a) - m.At(g, b) }
+
+func TestMineExactWindows(t *testing.T) {
+	m := matrix.FromRows([][]float64{
+		{1, 2},
+		{5, 6},
+		{7, 9},
+	})
+	// Scores c0-c1: g0=-1, g1=-1, g2=-2. With span<=0 only {g0,g1} fits.
+	fit := func(lo, hi float64) bool { return hi-lo <= 0 }
+	got, err := Mine(m, diffScore, fit, Params{MinG: 2, MinC: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0].Genes, []int{0, 1}) {
+		t.Fatalf("got %v", got)
+	}
+	if !reflect.DeepEqual(got[0].Conds, []int{0, 1}) {
+		t.Fatalf("conds %v", got[0].Conds)
+	}
+}
+
+func TestMineMultipleWindowsBranch(t *testing.T) {
+	// Two separate coherent groups on the same condition pair must both be
+	// reported.
+	m := matrix.FromRows([][]float64{
+		{0, 1},
+		{0, 1.05},
+		{0, 9},
+		{0, 9.05},
+	})
+	fit := func(lo, hi float64) bool { return hi-lo <= 0.2 }
+	got, err := Mine(m, diffScore, fit, Params{MinG: 2, MinC: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 windows, got %v", got)
+	}
+}
+
+func TestMineValidatesAllPairs(t *testing.T) {
+	// Three conditions where each adjacent pair is fine but the far pair
+	// (c0,c2) is incoherent for g1: the engine must validate (c0,c2) too.
+	m := matrix.FromRows([][]float64{
+		{0, 1, 2},
+		{0, 1.4, 2.8},
+	})
+	fit := func(lo, hi float64) bool { return hi-lo <= 0.5 }
+	got, err := Mine(m, diffScore, fit, Params{MinG: 2, MinC: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair (c0,c1): diffs -1 vs -1.4 (span .4 ok); (c1,c2): -1 vs -1.4 ok;
+	// (c0,c2): -2 vs -2.8 (span .8) must kill the 3-condition cluster.
+	if len(got) != 0 {
+		t.Fatalf("far-pair violation not caught: %v", got)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{MinG: 0, MinC: 2}).Validate(); err == nil {
+		t.Error("MinG 0 accepted")
+	}
+	if err := (Params{MinG: 1, MinC: 1}).Validate(); err == nil {
+		t.Error("MinC 1 accepted")
+	}
+	if err := (Params{MinG: 1, MinC: 2}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyAmbiguityGuard(t *testing.T) {
+	a := Bicluster{Genes: []int{1, 2}, Conds: []int{3}}
+	b := Bicluster{Genes: []int{12}, Conds: []int{3}}
+	if a.Key() == b.Key() {
+		t.Error("key collision between {1,2} and {12}")
+	}
+}
+
+func TestNoDuplicateResults(t *testing.T) {
+	m := matrix.FromRows([][]float64{
+		{1, 2, 3, 4},
+		{2, 3, 4, 5},
+		{3, 4, 5, 6},
+	})
+	fit := func(lo, hi float64) bool { return hi-lo <= 0.001 }
+	got, err := Mine(m, diffScore, fit, Params{MinG: 2, MinC: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, b := range got {
+		if seen[b.Key()] {
+			t.Fatalf("duplicate %v", b)
+		}
+		seen[b.Key()] = true
+	}
+	// All three genes are mutual shifts: the full 3×4 cluster must appear.
+	found := false
+	for _, b := range got {
+		if len(b.Genes) == 3 && len(b.Conds) == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("full shifting cluster missing: %v", got)
+	}
+}

@@ -1,0 +1,84 @@
+// Package paperdata embeds the small datasets printed in the reg-cluster
+// paper so that tests, examples and the experiment harness can reproduce the
+// running example (Table 1, Figures 2-6) and the motivating pattern sets
+// (Figures 1 and 4) exactly.
+package paperdata
+
+import "regcluster/internal/matrix"
+
+// RunningExample returns the 3×10 dataset of Table 1. Row i is gene g(i+1),
+// column j is condition c(j+1); names follow the paper ("g1".."g3",
+// "c1".."c10").
+func RunningExample() *matrix.Matrix {
+	rows := [][]float64{
+		{10, -14.5, 15, 10.5, 0, 14.5, -15, 0, -5, -5}, // g1
+		{20, 15, 15, 43.5, 30, 44, 45, 43, 35, 20},     // g2
+		{6, -3.8, 8, 6.2, 2, 7.8, -4, 2, 0, 0},         // g3
+	}
+	m := matrix.FromRows(rows)
+	for i := 0; i < 3; i++ {
+		m.SetRowName(i, nameG(i+1))
+	}
+	for j := 0; j < 10; j++ {
+		m.SetColName(j, nameC(j+1))
+	}
+	return m
+}
+
+// SixPatterns returns a dataset realizing Figure 1: six profiles related by
+// P1 = P2-5 = P3-15 = P4 = P5/1.5 = P6/3 over eight conditions. Every pair is
+// a perfect shifting-and-scaling pattern, but only subsets are pure shifting
+// (P1,P2,P3,P4) or pure scaling (P1,P4,P5,P6) of one another.
+func SixPatterns() *matrix.Matrix {
+	p1 := []float64{2, 5, 3, 7, 4, 9, 6, 8}
+	rel := []struct {
+		scale, shift float64
+	}{
+		{1, 0},   // P1
+		{1, 5},   // P2 = P1 + 5
+		{1, 15},  // P3 = P1 + 15
+		{1, 0},   // P4 = P1
+		{1.5, 0}, // P5 = 1.5 * P1
+		{3, 0},   // P6 = 3 * P1
+	}
+	m := matrix.New(len(rel), len(p1))
+	for i, r := range rel {
+		m.SetRowName(i, nameP(i+1))
+		for j, v := range p1 {
+			m.Set(i, j, r.scale*v+r.shift)
+		}
+	}
+	return m
+}
+
+// OutlierProjection returns the projection of the running example on
+// conditions c2, c4, c8, c10 (Figure 4): g1 and g3 remain in a perfect
+// shifting-and-scaling relationship (d3 = 0.4*d1 + 2) while g2 is an outlier.
+// Column names are preserved from Table 1.
+func OutlierProjection() *matrix.Matrix {
+	m := RunningExample()
+	return m.Submatrix([]int{0, 1, 2}, []int{1, 3, 7, 9})
+}
+
+// RunningExampleChain returns the condition indices (0-based into Table 1
+// columns) of the unique representative regulation chain discovered by the
+// paper at γ=0.15, ε=0.1, MinG=3, MinC=5: c7 ↶ c9 ↶ c5 ↶ c1 ↶ c3.
+func RunningExampleChain() []int { return []int{6, 8, 4, 0, 2} }
+
+func nameG(i int) string { return "g" + itoa(i) }
+func nameC(i int) string { return "c" + itoa(i) }
+func nameP(i int) string { return "P" + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	n := len(buf)
+	for i > 0 {
+		n--
+		buf[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[n:])
+}

@@ -1,0 +1,67 @@
+// Package pcluster implements the δ-pCluster baseline (Wang, Wang, Yang, Yu
+// — SIGMOD 2002): pattern-based biclustering for *pure shifting* patterns.
+//
+// A submatrix (X, C) is a δ-pCluster iff the pScore of every 2×2 submatrix is
+// at most δ, where
+//
+//	pScore([[d_xa, d_xb], [d_ya, d_yb]]) = |(d_xa − d_xb) − (d_ya − d_yb)|.
+//
+// Equivalently, for every condition pair (a, b) the per-gene differences
+// d_ga − d_gb must lie within a window of width δ. The paper's comparison
+// point: pCluster captures d_i = d_j + s2 but not shifting-and-scaling
+// d_i = s1·d_j + s2 with s1 ≠ 1, and it cannot group negatively correlated
+// genes (the differences diverge, inflating the pScore — Section 1.3).
+package pcluster
+
+import (
+	"math"
+
+	"regcluster/internal/matrix"
+	"regcluster/internal/pairwise"
+)
+
+// Params configures the miner.
+type Params struct {
+	// Delta is the pScore threshold δ.
+	Delta float64
+	// MinG and MinC are the minimum bicluster dimensions.
+	MinG, MinC int
+	// MaxNodes optionally caps the search.
+	MaxNodes int
+}
+
+// Bicluster is one mined δ-pCluster.
+type Bicluster = pairwise.Bicluster
+
+// PScore computes the pScore of the 2×2 submatrix of genes x, y on
+// conditions a, b.
+func PScore(m *matrix.Matrix, x, y, a, b int) float64 {
+	return math.Abs((m.At(x, a) - m.At(x, b)) - (m.At(y, a) - m.At(y, b)))
+}
+
+// IsPCluster verifies the δ-pCluster property exhaustively over all 2×2
+// submatrices (used by tests and the comparison harness).
+func IsPCluster(m *matrix.Matrix, genes, conds []int, delta float64) bool {
+	for i := 0; i < len(genes); i++ {
+		for j := i + 1; j < len(genes); j++ {
+			for a := 0; a < len(conds); a++ {
+				for b := a + 1; b < len(conds); b++ {
+					if PScore(m, genes[i], genes[j], conds[a], conds[b]) > delta {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Mine enumerates maximal-window δ-pClusters of m with at least MinG genes
+// and MinC conditions.
+func Mine(m *matrix.Matrix, p Params) ([]Bicluster, error) {
+	score := func(m *matrix.Matrix, g, a, b int) float64 {
+		return m.At(g, a) - m.At(g, b)
+	}
+	fit := func(lo, hi float64) bool { return hi-lo <= p.Delta }
+	return pairwise.Mine(m, score, fit, pairwise.Params{MinG: p.MinG, MinC: p.MinC, MaxNodes: p.MaxNodes})
+}

@@ -1,0 +1,123 @@
+package pcluster
+
+import (
+	"testing"
+
+	"regcluster/internal/matrix"
+	"regcluster/internal/paperdata"
+)
+
+func TestPScore(t *testing.T) {
+	m := matrix.FromRows([][]float64{
+		{1, 3},
+		{2, 4},
+		{2, 10},
+	})
+	// Rows 0,1: differences (1-3) and (2-4) are both -2 → pScore 0.
+	if got := PScore(m, 0, 1, 0, 1); got != 0 {
+		t.Errorf("pScore = %v, want 0", got)
+	}
+	// Rows 0,2: (1-3) vs (2-10): |-2 - (-8)| = 6.
+	if got := PScore(m, 0, 2, 0, 1); got != 6 {
+		t.Errorf("pScore = %v, want 6", got)
+	}
+}
+
+func TestMineFindsShiftingPattern(t *testing.T) {
+	m := matrix.FromRows([][]float64{
+		{1, 5, 2, 8},
+		{3, 7, 4, 10},  // row0 + 2
+		{-1, 3, 0, 6},  // row0 - 2
+		{10, 2, 50, 4}, // unrelated
+	})
+	got, err := Mine(m, Params{Delta: 1e-9, MinG: 3, MinC: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("clusters = %v, want exactly the shifting trio", got)
+	}
+	b := got[0]
+	if len(b.Genes) != 3 || b.Genes[0] != 0 || b.Genes[1] != 1 || b.Genes[2] != 2 {
+		t.Errorf("genes = %v", b.Genes)
+	}
+	if len(b.Conds) != 4 {
+		t.Errorf("conds = %v", b.Conds)
+	}
+	if !IsPCluster(m, b.Genes, b.Conds, 1e-9) {
+		t.Error("mined cluster fails IsPCluster")
+	}
+}
+
+// TestCannotGroupScaledPatterns demonstrates the paper's comparison point:
+// on the Figure 1 data pCluster groups the shifted profiles {P1,P2,P3,P4}
+// but cannot merge the scaled profiles P5 = 1.5·P1 and P6 = 3·P1 with them.
+func TestCannotGroupScaledPatterns(t *testing.T) {
+	m := paperdata.SixPatterns()
+	got, err := Mine(m, Params{Delta: 0.5, MinG: 2, MinC: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundShifting := false
+	for _, b := range got {
+		if containsAll(b.Genes, 0, 1, 2, 3) {
+			foundShifting = true
+		}
+		if containsAll(b.Genes, 0, 4) || containsAll(b.Genes, 0, 5) {
+			t.Errorf("pCluster wrongly grouped scaled profiles: %v", b)
+		}
+	}
+	if !foundShifting {
+		t.Error("pCluster failed to find the pure shifting group {P1..P4}")
+	}
+}
+
+// TestCannotGroupNegativeCorrelation: mixing a gene with its negation blows
+// up the pScore (Section 1.3).
+func TestCannotGroupNegativeCorrelation(t *testing.T) {
+	m := matrix.FromRows([][]float64{
+		{1, 5, 2, 8},
+		{-1, -5, -2, -8},
+	})
+	got, err := Mine(m, Params{Delta: 1.0, MinG: 2, MinC: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("pCluster should not group negatively correlated genes: %v", got)
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	m := matrix.New(2, 2)
+	if _, err := Mine(m, Params{Delta: 1, MinG: 0, MinC: 2}); err == nil {
+		t.Error("MinG=0 accepted")
+	}
+	if _, err := Mine(m, Params{Delta: 1, MinG: 1, MinC: 1}); err == nil {
+		t.Error("MinC=1 accepted")
+	}
+}
+
+func TestMaxNodesCap(t *testing.T) {
+	m := matrix.New(20, 10) // all zeros: everything is a pCluster
+	got, err := Mine(m, Params{Delta: 1, MinG: 2, MinC: 2, MaxNodes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) > 5 {
+		t.Fatalf("MaxNodes ignored: %d clusters", len(got))
+	}
+}
+
+func containsAll(xs []int, want ...int) bool {
+	set := map[int]bool{}
+	for _, x := range xs {
+		set[x] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			return false
+		}
+	}
+	return true
+}

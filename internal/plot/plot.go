@@ -1,0 +1,195 @@
+// Package plot renders small ASCII line charts for the experiment reports:
+// Figure 7 style runtime curves and Figure 8 style expression profiles
+// (p-members as '*', n-members as 'o', in the spirit of the paper's solid
+// and dashed lines). Pure text — the reports stay grep-able and diff-able.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name  string
+	Ys    []float64
+	Glyph byte
+}
+
+// Chart accumulates series sharing an x-axis and renders them onto a
+// character grid.
+type Chart struct {
+	width, height int
+	xLabels       []string
+	series        []Series
+	title         string
+}
+
+// New returns a chart with the given plot-area size (columns × rows of
+// characters, excluding axes). Sizes are clamped to sane minimums.
+func New(width, height int) *Chart {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	return &Chart{width: width, height: height}
+}
+
+// Title sets an optional heading line.
+func (c *Chart) Title(t string) *Chart { c.title = t; return c }
+
+// XLabels sets the x-axis tick labels (one per data point; rendered sparsely
+// if they do not fit).
+func (c *Chart) XLabels(labels []string) *Chart {
+	c.xLabels = append([]string(nil), labels...)
+	return c
+}
+
+// Add appends a series. A zero glyph picks '*', 'o', '+', 'x', '#', '@' in
+// rotation.
+func (c *Chart) Add(s Series) *Chart {
+	if s.Glyph == 0 {
+		glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+		s.Glyph = glyphs[len(c.series)%len(glyphs)]
+	}
+	c.series = append(c.series, s)
+	return c
+}
+
+// Render draws the chart. Series may have different lengths; each is spread
+// over the full width. NaN points are skipped.
+func (c *Chart) Render() string {
+	var sb strings.Builder
+	if c.title != "" {
+		sb.WriteString(c.title)
+		sb.WriteByte('\n')
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range c.series {
+		if len(s.Ys) > maxLen {
+			maxLen = len(s.Ys)
+		}
+		for _, y := range s.Ys {
+			if math.IsNaN(y) {
+				continue
+			}
+			if y < lo {
+				lo = y
+			}
+			if y > hi {
+				hi = y
+			}
+		}
+	}
+	if maxLen == 0 || math.IsInf(lo, 1) {
+		return sb.String() + "(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, c.height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", c.width))
+	}
+	for _, s := range c.series {
+		n := len(s.Ys)
+		for i, y := range s.Ys {
+			if math.IsNaN(y) {
+				continue
+			}
+			col := 0
+			if n > 1 {
+				col = i * (c.width - 1) / (n - 1)
+			}
+			rowF := (y - lo) / (hi - lo) * float64(c.height-1)
+			row := c.height - 1 - int(rowF+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= c.height {
+				row = c.height - 1
+			}
+			grid[row][col] = s.Glyph
+		}
+	}
+
+	yLabelW := 0
+	yTop := fmt.Sprintf("%.4g", hi)
+	yBot := fmt.Sprintf("%.4g", lo)
+	if len(yTop) > yLabelW {
+		yLabelW = len(yTop)
+	}
+	if len(yBot) > yLabelW {
+		yLabelW = len(yBot)
+	}
+	for r := 0; r < c.height; r++ {
+		label := strings.Repeat(" ", yLabelW)
+		switch r {
+		case 0:
+			label = pad(yTop, yLabelW)
+		case c.height - 1:
+			label = pad(yBot, yLabelW)
+		}
+		sb.WriteString(label)
+		sb.WriteString(" |")
+		sb.Write(grid[r])
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", yLabelW))
+	sb.WriteString(" +")
+	sb.WriteString(strings.Repeat("-", c.width))
+	sb.WriteByte('\n')
+	if len(c.xLabels) > 0 {
+		sb.WriteString(strings.Repeat(" ", yLabelW))
+		sb.WriteString("  ")
+		sb.WriteString(spreadLabels(c.xLabels, c.width))
+		sb.WriteByte('\n')
+	}
+	if len(c.series) > 1 || c.series[0].Name != "" {
+		sb.WriteString("legend:")
+		for _, s := range c.series {
+			fmt.Fprintf(&sb, " %c=%s", s.Glyph, s.Name)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+// spreadLabels places labels across the width, dropping labels that would
+// collide.
+func spreadLabels(labels []string, width int) string {
+	out := []byte(strings.Repeat(" ", width))
+	n := len(labels)
+	lastEnd := -2
+	for i, l := range labels {
+		col := 0
+		if n > 1 {
+			col = i * (width - 1) / (n - 1)
+		}
+		start := col - len(l)/2
+		if start < 0 {
+			start = 0
+		}
+		if start+len(l) > width {
+			start = width - len(l)
+		}
+		if start <= lastEnd+1 {
+			continue
+		}
+		copy(out[start:], l)
+		lastEnd = start + len(l) - 1
+	}
+	return strings.TrimRight(string(out), " ")
+}

@@ -1,0 +1,101 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	out := New(20, 6).
+		Title("demo").
+		Add(Series{Name: "up", Ys: []float64{1, 2, 3, 4, 5}}).
+		Add(Series{Name: "down", Ys: []float64{5, 4, 3, 2, 1}}).
+		XLabels([]string{"a", "b", "c", "d", "e"}).
+		Render()
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "legend: *=up o=down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	// Max and min y labels.
+	if !strings.Contains(out, "5") || !strings.Contains(out, "1") {
+		t.Errorf("y labels missing:\n%s", out)
+	}
+	// Rising series: '*' appears in the top row at the right edge.
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	if !strings.Contains(top, "*") || !strings.Contains(top, "o") {
+		t.Errorf("extremes not on top row: %q", top)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "e") {
+		t.Errorf("x labels missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := New(10, 4).Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart: %q", out)
+	}
+	out = New(10, 4).Add(Series{Ys: []float64{math.NaN()}}).Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("all-NaN chart: %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	out := New(10, 4).Add(Series{Name: "flat", Ys: []float64{2, 2, 2}}).Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("constant series not drawn:\n%s", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	out := New(10, 4).Add(Series{Name: "dot", Ys: []float64{7}}).Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestNaNPointsSkipped(t *testing.T) {
+	out := New(12, 5).Add(Series{Name: "gappy", Ys: []float64{1, math.NaN(), 3}}).Render()
+	grid := out[:strings.Index(out, "+--")] // cut the axis and legend rows
+	if got := strings.Count(grid, "*"); got != 2 {
+		t.Errorf("expected exactly 2 plotted points, got %d:\n%s", got, out)
+	}
+}
+
+func TestGlyphRotationAndExplicit(t *testing.T) {
+	c := New(10, 4).
+		Add(Series{Name: "a", Ys: []float64{1}}).
+		Add(Series{Name: "b", Ys: []float64{2}}).
+		Add(Series{Name: "c", Ys: []float64{3}, Glyph: 'Z'})
+	out := c.Render()
+	if !strings.Contains(out, "Z=c") {
+		t.Errorf("explicit glyph ignored:\n%s", out)
+	}
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "o=b") {
+		t.Errorf("rotation wrong:\n%s", out)
+	}
+}
+
+func TestClampedDimensions(t *testing.T) {
+	out := New(1, 1).Add(Series{Name: "x", Ys: []float64{1, 2}}).Render()
+	if out == "" {
+		t.Fatal("render failed on clamped chart")
+	}
+}
+
+func TestSpreadLabelsCollision(t *testing.T) {
+	s := spreadLabels([]string{"aaaa", "bbbb", "cccc"}, 8)
+	// Not all labels fit in 8 columns; collisions must be dropped, not
+	// overwritten.
+	if strings.Contains(s, "ab") || strings.Contains(s, "bc") {
+		t.Errorf("labels overlap: %q", s)
+	}
+	if len(s) > 8 {
+		t.Errorf("label row too wide: %q", s)
+	}
+}

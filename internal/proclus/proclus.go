@@ -1,0 +1,273 @@
+// Package proclus implements the PROCLUS projected clustering baseline
+// (Aggarwal et al. — SIGMOD 1999), representative of the density-based
+// subspace clustering family ([1, 2, 4, 15, 16, 21] in the reg-cluster
+// paper). Each cluster is a set of genes plus a per-cluster subset of
+// dimensions in which the members are spatially close to a medoid.
+//
+// The reg-cluster paper's criticisms, which the comparison tests verify:
+// projected clustering assigns each gene to at most one cluster, and it
+// requires spatial proximity — so genes related by shifting-and-scaling (let
+// alone negative correlation) are not grouped even when perfectly
+// co-regulated.
+package proclus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"regcluster/internal/matrix"
+)
+
+// Params configures the search.
+type Params struct {
+	// K is the number of clusters.
+	K int
+	// AvgDims is the average number of projected dimensions per cluster
+	// (total dimension budget = K × AvgDims).
+	AvgDims int
+	// MaxIter bounds the medoid-improvement rounds.
+	MaxIter int
+	// Seed drives sampling.
+	Seed int64
+}
+
+// Cluster is one projected cluster: member genes, the medoid gene, and the
+// dimensions in which the members congregate.
+type Cluster struct {
+	Medoid int
+	Genes  []int
+	Dims   []int
+}
+
+// Outliers is the assignment value for unclustered genes.
+const Outliers = -1
+
+// Mine runs PROCLUS and returns the clusters plus the gene→cluster
+// assignment vector (Outliers for none; every non-medoid gene is assigned to
+// its closest medoid in that medoid's projected subspace).
+func Mine(m *matrix.Matrix, p Params) ([]Cluster, []int, error) {
+	nG, nC := m.Rows(), m.Cols()
+	if p.K < 1 || p.K > nG {
+		return nil, nil, fmt.Errorf("proclus: K = %d out of 1..%d", p.K, nG)
+	}
+	if p.AvgDims < 2 || p.AvgDims > nC {
+		return nil, nil, fmt.Errorf("proclus: AvgDims = %d out of 2..%d", p.AvgDims, nC)
+	}
+	if p.MaxIter < 1 {
+		p.MaxIter = 20
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// Greedy medoid selection on a sample: start random, repeatedly add the
+	// gene farthest (full-space) from the chosen set.
+	medoids := []int{rng.Intn(nG)}
+	for len(medoids) < p.K {
+		far, farD := -1, -1.0
+		for g := 0; g < nG; g++ {
+			d := math.Inf(1)
+			for _, md := range medoids {
+				if dd := fullDist(m, g, md); dd < d {
+					d = dd
+				}
+			}
+			if d > farD && !contains(medoids, g) {
+				far, farD = g, d
+			}
+		}
+		medoids = append(medoids, far)
+	}
+
+	var bestClusters []Cluster
+	var bestAssign []int
+	bestObj := math.Inf(1)
+	for iter := 0; iter < p.MaxIter; iter++ {
+		dims := findDimensions(m, medoids, p.AvgDims)
+		assign := assignPoints(m, medoids, dims)
+		obj := objective(m, medoids, dims, assign)
+		if obj < bestObj {
+			bestObj = obj
+			bestAssign = assign
+			bestClusters = make([]Cluster, len(medoids))
+			for k, md := range medoids {
+				bestClusters[k] = Cluster{Medoid: md, Dims: dims[k]}
+			}
+			for g, k := range assign {
+				if k >= 0 {
+					bestClusters[k].Genes = append(bestClusters[k].Genes, g)
+				}
+			}
+		} else {
+			// Replace the medoid of the smallest cluster with a random gene
+			// (the "bad medoid" step).
+			counts := make([]int, len(medoids))
+			for _, k := range assign {
+				if k >= 0 {
+					counts[k]++
+				}
+			}
+			worst := 0
+			for k := range counts {
+				if counts[k] < counts[worst] {
+					worst = k
+				}
+			}
+			medoids[worst] = rng.Intn(nG)
+		}
+	}
+	for k := range bestClusters {
+		sort.Ints(bestClusters[k].Genes)
+	}
+	return bestClusters, bestAssign, nil
+}
+
+// findDimensions allocates K×AvgDims dimensions greedily to the medoids by
+// the most negative z-score of the per-dimension locality distance, at least
+// two per medoid (the PROCLUS dimension selection).
+func findDimensions(m *matrix.Matrix, medoids []int, avgDims int) [][]int {
+	nC := m.Cols()
+	k := len(medoids)
+	// Locality of medoid i: genes within its full-space distance to the
+	// nearest other medoid.
+	type score struct {
+		med, dim int
+		z        float64
+	}
+	var scores []score
+	for i, mi := range medoids {
+		delta := math.Inf(1)
+		for j, mj := range medoids {
+			if i != j {
+				if d := fullDist(m, mi, mj); d < delta {
+					delta = d
+				}
+			}
+		}
+		// Average per-dimension distance of locality members to the medoid.
+		x := make([]float64, nC)
+		count := 0
+		for g := 0; g < m.Rows(); g++ {
+			if fullDist(m, g, mi) <= delta && g != mi {
+				for c := 0; c < nC; c++ {
+					x[c] += math.Abs(m.At(g, c) - m.At(mi, c))
+				}
+				count++
+			}
+		}
+		if count == 0 {
+			count = 1
+		}
+		mean, std := 0.0, 0.0
+		for c := range x {
+			x[c] /= float64(count)
+			mean += x[c]
+		}
+		mean /= float64(nC)
+		for c := range x {
+			std += (x[c] - mean) * (x[c] - mean)
+		}
+		std = math.Sqrt(std / float64(nC-1))
+		if std == 0 {
+			std = 1
+		}
+		for c := 0; c < nC; c++ {
+			scores = append(scores, score{i, c, (x[c] - mean) / std})
+		}
+	}
+	sort.Slice(scores, func(a, b int) bool { return scores[a].z < scores[b].z })
+
+	dims := make([][]int, k)
+	budget := k * avgDims
+	// First two smallest per medoid, then globally best until the budget is
+	// spent.
+	perMed := make([][]score, k)
+	for _, s := range scores {
+		perMed[s.med] = append(perMed[s.med], s)
+	}
+	taken := map[[2]int]bool{}
+	for i := 0; i < k; i++ {
+		for _, s := range perMed[i][:2] {
+			dims[i] = append(dims[i], s.dim)
+			taken[[2]int{i, s.dim}] = true
+			budget--
+		}
+	}
+	for _, s := range scores {
+		if budget == 0 {
+			break
+		}
+		if taken[[2]int{s.med, s.dim}] {
+			continue
+		}
+		dims[s.med] = append(dims[s.med], s.dim)
+		taken[[2]int{s.med, s.dim}] = true
+		budget--
+	}
+	for i := range dims {
+		sort.Ints(dims[i])
+	}
+	return dims
+}
+
+// assignPoints assigns every gene to the medoid with the smallest projected
+// Manhattan segmental distance.
+func assignPoints(m *matrix.Matrix, medoids []int, dims [][]int) []int {
+	assign := make([]int, m.Rows())
+	for g := range assign {
+		best, bestD := Outliers, math.Inf(1)
+		for k, md := range medoids {
+			d := segmental(m, g, md, dims[k])
+			if d < bestD {
+				best, bestD = k, d
+			}
+		}
+		assign[g] = best
+	}
+	return assign
+}
+
+func objective(m *matrix.Matrix, medoids []int, dims [][]int, assign []int) float64 {
+	sum, n := 0.0, 0
+	for g, k := range assign {
+		if k < 0 {
+			continue
+		}
+		sum += segmental(m, g, medoids[k], dims[k])
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return sum / float64(n)
+}
+
+// segmental is the Manhattan distance averaged over the projected dims.
+func segmental(m *matrix.Matrix, a, b int, dims []int) float64 {
+	if len(dims) == 0 {
+		return math.Inf(1)
+	}
+	sum := 0.0
+	for _, c := range dims {
+		sum += math.Abs(m.At(a, c) - m.At(b, c))
+	}
+	return sum / float64(len(dims))
+}
+
+func fullDist(m *matrix.Matrix, a, b int) float64 {
+	ra, rb := m.Row(a), m.Row(b)
+	sum := 0.0
+	for j := range ra {
+		sum += math.Abs(ra[j] - rb[j])
+	}
+	return sum
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,143 @@
+package proclus
+
+import (
+	"math/rand"
+	"testing"
+
+	"regcluster/internal/matrix"
+)
+
+// twoProjectedClusters builds genes that congregate in different dimension
+// subsets: group A is tight on dims {0,1,2} and random elsewhere; group B is
+// tight on dims {3,4,5}.
+func twoProjectedClusters(t *testing.T) (*matrix.Matrix, []int, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4))
+	m := matrix.New(40, 6)
+	var groupA, groupB []int
+	for g := 0; g < 40; g++ {
+		for c := 0; c < 6; c++ {
+			m.Set(g, c, rng.Float64()*100)
+		}
+		if g < 20 {
+			groupA = append(groupA, g)
+			for _, c := range []int{0, 1, 2} {
+				m.Set(g, c, 10+rng.Float64())
+			}
+		} else {
+			groupB = append(groupB, g)
+			for _, c := range []int{3, 4, 5} {
+				m.Set(g, c, 80+rng.Float64())
+			}
+		}
+	}
+	return m, groupA, groupB
+}
+
+func TestMineSeparatesProjectedGroups(t *testing.T) {
+	m, groupA, groupB := twoProjectedClusters(t)
+	clusters, assign, err := Mine(m, Params{K: 2, AvgDims: 3, MaxIter: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("%d clusters", len(clusters))
+	}
+	// Purity: each group should be dominated by one cluster id.
+	if p := purity(assign, groupA); p < 0.9 {
+		t.Errorf("group A purity %v", p)
+	}
+	if p := purity(assign, groupB); p < 0.9 {
+		t.Errorf("group B purity %v", p)
+	}
+	// The selected dimensions should match the planted subspaces for at
+	// least one cluster.
+	foundLow, foundHigh := false, false
+	for _, cl := range clusters {
+		if len(cl.Dims) >= 2 && cl.Dims[0] <= 2 && cl.Dims[len(cl.Dims)-1] <= 2 {
+			foundLow = true
+		}
+		if len(cl.Dims) >= 2 && cl.Dims[0] >= 3 {
+			foundHigh = true
+		}
+	}
+	if !foundLow || !foundHigh {
+		t.Errorf("projected dims not recovered: %+v", clusters)
+	}
+}
+
+// TestCannotGroupShiftScaled documents the reg-cluster paper's criticism:
+// perfectly co-regulated genes with different offsets are NOT close in any
+// subspace, so projected clustering separates them from each other.
+func TestCannotGroupShiftScaled(t *testing.T) {
+	base := []float64{1, 9, 3, 11, 5, 13}
+	m := matrix.New(4, 6)
+	shifts := []float64{0, 100, 200, 300} // same pattern, far apart spatially
+	for g, s := range shifts {
+		for c, v := range base {
+			m.Set(g, c, v+s)
+		}
+	}
+	_, assign, err := Mine(m, Params{K: 2, AvgDims: 3, MaxIter: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Genes 0 and 3 (300 apart) must not share a cluster with each other
+	// AND with everyone: at least two distinct cluster ids appear.
+	ids := map[int]bool{}
+	for _, k := range assign {
+		ids[k] = true
+	}
+	if len(ids) < 2 {
+		t.Errorf("projected clustering unexpectedly merged all shifted genes: %v", assign)
+	}
+}
+
+func TestEveryGeneAssignedOnce(t *testing.T) {
+	m, _, _ := twoProjectedClusters(t)
+	clusters, assign, err := Mine(m, Params{K: 3, AvgDims: 2, MaxIter: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != m.Rows() {
+		t.Fatalf("assignment length %d", len(assign))
+	}
+	// Hard partition: cluster gene lists are disjoint (the paper's "each
+	// gene in one cluster only" criticism).
+	seen := map[int]bool{}
+	for _, cl := range clusters {
+		for _, g := range cl.Genes {
+			if seen[g] {
+				t.Fatalf("gene %d in two clusters", g)
+			}
+			seen[g] = true
+		}
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	m := matrix.New(5, 4)
+	if _, _, err := Mine(m, Params{K: 0, AvgDims: 2}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, _, err := Mine(m, Params{K: 2, AvgDims: 1}); err == nil {
+		t.Error("AvgDims=1 accepted")
+	}
+	if _, _, err := Mine(m, Params{K: 9, AvgDims: 2}); err == nil {
+		t.Error("K>genes accepted")
+	}
+}
+
+func purity(assign []int, group []int) float64 {
+	counts := map[int]int{}
+	for _, g := range group {
+		counts[assign[g]]++
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	return float64(best) / float64(len(group))
+}

@@ -1,0 +1,118 @@
+// Package report serializes mining results with gene and condition *names*
+// (rather than matrix indices) so results can be stored, diffed and fed to
+// downstream tools, and deserializes them back against a matrix.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"regcluster/internal/core"
+	"regcluster/internal/matrix"
+)
+
+// NamedCluster is the portable form of one reg-cluster.
+type NamedCluster struct {
+	// Chain lists condition names in representative-chain order.
+	Chain []string `json:"chain"`
+	// PMembers and NMembers list gene names.
+	PMembers []string `json:"p_members"`
+	NMembers []string `json:"n_members,omitempty"`
+	// Genes and Conditions are the dimensions, for quick filtering.
+	Genes      int `json:"genes"`
+	Conditions int `json:"conditions"`
+}
+
+// Document is a full mining result with its parameters.
+type Document struct {
+	Params   core.Params    `json:"params"`
+	Stats    core.Stats     `json:"stats"`
+	Clusters []NamedCluster `json:"clusters"`
+}
+
+// FromResult converts a mining result to its named form using m's labels.
+func FromResult(m *matrix.Matrix, p core.Params, res *core.Result) *Document {
+	doc := &Document{Params: p, Stats: res.Stats}
+	for _, b := range res.Clusters {
+		doc.Clusters = append(doc.Clusters, named(m, b))
+	}
+	return doc
+}
+
+func named(m *matrix.Matrix, b *core.Bicluster) NamedCluster {
+	nc := NamedCluster{}
+	for _, c := range b.Chain {
+		nc.Chain = append(nc.Chain, m.ColName(c))
+	}
+	for _, g := range b.PMembers {
+		nc.PMembers = append(nc.PMembers, m.RowName(g))
+	}
+	for _, g := range b.NMembers {
+		nc.NMembers = append(nc.NMembers, m.RowName(g))
+	}
+	nc.Genes, nc.Conditions = b.Dims()
+	return nc
+}
+
+// Write encodes the document as indented JSON.
+func (d *Document) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Read decodes a document from JSON.
+func Read(r io.Reader) (*Document, error) {
+	var d Document
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	return &d, nil
+}
+
+// Resolve maps the named clusters back to index-based biclusters against m.
+// Unknown gene or condition names are an error (the document belongs to a
+// different matrix).
+func (d *Document) Resolve(m *matrix.Matrix) ([]*core.Bicluster, error) {
+	rowIdx := make(map[string]int, m.Rows())
+	for i := 0; i < m.Rows(); i++ {
+		rowIdx[m.RowName(i)] = i
+	}
+	colIdx := make(map[string]int, m.Cols())
+	for j := 0; j < m.Cols(); j++ {
+		colIdx[m.ColName(j)] = j
+	}
+	out := make([]*core.Bicluster, 0, len(d.Clusters))
+	for ci, nc := range d.Clusters {
+		b := &core.Bicluster{}
+		for _, name := range nc.Chain {
+			j, ok := colIdx[name]
+			if !ok {
+				return nil, fmt.Errorf("report: cluster %d: unknown condition %q", ci, name)
+			}
+			b.Chain = append(b.Chain, j)
+		}
+		var err error
+		if b.PMembers, err = resolveGenes(rowIdx, nc.PMembers, ci); err != nil {
+			return nil, err
+		}
+		if b.NMembers, err = resolveGenes(rowIdx, nc.NMembers, ci); err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func resolveGenes(rowIdx map[string]int, names []string, cluster int) ([]int, error) {
+	var out []int
+	for _, name := range names {
+		g, ok := rowIdx[name]
+		if !ok {
+			return nil, fmt.Errorf("report: cluster %d: unknown gene %q", cluster, name)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}

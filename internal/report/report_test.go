@@ -1,0 +1,87 @@
+package report
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"regcluster/internal/core"
+	"regcluster/internal/paperdata"
+)
+
+func mineRunning(t *testing.T) (*core.Result, core.Params) {
+	t.Helper()
+	p := core.Params{MinG: 3, MinC: 5, Gamma: 0.15, Epsilon: 0.1}
+	res, err := core.Mine(paperdata.RunningExample(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, p
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := paperdata.RunningExample()
+	res, p := mineRunning(t)
+	doc := FromResult(m, p, res)
+	if len(doc.Clusters) != 1 {
+		t.Fatalf("%d clusters in document", len(doc.Clusters))
+	}
+	nc := doc.Clusters[0]
+	if !reflect.DeepEqual(nc.Chain, []string{"c7", "c9", "c5", "c1", "c3"}) {
+		t.Errorf("chain names %v", nc.Chain)
+	}
+	if !reflect.DeepEqual(nc.PMembers, []string{"g1", "g3"}) || !reflect.DeepEqual(nc.NMembers, []string{"g2"}) {
+		t.Errorf("member names %v / %v", nc.PMembers, nc.NMembers)
+	}
+	if nc.Genes != 3 || nc.Conditions != 5 {
+		t.Errorf("dims %d×%d", nc.Genes, nc.Conditions)
+	}
+
+	var sb strings.Builder
+	if err := doc.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Params, p) {
+		t.Errorf("params round trip: %+v", back.Params)
+	}
+	if back.Stats != res.Stats {
+		t.Errorf("stats round trip: %+v", back.Stats)
+	}
+	resolved, err := back.Resolve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resolved) != 1 || resolved[0].Key() != res.Clusters[0].Key() {
+		t.Fatalf("resolve mismatch: %v vs %v", resolved, res.Clusters)
+	}
+	// Resolved clusters still validate.
+	if err := core.CheckBicluster(m, p, resolved[0]); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResolveUnknownNames(t *testing.T) {
+	m := paperdata.RunningExample()
+	doc := &Document{Clusters: []NamedCluster{{Chain: []string{"nope"}, PMembers: []string{"g1"}}}}
+	if _, err := doc.Resolve(m); err == nil {
+		t.Error("unknown condition accepted")
+	}
+	doc = &Document{Clusters: []NamedCluster{{Chain: []string{"c1"}, PMembers: []string{"ghost"}}}}
+	if _, err := doc.Resolve(m); err == nil {
+		t.Error("unknown gene accepted")
+	}
+	doc = &Document{Clusters: []NamedCluster{{Chain: []string{"c1"}, NMembers: []string{"ghost"}}}}
+	if _, err := doc.Resolve(m); err == nil {
+		t.Error("unknown n-member accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,276 @@
+// Package rwave implements the RWave^γ regulation model of the reg-cluster
+// paper (Definition 3.1).
+//
+// For a single gene, the model sorts the experimental conditions in
+// non-descending order of expression value and records the minimal set of
+// non-embedded regulation pointers: a pointer (A, B) over sorted ranks A < B
+// certifies that every condition ranked >= B is up-regulated (difference
+// greater than the gene's regulation threshold γ_i) with respect to every
+// condition ranked <= A. Lemma 3.1 then answers "which conditions are
+// regulation predecessors/successors of c?" by locating the nearest pointer,
+// and with this package's construction the answer is exact, not merely sound.
+package rwave
+
+import (
+	"fmt"
+	"sort"
+
+	"regcluster/internal/matrix"
+)
+
+// Pointer is a regulation pointer between two sorted ranks of a gene's
+// condition ordering. It certifies that value(B) - value(A) > γ, and by the
+// sorted order that every rank >= B is up-regulated versus every rank <= A.
+type Pointer struct {
+	A, B int
+}
+
+// Model is the RWave^γ model of one gene.
+type Model struct {
+	gene     int
+	gamma    float64   // absolute regulation threshold γ_i
+	order    []int     // rank -> condition index, non-descending by value
+	rank     []int     // condition index -> rank
+	values   []float64 // rank -> expression value
+	pointers []Pointer // minimal non-embedded pointer set, A and B strictly increasing
+	upLen    []int     // rank -> max regulation-chain length starting upward at this rank
+	downLen  []int     // rank -> max regulation-chain length starting downward at this rank
+}
+
+// Build constructs the RWave^γ model for the given gene row of m using the
+// paper's Equation 4 threshold: γ_i = gamma × (max_j d_ij − min_j d_ij).
+// gamma must lie in [0, 1].
+func Build(m *matrix.Matrix, gene int, gamma float64) *Model {
+	if gamma < 0 || gamma > 1 {
+		panic(fmt.Sprintf("rwave: relative gamma %v out of [0,1]", gamma))
+	}
+	return BuildAbsolute(m, gene, gamma*m.RowRange(gene))
+}
+
+// BuildAbsolute constructs the model with an explicit absolute threshold
+// γ_i = gammaAbs (Section 3.1 notes that alternative per-gene thresholds may
+// be plugged in; this is the hook).
+func BuildAbsolute(m *matrix.Matrix, gene int, gammaAbs float64) *Model {
+	if gammaAbs < 0 {
+		panic(fmt.Sprintf("rwave: negative gamma %v", gammaAbs))
+	}
+	n := m.Cols()
+	mod := &Model{
+		gene:   gene,
+		gamma:  gammaAbs,
+		order:  make([]int, n),
+		rank:   make([]int, n),
+		values: make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		mod.order[j] = j
+	}
+	row := m.Row(gene)
+	// Non-descending by value; ties broken by ascending condition index so
+	// the model is deterministic.
+	sort.SliceStable(mod.order, func(a, b int) bool {
+		return row[mod.order[a]] < row[mod.order[b]]
+	})
+	for r, c := range mod.order {
+		mod.rank[c] = r
+		mod.values[r] = row[c]
+	}
+	mod.buildPointers()
+	mod.buildChainLengths()
+	return mod
+}
+
+// buildPointers emits the minimal non-embedded pointer set in one
+// left-to-right pass. For each rank j, pred(j) is the largest rank k < j with
+// values[j]-values[k] > γ; pred is non-decreasing in j, so a two-pointer scan
+// suffices. A pointer (pred(j), j) is recorded only when pred(j) advances
+// past the head of the previously recorded pointer; otherwise the new pointer
+// would embed an existing one, violating condition (2) of Definition 3.1.
+func (mod *Model) buildPointers() {
+	n := len(mod.values)
+	p := 0
+	lastA := -1
+	for j := 0; j < n; j++ {
+		for p < j && mod.values[j]-mod.values[p] > mod.gamma {
+			p++
+		}
+		pred := p - 1
+		if pred >= 0 && pred > lastA {
+			mod.pointers = append(mod.pointers, Pointer{A: pred, B: j})
+			lastA = pred
+		}
+	}
+}
+
+// buildChainLengths precomputes, for every rank, the length of the longest
+// regulation chain that starts there and walks upward (upLen) or downward
+// (downLen). Jumping to the nearest admissible rank is optimal because the
+// successor (predecessor) set only shrinks (grows) with rank, so chain
+// lengths are monotone in rank.
+func (mod *Model) buildChainLengths() {
+	n := len(mod.values)
+	mod.upLen = make([]int, n)
+	mod.downLen = make([]int, n)
+	for r := n - 1; r >= 0; r-- {
+		mod.upLen[r] = 1
+		if b := mod.successorStart(r); b < n {
+			mod.upLen[r] = 1 + mod.upLen[b]
+		}
+	}
+	for r := 0; r < n; r++ {
+		mod.downLen[r] = 1
+		if a := mod.predecessorEnd(r); a >= 0 {
+			mod.downLen[r] = 1 + mod.downLen[a]
+		}
+	}
+}
+
+// successorStart returns the smallest rank b such that every rank >= b is a
+// regulation successor of rank r, or len(values) when r has no successors.
+// It is the B of the nearest pointer after r in the sense of Lemma 3.1 (the
+// pointer with minimal B among those with A >= r).
+func (mod *Model) successorStart(r int) int {
+	// pointers have strictly increasing A, so binary-search the first with
+	// A >= r.
+	i := sort.Search(len(mod.pointers), func(i int) bool { return mod.pointers[i].A >= r })
+	if i == len(mod.pointers) {
+		return len(mod.values)
+	}
+	return mod.pointers[i].B
+}
+
+// predecessorEnd returns the largest rank a such that every rank <= a is a
+// regulation predecessor of rank r, or -1 when r has no predecessors. It is
+// the A of the nearest pointer before r (the pointer with maximal B <= r).
+func (mod *Model) predecessorEnd(r int) int {
+	i := sort.Search(len(mod.pointers), func(i int) bool { return mod.pointers[i].B > r })
+	if i == 0 {
+		return -1
+	}
+	return mod.pointers[i-1].A
+}
+
+// Gene returns the row index this model was built from.
+func (mod *Model) Gene() int { return mod.gene }
+
+// Gamma returns the absolute regulation threshold γ_i.
+func (mod *Model) Gamma() float64 { return mod.gamma }
+
+// Conditions returns the number of conditions.
+func (mod *Model) Conditions() int { return len(mod.order) }
+
+// Order returns the condition index at the given sorted rank.
+func (mod *Model) Order(rank int) int { return mod.order[rank] }
+
+// Rank returns the sorted rank of condition c.
+func (mod *Model) Rank(c int) int { return mod.rank[c] }
+
+// Value returns the expression value at the given sorted rank.
+func (mod *Model) Value(rank int) float64 { return mod.values[rank] }
+
+// ValueOf returns the expression value of condition c.
+func (mod *Model) ValueOf(c int) float64 { return mod.values[mod.rank[c]] }
+
+// Pointers returns a copy of the regulation pointer list.
+func (mod *Model) Pointers() []Pointer {
+	out := make([]Pointer, len(mod.pointers))
+	copy(out, mod.pointers)
+	return out
+}
+
+// IsUpRegulated reports Reg(i, to, from) == Up: whether the gene is
+// up-regulated from condition `from` to condition `to` (Equation 3), i.e.
+// d[to] - d[from] > γ_i.
+func (mod *Model) IsUpRegulated(from, to int) bool {
+	return mod.values[mod.rank[to]]-mod.values[mod.rank[from]] > mod.gamma
+}
+
+// IsSuccessor reports whether condition succ is a regulation successor of
+// condition c, answered through the pointer structure (Lemma 3.1).
+func (mod *Model) IsSuccessor(c, succ int) bool {
+	return mod.rank[succ] >= mod.successorStart(mod.rank[c])
+}
+
+// IsPredecessor reports whether condition pred is a regulation predecessor of
+// condition c, answered through the pointer structure (Lemma 3.1).
+func (mod *Model) IsPredecessor(c, pred int) bool {
+	return mod.rank[pred] <= mod.predecessorEnd(mod.rank[c])
+}
+
+// SuccessorStartRank exposes successorStart by condition: the minimal rank
+// whose conditions are regulation successors of c (== Conditions() if none).
+func (mod *Model) SuccessorStartRank(c int) int { return mod.successorStart(mod.rank[c]) }
+
+// PredecessorEndRank exposes predecessorEnd by condition: the maximal rank
+// whose conditions are regulation predecessors of c (== -1 if none).
+func (mod *Model) PredecessorEndRank(c int) int { return mod.predecessorEnd(mod.rank[c]) }
+
+// Successors returns the condition indices that are regulation successors of
+// c, in rank order.
+func (mod *Model) Successors(c int) []int {
+	b := mod.successorStart(mod.rank[c])
+	out := make([]int, 0, len(mod.order)-b)
+	for r := b; r < len(mod.order); r++ {
+		out = append(out, mod.order[r])
+	}
+	return out
+}
+
+// Predecessors returns the condition indices that are regulation predecessors
+// of c, in rank order.
+func (mod *Model) Predecessors(c int) []int {
+	a := mod.predecessorEnd(mod.rank[c])
+	out := make([]int, 0, a+1)
+	for r := 0; r <= a; r++ {
+		out = append(out, mod.order[r])
+	}
+	return out
+}
+
+// MaxUpChainFrom returns the length of the longest regulation chain that
+// starts at condition c and moves through successive regulation successors
+// (pruning strategy (2) of the mining algorithm).
+func (mod *Model) MaxUpChainFrom(c int) int { return mod.upLen[mod.rank[c]] }
+
+// MaxDownChainFrom returns the length of the longest regulation chain that
+// starts at condition c and moves through successive regulation predecessors.
+func (mod *Model) MaxDownChainFrom(c int) int { return mod.downLen[mod.rank[c]] }
+
+// MaxChain returns the length of the longest regulation chain anywhere in the
+// model (== MaxUpChainFrom of the lowest-ranked condition when non-trivial).
+func (mod *Model) MaxChain() int {
+	best := 0
+	for r := range mod.upLen {
+		if mod.upLen[r] > best {
+			best = mod.upLen[r]
+		}
+	}
+	return best
+}
+
+// String renders the model in the style of Figure 3: the sorted condition
+// list with pointer positions.
+func (mod *Model) String() string {
+	s := fmt.Sprintf("RWave(g%d, γ=%.4g): ", mod.gene, mod.gamma)
+	for r, c := range mod.order {
+		if r > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("c%d(%.4g)", c, mod.values[r])
+	}
+	s += " pointers:"
+	for _, p := range mod.pointers {
+		s += fmt.Sprintf(" %d↶%d", p.A, p.B)
+	}
+	return s
+}
+
+// BuildAll constructs models for every gene of m with the Equation 4 relative
+// threshold.
+func BuildAll(m *matrix.Matrix, gamma float64) []*Model {
+	models := make([]*Model, m.Rows())
+	for i := range models {
+		models[i] = Build(m, i, gamma)
+	}
+	return models
+}

@@ -1,0 +1,90 @@
+// Package scaling implements a 2-D adaptation of the triCluster baseline
+// (Zhao & Zaki — SIGMOD 2005): pattern-based biclustering for *pure scaling*
+// patterns.
+//
+// A submatrix (X, C) is a scaling cluster iff for every condition pair (a, b)
+// the per-gene expression ratios d_ga / d_gb agree within a multiplicative
+// tolerance ε: max/min ≤ 1 + ε, all ratios sharing a sign. The paper's
+// comparison point: the model captures d_i = s1·d_j but not
+// shifting-and-scaling d_i = s1·d_j + s2 with s2 ≠ 0, and mixed
+// positive/negative correlation blows up the ratio range (Section 1.3).
+package scaling
+
+import (
+	"regcluster/internal/matrix"
+	"regcluster/internal/pairwise"
+)
+
+// Params configures the miner.
+type Params struct {
+	// Epsilon is the multiplicative ratio tolerance ε.
+	Epsilon float64
+	// MinG and MinC are the minimum bicluster dimensions.
+	MinG, MinC int
+	// MaxNodes optionally caps the search.
+	MaxNodes int
+}
+
+// Bicluster is one mined scaling cluster.
+type Bicluster = pairwise.Bicluster
+
+// RatioFit reports whether a sorted ratio window [lo, hi] is coherent under
+// ε: both ends share a strict sign and hi/lo (or lo/hi for negatives) is at
+// most 1+ε.
+func RatioFit(lo, hi float64, eps float64) bool {
+	switch {
+	case lo > 0:
+		return hi/lo <= 1+eps
+	case hi < 0:
+		return lo/hi <= 1+eps
+	default:
+		// Window crosses or touches zero: only a degenerate all-equal
+		// window fits.
+		return lo == hi && lo != 0
+	}
+}
+
+// IsScalingCluster verifies the property exhaustively (tests, harness).
+func IsScalingCluster(m *matrix.Matrix, genes, conds []int, eps float64) bool {
+	for a := 0; a < len(conds); a++ {
+		for b := a + 1; b < len(conds); b++ {
+			lo, hi := 0.0, 0.0
+			for i, g := range genes {
+				den := m.At(g, conds[b])
+				if den == 0 {
+					return false
+				}
+				r := m.At(g, conds[a]) / den
+				if i == 0 {
+					lo, hi = r, r
+					continue
+				}
+				if r < lo {
+					lo = r
+				}
+				if r > hi {
+					hi = r
+				}
+			}
+			if len(genes) > 0 && !RatioFit(lo, hi, eps) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Mine enumerates maximal-window scaling clusters of m with at least MinG
+// genes and MinC conditions. Genes with a zero expression value on a touched
+// condition pair never fit (their ratio is undefined or zero).
+func Mine(m *matrix.Matrix, p Params) ([]Bicluster, error) {
+	score := func(m *matrix.Matrix, g, a, b int) float64 {
+		den := m.At(g, b)
+		if den == 0 {
+			return 0 // zero never fits a window (RatioFit rejects 0 ends)
+		}
+		return m.At(g, a) / den
+	}
+	fit := func(lo, hi float64) bool { return RatioFit(lo, hi, p.Epsilon) }
+	return pairwise.Mine(m, score, fit, pairwise.Params{MinG: p.MinG, MinC: p.MinC, MaxNodes: p.MaxNodes})
+}

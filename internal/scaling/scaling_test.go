@@ -1,0 +1,127 @@
+package scaling
+
+import (
+	"testing"
+
+	"regcluster/internal/matrix"
+	"regcluster/internal/paperdata"
+)
+
+func TestRatioFit(t *testing.T) {
+	cases := []struct {
+		lo, hi, eps float64
+		want        bool
+	}{
+		{1, 1.05, 0.1, true},
+		{1, 1.2, 0.1, false},
+		{-2.1, -2, 0.1, true},
+		{-3, -2, 0.1, false},
+		{-1, 1, 10, false}, // sign change never fits
+		{0, 0, 10, false},  // zero ratios never fit
+		{2, 2, 0, true},
+	}
+	for _, tc := range cases {
+		if got := RatioFit(tc.lo, tc.hi, tc.eps); got != tc.want {
+			t.Errorf("RatioFit(%v,%v,%v) = %v, want %v", tc.lo, tc.hi, tc.eps, got, tc.want)
+		}
+	}
+}
+
+func TestMineFindsScalingPattern(t *testing.T) {
+	m := matrix.FromRows([][]float64{
+		{1, 5, 2, 8},
+		{2, 10, 4, 16},     // ×2
+		{0.5, 2.5, 1, 4},   // ×0.5
+		{1.1, 4.4, 2.7, 9}, // roughly similar but not scaled
+	})
+	got, err := Mine(m, Params{Epsilon: 1e-9, MinG: 3, MinC: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("clusters = %v, want exactly the scaling trio", got)
+	}
+	b := got[0]
+	if len(b.Genes) != 3 || b.Genes[2] != 2 {
+		t.Errorf("genes = %v", b.Genes)
+	}
+	if !IsScalingCluster(m, b.Genes, b.Conds, 1e-6) {
+		t.Error("mined cluster fails IsScalingCluster")
+	}
+}
+
+// TestCannotGroupShiftedPatterns demonstrates the paper's comparison point:
+// on the Figure 1 data the scaling model groups {P1, P4, P5, P6} but cannot
+// merge the shifted profiles P2 = P1+5 and P3 = P1+15 with them.
+func TestCannotGroupShiftedPatterns(t *testing.T) {
+	m := paperdata.SixPatterns()
+	got, err := Mine(m, Params{Epsilon: 0.05, MinG: 2, MinC: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundScaling := false
+	for _, b := range got {
+		if containsAll(b.Genes, 0, 3, 4, 5) {
+			foundScaling = true
+		}
+		if containsAll(b.Genes, 0, 1) || containsAll(b.Genes, 0, 2) {
+			t.Errorf("scaling model wrongly grouped shifted profiles: %v", b)
+		}
+	}
+	if !foundScaling {
+		t.Error("scaling model failed to find the pure scaling group {P1,P4,P5,P6}")
+	}
+}
+
+func TestNegativeScalingSameSignRatios(t *testing.T) {
+	// g2 = -2 × g1: ratios across conditions stay constant per condition
+	// pair, so a pure (negative) scaling IS capturable by the ratio model —
+	// but only without a shift.
+	m := matrix.FromRows([][]float64{
+		{1, 5, 2, 8},
+		{-2, -10, -4, -16},
+	})
+	got, err := Mine(m, Params{Epsilon: 1e-9, MinG: 2, MinC: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("pure negative scaling should be found: %v", got)
+	}
+	// Adding a shift breaks it.
+	m.ShiftScaleRow(1, 1, 3)
+	got, err = Mine(m, Params{Epsilon: 0.05, MinG: 2, MinC: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("shifted negative scaling must escape the ratio model: %v", got)
+	}
+}
+
+func TestZeroValuesNeverFit(t *testing.T) {
+	m := matrix.FromRows([][]float64{
+		{0, 2, 4},
+		{0, 2, 4},
+	})
+	got, err := Mine(m, Params{Epsilon: 0.1, MinG: 2, MinC: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("zero cells should block ratio clusters over all 3 conds: %v", got)
+	}
+}
+
+func containsAll(xs []int, want ...int) bool {
+	set := map[int]bool{}
+	for _, x := range xs {
+		set[x] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			return false
+		}
+	}
+	return true
+}

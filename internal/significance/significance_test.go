@@ -1,0 +1,155 @@
+package significance
+
+import (
+	"math/rand"
+	"testing"
+
+	"regcluster/internal/core"
+	"regcluster/internal/matrix"
+	"regcluster/internal/synthetic"
+)
+
+func TestPlantedClusterIsSignificant(t *testing.T) {
+	cfg := synthetic.Config{Genes: 120, Conds: 12, Clusters: 1, AvgClusterGenes: 14, Seed: 5}
+	m, truth, err := synthetic.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{MinG: 8, MinC: 5, Gamma: 0.1, Epsilon: 0.01}
+	res, err := core.Mine(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 {
+		t.Fatal("no clusters mined")
+	}
+	scored, err := Test(m, p, res.Clusters, Options{Rounds: 19, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The planted 14×~6 cluster cannot arise from per-gene shuffles: its
+	// p-value should be the minimum 1/20.
+	planted := truth[0].Genes()
+	foundSignificant := false
+	for _, r := range scored {
+		if len(r.Cluster.Genes()) >= len(planted) && r.PValue <= 0.05 {
+			foundSignificant = true
+		}
+		if r.PValue <= 0 || r.PValue > 1 {
+			t.Fatalf("p-value out of range: %v", r.PValue)
+		}
+	}
+	if !foundSignificant {
+		t.Error("planted cluster not significant at 0.05")
+	}
+}
+
+func TestRandomDataClustersAreNotSignificant(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := matrix.New(80, 8)
+	for g := 0; g < 80; g++ {
+		for c := 0; c < 8; c++ {
+			m.Set(g, c, rng.Float64())
+		}
+	}
+	p := core.Params{MinG: 2, MinC: 3, Gamma: 0.01, Epsilon: 1.0}
+	res, err := core.Mine(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 {
+		t.Skip("no chance clusters on this seed")
+	}
+	scored, err := Test(m, p, res.Clusters, Options{Rounds: 19, Seed: 2, MaxClustersPerRound: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chance clusters on iid data should mostly NOT be significant: the
+	// null is the same process.
+	significant := 0
+	for _, r := range scored {
+		if r.PValue <= 0.05 {
+			significant++
+		}
+	}
+	if frac := float64(significant) / float64(len(scored)); frac > 0.25 {
+		t.Errorf("%.0f%% of chance clusters marked significant", 100*frac)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	m := matrix.New(2, 2)
+	got, err := Test(m, core.Params{MinG: 2, MinC: 2, Gamma: 0.1}, nil, Options{})
+	if err != nil || got != nil {
+		t.Fatalf("empty input: %v %v", got, err)
+	}
+}
+
+func TestVolume(t *testing.T) {
+	b := &core.Bicluster{Chain: []int{1, 2, 3}, PMembers: []int{0, 1}, NMembers: []int{2}}
+	if Volume(b) != 9 {
+		t.Errorf("Volume = %d", Volume(b))
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	cfg := synthetic.Config{Genes: 60, Conds: 8, Clusters: 1, AvgClusterGenes: 8, Seed: 3}
+	m, _, err := synthetic.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{MinG: 5, MinC: 4, Gamma: 0.1, Epsilon: 0.01}
+	res, err := core.Mine(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Test(m, p, res.Clusters, Options{Rounds: 9, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Test(m, p, res.Clusters, Options{Rounds: 9, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].PValue != b[i].PValue {
+			t.Fatal("nondeterministic p-values under fixed seed")
+		}
+	}
+}
+
+func TestAdjustFDR(t *testing.T) {
+	mk := func(ps ...float64) []Result {
+		out := make([]Result, len(ps))
+		for i, p := range ps {
+			out[i] = Result{PValue: p}
+		}
+		return out
+	}
+	// Classic BH example: p = .01, .02, .03, .04, .05 with n=5:
+	// q_i = min over j>=i of p_j*n/j, computed from the back.
+	q := AdjustFDR(mk(0.01, 0.02, 0.03, 0.04, 0.05))
+	want := []float64{0.05, 0.05, 0.05, 0.05, 0.05}
+	for i := range q {
+		if d := q[i] - want[i]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("q = %v, want %v", q, want)
+		}
+	}
+	// Monotone and clamped.
+	q = AdjustFDR(mk(0.9, 0.001, 0.5))
+	if q[1] > q[2] || q[2] > q[0] {
+		t.Fatalf("q not monotone with p: %v", q)
+	}
+	for _, v := range q {
+		if v < 0 || v > 1 {
+			t.Fatalf("q out of range: %v", q)
+		}
+	}
+	// The smallest p gets q = p*n/1.
+	if d := q[1] - 0.003; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("q[1] = %v, want 0.003", q[1])
+	}
+	if AdjustFDR(nil) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}

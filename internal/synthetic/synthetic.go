@@ -1,0 +1,244 @@
+// Package synthetic implements the data generator of Section 5 of the
+// reg-cluster paper: a background matrix of uniform random values in [0, 10)
+// into which a number of perfect shifting-and-scaling clusters are embedded.
+// Every embedded cluster is a valid reg-cluster with ε = 0 and the configured
+// regulation threshold (γ = 0.15 by default, matching the paper), containing
+// both p-members and n-members.
+package synthetic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"regcluster/internal/matrix"
+)
+
+// Config parameterizes the generator. The paper's defaults are #g = 3000,
+// #cond = 30, #clus = 30, average cluster dimensionality 6 and average
+// cluster size 0.01 × #g.
+type Config struct {
+	// Genes (#g), Conds (#cond) and Clusters (#clus) are the three input
+	// parameters varied by the Figure 7 efficiency experiments.
+	Genes    int
+	Conds    int
+	Clusters int
+	// AvgClusterGenes is the average number of member genes per embedded
+	// cluster (p-members plus n-members). Defaults to max(4, Genes/100).
+	AvgClusterGenes int
+	// AvgDims is the average embedded subspace dimensionality. Defaults
+	// to 6. Individual clusters use AvgDims-1 .. AvgDims+1.
+	AvgDims int
+	// GammaEmbed is the regulation threshold every embedded cluster is
+	// guaranteed to satisfy (with margin). Defaults to 0.15.
+	GammaEmbed float64
+	// NegFraction is the expected fraction of n-members per cluster,
+	// clamped so p-members always form the majority. Defaults to 0.3.
+	NegFraction float64
+	// BackgroundLo/Hi bound the uniform background noise. Default [0, 10).
+	BackgroundLo, BackgroundHi float64
+	// Seed drives the deterministic random source.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's default generator setting.
+func DefaultConfig() Config {
+	return Config{Genes: 3000, Conds: 30, Clusters: 30}
+}
+
+func (c *Config) fillDefaults() {
+	if c.AvgClusterGenes == 0 {
+		c.AvgClusterGenes = c.Genes / 100
+		if c.AvgClusterGenes < 4 {
+			c.AvgClusterGenes = 4
+		}
+	}
+	if c.AvgDims == 0 {
+		c.AvgDims = 6
+	}
+	if c.GammaEmbed == 0 {
+		c.GammaEmbed = 0.15
+	}
+	if c.NegFraction == 0 {
+		c.NegFraction = 0.3
+	}
+	if c.BackgroundLo == 0 && c.BackgroundHi == 0 {
+		c.BackgroundHi = 10
+	}
+}
+
+func (c Config) validate() error {
+	if c.Genes <= 0 || c.Conds < 2 {
+		return fmt.Errorf("synthetic: need Genes > 0 and Conds >= 2, got %d/%d", c.Genes, c.Conds)
+	}
+	if c.Clusters < 0 {
+		return fmt.Errorf("synthetic: negative Clusters")
+	}
+	if c.GammaEmbed < 0 || c.GammaEmbed >= 0.5 {
+		return fmt.Errorf("synthetic: GammaEmbed %v out of [0, 0.5)", c.GammaEmbed)
+	}
+	if c.NegFraction < 0 || c.NegFraction > 0.5 {
+		return fmt.Errorf("synthetic: NegFraction %v out of [0, 0.5]", c.NegFraction)
+	}
+	if c.BackgroundHi <= c.BackgroundLo {
+		return fmt.Errorf("synthetic: empty background range")
+	}
+	return nil
+}
+
+// Embedded records the ground truth of one planted cluster.
+type Embedded struct {
+	// Chain lists the condition indices in increasing order of the base
+	// profile — the representative regulation chain the miner should find.
+	Chain []int
+	// PMembers rise along Chain; NMembers fall. Both ascending.
+	PMembers []int
+	NMembers []int
+}
+
+// Genes returns all member genes of the planted cluster, ascending.
+func (e *Embedded) Genes() []int {
+	out := make([]int, 0, len(e.PMembers)+len(e.NMembers))
+	out = append(out, e.PMembers...)
+	out = append(out, e.NMembers...)
+	sort.Ints(out)
+	return out
+}
+
+// Generate builds the synthetic dataset and returns it together with the
+// ground-truth embedded clusters. The same Config (including Seed) always
+// produces the same output.
+func Generate(cfg Config) (*matrix.Matrix, []Embedded, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := matrix.New(cfg.Genes, cfg.Conds)
+	bgSpan := cfg.BackgroundHi - cfg.BackgroundLo
+	for i := 0; i < cfg.Genes; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = cfg.BackgroundLo + rng.Float64()*bgSpan
+		}
+	}
+
+	// Gene pool sampled without replacement across clusters so the planted
+	// clusters do not overwrite each other; when the pool runs dry it is
+	// reshuffled (documented overlap for extreme settings).
+	pool := rng.Perm(cfg.Genes)
+	poolAt := 0
+	takeGenes := func(n int) []int {
+		out := make([]int, 0, n)
+		for len(out) < n {
+			if poolAt == len(pool) {
+				pool = rng.Perm(cfg.Genes)
+				poolAt = 0
+			}
+			out = append(out, pool[poolAt])
+			poolAt++
+		}
+		return out
+	}
+
+	var truth []Embedded
+	for k := 0; k < cfg.Clusters; k++ {
+		dims := cfg.AvgDims - 1 + rng.Intn(3) // AvgDims ± 1
+		if dims < 2 {
+			dims = 2
+		}
+		if dims > cfg.Conds {
+			dims = cfg.Conds
+		}
+		// Guarantee every step fraction exceeds GammaEmbed with ≥5% margin;
+		// shrink the subspace if the dimensionality makes that impossible
+		// (steps of a d-condition chain are d-1 fractions summing to 1).
+		gammaT := cfg.GammaEmbed * 1.05
+		for gammaT > 0 && float64(dims-1)*gammaT >= 0.999 {
+			dims--
+		}
+		size := varyAround(rng, cfg.AvgClusterGenes, 0.3)
+		if size < 2 {
+			size = 2
+		}
+		nNeg := int(float64(size) * cfg.NegFraction)
+		if 2*nNeg > size { // p-members must be the majority
+			nNeg = size / 2
+			if size%2 == 0 && nNeg > 0 {
+				nNeg--
+			}
+		}
+
+		chain := rng.Perm(cfg.Conds)[:dims]
+		genes := takeGenes(size)
+		emb := Embedded{Chain: append([]int(nil), chain...)}
+
+		// Step fractions: near-uniform with bounded variation so the
+		// minimum fraction stays above gammaT.
+		fractions := stepFractions(rng, dims-1, gammaT)
+
+		for gi, g := range genes {
+			neg := gi < nNeg
+			// Each member spans its own range covering the background band,
+			// so the gene's full-row range equals its embedded range and the
+			// per-step regulation margin is exactly the step fraction.
+			span := bgSpan * (1.2 + rng.Float64()*1.0) // 1.2–2.2 × background
+			lo := cfg.BackgroundLo - (span-bgSpan)*rng.Float64()
+			cum := 0.0
+			for s, c := range chain {
+				if s > 0 {
+					cum += fractions[s-1]
+				}
+				v := lo + cum*span
+				if neg {
+					v = lo + (1-cum)*span
+				}
+				m.Set(g, c, v)
+			}
+			if neg {
+				emb.NMembers = append(emb.NMembers, g)
+			} else {
+				emb.PMembers = append(emb.PMembers, g)
+			}
+		}
+		sort.Ints(emb.PMembers)
+		sort.Ints(emb.NMembers)
+		truth = append(truth, emb)
+	}
+	return m, truth, nil
+}
+
+// stepFractions returns n positive fractions summing to 1 whose minimum
+// exceeds gammaT (assuming n*gammaT < 1, which Generate arranges).
+func stepFractions(rng *rand.Rand, n int, gammaT float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	// Allowed relative variation v keeps min ≥ 1/(n(1+v)) > gammaT.
+	vMax := 0.0
+	if gammaT > 0 {
+		vMax = 1/(float64(n)*gammaT) - 1
+	} else {
+		vMax = 1.0
+	}
+	v := vMax * 0.8
+	if v > 1 {
+		v = 1
+	}
+	raw := make([]float64, n)
+	sum := 0.0
+	for i := range raw {
+		raw[i] = 1 + rng.Float64()*v
+		sum += raw[i]
+	}
+	for i := range raw {
+		raw[i] /= sum
+	}
+	return raw
+}
+
+func varyAround(rng *rand.Rand, center int, rel float64) int {
+	lo := float64(center) * (1 - rel)
+	hi := float64(center) * (1 + rel)
+	return int(lo + rng.Float64()*(hi-lo) + 0.5)
+}

@@ -1,0 +1,212 @@
+package synthetic
+
+import (
+	"testing"
+
+	"regcluster/internal/core"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{Genes: 200, Conds: 15, Clusters: 5, Seed: seed}
+}
+
+func TestGenerateShapeAndDeterminism(t *testing.T) {
+	m1, truth1, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Rows() != 200 || m1.Cols() != 15 {
+		t.Fatalf("shape %dx%d", m1.Rows(), m1.Cols())
+	}
+	if len(truth1) != 5 {
+		t.Fatalf("planted %d clusters, want 5", len(truth1))
+	}
+	m2, truth2, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m1.Equal(m2) {
+		t.Fatal("same seed must reproduce the same matrix")
+	}
+	if len(truth2) != len(truth1) {
+		t.Fatal("same seed must reproduce the same truth")
+	}
+	m3, _, err := Generate(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Equal(m3) {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+// TestEmbeddedClustersAreValidRegClusters: every planted cluster must pass
+// the Definition 3.2 checker at the embedding threshold with ε = 0 — the
+// paper's stated property of the generator.
+func TestEmbeddedClustersAreValidRegClusters(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := smallConfig(seed)
+		m, truth, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := core.Params{MinG: 2, MinC: 2, Gamma: 0.15, Epsilon: 1e-9}
+		for k, e := range truth {
+			b := &core.Bicluster{Chain: e.Chain, PMembers: e.PMembers, NMembers: e.NMembers}
+			if err := core.CheckBicluster(m, p, b); err != nil {
+				t.Errorf("seed %d cluster %d invalid: %v", seed, k, err)
+			}
+		}
+	}
+}
+
+func TestEmbeddedClustersHaveBothMemberKinds(t *testing.T) {
+	_, truth, err := Generate(Config{Genes: 300, Conds: 20, Clusters: 8, AvgClusterGenes: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, e := range truth {
+		if len(e.PMembers) == 0 {
+			t.Errorf("cluster %d has no p-members", k)
+		}
+		if len(e.NMembers) == 0 {
+			t.Errorf("cluster %d has no n-members (NegFraction default 0.3, size 12)", k)
+		}
+		if len(e.PMembers) < len(e.NMembers) {
+			t.Errorf("cluster %d: n-members outnumber p-members", k)
+		}
+	}
+}
+
+func TestPlantedGeneSetsAreDisjoint(t *testing.T) {
+	_, truth, err := Generate(Config{Genes: 500, Conds: 20, Clusters: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, e := range truth {
+		for _, g := range e.Genes() {
+			if seen[g] {
+				t.Fatalf("gene %d planted in two clusters despite spare pool", g)
+			}
+			seen[g] = true
+		}
+	}
+}
+
+// TestMinerRecoversPlantedClusters is the end-to-end sanity check behind the
+// Figure 7 experiments: mining at the paper's settings must rediscover every
+// planted cluster (as a superset of its genes on its chain).
+func TestMinerRecoversPlantedClusters(t *testing.T) {
+	cfg := Config{Genes: 300, Conds: 15, Clusters: 4, AvgClusterGenes: 10, Seed: 4}
+	m, truth, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{MinG: 8, MinC: 5, Gamma: 0.1, Epsilon: 0.01}
+	res, err := core.Mine(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, e := range truth {
+		if len(e.Chain) < p.MinC || len(e.Genes()) < p.MinG {
+			continue // too small for these mining thresholds
+		}
+		if !covered(res.Clusters, e) {
+			t.Errorf("planted cluster %d (chain %v, %d genes) not recovered", k, e.Chain, len(e.Genes()))
+		}
+	}
+}
+
+// covered reports whether some mined cluster contains all genes of e over at
+// least MinC conditions of e's chain.
+func covered(mined []*core.Bicluster, e Embedded) bool {
+	want := map[int]bool{}
+	for _, g := range e.Genes() {
+		want[g] = true
+	}
+	for _, b := range mined {
+		got := map[int]bool{}
+		for _, g := range b.Genes() {
+			got[g] = true
+		}
+		all := true
+		for g := range want {
+			if !got[g] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		// Chain containment: b's conditions ⊆ e's chain is not required
+		// (the miner may extend), but they must share most conditions.
+		share := 0
+		eC := map[int]bool{}
+		for _, c := range e.Chain {
+			eC[c] = true
+		}
+		for _, c := range b.Chain {
+			if eC[c] {
+				share++
+			}
+		}
+		if share >= len(e.Chain)-1 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Genes: 0, Conds: 10},
+		{Genes: 10, Conds: 1},
+		{Genes: 10, Conds: 10, Clusters: -1},
+		{Genes: 10, Conds: 10, GammaEmbed: 0.6},
+		{Genes: 10, Conds: 10, NegFraction: 0.9},
+		{Genes: 10, Conds: 10, BackgroundLo: 5, BackgroundHi: 1},
+	}
+	for i, cfg := range bad {
+		if _, _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Genes != 3000 || cfg.Conds != 30 || cfg.Clusters != 30 {
+		t.Fatalf("paper defaults wrong: %+v", cfg)
+	}
+}
+
+func TestBackgroundWithinBounds(t *testing.T) {
+	cfg := Config{Genes: 50, Conds: 10, Clusters: 0, Seed: 7}
+	m, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := m.MinMax()
+	if min < 0 || max >= 10 {
+		t.Fatalf("background out of [0,10): [%v, %v]", min, max)
+	}
+}
+
+func TestStepFractionsRespectGamma(t *testing.T) {
+	cfg := Config{Genes: 100, Conds: 12, Clusters: 6, AvgDims: 7, Seed: 5}
+	m, truth, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even at dims up to 8 the generator must keep each cluster valid at the
+	// embedding gamma (shrinking dims when necessary).
+	p := core.Params{MinG: 2, MinC: 2, Gamma: 0.15, Epsilon: 1e-9}
+	for k, e := range truth {
+		b := &core.Bicluster{Chain: e.Chain, PMembers: e.PMembers, NMembers: e.NMembers}
+		if err := core.CheckBicluster(m, p, b); err != nil {
+			t.Errorf("cluster %d (dims %d): %v", k, len(e.Chain), err)
+		}
+	}
+}

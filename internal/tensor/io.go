@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTSV serializes the tensor as a sequence of time-slice blocks:
+//
+//	#tensor	genes=G	samples=S	times=T
+//	time	<time name>
+//	gene	<sample names...>
+//	<gene name>	<values...>
+//	...                         (one block per time point)
+//
+// The format is self-describing and diff-friendly; ReadTSV parses it back.
+func (t *Tensor) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#tensor\tgenes=%d\tsamples=%d\ttimes=%d\n", t.genes, t.samples, t.times)
+	for tm := 0; tm < t.times; tm++ {
+		fmt.Fprintf(bw, "time\t%s\n", t.timeNames[tm])
+		bw.WriteString("gene")
+		for s := 0; s < t.samples; s++ {
+			bw.WriteByte('\t')
+			bw.WriteString(t.sampleNames[s])
+		}
+		bw.WriteByte('\n')
+		for g := 0; g < t.genes; g++ {
+			bw.WriteString(t.geneNames[g])
+			for s := 0; s < t.samples; s++ {
+				bw.WriteByte('\t')
+				bw.WriteString(strconv.FormatFloat(t.At(g, s, tm), 'g', -1, 64))
+			}
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses the WriteTSV format.
+func ReadTSV(r io.Reader) (*Tensor, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("tensor: empty input")
+	}
+	header := strings.Split(strings.TrimSpace(sc.Text()), "\t")
+	if len(header) != 4 || header[0] != "#tensor" {
+		return nil, fmt.Errorf("tensor: bad header %q", sc.Text())
+	}
+	dims := make([]int, 3)
+	for i, field := range header[1:] {
+		parts := strings.SplitN(field, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("tensor: bad header field %q", field)
+		}
+		v, err := strconv.Atoi(parts[1])
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("tensor: bad dimension %q", field)
+		}
+		dims[i] = v
+	}
+	t := New(dims[0], dims[1], dims[2])
+	for tm := 0; tm < t.times; tm++ {
+		// "time" line.
+		if !sc.Scan() {
+			return nil, fmt.Errorf("tensor: truncated before time block %d", tm)
+		}
+		tl := strings.SplitN(strings.TrimRight(sc.Text(), "\r\n"), "\t", 2)
+		if len(tl) != 2 || tl[0] != "time" {
+			return nil, fmt.Errorf("tensor: expected time line, got %q", sc.Text())
+		}
+		t.timeNames[tm] = tl[1]
+		// sample header line.
+		if !sc.Scan() {
+			return nil, fmt.Errorf("tensor: truncated sample header in block %d", tm)
+		}
+		sh := strings.Split(strings.TrimRight(sc.Text(), "\r\n"), "\t")
+		if len(sh) != t.samples+1 {
+			return nil, fmt.Errorf("tensor: block %d: %d sample columns, want %d", tm, len(sh)-1, t.samples)
+		}
+		copy(t.sampleNames, sh[1:])
+		for g := 0; g < t.genes; g++ {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("tensor: truncated gene rows in block %d", tm)
+			}
+			fields := strings.Split(strings.TrimRight(sc.Text(), "\r\n"), "\t")
+			if len(fields) != t.samples+1 {
+				return nil, fmt.Errorf("tensor: block %d gene %d: %d values, want %d",
+					tm, g, len(fields)-1, t.samples)
+			}
+			t.geneNames[g] = fields[0]
+			for s, f := range fields[1:] {
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("tensor: block %d gene %d sample %d: %v", tm, g, s, err)
+				}
+				t.Set(g, s, tm, v)
+			}
+		}
+	}
+	return t, sc.Err()
+}
+
+// Equal reports whether two tensors have identical shape, names and values.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if t.genes != o.genes || t.samples != o.samples || t.times != o.times {
+		return false
+	}
+	for i := range t.data {
+		if t.data[i] != o.data[i] {
+			return false
+		}
+	}
+	for i := range t.geneNames {
+		if t.geneNames[i] != o.geneNames[i] {
+			return false
+		}
+	}
+	for i := range t.sampleNames {
+		if t.sampleNames[i] != o.sampleNames[i] {
+			return false
+		}
+	}
+	for i := range t.timeNames {
+		if t.timeNames[i] != o.timeNames[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,70 @@
+package tensor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTensorTSVRoundTrip(t *testing.T) {
+	ten, _, err := Generate(GenerateConfig{
+		Genes: 6, Samples: 4, Times: 3,
+		Clusters: 1, ClusterGenes: 3, ClusterSamples: 2, ClusterTimes: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten.SetGeneName(0, "YAL001C")
+	ten.SetTimeName(2, "late")
+	var sb strings.Builder
+	if err := ten.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ten.Equal(back) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestTensorReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n",
+		"#tensor\tgenes=x\tsamples=2\ttimes=1\n",
+		"#tensor\tgenes=1\tsamples=1\ttimes=1\n", // truncated
+		"#tensor\tgenes=1\tsamples=1\ttimes=1\nwrong\tt0\n",                      // bad time line
+		"#tensor\tgenes=1\tsamples=1\ttimes=1\ntime\tt0\ngene\ts0\ts1\n",         // header width
+		"#tensor\tgenes=1\tsamples=1\ttimes=1\ntime\tt0\ngene\ts0\ng0\tnotnum\n", // bad value
+		"#tensor\tgenes=2\tsamples=1\ttimes=1\ntime\tt0\ngene\ts0\ng0\t1\n",      // missing row
+		"#tensor\tgenes=1\tsamples=2\ttimes=1\ntime\tt0\ngene\ts0\ts1\ng0\t1\n",  // short row
+		"#tensor\tgenes=1\tsamples=1\ttimes=0\ntime\tt0\ngene\ts0\ng0\t1\n",      // zero dim
+	}
+	for i, in := range cases {
+		if _, err := ReadTSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestTensorEqual(t *testing.T) {
+	a := New(2, 2, 2)
+	b := New(2, 2, 2)
+	if !a.Equal(b) {
+		t.Fatal("identical tensors unequal")
+	}
+	b.Set(1, 1, 1, 5)
+	if a.Equal(b) {
+		t.Fatal("different values equal")
+	}
+	c := New(2, 2, 1)
+	if a.Equal(c) {
+		t.Fatal("different shapes equal")
+	}
+	d := New(2, 2, 2)
+	d.SetGeneName(0, "x")
+	if a.Equal(d) {
+		t.Fatal("different names equal")
+	}
+}

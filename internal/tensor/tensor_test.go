@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"testing"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	ten := New(2, 3, 4)
+	if ten.Genes() != 2 || ten.Samples() != 3 || ten.Times() != 4 {
+		t.Fatalf("dims %d %d %d", ten.Genes(), ten.Samples(), ten.Times())
+	}
+	ten.Set(1, 2, 3, 42)
+	if ten.At(1, 2, 3) != 42 {
+		t.Fatal("Set/At mismatch")
+	}
+	if ten.At(0, 0, 0) != 0 {
+		t.Fatal("zero init broken")
+	}
+	if ten.GeneName(0) != "g0" || ten.SampleName(2) != "s2" || ten.TimeName(3) != "t3" {
+		t.Fatal("default names wrong")
+	}
+	ten.SetGeneName(0, "YAL001C")
+	ten.SetSampleName(0, "wildtype")
+	ten.SetTimeName(0, "0min")
+	if ten.GeneName(0) != "YAL001C" || ten.SampleName(0) != "wildtype" || ten.TimeName(0) != "0min" {
+		t.Fatal("name setters broken")
+	}
+}
+
+func TestBoundsPanics(t *testing.T) {
+	ten := New(2, 2, 2)
+	for _, idx := range [][3]int{{-1, 0, 0}, {0, -1, 0}, {0, 0, -1}, {2, 0, 0}, {0, 2, 0}, {0, 0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At%v did not panic", idx)
+				}
+			}()
+			ten.At(idx[0], idx[1], idx[2])
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative New did not panic")
+		}
+	}()
+	New(-1, 1, 1)
+}
+
+func TestSlices(t *testing.T) {
+	ten := New(2, 3, 2)
+	// Fill with a distinguishing pattern.
+	for g := 0; g < 2; g++ {
+		for s := 0; s < 3; s++ {
+			for tm := 0; tm < 2; tm++ {
+				ten.Set(g, s, tm, float64(100*g+10*s+tm))
+			}
+		}
+	}
+	ts := ten.TimeSlice(1)
+	if ts.Rows() != 2 || ts.Cols() != 3 {
+		t.Fatalf("time slice %dx%d", ts.Rows(), ts.Cols())
+	}
+	if ts.At(1, 2) != 121 {
+		t.Fatalf("time slice value %v", ts.At(1, 2))
+	}
+	if ts.ColName(2) != "s2" {
+		t.Fatalf("time slice col name %q", ts.ColName(2))
+	}
+	ss := ten.SampleSlice(2)
+	if ss.Rows() != 2 || ss.Cols() != 2 {
+		t.Fatalf("sample slice %dx%d", ss.Rows(), ss.Cols())
+	}
+	if ss.At(0, 1) != 21 {
+		t.Fatalf("sample slice value %v", ss.At(0, 1))
+	}
+	if ss.ColName(1) != "t1" {
+		t.Fatalf("sample slice col name %q", ss.ColName(1))
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	cfg := GenerateConfig{
+		Genes: 30, Samples: 6, Times: 5,
+		Clusters: 2, ClusterGenes: 6, ClusterSamples: 3, ClusterTimes: 3,
+		Seed: 1,
+	}
+	ten, truth, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) != 2 {
+		t.Fatalf("planted %d", len(truth))
+	}
+	// Values strictly positive.
+	for g := 0; g < 30; g++ {
+		for s := 0; s < 6; s++ {
+			for tm := 0; tm < 5; tm++ {
+				if ten.At(g, s, tm) <= 0 {
+					t.Fatalf("non-positive cell at (%d,%d,%d)", g, s, tm)
+				}
+			}
+		}
+	}
+	// Planted blocks are multiplicative: ratios along any two samples are
+	// constant across the block's genes within each time.
+	e := truth[0]
+	for _, tm := range e.Times {
+		r0 := ten.At(e.Genes[0], e.Samples[0], tm) / ten.At(e.Genes[0], e.Samples[1], tm)
+		for _, g := range e.Genes {
+			r := ten.At(g, e.Samples[0], tm) / ten.At(g, e.Samples[1], tm)
+			if diff := r/r0 - 1; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("planted block not multiplicative: %v vs %v", r, r0)
+			}
+		}
+	}
+	// Determinism.
+	ten2, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ten.At(3, 3, 3) != ten2.At(3, 3, 3) {
+		t.Fatal("nondeterministic under fixed seed")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, _, err := Generate(GenerateConfig{Genes: 0, Samples: 1, Times: 1}); err == nil {
+		t.Error("zero genes accepted")
+	}
+	if _, _, err := Generate(GenerateConfig{Genes: 2, Samples: 2, Times: 2, Clusters: 1, ClusterGenes: 5, ClusterSamples: 2, ClusterTimes: 2}); err == nil {
+		t.Error("oversized block accepted")
+	}
+}

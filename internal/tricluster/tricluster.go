@@ -1,0 +1,216 @@
+// Package tricluster implements a triCluster-style 3-D coherent cluster
+// miner (Zhao & Zaki — SIGMOD 2005) over the tensor substrate: a tricluster
+// (X genes × Y samples × Z times) is valid when the expression ratios are
+// coherent along every axis pair — for every fixed time the gene × sample
+// block is a scaling bicluster, and for every fixed sample the gene × time
+// block is one too.
+//
+// Mining strategy (the original's slice-and-merge idea): 2-D scaling
+// biclusters are mined per time slice with the shared pairwise-window
+// engine, then time subsets are grown depth-first by intersecting the
+// slice-wise biclusters; every candidate is verified against the full 3-D
+// coherence definition before output, so results are always sound.
+package tricluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"regcluster/internal/scaling"
+	"regcluster/internal/tensor"
+)
+
+// Params configures the miner.
+type Params struct {
+	// Epsilon is the multiplicative ratio tolerance along every axis.
+	Epsilon float64
+	// MinG, MinS, MinT are the minimum block dimensions.
+	MinG, MinS, MinT int
+	// MaxNodes caps the per-slice 2-D search (0 = a generous default).
+	MaxNodes int
+}
+
+// Tricluster is one mined block (all axes ascending).
+type Tricluster struct {
+	Genes, Samples, Times []int
+}
+
+// Key returns a canonical identity string.
+func (tc Tricluster) Key() string {
+	var sb strings.Builder
+	for _, xs := range [][]int{tc.Genes, tc.Samples, tc.Times} {
+		for _, x := range xs {
+			sb.WriteString(strconv.Itoa(x))
+			sb.WriteByte(',')
+		}
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+// IsTricluster verifies the full 3-D coherence definition: every sample-pair
+// ratio window per time, and every time-pair ratio window per sample, over
+// the gene set.
+func IsTricluster(t *tensor.Tensor, genes, samples, times []int, eps float64) bool {
+	// Sample pairs within each time.
+	for _, tm := range times {
+		for a := 0; a < len(samples); a++ {
+			for b := a + 1; b < len(samples); b++ {
+				if !ratioWindowOK(genes, eps, func(g int) (float64, float64) {
+					return t.At(g, samples[a], tm), t.At(g, samples[b], tm)
+				}) {
+					return false
+				}
+			}
+		}
+	}
+	// Time pairs within each sample.
+	for _, s := range samples {
+		for a := 0; a < len(times); a++ {
+			for b := a + 1; b < len(times); b++ {
+				if !ratioWindowOK(genes, eps, func(g int) (float64, float64) {
+					return t.At(g, s, times[a]), t.At(g, s, times[b])
+				}) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func ratioWindowOK(genes []int, eps float64, cell func(g int) (num, den float64)) bool {
+	lo, hi := 0.0, 0.0
+	for i, g := range genes {
+		num, den := cell(g)
+		if den == 0 {
+			return false
+		}
+		r := num / den
+		if i == 0 {
+			lo, hi = r, r
+			continue
+		}
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	return len(genes) == 0 || scaling.RatioFit(lo, hi, eps)
+}
+
+// Mine discovers triclusters of t under p. Results are deduplicated and
+// sorted by descending volume.
+func Mine(t *tensor.Tensor, p Params) ([]Tricluster, error) {
+	if p.MinG < 2 || p.MinS < 2 || p.MinT < 2 {
+		return nil, fmt.Errorf("tricluster: minimum dimensions must be >= 2, got %d/%d/%d",
+			p.MinG, p.MinS, p.MinT)
+	}
+	if p.Epsilon < 0 {
+		return nil, fmt.Errorf("tricluster: negative epsilon")
+	}
+	maxNodes := p.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 1 << 20
+	}
+
+	// Phase 1: 2-D scaling biclusters per time slice.
+	perTime := make([][]scaling.Bicluster, t.Times())
+	for tm := 0; tm < t.Times(); tm++ {
+		slice := t.TimeSlice(tm)
+		bs, err := scaling.Mine(slice, scaling.Params{
+			Epsilon: p.Epsilon, MinG: p.MinG, MinC: p.MinS, MaxNodes: maxNodes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		perTime[tm] = bs
+	}
+
+	// Phase 2: depth-first growth over ascending time subsets, intersecting
+	// slice biclusters.
+	e := &engine{t: t, p: p, perTime: perTime, seen: map[string]bool{}}
+	for tm := 0; tm+p.MinT <= t.Times(); tm++ {
+		for _, b := range perTime[tm] {
+			e.grow([]int{tm}, b.Genes, b.Conds)
+		}
+	}
+	sort.Slice(e.out, func(a, b int) bool {
+		va := len(e.out[a].Genes) * len(e.out[a].Samples) * len(e.out[a].Times)
+		vb := len(e.out[b].Genes) * len(e.out[b].Samples) * len(e.out[b].Times)
+		if va != vb {
+			return va > vb
+		}
+		return e.out[a].Key() < e.out[b].Key()
+	})
+	return e.out, nil
+}
+
+type engine struct {
+	t       *tensor.Tensor
+	p       Params
+	perTime [][]scaling.Bicluster
+	seen    map[string]bool
+	out     []Tricluster
+}
+
+func (e *engine) grow(times, genes, samples []int) {
+	if len(genes) < e.p.MinG || len(samples) < e.p.MinS {
+		return
+	}
+	if len(times) >= e.p.MinT {
+		// Verify the full 3-D definition (time-pair coherence is not
+		// implied by the per-slice mining).
+		if IsTricluster(e.t, genes, samples, times, e.p.Epsilon) {
+			tc := Tricluster{
+				Genes:   append([]int(nil), genes...),
+				Samples: append([]int(nil), samples...),
+				Times:   append([]int(nil), times...),
+			}
+			key := tc.Key()
+			if !e.seen[key] {
+				e.seen[key] = true
+				e.out = append(e.out, tc)
+			}
+		}
+	}
+	last := times[len(times)-1]
+	for tm := last + 1; tm < e.t.Times(); tm++ {
+		if len(times)+1+(e.t.Times()-tm-1) < e.p.MinT {
+			break
+		}
+		for _, b := range e.perTime[tm] {
+			g := intersect(genes, b.Genes)
+			if len(g) < e.p.MinG {
+				continue
+			}
+			s := intersect(samples, b.Conds)
+			if len(s) < e.p.MinS {
+				continue
+			}
+			e.grow(append(append([]int(nil), times...), tm), g, s)
+		}
+	}
+}
+
+func intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

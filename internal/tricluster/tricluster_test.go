@@ -1,0 +1,143 @@
+package tricluster
+
+import (
+	"reflect"
+	"testing"
+
+	"regcluster/internal/tensor"
+)
+
+func planted(t *testing.T) (*tensor.Tensor, tensor.Embedded3D) {
+	t.Helper()
+	cfg := tensor.GenerateConfig{
+		Genes: 25, Samples: 6, Times: 5,
+		Clusters: 1, ClusterGenes: 5, ClusterSamples: 3, ClusterTimes: 3,
+		Seed: 7,
+	}
+	ten, truth, err := tensor.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ten, truth[0]
+}
+
+func TestIsTriclusterOnPlantedBlock(t *testing.T) {
+	ten, e := planted(t)
+	if !IsTricluster(ten, e.Genes, e.Samples, e.Times, 1e-9) {
+		t.Fatal("planted multiplicative block rejected")
+	}
+	// Perturb one cell: the block must fail.
+	g, s, tm := e.Genes[0], e.Samples[0], e.Times[0]
+	old := ten.At(g, s, tm)
+	ten.Set(g, s, tm, old*3)
+	if IsTricluster(ten, e.Genes, e.Samples, e.Times, 0.01) {
+		t.Fatal("perturbed block accepted")
+	}
+	ten.Set(g, s, tm, old)
+}
+
+func TestMineRecoversPlantedBlock(t *testing.T) {
+	ten, e := planted(t)
+	got, err := Mine(ten, Params{Epsilon: 0.001, MinG: 5, MinS: 3, MinT: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("nothing mined")
+	}
+	// The largest result must be exactly the planted block.
+	best := got[0]
+	if !reflect.DeepEqual(best.Genes, e.Genes) ||
+		!reflect.DeepEqual(best.Samples, e.Samples) ||
+		!reflect.DeepEqual(best.Times, e.Times) {
+		t.Fatalf("planted %+v, mined %+v", e, best)
+	}
+	for _, tc := range got {
+		if !IsTricluster(ten, tc.Genes, tc.Samples, tc.Times, 0.001) {
+			t.Fatalf("unsound output %+v", tc)
+		}
+	}
+}
+
+func TestMineTwoBlocks(t *testing.T) {
+	cfg := tensor.GenerateConfig{
+		Genes: 40, Samples: 8, Times: 6,
+		Clusters: 2, ClusterGenes: 6, ClusterSamples: 3, ClusterTimes: 3,
+		Seed: 11,
+	}
+	ten, truth, err := tensor.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Mine(ten, Params{Epsilon: 0.001, MinG: 6, MinS: 3, MinT: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range truth {
+		found := false
+		for _, tc := range got {
+			if reflect.DeepEqual(tc.Genes, e.Genes) &&
+				reflect.DeepEqual(tc.Samples, e.Samples) &&
+				reflect.DeepEqual(tc.Times, e.Times) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("planted block %+v not recovered among %d results", e, len(got))
+		}
+	}
+}
+
+func TestTimeAxisCoherenceEnforced(t *testing.T) {
+	// Build a tensor where each time slice contains the same 2-D scaling
+	// bicluster, but the time profiles are gene-dependent — a valid slice
+	// intersection that must FAIL the 3-D check.
+	ten := tensor.New(4, 3, 3)
+	rg := []float64{1, 2, 3, 4}
+	cs := []float64{1, 2, 4}
+	for g := 0; g < 4; g++ {
+		for s := 0; s < 3; s++ {
+			for tm := 0; tm < 3; tm++ {
+				// The per-time factor depends on the gene — breaking
+				// time-pair ratio coherence across genes.
+				dt := 1.0 + float64(tm)*float64(g+1)
+				ten.Set(g, s, tm, rg[g]*cs[s]*dt)
+			}
+		}
+	}
+	if IsTricluster(ten, []int{0, 1, 2, 3}, []int{0, 1, 2}, []int{0, 1, 2}, 0.01) {
+		t.Fatal("gene-dependent time factors must break 3-D coherence")
+	}
+	got, err := Mine(ten, Params{Epsilon: 0.01, MinG: 4, MinS: 3, MinT: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("miner output an incoherent block: %+v", got)
+	}
+}
+
+func TestZeroCellsRejected(t *testing.T) {
+	ten := tensor.New(3, 3, 3) // all zeros
+	if IsTricluster(ten, []int{0, 1}, []int{0, 1}, []int{0, 1}, 1) {
+		t.Fatal("zero cells must not form ratio clusters")
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	ten := tensor.New(3, 3, 3)
+	if _, err := Mine(ten, Params{Epsilon: 0.1, MinG: 1, MinS: 2, MinT: 2}); err == nil {
+		t.Error("MinG=1 accepted")
+	}
+	if _, err := Mine(ten, Params{Epsilon: -1, MinG: 2, MinS: 2, MinT: 2}); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	a := Tricluster{Genes: []int{1}, Samples: []int{2}, Times: []int{3}}
+	b := Tricluster{Genes: []int{1, 2}, Samples: nil, Times: []int{3}}
+	if a.Key() == b.Key() {
+		t.Error("key collision")
+	}
+}

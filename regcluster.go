@@ -1,0 +1,160 @@
+// Package regcluster is a Go implementation of the reg-cluster model and
+// mining algorithm from "Mining Shifting-and-Scaling Co-Regulation Patterns
+// on Gene Expression Profiles" (Xu, Lu, Tung, Wang — ICDE 2006).
+//
+// A reg-cluster is a bicluster X × Y of genes and experimental conditions in
+// which every gene's expression either strictly rises (p-members) or strictly
+// falls (n-members) along the condition chain Y, every step is a significant
+// regulation with respect to the per-gene threshold γ_i, and all genes agree
+// (within the coherence threshold ε) on the relative step sizes. This
+// captures arbitrary shifting-and-scaling patterns d_i = s1·d_j + s2 with
+// positive or negative scaling — strictly more general than the pure shifting
+// (pCluster/δ-cluster) and pure scaling (triCluster) pattern models.
+//
+// Basic use:
+//
+//	m, err := regcluster.ReadTSVFile("expression.tsv")
+//	...
+//	res, err := regcluster.Mine(m, regcluster.Params{
+//		MinG: 20, MinC: 6, Gamma: 0.05, Epsilon: 1.0,
+//	})
+//	for _, b := range res.Clusters {
+//		fmt.Println(b)
+//	}
+//
+// The subpackages under internal/ implement the machinery (the RWave^γ
+// index, the depth-first chain miner, baseline biclustering algorithms, the
+// synthetic workload generator and the evaluation toolkit); this package is
+// the stable public surface over them.
+package regcluster
+
+import (
+	"io"
+
+	"regcluster/internal/core"
+	"regcluster/internal/eval"
+	"regcluster/internal/matrix"
+	"regcluster/internal/significance"
+	"regcluster/internal/synthetic"
+)
+
+// Matrix is a dense, labelled gene × condition expression matrix.
+type Matrix = matrix.Matrix
+
+// NewMatrix returns a rows×cols zero matrix with generated gene/condition
+// names.
+func NewMatrix(rows, cols int) *Matrix { return matrix.New(rows, cols) }
+
+// MatrixFromRows builds a matrix from a slice of equal-length rows.
+func MatrixFromRows(rows [][]float64) *Matrix { return matrix.FromRows(rows) }
+
+// ReadTSV parses a tab-separated expression matrix (optional header line;
+// "NA"/empty cells become NaN).
+func ReadTSV(r io.Reader) (*Matrix, error) { return matrix.ReadTSV(r) }
+
+// ReadTSVFile reads a matrix from the named TSV file.
+func ReadTSVFile(path string) (*Matrix, error) { return matrix.ReadTSVFile(path) }
+
+// Params are the mining parameters: MinG, MinC, the regulation threshold
+// Gamma (Equation 4) and the coherence threshold Epsilon (Definition 3.2),
+// plus safety caps and ablation switches.
+type Params = core.Params
+
+// Bicluster is one mined reg-cluster: the representative regulation chain
+// plus its p-members and n-members.
+type Bicluster = core.Bicluster
+
+// Result bundles the mined clusters with work statistics.
+type Result = core.Result
+
+// Stats counts the work performed by one Mine call.
+type Stats = core.Stats
+
+// Mine discovers all reg-clusters of m under p.
+func Mine(m *Matrix, p Params) (*Result, error) { return core.Mine(m, p) }
+
+// MineParallel mines the same cluster set as Mine with a worker pool (one
+// level-1 subtree per task); workers <= 0 selects GOMAXPROCS. Untruncated
+// results are identical to Mine's, in the same order.
+func MineParallel(m *Matrix, p Params, workers int) (*Result, error) {
+	return core.MineParallel(m, p, workers)
+}
+
+// ThresholdsRangeFraction, ThresholdsMeanFraction and ThresholdsNearestPair
+// compute alternative per-gene regulation thresholds (Section 3.1) for
+// Params.CustomGammas.
+func ThresholdsRangeFraction(m *Matrix, gamma float64) []float64 {
+	return core.ThresholdsRangeFraction(m, gamma)
+}
+
+// ThresholdsMeanFraction returns gamma × mean(|row|) per gene.
+func ThresholdsMeanFraction(m *Matrix, gamma float64) []float64 {
+	return core.ThresholdsMeanFraction(m, gamma)
+}
+
+// ThresholdsNearestPair returns the average adjacent gap of each gene's
+// sorted profile (the OP-Cluster style threshold).
+func ThresholdsNearestPair(m *Matrix) []float64 { return core.ThresholdsNearestPair(m) }
+
+// CheckBicluster verifies a cluster against Definition 3.2 directly from the
+// expression values, independent of the mining index.
+func CheckBicluster(m *Matrix, p Params, b *Bicluster) error {
+	return core.CheckBicluster(m, p, b)
+}
+
+// CoherenceH computes the Equation 7 coherence score
+// H(gene, c1, c2, ck, ck1).
+func CoherenceH(m *Matrix, gene, c1, c2, ck, ck1 int) float64 {
+	return core.CoherenceH(m, gene, c1, c2, ck, ck1)
+}
+
+// SyntheticConfig parameterizes the Section 5 synthetic data generator.
+type SyntheticConfig = synthetic.Config
+
+// Embedded is the ground truth of one planted cluster.
+type Embedded = synthetic.Embedded
+
+// GenerateSynthetic builds a synthetic dataset with planted perfect
+// shifting-and-scaling clusters and returns the ground truth alongside.
+func GenerateSynthetic(cfg SyntheticConfig) (*Matrix, []Embedded, error) {
+	return synthetic.Generate(cfg)
+}
+
+// DefaultSyntheticConfig returns the paper's default generator setting
+// (#g = 3000, #cond = 30, #clus = 30).
+func DefaultSyntheticConfig() SyntheticConfig { return synthetic.DefaultConfig() }
+
+// RelevanceRecovery scores mined clusters against planted ground truth using
+// gene-set match scores.
+func RelevanceRecovery(mined []*Bicluster, truth []Embedded) (relevance, recovery float64) {
+	return eval.RelevanceRecovery(mined, truth)
+}
+
+// OverlapStats summarizes pairwise cell-overlap fractions of a result set.
+type OverlapStats = eval.OverlapStats
+
+// Overlaps computes overlap statistics over all cluster pairs (the
+// Section 5.2 statistic).
+func Overlaps(clusters []*Bicluster) OverlapStats { return eval.Overlaps(clusters) }
+
+// NonOverlapping greedily selects up to k pairwise non-overlapping clusters,
+// largest first.
+func NonOverlapping(clusters []*Bicluster, k int) []*Bicluster {
+	return eval.NonOverlapping(clusters, k)
+}
+
+// MaximalOnly drops clusters fully contained in another cluster.
+func MaximalOnly(clusters []*Bicluster) []*Bicluster { return eval.MaximalOnly(clusters) }
+
+// SignificanceOptions configures the permutation significance test.
+type SignificanceOptions = significance.Options
+
+// SignificanceResult pairs a cluster with its empirical p-value.
+type SignificanceResult = significance.Result
+
+// SignificanceTest estimates an empirical p-value for every mined cluster by
+// per-gene permutation testing (an extension beyond the paper's GO-based
+// assessment). It reruns the miner opt.Rounds times on shuffled copies of m.
+func SignificanceTest(m *Matrix, p Params, clusters []*Bicluster, opt SignificanceOptions) ([]SignificanceResult, error) {
+	return significance.Test(m, p, clusters, opt)
+}

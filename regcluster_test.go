@@ -1,0 +1,81 @@
+package regcluster_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"regcluster"
+	"regcluster/internal/paperdata"
+)
+
+// TestPublicAPIRunningExample drives the whole public surface on the paper's
+// Table 1 running example.
+func TestPublicAPIRunningExample(t *testing.T) {
+	m := paperdata.RunningExample()
+	p := regcluster.Params{MinG: 3, MinC: 5, Gamma: 0.15, Epsilon: 0.1}
+	res, err := regcluster.Mine(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(res.Clusters))
+	}
+	b := res.Clusters[0]
+	if !reflect.DeepEqual(b.Chain, []int{6, 8, 4, 0, 2}) {
+		t.Errorf("chain %v", b.Chain)
+	}
+	if err := regcluster.CheckBicluster(m, p, b); err != nil {
+		t.Error(err)
+	}
+	if h := regcluster.CoherenceH(m, 0, 6, 8, 4, 0); h != 1.0 {
+		t.Errorf("H(g1, c7,c9, c5,c1) = %v, want 1.0", h)
+	}
+}
+
+func TestPublicAPITSVRoundTrip(t *testing.T) {
+	m := regcluster.MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	var sb strings.Builder
+	if err := m.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := regcluster.ReadTSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back) {
+		t.Fatal("round trip mismatch")
+	}
+	if regcluster.NewMatrix(2, 3).Rows() != 2 {
+		t.Fatal("NewMatrix wrong shape")
+	}
+}
+
+func TestPublicAPISyntheticPipeline(t *testing.T) {
+	cfg := regcluster.SyntheticConfig{Genes: 200, Conds: 12, Clusters: 3, AvgClusterGenes: 10, Seed: 6}
+	m, truth, err := regcluster.GenerateSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := regcluster.Mine(m, regcluster.Params{MinG: 6, MinC: 5, Gamma: 0.1, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rec := regcluster.RelevanceRecovery(res.Clusters, truth)
+	if rec < 0.9 {
+		t.Errorf("recovery %v", rec)
+	}
+	ov := regcluster.Overlaps(res.Clusters)
+	if len(res.Clusters) >= 2 && ov.Pairs == 0 {
+		t.Error("overlap stats empty")
+	}
+	if got := regcluster.NonOverlapping(res.Clusters, 2); len(got) > 2 {
+		t.Error("NonOverlapping ignored k")
+	}
+	if got := regcluster.MaximalOnly(res.Clusters); len(got) > len(res.Clusters) {
+		t.Error("MaximalOnly grew the set")
+	}
+	if def := regcluster.DefaultSyntheticConfig(); def.Genes != 3000 {
+		t.Error("default synthetic config wrong")
+	}
+}

@@ -1,0 +1,42 @@
+package regcluster
+
+import (
+	"regcluster/internal/tensor"
+	"regcluster/internal/tricluster"
+)
+
+// Tensor is a labelled genes × samples × times expression tensor — the data
+// shape the triCluster baseline (Zhao & Zaki 2005) mines.
+type Tensor = tensor.Tensor
+
+// NewTensor returns a zeroed tensor with generated axis names.
+func NewTensor(genes, samples, times int) *Tensor { return tensor.New(genes, samples, times) }
+
+// TensorConfig parameterizes the 3-D synthetic generator.
+type TensorConfig = tensor.GenerateConfig
+
+// Embedded3D is the ground truth of one planted tricluster.
+type Embedded3D = tensor.Embedded3D
+
+// GenerateTensor builds a random positive tensor with planted rank-1
+// multiplicative blocks (perfect scaling triclusters).
+func GenerateTensor(cfg TensorConfig) (*Tensor, []Embedded3D, error) {
+	return tensor.Generate(cfg)
+}
+
+// TriclusterParams configures the 3-D miner.
+type TriclusterParams = tricluster.Params
+
+// Tricluster is one mined 3-D block.
+type Tricluster = tricluster.Tricluster
+
+// MineTriclusters discovers ratio-coherent 3-D blocks of t.
+func MineTriclusters(t *Tensor, p TriclusterParams) ([]Tricluster, error) {
+	return tricluster.Mine(t, p)
+}
+
+// IsTricluster verifies a block against the full 3-D ratio-coherence
+// definition.
+func IsTricluster(t *Tensor, genes, samples, times []int, eps float64) bool {
+	return tricluster.IsTricluster(t, genes, samples, times, eps)
+}
