@@ -1,0 +1,24 @@
+# Development entry points. `make check` is the CI gate: it builds
+# everything, vets, and runs the full test suite under the race detector —
+# the shared-budget parallel miner must stay race-clean.
+
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...

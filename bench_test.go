@@ -276,4 +276,26 @@ func BenchmarkMineParallel(b *testing.B) {
 			}
 		}
 	})
+	b.Run("parallel-func", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			if _, err := core.MineParallelFunc(m, p, 0, func(*core.Bicluster) bool {
+				n++
+				return true
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The truncated path exercises the global budget plus the emitter's
+	// reconciliation rerun; it must stay bounded by ~2x the cap's work.
+	b.Run("parallel-truncated", func(b *testing.B) {
+		pt := p
+		pt.MaxNodes = 50000
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MineParallel(m, pt, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

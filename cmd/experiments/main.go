@@ -45,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed      = fs.Int64("seed", 1, "random seed for synthetic workloads")
 		yeastFile = fs.String("yeastfile", "", "path to the real Tavazoie TSV (default: generated substitute)")
 		quick     = fs.Bool("quick", false, "use reduced sweeps for a fast smoke run")
+		workers   = fs.Int("workers", 1, "miner worker count for the Figure 7 sweeps (0 = all cores, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,11 +54,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	one := func(id string) error {
 		switch id {
 		case "fig7-genes":
-			return figure7(stdout, experiments.AxisGenes, *seed, *quick)
+			return figure7(stdout, experiments.AxisGenes, *seed, *quick, *workers)
 		case "fig7-conds":
-			return figure7(stdout, experiments.AxisConds, *seed, *quick)
+			return figure7(stdout, experiments.AxisConds, *seed, *quick, *workers)
 		case "fig7-clus":
-			return figure7(stdout, experiments.AxisClusters, *seed, *quick)
+			return figure7(stdout, experiments.AxisClusters, *seed, *quick, *workers)
 		case "yeast":
 			r, err := experiments.Yeast(*yeastFile, 2006)
 			if err != nil {
@@ -126,12 +127,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-func figure7(w io.Writer, axis experiments.Figure7Axis, seed int64, quick bool) error {
+func figure7(w io.Writer, axis experiments.Figure7Axis, seed int64, quick bool, workers int) error {
 	points := experiments.DefaultSweep(axis)
 	if quick {
 		points = points[:2]
 	}
-	pts, err := experiments.Figure7(axis, points, seed)
+	pts, err := experiments.Figure7(axis, points, seed, workers)
 	if err != nil {
 		return err
 	}

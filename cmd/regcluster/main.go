@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -43,7 +44,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		epsilon   = fs.Float64("epsilon", 1.0, "coherence threshold ε")
 		absGamma  = fs.Bool("absgamma", false, "treat -gamma as an absolute per-gene threshold")
 		gammaMode = fs.String("gammamode", "range", `per-gene threshold scheme: "range" (Equation 4), "mean" (γ × mean|expr|), "nearestpair" (average adjacent gap; ignores -gamma)`)
-		maxOut    = fs.Int("max", 0, "stop after this many clusters (0 = unlimited)")
+		maxOut    = fs.Int("max", 0, "stop after this many clusters, enforced globally across workers (0 = unlimited)")
+		maxNodes  = fs.Int("maxnodes", 0, "bound the search-tree nodes visited, enforced globally across workers (0 = unlimited)")
+		timeout   = fs.Duration("timeout", 0, "abort mining after this duration (0 = no limit)")
 		maximal   = fs.Bool("maximal", false, "post-filter: drop clusters contained in another cluster")
 		asJSON    = fs.Bool("json", false, "emit JSON instead of text")
 		showStats = fs.Bool("stats", false, "print search statistics to stderr")
@@ -66,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Gamma: *gamma, Epsilon: *epsilon,
 		AbsoluteGamma: *absGamma,
 		MaxClusters:   *maxOut,
+		MaxNodes:      *maxNodes,
 	}
 	switch *gammaMode {
 	case "range":
@@ -77,12 +81,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -gammamode %q", *gammaMode)
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start := time.Now()
 	var res *core.Result
 	if *parallel == 1 {
-		res, err = core.Mine(m, p)
+		res, err = core.MineContext(ctx, m, p)
 	} else {
-		res, err = core.MineParallel(m, p, *parallel)
+		res, err = core.MineParallelContext(ctx, m, p, *parallel)
 	}
 	if err != nil {
 		return err

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// budget is the global resource accounting shared by every miner of one
+// mining run — the single miner of Mine/MineFunc or the whole pool of
+// MineParallel/MineParallelFunc. All miners charge the same atomic counters,
+// so MaxNodes and MaxClusters bound the RUN, not each worker, and a cap trip
+// (or an external cancellation: a visitor stop, a sibling's truncation, a
+// context expiry) is observed cooperatively by everyone at the next node or
+// candidate boundary.
+//
+// Uncapped runs never touch the counters, so the hot path of an unlimited
+// mining session stays free of shared atomic writes; the only cost is one
+// atomic flag load per node and candidate.
+type budget struct {
+	maxNodes    int64 // > 0 bounds the total nodes charged across all miners
+	maxClusters int64 // > 0 bounds the total clusters charged across all miners
+
+	nodes     atomic.Int64
+	clusters  atomic.Int64
+	cancelled atomic.Bool
+
+	done   <-chan struct{} // context cancellation; nil when no context is wired
+	ctxErr func() error
+	ctxHit atomic.Bool // the context fired while mining was still in progress
+}
+
+func newBudget(p Params, ctx context.Context) *budget {
+	b := &budget{maxNodes: int64(p.MaxNodes), maxClusters: int64(p.MaxClusters)}
+	if ctx != nil {
+		b.done = ctx.Done()
+		b.ctxErr = ctx.Err
+	}
+	return b
+}
+
+// prechargedBudget returns an unshared budget whose counters already hold
+// the exact totals of a settled mining prefix. A sequential miner run
+// against it behaves — truncation point, cluster output and every Stats
+// counter — exactly like the sequential miner's continuation after that
+// prefix; the parallel reconciliation path uses this to rebuild the
+// sequential result of the subtree a global cap truncates.
+func prechargedBudget(maxNodes, maxClusters, nodes, clusters int) *budget {
+	b := &budget{maxNodes: int64(maxNodes), maxClusters: int64(maxClusters)}
+	b.nodes.Store(int64(nodes))
+	b.clusters.Store(int64(clusters))
+	return b
+}
+
+// chargeNode accounts one search-tree node against the global node cap. A
+// false return means this node pushed the total past the cap: the node is
+// counted but must not be processed, and the whole run is cancelled.
+func (b *budget) chargeNode() bool {
+	if b.maxNodes <= 0 {
+		return true
+	}
+	if b.nodes.Add(1) > b.maxNodes {
+		b.cancelled.Store(true)
+		return false
+	}
+	return true
+}
+
+// chargeCluster accounts one emitted cluster against the global cluster cap.
+// A false return means the cluster just emitted is the last one the cap
+// admits: the caller keeps it but must stop searching.
+func (b *budget) chargeCluster() bool {
+	if b.maxClusters <= 0 {
+		return true
+	}
+	if b.clusters.Add(1) >= b.maxClusters {
+		b.cancelled.Store(true)
+		return false
+	}
+	return true
+}
+
+// cancel requests cooperative termination of every miner on this budget.
+func (b *budget) cancel() { b.cancelled.Store(true) }
+
+// stopped reports whether the run must halt: a cap tripped, cancel was
+// called, or the wired context expired.
+func (b *budget) stopped() bool {
+	if b.cancelled.Load() {
+		return true
+	}
+	if b.done != nil {
+		select {
+		case <-b.done:
+			b.ctxHit.Store(true)
+			b.cancelled.Store(true)
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// contextErr returns the context's error if the context interrupted the run,
+// nil otherwise (including when the context expired only after mining had
+// already finished).
+func (b *budget) contextErr() error {
+	if b.ctxErr == nil || !b.ctxHit.Load() {
+		return nil
+	}
+	return b.ctxErr()
+}

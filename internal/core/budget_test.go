@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"regcluster/internal/matrix"
+)
+
+// TestStatsAddCoversAllFields sets every Stats field to a sentinel by
+// reflection and asserts Add carries each one over: adding a counter to
+// Stats without extending Add fails here instead of silently dropping the
+// counter from parallel merges.
+func TestStatsAddCoversAllFields(t *testing.T) {
+	var sentinel Stats
+	v := reflect.ValueOf(&sentinel).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Int:
+			f.SetInt(1)
+		case reflect.Bool:
+			f.SetBool(true)
+		default:
+			t.Fatalf("Stats field %s has unhandled kind %s — extend Stats.Add and this test",
+				v.Type().Field(i).Name, f.Kind())
+		}
+	}
+	var sum Stats
+	sum.Add(sentinel)
+	if !reflect.DeepEqual(sum, sentinel) {
+		t.Fatalf("Stats.Add dropped fields:\n  got  %+v\n  want %+v", sum, sentinel)
+	}
+	sum.Add(sentinel)
+	v = reflect.ValueOf(sum)
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if f.Kind() == reflect.Int && f.Int() != 2 {
+			t.Errorf("Stats.Add did not accumulate field %s: %d after two adds",
+				v.Type().Field(i).Name, f.Int())
+		}
+	}
+	if !sum.Truncated {
+		t.Error("Stats.Add lost Truncated")
+	}
+}
+
+func TestBudgetNodeCap(t *testing.T) {
+	b := prechargedBudget(3, 0, 0, 0)
+	for i := 0; i < 3; i++ {
+		if !b.chargeNode() {
+			t.Fatalf("node %d rejected under cap 3", i+1)
+		}
+	}
+	if b.chargeNode() {
+		t.Fatal("node 4 accepted under cap 3")
+	}
+	if !b.stopped() {
+		t.Fatal("budget not stopped after node cap trip")
+	}
+}
+
+func TestBudgetClusterCap(t *testing.T) {
+	b := prechargedBudget(0, 2, 0, 0)
+	if !b.chargeCluster() {
+		t.Fatal("cluster 1 should be admitted and not be the last")
+	}
+	if b.chargeCluster() {
+		t.Fatal("cluster 2 should be the last admitted under cap 2")
+	}
+	if !b.stopped() {
+		t.Fatal("budget not stopped after cluster cap trip")
+	}
+}
+
+func TestBudgetPrecharge(t *testing.T) {
+	// Pre-charging makes the budget behave as the continuation of a settled
+	// prefix: with 5 of 6 nodes spent, exactly one more node is admitted.
+	b := prechargedBudget(6, 0, 5, 0)
+	if !b.chargeNode() {
+		t.Fatal("node 6 rejected")
+	}
+	if b.chargeNode() {
+		t.Fatal("node 7 accepted past cap 6")
+	}
+}
+
+func TestBudgetUncappedChargesNothing(t *testing.T) {
+	b := prechargedBudget(0, 0, 0, 0)
+	for i := 0; i < 100; i++ {
+		if !b.chargeNode() || !b.chargeCluster() {
+			t.Fatal("uncapped budget rejected a charge")
+		}
+	}
+	if b.nodes.Load() != 0 || b.clusters.Load() != 0 {
+		t.Error("uncapped budget touched its counters on the hot path")
+	}
+	if b.stopped() {
+		t.Error("uncapped budget reports stopped")
+	}
+}
+
+// TestMatchCandidateZeroBaseline exercises the Equation 7 guard directly
+// with a degenerate chain whose baseline step is exactly zero: the member's
+// H score would be ±Inf and must be dropped and counted, not sorted.
+func TestMatchCandidateZeroBaseline(t *testing.T) {
+	// Gene 0: conditions c0 and c1 share the value, c2 is higher. With an
+	// absolute γ = 0 the model still orders c2 above both.
+	m := matrix.FromRows([][]float64{{0, 0, 1}})
+	p := Params{MinG: 2, MinC: 2, Gamma: 0, AbsoluteGamma: true, Epsilon: 1}
+	models, err := prepare(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn := &miner{m: m, p: p, models: models, bud: newBudget(p, nil), seen: make(map[string]bool)}
+	// Chain (c0, c1) has baseline 0 for gene 0; candidate c2 is a regulation
+	// successor of c1, so without the guard H = 1/0 = +Inf.
+	ext := mn.matchCandidate([]int{0, 1}, []member{{gene: 0, up: true}}, 1, 2)
+	if len(ext) != 0 {
+		t.Fatalf("zero-baseline member not dropped: %+v", ext)
+	}
+	if mn.stats.NonFiniteH != 1 {
+		t.Errorf("NonFiniteH = %d, want 1", mn.stats.NonFiniteH)
+	}
+}
+
+// TestMineDenormalBaselineNoInf builds a mineable matrix where γ = 0 admits
+// a denormal baseline step, so the Equation 7 quotient overflows to +Inf
+// without the guard. The run must stay finite-H, count the drops, and keep
+// every output validating against Definition 3.2.
+func TestMineDenormalBaselineNoInf(t *testing.T) {
+	tiny := math.SmallestNonzeroFloat64
+	rows := [][]float64{
+		{0, tiny, 1e308, 2e308 / 2},
+		{0, tiny, 1e308, 2e308 / 2},
+		{0, tiny, 1e308, 2e308 / 2},
+	}
+	m := matrix.FromRows(rows)
+	p := Params{MinG: 2, MinC: 3, Gamma: 0, AbsoluteGamma: true, Epsilon: 10}
+	res, err := Mine(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.NonFiniteH == 0 {
+		t.Error("denormal baseline produced no NonFiniteH drops — guard untested")
+	}
+	for _, b := range res.Clusters {
+		if err := CheckBicluster(m, p, b); err != nil {
+			t.Errorf("output fails Definition 3.2: %v", err)
+		}
+	}
+	// The guard must behave identically under parallel mining.
+	for _, workers := range equivalenceWorkers {
+		par, err := MineParallel(m, p, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRun(t, "MineParallel denormal", res, par.Clusters, par.Stats)
+	}
+}

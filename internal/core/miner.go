@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"regcluster/internal/matrix"
@@ -33,13 +35,38 @@ type extMember struct {
 // Mine discovers all reg-clusters of m under p (Definition 3.2), returning
 // them in deterministic depth-first enumeration order.
 func Mine(m *matrix.Matrix, p Params) (*Result, error) {
+	return MineContext(context.Background(), m, p)
+}
+
+// MineContext is Mine with cooperative cancellation: the search checks the
+// context at every node and candidate boundary and, once it expires, stops
+// promptly and returns the context's error. The cancellation point is not
+// deterministic, so no partial result is returned.
+func MineContext(ctx context.Context, m *matrix.Matrix, p Params) (*Result, error) {
+	mn, err := mineSequential(ctx, m, p, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Clusters: mn.out, Stats: mn.stats}, nil
+}
+
+// mineSequential runs one single-threaded mining session. With a nil visitor
+// the clusters accumulate on the returned miner's out slice; otherwise they
+// stream to the visitor as MineFunc documents.
+func mineSequential(ctx context.Context, m *matrix.Matrix, p Params, visit Visitor) (*miner, error) {
 	models, err := prepare(m, p)
 	if err != nil {
 		return nil, err
 	}
-	mn := &miner{m: m, p: p, models: models, seen: make(map[string]bool)}
+	mn := &miner{m: m, p: p, models: models, bud: newBudget(p, ctx), seen: make(map[string]bool)}
+	if visit != nil {
+		mn.sink = func(b *Bicluster, _ int) bool { return visit(b) }
+	}
 	mn.run()
-	return &Result{Clusters: mn.out, Stats: mn.stats}, nil
+	if err := mn.bud.contextErr(); err != nil {
+		return nil, err
+	}
+	return mn, nil
 }
 
 // prepare validates the inputs and builds the per-gene RWave models.
@@ -71,11 +98,16 @@ type miner struct {
 	m      *matrix.Matrix
 	p      Params
 	models []*rwave.Model
+	bud    *budget         // global caps + cancellation, shared across workers
 	seen   map[string]bool // pruning (3b) duplicate-state keys
 	out    []*Bicluster
-	visit  Visitor // when set, clusters stream to it instead of out
-	stats  Stats
-	stop   bool // set when a safety cap fires or the visitor stops
+	// sink, when set, receives each cluster as it is found together with the
+	// miner-local node ordinal of its emission (stats.Nodes at that moment),
+	// instead of the cluster landing on out. Returning false stops this
+	// miner like a cap trip.
+	sink  func(b *Bicluster, node int) bool
+	stats Stats
+	stop  bool // set when a cap fires, the sink stops, or the budget cancels
 }
 
 func (mn *miner) run() {
@@ -108,11 +140,12 @@ func (mn *miner) runFrom(c int) {
 
 // mineC2 is the MineC² subroutine of Figure 5.
 func (mn *miner) mineC2(chain []int, members []member) {
-	if mn.stop {
+	if mn.stop || mn.bud.stopped() {
+		mn.stop = true
 		return
 	}
 	mn.stats.Nodes++
-	if mn.p.MaxNodes > 0 && mn.stats.Nodes > mn.p.MaxNodes {
+	if !mn.bud.chargeNode() {
 		mn.stats.Truncated = true
 		mn.stop = true
 		return
@@ -147,16 +180,13 @@ func (mn *miner) mineC2(chain []int, members []member) {
 		} else {
 			mn.seen[key] = true
 			mn.stats.Clusters++
-			if mn.visit != nil {
-				if !mn.visit(b) {
-					mn.stats.Truncated = true
-					mn.stop = true
-					return
-				}
+			delivered := true
+			if mn.sink != nil {
+				delivered = mn.sink(b, mn.stats.Nodes)
 			} else {
 				mn.out = append(mn.out, b)
 			}
-			if mn.p.MaxClusters > 0 && mn.stats.Clusters >= mn.p.MaxClusters {
+			if !mn.bud.chargeCluster() || !delivered {
 				mn.stats.Truncated = true
 				mn.stop = true
 				return
@@ -205,7 +235,8 @@ func (mn *miner) extend(chain []int, members []member, pCount int) {
 	}
 
 	for _, ci := range candidates {
-		if mn.stop {
+		if mn.stop || mn.bud.stopped() {
+			mn.stop = true
 			return
 		}
 		mn.stats.CandidatesExamined++
@@ -258,8 +289,19 @@ func (mn *miner) matchCandidate(chain []int, members []member, last, ci int) []e
 		}
 		h := 1.0
 		if chainLen >= 2 {
+			// Equation 7: relative step size against the baseline step of the
+			// first two chain conditions. γ_i = 0 admits regulation steps of
+			// denormal (or, for an externally supplied chain, zero) magnitude,
+			// so the quotient can overflow to ±Inf or degenerate to NaN. A
+			// non-finite score can never satisfy an ε-window with any other
+			// member, and NaN would corrupt the sort below, so such members
+			// are dropped here and counted in stats.NonFiniteH.
 			base := mod.ValueOf(chain[1]) - mod.ValueOf(chain[0])
 			h = (mod.ValueOf(ci) - mod.ValueOf(last)) / base
+			if math.IsInf(h, 0) || math.IsNaN(h) {
+				mn.stats.NonFiniteH++
+				continue
+			}
 		}
 		ext = append(ext, extMember{member{mb.gene, mb.up}, h})
 	}

@@ -1,27 +1,70 @@
 package core
 
 import (
+	"context"
 	"runtime"
+	"sort"
 	"sync"
 
 	"regcluster/internal/matrix"
+
+	"regcluster/internal/rwave"
 )
 
-// MineParallel mines the same cluster set as Mine using a pool of workers,
-// one level-1 subtree (starting condition) per task. Subtrees are
-// independent: a representative chain lives entirely in the subtree of its
-// first condition, so no cross-worker deduplication is needed and the merged
-// result — ordered by starting condition, then depth-first as in Mine — is
-// identical to the sequential output.
+// MineParallel mines the same cluster set as Mine using a pool of workers.
+// Level-1 subtrees (starting conditions) are independent — a representative
+// chain lives entirely in the subtree of its first condition — so they are
+// dispatched through a work queue, largest-estimated-subtree first to keep
+// the (highly skewed) load balanced, and the merged result is ordered by
+// starting condition, then depth-first, exactly as in Mine.
 //
 // workers <= 0 selects GOMAXPROCS. The MaxClusters and MaxNodes caps are
-// enforced per worker in parallel mode, so a truncated parallel run may
-// return more clusters than a truncated sequential one; untruncated runs are
-// always identical.
+// enforced GLOBALLY through a budget shared by all workers: a truncated
+// parallel run returns exactly the clusters — and exactly the Stats — that
+// the truncated sequential Mine returns, for any worker count.
 func MineParallel(m *matrix.Matrix, p Params, workers int) (*Result, error) {
-	models, err := prepare(m, p)
+	return mineParallelCollect(nil, m, p, workers)
+}
+
+// MineParallelContext is MineParallel with cooperative cancellation: all
+// workers observe the context at node and candidate boundaries. Once the
+// context expires the call stops promptly and returns the context's error;
+// the cancellation point is not deterministic, so no partial result is
+// returned.
+func MineParallelContext(ctx context.Context, m *matrix.Matrix, p Params, workers int) (*Result, error) {
+	return mineParallelCollect(ctx, m, p, workers)
+}
+
+func mineParallelCollect(ctx context.Context, m *matrix.Matrix, p Params, workers int) (*Result, error) {
+	res := &Result{}
+	stats, err := mineParallel(ctx, m, p, workers, func(b *Bicluster) bool {
+		res.Clusters = append(res.Clusters, b)
+		return true
+	})
 	if err != nil {
 		return nil, err
+	}
+	res.Stats = stats
+	return res, nil
+}
+
+// MineParallelFunc streams reg-clusters to the visitor from a pool of
+// workers. Delivery order is deterministic and identical to MineFunc's:
+// each level-1 subtree's clusters pass through a reordering buffer and the
+// visitor receives them in starting-condition order, depth-first within a
+// subtree, on the calling goroutine. Returning false from the visitor stops
+// every worker cooperatively; the clusters delivered and the returned Stats
+// are then exactly those of MineFunc with the same visitor. The visitor must
+// be non-nil.
+func MineParallelFunc(m *matrix.Matrix, p Params, workers int, visit Visitor) (Stats, error) {
+	return mineParallel(nil, m, p, workers, visit)
+}
+
+// mineParallel is the engine entry shared by every parallel front-end.
+func mineParallel(ctx context.Context, m *matrix.Matrix, p Params, workers int, visit Visitor) (Stats, error) {
+	models, err := prepare(m, p)
+	if err != nil {
+		return Stats{}, err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -30,48 +73,293 @@ func MineParallel(m *matrix.Matrix, p Params, workers int) (*Result, error) {
 	if workers > nConds {
 		workers = nConds
 	}
+	bud := newBudget(p, ctx)
 	if workers <= 1 {
-		mn := &miner{m: m, p: p, models: models, seen: make(map[string]bool)}
+		// One worker degenerates to the sequential miner on the same budget.
+		mn := &miner{m: m, p: p, models: models, bud: bud, seen: make(map[string]bool),
+			sink: func(b *Bicluster, _ int) bool { return visit(b) }}
 		mn.run()
-		return &Result{Clusters: mn.out, Stats: mn.stats}, nil
+		if err := bud.contextErr(); err != nil {
+			return Stats{}, err
+		}
+		return mn.stats, nil
 	}
 
-	type subtree struct {
-		out   []*Bicluster
-		stats Stats
+	e := &engine{m: m, p: p, models: models, bud: bud, visit: visit,
+		subs: make([]*subtree, nConds)}
+	for c := range e.subs {
+		e.subs[c] = newSubtree()
 	}
-	results := make([]subtree, nConds)
-	var wg sync.WaitGroup
-	next := make(chan int)
+	queue := make(chan int)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range next {
-				mn := &miner{m: m, p: p, models: models, seen: make(map[string]bool)}
-				mn.runFrom(c)
-				results[c] = subtree{out: mn.out, stats: mn.stats}
-			}
-		}()
+		e.wg.Add(1)
+		go e.worker(queue)
 	}
-	for c := 0; c < nConds; c++ {
-		next <- c
-	}
-	close(next)
-	wg.Wait()
+	go func() {
+		for _, c := range subtreeOrder(m, p, models) {
+			queue <- c
+		}
+		close(queue)
+	}()
+	stats, err := e.emit()
+	e.stopWorkers()
+	return stats, err
+}
 
-	res := &Result{}
-	for _, sub := range results {
-		res.Clusters = append(res.Clusters, sub.out...)
-		res.Stats.Nodes += sub.stats.Nodes
-		res.Stats.Clusters += sub.stats.Clusters
-		res.Stats.Duplicates += sub.stats.Duplicates
-		res.Stats.PrunedMinG += sub.stats.PrunedMinG
-		res.Stats.PrunedMajority += sub.stats.PrunedMajority
-		res.Stats.PrunedCoherence += sub.stats.PrunedCoherence
-		res.Stats.MembersDroppedByLength += sub.stats.MembersDroppedByLength
-		res.Stats.CandidatesExamined += sub.stats.CandidatesExamined
-		res.Stats.Truncated = res.Stats.Truncated || sub.stats.Truncated
+// engine runs one parallel mining session: a worker pool mining level-1
+// subtrees against a shared budget, and an in-order emitter (the calling
+// goroutine, see emit) that reassembles the deterministic sequential output
+// from the per-subtree reordering buffers.
+type engine struct {
+	m      *matrix.Matrix
+	p      Params
+	models []*rwave.Model
+	bud    *budget
+	visit  Visitor
+	subs   []*subtree
+	wg     sync.WaitGroup
+
+	// Exact sequential accounting of the settled prefix: agg/cumNodes/
+	// cumClusters cover whole subtrees already delivered, in starting-
+	// condition order.
+	agg         Stats
+	cumNodes    int
+	cumClusters int
+}
+
+func (e *engine) worker(queue <-chan int) {
+	defer e.wg.Done()
+	for c := range queue {
+		sub := e.subs[c]
+		if e.bud.stopped() {
+			sub.finish(Stats{}, false)
+			continue
+		}
+		mn := &miner{m: e.m, p: e.p, models: e.models, bud: e.bud,
+			seen: make(map[string]bool), sink: sub.push}
+		mn.runFrom(c)
+		// The subtree is complete exactly when the miner ran it to the end:
+		// any stop (own cap trip or a sibling's cancellation) leaves it
+		// schedule-dependent and the emitter will re-mine it if needed.
+		sub.finish(mn.stats, !mn.stop)
 	}
-	return res, nil
+}
+
+func (e *engine) stopWorkers() {
+	e.bud.cancel()
+	e.wg.Wait()
+}
+
+// emit drains the subtree buffers in starting-condition order, delivering
+// clusters to the visitor while enforcing the sequential-prefix semantics of
+// the global caps:
+//
+//   - a streamed cluster is delivered only if the node that emitted it lies
+//     within the global node cap (cumNodes + local node ordinal <= MaxNodes) —
+//     the exact set of nodes the sequential miner processes;
+//   - the cluster whose delivery reaches MaxClusters is delivered, then the
+//     run truncates, as in the sequential miner;
+//   - any truncation (cap or visitor stop) re-mines the affected subtree
+//     against a budget pre-charged with the settled prefix totals, yielding
+//     Stats identical to the truncated sequential run's.
+//
+// Workers mine subtrees in an arbitrary, schedule-dependent interleaving;
+// only the accounting here decides what the run *returns*, which is why the
+// output is deterministic and cap-exact regardless of worker count.
+func (e *engine) emit() (Stats, error) {
+	nodeCap, clusterCap := e.p.MaxNodes, e.p.MaxClusters
+	for c := 0; c < len(e.subs); c++ {
+		sub := e.subs[c]
+		taken := 0
+		closed := false
+		for !closed {
+			var items []streamedCluster
+			items, closed = sub.take(taken)
+			for _, it := range items {
+				if nodeCap > 0 && e.cumNodes+it.node > nodeCap {
+					// The node that emitted this cluster lies beyond the
+					// global cap: the sequential miner stops before it.
+					return e.truncate(c, taken, clusterCap)
+				}
+				taken++
+				if !e.visit(it.b) {
+					// A visitor stop right after this cluster is equivalent
+					// to a MaxClusters cap at the delivered total.
+					return e.truncate(c, taken, e.cumClusters+taken)
+				}
+				if clusterCap > 0 && e.cumClusters+taken >= clusterCap {
+					return e.truncate(c, taken, clusterCap)
+				}
+			}
+			if !closed {
+				sub.wait()
+			}
+		}
+		st, complete := sub.final()
+		if err := e.bud.contextErr(); err != nil {
+			return Stats{}, err
+		}
+		if !complete {
+			// The worker was interrupted, so the recorded remainder of this
+			// subtree is schedule-dependent. Re-mine it sequentially against
+			// the exact continuation budget: the rerun either truncates at
+			// the precise sequential stop point, or completes — proving the
+			// interruption was spurious overshoot — and the scan resumes.
+			e.stopWorkers()
+			st = e.rerun(c, taken, true, clusterCap)
+			e.account(st)
+			if st.Truncated {
+				return e.agg, nil
+			}
+			continue
+		}
+		if nodeCap > 0 && e.cumNodes+st.Nodes > nodeCap {
+			// The node cap fires inside this subtree after its last
+			// delivered cluster.
+			return e.truncate(c, taken, clusterCap)
+		}
+		e.account(st)
+	}
+	return e.agg, nil
+}
+
+func (e *engine) account(st Stats) {
+	e.agg.Add(st)
+	e.cumNodes += st.Nodes
+	e.cumClusters += st.Clusters
+}
+
+// truncate settles a truncation detected while streaming subtree c, after
+// `taken` of its clusters were delivered: the pool stops, and the subtree is
+// re-mined against the pre-charged continuation budget solely to reproduce
+// the truncated sequential run's Stats. No further clusters are delivered.
+func (e *engine) truncate(c, taken, effClusterCap int) (Stats, error) {
+	e.stopWorkers()
+	if err := e.bud.contextErr(); err != nil {
+		return Stats{}, err
+	}
+	e.agg.Add(e.rerun(c, taken, false, effClusterCap))
+	return e.agg, nil
+}
+
+// rerun re-mines subtree c single-threaded against a fresh budget whose
+// counters are pre-charged with the settled prefix totals, making its
+// behavior — truncation point, cluster sequence and every Stats counter —
+// identical to the sequential miner's continuation into this subtree. The
+// first `skip` clusters were already delivered and are suppressed; when
+// deliver is set the remainder streams to the visitor (whose stop truncates
+// the rerun exactly like MineFunc).
+func (e *engine) rerun(c, skip int, deliver bool, clusterCap int) Stats {
+	rbud := prechargedBudget(e.p.MaxNodes, clusterCap, e.cumNodes, e.cumClusters)
+	emitted := 0
+	mn := &miner{m: e.m, p: e.p, models: e.models, bud: rbud,
+		seen: make(map[string]bool),
+		sink: func(b *Bicluster, _ int) bool {
+			emitted++
+			if !deliver || emitted <= skip {
+				return true
+			}
+			return e.visit(b)
+		}}
+	mn.runFrom(c)
+	return mn.stats
+}
+
+// streamedCluster is one buffered cluster of a level-1 subtree, tagged with
+// the subtree-local node ordinal of its emission so the emitter can decide
+// whether the sequential miner, charged with the preceding subtrees' nodes,
+// would still have processed the emitting node.
+type streamedCluster struct {
+	b    *Bicluster
+	node int
+}
+
+// subtree is the reordering buffer of one level-1 subtree: the mining worker
+// pushes clusters as it finds them, and the in-order emitter drains the
+// buffer once every earlier subtree has been settled.
+type subtree struct {
+	mu       sync.Mutex
+	items    []streamedCluster
+	stats    Stats
+	complete bool          // runFrom finished without interruption
+	closed   bool          // no more pushes will arrive
+	note     chan struct{} // capacity-1 wakeup for the emitter
+}
+
+func newSubtree() *subtree {
+	return &subtree{note: make(chan struct{}, 1)}
+}
+
+// push is the worker-side miner sink.
+func (s *subtree) push(b *Bicluster, node int) bool {
+	s.mu.Lock()
+	s.items = append(s.items, streamedCluster{b: b, node: node})
+	s.mu.Unlock()
+	s.wake()
+	return true
+}
+
+func (s *subtree) finish(stats Stats, complete bool) {
+	s.mu.Lock()
+	s.stats = stats
+	s.complete = complete
+	s.closed = true
+	s.mu.Unlock()
+	s.wake()
+}
+
+func (s *subtree) wake() {
+	select {
+	case s.note <- struct{}{}:
+	default:
+	}
+}
+
+// take returns the buffered clusters from index `from` on, plus the closed
+// flag. Close happens under the same lock as the final push, so a take that
+// observes closed has observed every cluster. The returned slice aliases the
+// buffer: the worker only ever appends past its end, never rewrites it.
+func (s *subtree) take(from int) ([]streamedCluster, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[from:], s.closed
+}
+
+// wait blocks until a push or finish has happened since the last take.
+func (s *subtree) wait() { <-s.note }
+
+func (s *subtree) final() (Stats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats, s.complete
+}
+
+// subtreeOrder returns the starting conditions sorted by decreasing subtree
+// size estimate — the number of initial (gene, direction) members pruning
+// (2) admits, the same count runFrom materializes. Level-1 subtree sizes are
+// highly skewed, so dispatching the largest first keeps the pool busy to the
+// end instead of leaving one worker grinding a giant subtree after the queue
+// drains. Ties keep ascending condition order, so dispatch is deterministic.
+func subtreeOrder(m *matrix.Matrix, p Params, models []*rwave.Model) []int {
+	nConds := m.Cols()
+	size := make([]int, nConds)
+	for c := 0; c < nConds; c++ {
+		n := 0
+		for g := 0; g < m.Rows(); g++ {
+			mod := models[g]
+			if p.DisableChainLengthPruning || mod.MaxUpChainFrom(c) >= p.MinC {
+				n++
+			}
+			if p.DisableChainLengthPruning || mod.MaxDownChainFrom(c) >= p.MinC {
+				n++
+			}
+		}
+		size[c] = n
+	}
+	order := make([]int, nConds)
+	for c := range order {
+		order[c] = c
+	}
+	sort.SliceStable(order, func(a, b int) bool { return size[order[a]] > size[order[b]] })
+	return order
 }

@@ -30,10 +30,13 @@ type Params struct {
 	CustomGammas []float64
 
 	// MaxClusters, when positive, stops the search after that many clusters
-	// have been output. 0 means unlimited.
+	// have been output. 0 means unlimited. The cap is global: MineParallel
+	// and MineParallelFunc enforce it across all workers and return exactly
+	// the clusters (and Stats) a truncated sequential Mine would.
 	MaxClusters int
 	// MaxNodes, when positive, bounds the number of search-tree nodes
 	// visited; the search stops cleanly when exceeded. 0 means unlimited.
+	// Like MaxClusters, the cap is global across parallel workers.
 	MaxNodes int
 
 	// Ablation switches (all default false = paper behaviour). Disabling any
@@ -106,7 +109,29 @@ type Stats struct {
 	MembersDroppedByLength int
 	// CandidatesExamined counts (node, candidate condition) pairs evaluated.
 	CandidatesExamined int
-	// Truncated is set when MaxClusters or MaxNodes stopped the search
-	// early.
+	// NonFiniteH counts members dropped during candidate extension because
+	// their Equation 7 coherence score was not finite (a zero or denormal
+	// baseline step, reachable when γ_i = 0).
+	NonFiniteH int
+	// Truncated is set when MaxClusters, MaxNodes, or a visitor stop ended
+	// the search early.
 	Truncated bool
+}
+
+// Add accumulates o into s: every counter is summed and Truncated is OR-ed.
+// All code that merges Stats values — the parallel subtree merge in
+// particular — must go through Add so that a newly added counter cannot be
+// silently dropped from merged results; TestStatsAddCoversAllFields enforces
+// full field coverage by reflection.
+func (s *Stats) Add(o Stats) {
+	s.Nodes += o.Nodes
+	s.Clusters += o.Clusters
+	s.Duplicates += o.Duplicates
+	s.PrunedMinG += o.PrunedMinG
+	s.PrunedMajority += o.PrunedMajority
+	s.PrunedCoherence += o.PrunedCoherence
+	s.MembersDroppedByLength += o.MembersDroppedByLength
+	s.CandidatesExamined += o.CandidatesExamined
+	s.NonFiniteH += o.NonFiniteH
+	s.Truncated = s.Truncated || o.Truncated
 }

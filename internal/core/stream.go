@@ -12,11 +12,9 @@ type Visitor func(b *Bicluster) bool
 // exit. The enumeration order is identical to Mine's. The returned Stats
 // reflect the work done up to the stop point.
 func MineFunc(m *matrix.Matrix, p Params, visit Visitor) (Stats, error) {
-	models, err := prepare(m, p)
+	mn, err := mineSequential(nil, m, p, visit)
 	if err != nil {
 		return Stats{}, err
 	}
-	mn := &miner{m: m, p: p, models: models, seen: make(map[string]bool), visit: visit}
-	mn.run()
 	return mn.stats, nil
 }

@@ -77,8 +77,10 @@ func DefaultSweep(axis Figure7Axis) []int {
 // Figure7 runs one panel of the efficiency experiment: it varies one
 // generator input over the given points while keeping the paper defaults
 // (#g = 3000, #cond = 30, #clus = 30) for the other two, mines each dataset
-// with MiningDefaults, and reports the runtime per point.
-func Figure7(axis Figure7Axis, points []int, seed int64) ([]SweepPoint, error) {
+// with MiningDefaults, and reports the runtime per point. workers > 1 (or
+// <= 0 for GOMAXPROCS) mines with the parallel worker pool, whose output is
+// identical to the sequential miner's.
+func Figure7(axis Figure7Axis, points []int, seed int64, workers int) ([]SweepPoint, error) {
 	if points == nil {
 		points = DefaultSweep(axis)
 	}
@@ -100,7 +102,12 @@ func Figure7(axis Figure7Axis, points []int, seed int64) ([]SweepPoint, error) {
 		}
 		p := MiningDefaults(cfg.Genes)
 		start := time.Now()
-		res, err := core.Mine(m, p)
+		var res *core.Result
+		if workers == 1 {
+			res, err = core.Mine(m, p)
+		} else {
+			res, err = core.MineParallel(m, p, workers)
+		}
 		if err != nil {
 			return nil, err
 		}

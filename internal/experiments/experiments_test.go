@@ -12,7 +12,7 @@ import (
 
 // TestFigure7SmallSweep runs a miniature Figure 7 panel end to end.
 func TestFigure7SmallSweep(t *testing.T) {
-	pts, err := Figure7(AxisGenes, []int{200, 400}, 1)
+	pts, err := Figure7(AxisGenes, []int{200, 400}, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

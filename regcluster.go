@@ -29,6 +29,7 @@
 package regcluster
 
 import (
+	"context"
 	"io"
 
 	"regcluster/internal/core"
@@ -73,11 +74,42 @@ type Stats = core.Stats
 // Mine discovers all reg-clusters of m under p.
 func Mine(m *Matrix, p Params) (*Result, error) { return core.Mine(m, p) }
 
-// MineParallel mines the same cluster set as Mine with a worker pool (one
-// level-1 subtree per task); workers <= 0 selects GOMAXPROCS. Untruncated
-// results are identical to Mine's, in the same order.
+// MineContext is Mine with cooperative cancellation: the search stops
+// promptly once ctx expires and returns the context's error.
+func MineContext(ctx context.Context, m *Matrix, p Params) (*Result, error) {
+	return core.MineContext(ctx, m, p)
+}
+
+// Visitor receives mined clusters as the search discovers them; returning
+// false stops the search, leaving exactly the prefix of Mine's output.
+type Visitor = core.Visitor
+
+// MineFunc streams reg-clusters to the visitor in Mine's enumeration order
+// instead of accumulating them, bounding memory and enabling early exit.
+func MineFunc(m *Matrix, p Params, visit Visitor) (Stats, error) {
+	return core.MineFunc(m, p, visit)
+}
+
+// MineParallel mines the same cluster set as Mine with a worker pool over
+// the level-1 subtrees; workers <= 0 selects GOMAXPROCS. Results — clusters
+// and Stats alike — are identical to Mine's for any worker count, in the
+// same order, including runs truncated by the global MaxClusters/MaxNodes
+// caps.
 func MineParallel(m *Matrix, p Params, workers int) (*Result, error) {
 	return core.MineParallel(m, p, workers)
+}
+
+// MineParallelContext is MineParallel with cooperative cancellation through
+// ctx, observed by every worker.
+func MineParallelContext(ctx context.Context, m *Matrix, p Params, workers int) (*Result, error) {
+	return core.MineParallelContext(ctx, m, p, workers)
+}
+
+// MineParallelFunc streams reg-clusters to the visitor from a worker pool,
+// in the same deterministic order as MineFunc; a visitor stop halts all
+// workers and leaves exactly the sequential prefix.
+func MineParallelFunc(m *Matrix, p Params, workers int, visit Visitor) (Stats, error) {
+	return core.MineParallelFunc(m, p, workers, visit)
 }
 
 // ThresholdsRangeFraction, ThresholdsMeanFraction and ThresholdsNearestPair
