@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench serve-smoke
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,8 @@ check: build vet race
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+# Boot regserver on a random port and run one mining job end to end over
+# HTTP with curl, asserting a cache hit on the second submission.
+serve-smoke: build
+	GO=$(GO) ./scripts/serve_smoke.sh

@@ -81,6 +81,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -gammamode %q", *gammaMode)
 	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	// A worker count beyond any plausible machine is a typo, not a request.
+	if err := core.ValidateWorkers(*parallel, 4096); err != nil {
+		return err
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

@@ -1,0 +1,121 @@
+// Command regserver runs the reg-cluster mining service: a long-lived HTTP
+// server with a content-addressed dataset registry, an asynchronous job
+// manager over the parallel miner, an LRU result cache, and Prometheus-style
+// metrics.
+//
+// Usage:
+//
+//	regserver -addr :8371 -jobs 2 -cache 256
+//
+// The API surface (see internal/service):
+//
+//	POST   /datasets?name=...   upload a TSV matrix (content-addressed)
+//	GET    /datasets            list datasets
+//	GET    /datasets/{id}       dataset detail with per-gene row stats
+//	GET    /datasets/{id}/tsv   download the (imputed) matrix
+//	DELETE /datasets/{id}       remove a dataset
+//	POST   /jobs                submit a mining job (JSON body)
+//	GET    /jobs, /jobs/{id}    inspect jobs
+//	POST   /jobs/{id}/cancel    cooperative cancellation
+//	GET    /jobs/{id}/stream    NDJSON cluster stream (live)
+//	GET    /jobs/{id}/result    settled result document
+//	GET    /metrics, /healthz, /debug/pprof/*
+//
+// On SIGINT/SIGTERM the server stops accepting work and drains running jobs,
+// cancelling whatever is still mining when the grace period expires.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"regcluster/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "regserver:", err)
+		os.Exit(1)
+	}
+}
+
+// run boots the service and blocks until ctx is cancelled (or the listener
+// fails). It prints the bound address to stdout as its first line so callers
+// using ":0" can discover the port.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("regserver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", ":8371", "listen address (host:port; port 0 picks a free port)")
+		jobs        = fs.Int("jobs", 2, "mining jobs allowed to run concurrently")
+		workers     = fs.Int("workers", 0, "default per-job worker count (0 = all cores)")
+		maxWorkers  = fs.Int("max-workers", 64, "reject submissions asking for more workers than this")
+		cacheSize   = fs.Int("cache", 256, "result-cache entries (negative disables caching)")
+		maxDatasets = fs.Int("max-datasets", 64, "dataset registry capacity")
+		maxUpload   = fs.Int64("max-upload-bytes", 64<<20, "largest accepted dataset upload")
+		maxDuration = fs.Duration("max-job-duration", 0, "hard per-job mining deadline (0 = unlimited)")
+		maxNodes    = fs.Int("max-nodes", 0, "server-side cap on search nodes per job (0 = unlimited)")
+		maxClusters = fs.Int("max-clusters", 0, "server-side cap on clusters per job (0 = unlimited)")
+		grace       = fs.Duration("grace", 30*time.Second, "shutdown grace period before running jobs are cancelled")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc := service.New(service.Config{
+		MaxConcurrentJobs: *jobs,
+		DefaultWorkers:    *workers,
+		MaxWorkersPerJob:  *maxWorkers,
+		CacheEntries:      *cacheSize,
+		MaxDatasets:       *maxDatasets,
+		MaxUploadBytes:    *maxUpload,
+		MaxJobDuration:    *maxDuration,
+		MaxNodesPerJob:    *maxNodes,
+		MaxClustersPerJob: *maxClusters,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "regserver: listening on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "regserver: shutting down")
+
+	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Drain the job manager first: new submissions are rejected immediately
+	// and cluster streams close as their jobs settle, so the subsequent HTTP
+	// shutdown is not held open by long-lived /stream requests. Both phases
+	// share the grace period.
+	drainErr := svc.Shutdown(graceCtx)
+	httpErr := httpSrv.Shutdown(graceCtx)
+	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
+		return drainErr
+	}
+	if httpErr != nil && !errors.Is(httpErr, context.DeadlineExceeded) {
+		return httpErr
+	}
+	fmt.Fprintln(stdout, "regserver: bye")
+	return nil
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"regcluster/internal/core"
+	"regcluster/internal/paperdata"
+)
+
+// lineBuffer is a concurrency-safe writer the server goroutine logs into.
+type lineBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lineBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lineBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServerLifecycle boots regserver on a random port, runs one mining job
+// end to end over HTTP, verifies the cache hit on resubmission, and shuts the
+// process down cleanly via context cancellation (the signal path).
+func TestServerLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr lineBuffer
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{"-addr", "127.0.0.1:0", "-jobs", "1", "-grace", "5s"}, &stdout, &stderr)
+	}()
+
+	// The first stdout line announces the bound address.
+	base := ""
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		out := stdout.String()
+		if i := strings.Index(out, "http://"); i >= 0 {
+			if j := strings.IndexByte(out[i:], '\n'); j > 0 {
+				base = strings.TrimSpace(out[i : i+j])
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatalf("no listening line printed; stdout %q stderr %q", stdout.String(), stderr.String())
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d", resp.StatusCode)
+	}
+
+	// Upload the Table 1 matrix.
+	m := paperdata.RunningExample()
+	var tsv bytes.Buffer
+	if err := m.WriteTSV(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/datasets?name=table1", "text/tab-separated-values", &tsv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ds struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ds); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	submit := func() (id string, cached bool) {
+		body, _ := json.Marshal(map[string]any{
+			"dataset": ds.ID,
+			"params":  core.Params{MinG: 3, MinC: 5, Gamma: 0.15, Epsilon: 0.1},
+		})
+		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			msg, _ := io.ReadAll(resp.Body)
+			t.Fatalf("submit %d: %s", resp.StatusCode, msg)
+		}
+		var v struct {
+			ID     string `json:"id"`
+			Cached bool   `json:"cached"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v.ID, v.Cached
+	}
+
+	jobID, cached := submit()
+	if cached {
+		t.Fatal("first submission cached")
+	}
+	var status string
+	for deadline := time.Now().Add(20 * time.Second); time.Now().Before(deadline); {
+		resp, err := http.Get(base + "/jobs/" + jobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v struct {
+			Status   string `json:"status"`
+			Clusters int    `json:"clusters"`
+		}
+		json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		status = v.Status
+		if status == "done" {
+			if v.Clusters != 1 {
+				t.Fatalf("table 1 mined %d clusters, want 1", v.Clusters)
+			}
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if status != "done" {
+		t.Fatalf("job stuck in %q", status)
+	}
+	if _, cached := submit(); !cached {
+		t.Fatal("resubmission not served from cache")
+	}
+
+	// Context cancellation must drain and exit cleanly, like SIGTERM.
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v; stderr %q", err, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if out := stdout.String(); !strings.Contains(out, "bye") {
+		t.Fatalf("no clean-shutdown line in %q", out)
+	}
+}
+
+// TestBadFlags covers the flag-error path.
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr lineBuffer
+	err := run(context.Background(), []string{"-no-such-flag"}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+// TestListenError covers an unbindable address.
+func TestListenError(t *testing.T) {
+	var stdout, stderr lineBuffer
+	err := run(context.Background(), []string{"-addr", "256.0.0.1:1"}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("bogus address accepted")
+	}
+	_ = fmt.Sprint(err)
+}

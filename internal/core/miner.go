@@ -106,6 +106,7 @@ type miner struct {
 	// instead of the cluster landing on out. Returning false stops this
 	// miner like a cap trip.
 	sink  func(b *Bicluster, node int) bool
+	obs   *Observer // optional live progress counters, shared across workers
 	stats Stats
 	stop  bool // set when a cap fires, the sink stops, or the budget cancels
 }
@@ -145,6 +146,9 @@ func (mn *miner) mineC2(chain []int, members []member) {
 		return
 	}
 	mn.stats.Nodes++
+	if mn.obs != nil {
+		mn.obs.nodes.Add(1)
+	}
 	if !mn.bud.chargeNode() {
 		mn.stats.Truncated = true
 		mn.stop = true
@@ -180,6 +184,9 @@ func (mn *miner) mineC2(chain []int, members []member) {
 		} else {
 			mn.seen[key] = true
 			mn.stats.Clusters++
+			if mn.obs != nil {
+				mn.obs.clusters.Add(1)
+			}
 			delivered := true
 			if mn.sink != nil {
 				delivered = mn.sink(b, mn.stats.Nodes)

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"regcluster/internal/matrix"
+)
+
+// Observer exposes live progress counters of an in-flight mining run. All
+// methods are safe for concurrent use; a server can poll an Observer from a
+// status endpoint while the miners run. The counters are monotone and
+// *approximate* accounting of work in flight: on a truncated run the workers
+// may briefly overshoot the exact sequential totals before cancellation
+// reaches them, so the authoritative numbers remain the Stats returned when
+// the run finishes. An uncapped, uninterrupted run ends with Nodes/Clusters
+// equal to the final Stats.
+type Observer struct {
+	nodes    atomic.Int64
+	clusters atomic.Int64
+}
+
+// Nodes returns the number of search-tree nodes visited so far.
+func (o *Observer) Nodes() int64 { return o.nodes.Load() }
+
+// Clusters returns the number of clusters emitted by workers so far.
+func (o *Observer) Clusters() int64 { return o.clusters.Load() }
+
+// MineParallelFuncContext is MineParallelFunc with cooperative cancellation:
+// every worker observes ctx at node and candidate boundaries, and once it
+// expires the call stops promptly and returns the context's error. Delivery
+// order and truncation semantics are otherwise identical to MineParallelFunc.
+func MineParallelFuncContext(ctx context.Context, m *matrix.Matrix, p Params, workers int, visit Visitor) (Stats, error) {
+	return mineParallel(ctx, m, p, workers, visit, nil)
+}
+
+// MineParallelFuncObserved is MineParallelFuncContext with live progress
+// reporting: the miners increment obs (when non-nil) as they visit nodes and
+// emit clusters, so concurrent readers can watch the run advance.
+func MineParallelFuncObserved(ctx context.Context, m *matrix.Matrix, p Params, workers int, visit Visitor, obs *Observer) (Stats, error) {
+	return mineParallel(ctx, m, p, workers, visit, obs)
+}
+
+// ValidateWorkers reports whether a caller-supplied worker count is usable.
+// Zero and negative counts are valid and select GOMAXPROCS (the documented
+// Mine* convention) — except that servers accepting untrusted requests
+// usually want a ceiling: a positive max rejects counts above it. Use it
+// wherever a worker count crosses an API boundary (CLI flags, service
+// submissions) so the error message is uniform.
+func ValidateWorkers(workers, max int) error {
+	if max > 0 && workers > max {
+		return fmt.Errorf("core: %d workers exceeds the limit of %d", workers, max)
+	}
+	return nil
+}

@@ -40,7 +40,7 @@ func mineParallelCollect(ctx context.Context, m *matrix.Matrix, p Params, worker
 	stats, err := mineParallel(ctx, m, p, workers, func(b *Bicluster) bool {
 		res.Clusters = append(res.Clusters, b)
 		return true
-	})
+	}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -57,11 +57,14 @@ func mineParallelCollect(ctx context.Context, m *matrix.Matrix, p Params, worker
 // are then exactly those of MineFunc with the same visitor. The visitor must
 // be non-nil.
 func MineParallelFunc(m *matrix.Matrix, p Params, workers int, visit Visitor) (Stats, error) {
-	return mineParallel(nil, m, p, workers, visit)
+	return mineParallel(nil, m, p, workers, visit, nil)
 }
 
-// mineParallel is the engine entry shared by every parallel front-end.
-func mineParallel(ctx context.Context, m *matrix.Matrix, p Params, workers int, visit Visitor) (Stats, error) {
+// mineParallel is the engine entry shared by every parallel front-end. The
+// optional obs receives live node/cluster counts from every worker miner;
+// reconciliation reruns do NOT feed it, since they re-walk subtrees whose
+// nodes the interrupted workers already counted.
+func mineParallel(ctx context.Context, m *matrix.Matrix, p Params, workers int, visit Visitor, obs *Observer) (Stats, error) {
 	models, err := prepare(m, p)
 	if err != nil {
 		return Stats{}, err
@@ -77,6 +80,7 @@ func mineParallel(ctx context.Context, m *matrix.Matrix, p Params, workers int, 
 	if workers <= 1 {
 		// One worker degenerates to the sequential miner on the same budget.
 		mn := &miner{m: m, p: p, models: models, bud: bud, seen: make(map[string]bool),
+			obs:  obs,
 			sink: func(b *Bicluster, _ int) bool { return visit(b) }}
 		mn.run()
 		if err := bud.contextErr(); err != nil {
@@ -85,7 +89,7 @@ func mineParallel(ctx context.Context, m *matrix.Matrix, p Params, workers int, 
 		return mn.stats, nil
 	}
 
-	e := &engine{m: m, p: p, models: models, bud: bud, visit: visit,
+	e := &engine{m: m, p: p, models: models, bud: bud, visit: visit, obs: obs,
 		subs: make([]*subtree, nConds)}
 	for c := range e.subs {
 		e.subs[c] = newSubtree()
@@ -116,6 +120,7 @@ type engine struct {
 	models []*rwave.Model
 	bud    *budget
 	visit  Visitor
+	obs    *Observer
 	subs   []*subtree
 	wg     sync.WaitGroup
 
@@ -136,7 +141,7 @@ func (e *engine) worker(queue <-chan int) {
 			continue
 		}
 		mn := &miner{m: e.m, p: e.p, models: e.models, bud: e.bud,
-			seen: make(map[string]bool), sink: sub.push}
+			seen: make(map[string]bool), sink: sub.push, obs: e.obs}
 		mn.runFrom(c)
 		// The subtree is complete exactly when the miner ran it to the end:
 		// any stop (own cap trip or a sibling's cancellation) leaves it

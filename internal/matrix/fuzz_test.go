@@ -6,7 +6,8 @@ import (
 )
 
 // FuzzReadTSV ensures the parser never panics and that everything it accepts
-// survives a write/read round trip.
+// survives a write/read round trip bit-exactly: same shape, same names, same
+// values (NaNs included) and therefore the same content hash.
 func FuzzReadTSV(f *testing.F) {
 	f.Add("gene\ta\tb\ng1\t1\t2\n")
 	f.Add("g1\t1\t2\ng2\t3\t4\n")
@@ -14,6 +15,8 @@ func FuzzReadTSV(f *testing.F) {
 	f.Add("gene\ta\ng1\tnot-a-number\n")
 	f.Add("\t\t\t\n")
 	f.Add("g1\t1e308\t-1e308\n")
+	f.Add("gene\tNA\tb\nx\t0.1\t-0\n")
+	f.Add("1\t2\t3\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		m, err := ReadTSV(strings.NewReader(input))
 		if err != nil {
@@ -30,9 +33,12 @@ func FuzzReadTSV(f *testing.F) {
 		if err != nil {
 			t.Fatalf("reread of own output failed: %v\noutput: %q", err, sb.String())
 		}
-		if back.Rows() != m.Rows() || back.Cols() != m.Cols() {
-			t.Fatalf("round trip changed shape: %dx%d vs %dx%d",
-				back.Rows(), back.Cols(), m.Rows(), m.Cols())
+		if !back.Equal(m) {
+			t.Fatalf("round trip not value-exact:\nfirst read:\n%v\nreread:\n%v\nTSV: %q",
+				m, back, sb.String())
+		}
+		if back.Hash() != m.Hash() {
+			t.Fatalf("round trip changed content hash\nTSV: %q", sb.String())
 		}
 	})
 }

@@ -1,0 +1,49 @@
+package matrix
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// canonicalNaN is the bit pattern every NaN cell hashes as, so a NaN's
+// payload never influences the content address.
+const canonicalNaN = 0x7ff8000000000001
+
+// Hash returns a content address of the matrix: a hex-encoded SHA-256 over a
+// canonical binary encoding of the shape, the row and column names, and the
+// raw IEEE-754 bits of every cell. Two matrices hash equal exactly when
+// Matrix.Equal holds (NaN cells included), independent of how the matrix was
+// produced — parsed from TSV, built in memory, or round-tripped through
+// WriteTSV. The service layer uses it to content-address uploaded datasets
+// and to derive result-cache keys.
+func (m *Matrix) Hash() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(len(s))
+		h.Write([]byte(s))
+	}
+	writeInt(m.rows)
+	writeInt(m.cols)
+	for _, n := range m.rowNames {
+		writeStr(n)
+	}
+	for _, n := range m.colNames {
+		writeStr(n)
+	}
+	for _, v := range m.data {
+		b := math.Float64bits(v)
+		if math.IsNaN(v) {
+			b = canonicalNaN
+		}
+		binary.LittleEndian.PutUint64(buf[:], b)
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,78 @@
+package matrix
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHashEqualMatricesAgree(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := a.Clone()
+	if a.Hash() != b.Hash() {
+		t.Fatal("clone hashes differently")
+	}
+	if len(a.Hash()) != 64 {
+		t.Fatalf("hash length %d, want 64 hex chars", len(a.Hash()))
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	base := FromRows([][]float64{{1, 2}, {3, 4}})
+	h0 := base.Hash()
+
+	cell := base.Clone()
+	cell.Set(1, 1, 4.0000001)
+	if cell.Hash() == h0 {
+		t.Error("cell change not reflected in hash")
+	}
+
+	name := base.Clone()
+	name.SetRowName(0, "other")
+	if name.Hash() == h0 {
+		t.Error("row name change not reflected in hash")
+	}
+
+	col := base.Clone()
+	col.SetColName(1, "other")
+	if col.Hash() == h0 {
+		t.Error("column name change not reflected in hash")
+	}
+
+	// Same cells, different shape (2x2 vs 1x4) must differ even with the
+	// name lists emptied to the same strings.
+	flat := FromRows([][]float64{{1, 2, 3, 4}})
+	if flat.Hash() == FromRows([][]float64{{1, 2}, {3, 4}}).Hash() {
+		t.Error("shape not reflected in hash")
+	}
+}
+
+func TestHashNaNCanonical(t *testing.T) {
+	a := FromRows([][]float64{{1, math.NaN()}})
+	// A NaN with a different payload must hash identically.
+	b := FromRows([][]float64{{1, math.Float64frombits(0x7ff8dead00000000)}})
+	if a.Hash() != b.Hash() {
+		t.Fatal("NaN payload leaked into the hash")
+	}
+	c := FromRows([][]float64{{1, 2}})
+	if a.Hash() == c.Hash() {
+		t.Fatal("NaN vs number hashed equal")
+	}
+}
+
+func TestHashStableAcrossTSVRoundTrip(t *testing.T) {
+	m := FromRows([][]float64{{1.5, -2.25, math.NaN()}, {0, 1e-9, 1e12}})
+	m.SetRowName(0, "YAL001C")
+	m.SetColName(2, "heat_t30")
+	var sb strings.Builder
+	if err := m.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != m.Hash() {
+		t.Fatal("TSV round trip changed the content hash")
+	}
+}

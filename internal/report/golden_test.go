@@ -1,0 +1,108 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"regcluster/internal/paperdata"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden schema files")
+
+// TestSchemaGolden pins the exact serialized form of the stable result
+// schema (SchemaID) on the paper's Table 1 running example. The same bytes
+// flow through `cmd/regcluster -json`, the service's job results and — per
+// cluster — its NDJSON stream, so any layout change shows up here first.
+// Regenerate deliberately with `go test ./internal/report -run Golden -update`.
+func TestSchemaGolden(t *testing.T) {
+	m := paperdata.RunningExample()
+	res, p := mineRunning(t)
+	doc := FromResult(m, p, res)
+
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "running_example.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("schema output drifted from the golden file.\ngot:\n%s\nwant:\n%s\n(run with -update if the change is intentional)",
+			buf.Bytes(), want)
+	}
+
+	// The golden document must also survive read + resolve.
+	back, err := Read(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SchemaID {
+		t.Errorf("golden schema id %q, want %q", back.Schema, SchemaID)
+	}
+	resolved, err := back.Resolve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resolved) != 1 || resolved[0].Key() != res.Clusters[0].Key() {
+		t.Error("golden document does not resolve to the mined cluster")
+	}
+}
+
+func TestMembersCarrySigns(t *testing.T) {
+	m := paperdata.RunningExample()
+	res, _ := mineRunning(t)
+	nc := Named(m, res.Clusters[0])
+	if nc.Direction != DirectionRising {
+		t.Errorf("direction %q", nc.Direction)
+	}
+	if len(nc.Members) != 3 {
+		t.Fatalf("%d members", len(nc.Members))
+	}
+	signs := map[string]string{}
+	for _, mb := range nc.Members {
+		signs[mb.Gene] = mb.Sign
+	}
+	if signs["g1"] != SignUp || signs["g3"] != SignUp || signs["g2"] != SignDown {
+		t.Errorf("signs %v", signs)
+	}
+}
+
+func TestResolveFromSignedMembersOnly(t *testing.T) {
+	m := paperdata.RunningExample()
+	res, _ := mineRunning(t)
+	full := Named(m, res.Clusters[0])
+	doc := &Document{Clusters: []NamedCluster{{Chain: full.Chain, Members: full.Members}}}
+	resolved, err := doc.Resolve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved[0].Key() != res.Clusters[0].Key() {
+		t.Error("signed-member resolve diverged from the mined cluster")
+	}
+	bad := &Document{Clusters: []NamedCluster{{Chain: full.Chain,
+		Members: []Member{{Gene: "g1", Sign: "?"}}}}}
+	if _, err := bad.Resolve(m); err == nil {
+		t.Error("unknown sign accepted")
+	}
+}
+
+func TestReadRejectsForeignSchema(t *testing.T) {
+	_, err := Read(strings.NewReader(`{"schema":"somebody.else/v9","clusters":[]}`))
+	if err == nil {
+		t.Error("foreign schema accepted")
+	}
+}

@@ -12,11 +12,45 @@ import (
 	"regcluster/internal/matrix"
 )
 
+// SchemaID identifies the stable JSON schema emitted by this package. It is
+// shared by the `cmd/regcluster -json` report, the service's job results and
+// its NDJSON cluster stream; a golden-file test pins the byte-level layout.
+// Bump the version suffix only on a breaking change — adding fields is not
+// one.
+const SchemaID = "regcluster.result/v1"
+
+// Sign values of a cluster member.
+const (
+	SignUp   = "+" // expression strictly rises along the serialized chain
+	SignDown = "-" // expression strictly falls along the serialized chain
+)
+
+// DirectionRising documents the orientation of the serialized chain: the
+// condition names are listed in the order along which every p-member's
+// expression strictly rises (and every n-member's strictly falls).
+const DirectionRising = "rising"
+
+// Member is one gene of a cluster with its regulation sign relative to the
+// serialized chain direction.
+type Member struct {
+	Gene string `json:"gene"`
+	// Sign is SignUp for p-members and SignDown for n-members.
+	Sign string `json:"sign"`
+}
+
 // NamedCluster is the portable form of one reg-cluster.
 type NamedCluster struct {
 	// Chain lists condition names in representative-chain order.
 	Chain []string `json:"chain"`
-	// PMembers and NMembers list gene names.
+	// Direction is always DirectionRising: the chain is serialized in the
+	// orientation along which p-members rise. Consumers that re-orient the
+	// chain must flip every member sign.
+	Direction string `json:"chain_direction"`
+	// Members lists every gene with its sign, p-members first, each group in
+	// ascending matrix order.
+	Members []Member `json:"members"`
+	// PMembers and NMembers list the gene names split by sign (redundant
+	// with Members; kept for spreadsheet-friendly consumption).
 	PMembers []string `json:"p_members"`
 	NMembers []string `json:"n_members,omitempty"`
 	// Genes and Conditions are the dimensions, for quick filtering.
@@ -26,6 +60,7 @@ type NamedCluster struct {
 
 // Document is a full mining result with its parameters.
 type Document struct {
+	Schema   string         `json:"schema"`
 	Params   core.Params    `json:"params"`
 	Stats    core.Stats     `json:"stats"`
 	Clusters []NamedCluster `json:"clusters"`
@@ -33,23 +68,28 @@ type Document struct {
 
 // FromResult converts a mining result to its named form using m's labels.
 func FromResult(m *matrix.Matrix, p core.Params, res *core.Result) *Document {
-	doc := &Document{Params: p, Stats: res.Stats}
+	doc := &Document{Schema: SchemaID, Params: p, Stats: res.Stats}
 	for _, b := range res.Clusters {
-		doc.Clusters = append(doc.Clusters, named(m, b))
+		doc.Clusters = append(doc.Clusters, Named(m, b))
 	}
 	return doc
 }
 
-func named(m *matrix.Matrix, b *core.Bicluster) NamedCluster {
-	nc := NamedCluster{}
+// Named converts one cluster to its portable named form using m's labels.
+func Named(m *matrix.Matrix, b *core.Bicluster) NamedCluster {
+	nc := NamedCluster{Direction: DirectionRising}
 	for _, c := range b.Chain {
 		nc.Chain = append(nc.Chain, m.ColName(c))
 	}
 	for _, g := range b.PMembers {
-		nc.PMembers = append(nc.PMembers, m.RowName(g))
+		name := m.RowName(g)
+		nc.PMembers = append(nc.PMembers, name)
+		nc.Members = append(nc.Members, Member{Gene: name, Sign: SignUp})
 	}
 	for _, g := range b.NMembers {
-		nc.NMembers = append(nc.NMembers, m.RowName(g))
+		name := m.RowName(g)
+		nc.NMembers = append(nc.NMembers, name)
+		nc.Members = append(nc.Members, Member{Gene: name, Sign: SignDown})
 	}
 	nc.Genes, nc.Conditions = b.Dims()
 	return nc
@@ -62,11 +102,16 @@ func (d *Document) Write(w io.Writer) error {
 	return enc.Encode(d)
 }
 
-// Read decodes a document from JSON.
+// Read decodes a document from JSON. Documents written before the schema
+// field existed (no "schema" key) are accepted; a document declaring a
+// different schema is rejected.
 func Read(r io.Reader) (*Document, error) {
 	var d Document
 	if err := json.NewDecoder(r).Decode(&d); err != nil {
 		return nil, fmt.Errorf("report: %w", err)
+	}
+	if d.Schema != "" && d.Schema != SchemaID {
+		return nil, fmt.Errorf("report: unsupported schema %q (this build reads %q)", d.Schema, SchemaID)
 	}
 	return &d, nil
 }
@@ -93,11 +138,25 @@ func (d *Document) Resolve(m *matrix.Matrix) ([]*core.Bicluster, error) {
 			}
 			b.Chain = append(b.Chain, j)
 		}
+		pNames, nNames := nc.PMembers, nc.NMembers
+		if len(pNames) == 0 && len(nNames) == 0 && len(nc.Members) > 0 {
+			// A document carrying only the signed member list.
+			for _, mb := range nc.Members {
+				switch mb.Sign {
+				case SignUp:
+					pNames = append(pNames, mb.Gene)
+				case SignDown:
+					nNames = append(nNames, mb.Gene)
+				default:
+					return nil, fmt.Errorf("report: cluster %d: gene %q has unknown sign %q", ci, mb.Gene, mb.Sign)
+				}
+			}
+		}
 		var err error
-		if b.PMembers, err = resolveGenes(rowIdx, nc.PMembers, ci); err != nil {
+		if b.PMembers, err = resolveGenes(rowIdx, pNames, ci); err != nil {
 			return nil, err
 		}
-		if b.NMembers, err = resolveGenes(rowIdx, nc.NMembers, ci); err != nil {
+		if b.NMembers, err = resolveGenes(rowIdx, nNames, ci); err != nil {
 			return nil, err
 		}
 		out = append(out, b)

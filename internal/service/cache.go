@@ -1,0 +1,100 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+
+	"regcluster/internal/core"
+	"regcluster/internal/report"
+)
+
+// cacheKey derives the result-cache key from the dataset's content hash and
+// the canonical JSON encoding of the mining parameters. Every Params field
+// participates — the ablation switches change only work, not output, but
+// keying on them keeps the derivation trivially audit-able, and MaxClusters/
+// MaxNodes MUST participate because capped runs return a truncated prefix.
+// The worker count deliberately does not: mining output is deterministic for
+// any worker count, so a sweep re-submitted with different parallelism still
+// hits.
+func cacheKey(datasetID string, p core.Params) string {
+	canon, err := json.Marshal(p)
+	if err != nil {
+		// Params is a plain struct of numbers, bools and a float slice;
+		// marshalling cannot fail.
+		panic("service: marshal Params: " + err.Error())
+	}
+	h := sha256.New()
+	h.Write([]byte(datasetID))
+	h.Write([]byte{'|'})
+	h.Write(canon)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cachedResult is one settled mining outcome.
+type cachedResult struct {
+	clusters []report.NamedCluster
+	stats    core.Stats
+}
+
+// resultCache is a strict-LRU map from cacheKey to settled results, bounded
+// by entry count. Only deterministic outcomes are stored (the job manager
+// never caches deadline- or cancel-interrupted runs), so a hit is always
+// byte-identical to re-mining.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used; values are *cacheItem
+	items map[string]*list.Element
+}
+
+type cacheItem struct {
+	key string
+	res cachedResult
+}
+
+func newResultCache(maxEntries int) *resultCache {
+	return &resultCache{max: maxEntries, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached result for key, promoting it to most-recently-used.
+func (c *resultCache) get(key string) (cachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return cachedResult{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).res, true
+}
+
+// put stores a settled result, evicting the least-recently-used entry when
+// the cache is full. Re-putting an existing key refreshes its recency.
+func (c *resultCache) put(key string, res cachedResult) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).key)
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, res: res})
+}
+
+// len returns the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"regcluster/internal/core"
+	"regcluster/internal/report"
+)
+
+func TestCacheKeySensitivity(t *testing.T) {
+	base := core.Params{MinG: 3, MinC: 5, Gamma: 0.15, Epsilon: 0.1}
+	k0 := cacheKey("ds1", base)
+
+	if cacheKey("ds1", base) != k0 {
+		t.Fatal("cache key is not deterministic")
+	}
+	if cacheKey("ds2", base) == k0 {
+		t.Fatal("dataset ID does not affect the key")
+	}
+	mutations := []func(*core.Params){
+		func(p *core.Params) { p.MinG = 4 },
+		func(p *core.Params) { p.MinC = 6 },
+		func(p *core.Params) { p.Gamma = 0.2 },
+		func(p *core.Params) { p.Epsilon = 0.05 },
+		func(p *core.Params) { p.MaxNodes = 100 },
+		func(p *core.Params) { p.MaxClusters = 10 },
+		func(p *core.Params) { p.CustomGammas = []float64{1, 2, 3} },
+	}
+	for i, mutate := range mutations {
+		p := base
+		mutate(&p)
+		if cacheKey("ds1", p) == k0 {
+			t.Errorf("mutation %d does not affect the key", i)
+		}
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	entry := func(n int) cachedResult {
+		return cachedResult{stats: core.Stats{Nodes: n}}
+	}
+	c.put("a", entry(1))
+	c.put("b", entry(2))
+	if _, ok := c.get("a"); !ok { // promotes a over b
+		t.Fatal("a missing")
+	}
+	c.put("c", entry(3)) // evicts b, the least recently used
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b not evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite promotion")
+	}
+	if got, ok := c.get("c"); !ok || got.stats.Nodes != 3 {
+		t.Fatalf("c: %v %v", got, ok)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len %d", c.len())
+	}
+
+	// Overwriting an existing key must not grow the cache.
+	c.put("c", entry(4))
+	if c.len() != 2 {
+		t.Fatalf("len %d after overwrite", c.len())
+	}
+	if got, _ := c.get("c"); got.stats.Nodes != 4 {
+		t.Fatal("overwrite did not replace the value")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	c.put("a", cachedResult{clusters: []report.NamedCluster{{}}})
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+	if c.len() != 0 {
+		t.Fatalf("len %d", c.len())
+	}
+}
+
+func TestCacheManyEntriesStayBounded(t *testing.T) {
+	c := newResultCache(8)
+	for i := 0; i < 100; i++ {
+		c.put(fmt.Sprintf("k%03d", i), cachedResult{stats: core.Stats{Nodes: i}})
+	}
+	if c.len() != 8 {
+		t.Fatalf("len %d, want 8", c.len())
+	}
+	for i := 92; i < 100; i++ { // the eight most recent survive
+		if _, ok := c.get(fmt.Sprintf("k%03d", i)); !ok {
+			t.Fatalf("recent key k%03d evicted", i)
+		}
+	}
+}

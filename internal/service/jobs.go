@@ -1,0 +1,407 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"regcluster/internal/core"
+	"regcluster/internal/report"
+)
+
+// JobStatus is the lifecycle state of a mining job.
+//
+//	queued ──▶ running ──▶ done
+//	   │           ├─────▶ failed
+//	   └───────────┴─────▶ cancelled
+//
+// Cache hits are born terminal: a submission whose result is cached is
+// recorded as done with Cached set, without ever occupying a mining slot.
+type JobStatus string
+
+const (
+	StatusQueued    JobStatus = "queued"
+	StatusRunning   JobStatus = "running"
+	StatusDone      JobStatus = "done"
+	StatusFailed    JobStatus = "failed"
+	StatusCancelled JobStatus = "cancelled"
+)
+
+// terminal reports whether no further state changes can happen.
+func (s JobStatus) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// ErrDraining is returned by submit once shutdown has begun.
+var ErrDraining = errors.New("service: shutting down, not accepting jobs")
+
+// Job is one submitted mining request. All mutable state is guarded by mu;
+// clusters only ever grows, so snapshot readers may retain the returned
+// slice prefix without copying.
+type Job struct {
+	ID      string
+	Dataset *Dataset
+	Params  core.Params
+	Workers int
+	Timeout time.Duration
+
+	obs core.Observer // live node/cluster counters while mining
+
+	mu       sync.Mutex
+	status   JobStatus
+	cached   bool
+	err      string
+	clusters []report.NamedCluster
+	stats    core.Stats
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	changed  chan struct{} // closed and replaced on every state change
+	cancel   context.CancelFunc
+	done     chan struct{} // closed once status is terminal
+}
+
+// JobView is the JSON form of a job's state at one instant.
+type JobView struct {
+	ID      string      `json:"id"`
+	Dataset string      `json:"dataset"`
+	Status  JobStatus   `json:"status"`
+	Cached  bool        `json:"cached"`
+	Workers int         `json:"workers"`
+	Params  core.Params `json:"params"`
+	Error   string      `json:"error,omitempty"`
+	// Clusters is the number of clusters delivered so far (final once the
+	// status is terminal).
+	Clusters int `json:"clusters"`
+	// LiveNodes/LiveClusters are the miner's live progress counters; they
+	// may slightly overshoot the settled Stats on truncated runs.
+	LiveNodes    int64       `json:"live_nodes"`
+	LiveClusters int64       `json:"live_clusters"`
+	Stats        *core.Stats `json:"stats,omitempty"` // settled, terminal only
+	CreatedAt    time.Time   `json:"created_at"`
+	StartedAt    *time.Time  `json:"started_at,omitempty"`
+	FinishedAt   *time.Time  `json:"finished_at,omitempty"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:      j.ID,
+		Dataset: j.Dataset.ID,
+		Status:  j.status,
+		Cached:  j.cached,
+		Workers: j.Workers,
+		Params:  j.Params,
+		Error:   j.err,
+
+		Clusters:     len(j.clusters),
+		LiveNodes:    j.obs.Nodes(),
+		LiveClusters: j.obs.Clusters(),
+		CreatedAt:    j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	if j.status.terminal() {
+		st := j.stats
+		v.Stats = &st
+	}
+	return v
+}
+
+// Status returns the job's current status.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Done returns a channel closed when the job reaches a terminal status.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Snapshot returns the clusters delivered so far starting at index from,
+// whether the job is terminal, and a channel that signals the next change.
+// The returned slice aliases the job's grow-only buffer.
+func (j *Job) Snapshot(from int) (clusters []report.NamedCluster, terminal bool, changed <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from > len(j.clusters) {
+		from = len(j.clusters)
+	}
+	return j.clusters[from:], j.status.terminal(), j.changed
+}
+
+// Result returns the settled outcome of a terminal job.
+func (j *Job) Result() (clusters []report.NamedCluster, stats core.Stats, errMsg string, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.clusters, j.stats, j.err, j.status.terminal()
+}
+
+// bump wakes every Snapshot waiter. Callers hold j.mu.
+func (j *Job) bump() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// jobManager owns the job table, the mining-slot semaphore and the
+// result-cache interaction. One manager serves one Server.
+type jobManager struct {
+	cache   *resultCache
+	metrics *Metrics
+	slots   chan struct{} // buffered; one token per concurrent mining job
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // submission order for listing
+	seq     int
+	closed  bool
+	running sync.WaitGroup // one count per live mining goroutine
+}
+
+func newJobManager(maxConcurrent int, cache *resultCache, metrics *Metrics) *jobManager {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	return &jobManager{
+		cache:   cache,
+		metrics: metrics,
+		slots:   make(chan struct{}, maxConcurrent),
+		jobs:    make(map[string]*Job),
+	}
+}
+
+// submit registers a mining job for (ds, p) and returns it. When the result
+// cache already holds the outcome, the returned job is already done with
+// Cached set and no mining slot is consumed. Parameters must be validated by
+// the caller; p is stored as submitted (post server-side clamping).
+func (m *jobManager) submit(ds *Dataset, p core.Params, workers int, timeout time.Duration) (*Job, error) {
+	key := cacheKey(ds.ID, p)
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	m.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%06d", m.seq),
+		Dataset: ds,
+		Params:  p,
+		Workers: workers,
+		Timeout: timeout,
+		status:  StatusQueued,
+		created: time.Now().UTC(),
+		changed: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.metrics.JobsSubmitted.Add(1)
+
+	if res, ok := m.cache.get(key); ok {
+		m.metrics.CacheHits.Add(1)
+		m.mu.Unlock()
+		j.mu.Lock()
+		j.cached = true
+		j.clusters = res.clusters
+		j.stats = res.stats
+		now := time.Now().UTC()
+		j.started, j.finished = now, now
+		j.status = StatusDone
+		j.bump()
+		close(j.done)
+		j.mu.Unlock()
+		return j, nil
+	}
+	m.metrics.CacheMisses.Add(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	j.mu.Lock()
+	j.cancel = cancel
+	j.mu.Unlock()
+	m.running.Add(1)
+	m.mu.Unlock()
+
+	go m.run(ctx, j, key)
+	return j, nil
+}
+
+// run executes one mining job: wait for a slot, mine with streaming, settle.
+func (m *jobManager) run(ctx context.Context, j *Job, key string) {
+	defer m.running.Done()
+	select {
+	case m.slots <- struct{}{}:
+		defer func() { <-m.slots }()
+	case <-ctx.Done():
+		m.settle(j, key, core.Stats{}, ctx.Err())
+		return
+	}
+	if ctx.Err() != nil {
+		m.settle(j, key, core.Stats{}, ctx.Err())
+		return
+	}
+
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now().UTC()
+	j.bump()
+	j.mu.Unlock()
+	m.metrics.JobsStarted.Add(1)
+
+	mineCtx := ctx
+	if j.Timeout > 0 {
+		var cancel context.CancelFunc
+		mineCtx, cancel = context.WithTimeout(ctx, j.Timeout)
+		defer cancel()
+	}
+
+	mat := j.Dataset.Matrix()
+	start := time.Now()
+	stats, err := core.MineParallelFuncObserved(mineCtx, mat, j.Params, j.Workers, func(b *core.Bicluster) bool {
+		nc := report.Named(mat, b)
+		j.mu.Lock()
+		j.clusters = append(j.clusters, nc)
+		j.bump()
+		j.mu.Unlock()
+		m.metrics.ClustersStreamed.Add(1)
+		return true
+	}, &j.obs)
+	m.metrics.ObserveMiningLatency(time.Since(start))
+	m.settle(j, key, stats, err)
+}
+
+// settle moves a job to its terminal state and, on success, publishes the
+// result to the cache. Interrupted runs (cancel or deadline) are never
+// cached: their truncation point is schedule-dependent, unlike MaxNodes/
+// MaxClusters truncation, which is deterministic and therefore cacheable.
+func (m *jobManager) settle(j *Job, key string, stats core.Stats, err error) {
+	j.mu.Lock()
+	j.stats = stats
+	j.finished = time.Now().UTC()
+	switch {
+	case err == nil:
+		j.status = StatusDone
+	case errors.Is(err, context.Canceled):
+		j.status = StatusCancelled
+		j.err = "cancelled"
+	case errors.Is(err, context.DeadlineExceeded):
+		j.status = StatusFailed
+		j.err = "deadline exceeded"
+	default:
+		j.status = StatusFailed
+		j.err = err.Error()
+	}
+	status := j.status
+	clusters := j.clusters
+	j.bump()
+	close(j.done)
+	j.mu.Unlock()
+
+	switch status {
+	case StatusDone:
+		m.metrics.JobsFinished.Add(1)
+		m.metrics.NodesVisited.Add(int64(stats.Nodes))
+		m.cache.put(key, cachedResult{clusters: clusters, stats: stats})
+	case StatusCancelled:
+		m.metrics.JobsCancelled.Add(1)
+	case StatusFailed:
+		m.metrics.JobsFailed.Add(1)
+	}
+}
+
+// get returns the job with the given ID.
+func (m *jobManager) get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// list returns every job in submission order.
+func (m *jobManager) list() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// cancelJob requests cooperative cancellation. Cancelling a terminal job is
+// a no-op; the returned bool reports whether the job exists.
+func (m *jobManager) cancelJob(id string) (*Job, bool) {
+	j, ok := m.get(id)
+	if !ok {
+		return nil, false
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return j, true
+}
+
+// runningCount returns the number of jobs currently holding a mining slot.
+func (m *jobManager) runningCount() int { return len(m.slots) }
+
+// queuedOrRunning returns the number of non-terminal jobs.
+func (m *jobManager) queuedOrRunning() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, j := range m.jobs {
+		if !j.Status().terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// drain stops accepting new jobs and waits for in-flight ones. While ctx is
+// live the running jobs finish naturally; once it expires they are cancelled
+// and drain waits for the cooperative stop (prompt: miners observe
+// cancellation at every node boundary).
+func (m *jobManager) drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		m.running.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
+	for _, j := range jobs {
+		j.mu.Lock()
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+	<-finished
+	return ctx.Err()
+}

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the in-process observability registry of one Server. All
+// counters are monotone atomics, safe for concurrent update from job
+// goroutines and concurrent render from the /metrics handler. The exposition
+// format is the Prometheus text format (counters + one histogram), so the
+// endpoint can be scraped directly.
+type Metrics struct {
+	JobsSubmitted atomic.Int64 // every accepted submission, cached or not
+	JobsStarted   atomic.Int64 // jobs that began mining (cache misses)
+	JobsFinished  atomic.Int64 // jobs that completed successfully
+	JobsCancelled atomic.Int64
+	JobsFailed    atomic.Int64
+
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+
+	NodesVisited     atomic.Int64 // settled Stats.Nodes summed over finished jobs
+	ClustersStreamed atomic.Int64 // clusters delivered by miners, live
+
+	DatasetsUploaded atomic.Int64
+
+	latency latencyHistogram
+}
+
+// NewMetrics returns a registry with the default mining-latency buckets
+// (1ms … ~16s, powers of four).
+func NewMetrics() *Metrics {
+	return &Metrics{latency: latencyHistogram{
+		bounds: []float64{0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384},
+		counts: make([]atomic.Int64, 9),
+	}}
+}
+
+// ObserveMiningLatency records the wall-clock duration of one mining run.
+func (mt *Metrics) ObserveMiningLatency(d time.Duration) { mt.latency.observe(d.Seconds()) }
+
+// latencyHistogram is a fixed-bucket cumulative histogram.
+// counts[i] accumulates observations <= bounds[i]; the final slot is +Inf.
+type latencyHistogram struct {
+	bounds []float64
+	counts []atomic.Int64
+	sumUs  atomic.Int64
+	count  atomic.Int64
+}
+
+func (h *latencyHistogram) observe(seconds float64) {
+	slot := len(h.bounds)
+	for i, b := range h.bounds {
+		if seconds <= b {
+			slot = i
+			break
+		}
+	}
+	h.counts[slot].Add(1)
+	h.sumUs.Add(int64(seconds * 1e6))
+	h.count.Add(1)
+}
+
+// gauge is a point-in-time value contributed by another component (cache
+// size, running jobs, registered datasets) at render time.
+type gauge struct {
+	name, help string
+	value      func() int64
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format,
+// appending the given gauges.
+func (mt *Metrics) WriteTo(w io.Writer, gauges []gauge) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("regcluster_jobs_submitted_total", "Mining jobs accepted (cached results included).", mt.JobsSubmitted.Load())
+	counter("regcluster_jobs_started_total", "Mining jobs that began mining.", mt.JobsStarted.Load())
+	counter("regcluster_jobs_finished_total", "Mining jobs that completed successfully.", mt.JobsFinished.Load())
+	counter("regcluster_jobs_cancelled_total", "Mining jobs cancelled by the caller.", mt.JobsCancelled.Load())
+	counter("regcluster_jobs_failed_total", "Mining jobs that ended in an error.", mt.JobsFailed.Load())
+	counter("regcluster_cache_hits_total", "Submissions served from the result cache.", mt.CacheHits.Load())
+	counter("regcluster_cache_misses_total", "Submissions that had to mine.", mt.CacheMisses.Load())
+	counter("regcluster_nodes_visited_total", "Search-tree nodes visited by finished jobs.", mt.NodesVisited.Load())
+	counter("regcluster_clusters_streamed_total", "Clusters emitted by miners.", mt.ClustersStreamed.Load())
+	counter("regcluster_datasets_uploaded_total", "Dataset uploads accepted (re-uploads included).", mt.DatasetsUploaded.Load())
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.value())
+	}
+
+	const hname = "regcluster_mining_latency_seconds"
+	fmt.Fprintf(w, "# HELP %s Wall-clock duration of mining runs.\n# TYPE %s histogram\n", hname, hname)
+	cum := int64(0)
+	for i, b := range mt.latency.bounds {
+		cum += mt.latency.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", hname, fmt.Sprintf("%g", b), cum)
+	}
+	cum += mt.latency.counts[len(mt.latency.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", hname, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", hname, float64(mt.latency.sumUs.Load())/1e6)
+	fmt.Fprintf(w, "%s_count %d\n", hname, mt.latency.count.Load())
+}

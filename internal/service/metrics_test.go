@@ -1,0 +1,53 @@
+package service
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsExposition(t *testing.T) {
+	mt := NewMetrics()
+	mt.JobsSubmitted.Add(3)
+	mt.CacheHits.Add(2)
+	mt.ObserveMiningLatency(2 * time.Millisecond)   // ≤ 0.004 bucket
+	mt.ObserveMiningLatency(500 * time.Millisecond) // ≤ 1.024 bucket
+	mt.ObserveMiningLatency(time.Minute)            // +Inf bucket
+
+	var sb strings.Builder
+	mt.WriteTo(&sb, []gauge{{name: "regcluster_test_gauge", help: "A gauge.", value: func() int64 { return 7 }}})
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE regcluster_jobs_submitted_total counter",
+		"regcluster_jobs_submitted_total 3",
+		"regcluster_cache_hits_total 2",
+		"regcluster_cache_misses_total 0",
+		"# TYPE regcluster_test_gauge gauge",
+		"regcluster_test_gauge 7",
+		"# TYPE regcluster_mining_latency_seconds histogram",
+		`regcluster_mining_latency_seconds_bucket{le="0.001"} 0`,
+		`regcluster_mining_latency_seconds_bucket{le="0.004"} 1`,
+		`regcluster_mining_latency_seconds_bucket{le="1.024"} 2`,
+		`regcluster_mining_latency_seconds_bucket{le="+Inf"} 3`,
+		"regcluster_mining_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Buckets are cumulative: every bound's count must be <= the next.
+	if strings.Contains(out, `le="16.384"} 2`) == false {
+		t.Errorf("largest finite bucket should hold 2 observations:\n%s", out)
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	mt := NewMetrics()
+	mt.ObserveMiningLatency(1500 * time.Millisecond)
+	var sb strings.Builder
+	mt.WriteTo(&sb, nil)
+	if !strings.Contains(sb.String(), "regcluster_mining_latency_seconds_sum 1.5") {
+		t.Errorf("sum not rendered in seconds:\n%s", sb.String())
+	}
+}

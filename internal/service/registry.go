@@ -1,0 +1,156 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"regcluster/internal/matrix"
+)
+
+// RowStat is the precomputed per-gene profile summary of a registered
+// dataset: the Equation 4 inputs (range) plus the usual moments, computed
+// once at upload so that parameter-exploration clients and the threshold
+// endpoints never rescan the matrix.
+type RowStat struct {
+	Gene  string  `json:"gene"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Range float64 `json:"range"`
+	Mean  float64 `json:"mean"`
+	Std   float64 `json:"std"`
+}
+
+// Dataset is one registered expression matrix, content-addressed by
+// matrix.Hash so that re-uploading identical data is idempotent.
+type Dataset struct {
+	// ID is the canonical content hash of the (imputed) matrix.
+	ID string `json:"id"`
+	// Name is the caller-supplied label of the first upload.
+	Name       string `json:"name"`
+	Genes      int    `json:"genes"`
+	Conditions int    `json:"conditions"`
+	// ImputedCells counts NaN cells replaced by the row mean at upload
+	// (the miners require a complete matrix).
+	ImputedCells int       `json:"imputed_cells"`
+	UploadedAt   time.Time `json:"uploaded_at"`
+
+	mat      *matrix.Matrix
+	rowStats []RowStat
+}
+
+// Matrix returns the dataset's matrix. The matrix is immutable once
+// registered; callers must not modify it.
+func (d *Dataset) Matrix() *matrix.Matrix { return d.mat }
+
+// RowStats returns the precomputed per-gene summaries.
+func (d *Dataset) RowStats() []RowStat { return d.rowStats }
+
+// registry is the in-memory dataset store: content-addressed, bounded, safe
+// for concurrent use.
+type registry struct {
+	mu   sync.RWMutex
+	max  int
+	byID map[string]*Dataset
+}
+
+func newRegistry(maxDatasets int) *registry {
+	return &registry{max: maxDatasets, byID: make(map[string]*Dataset)}
+}
+
+// add parses a TSV expression matrix, imputes missing cells, and registers
+// it under its content hash. Re-uploading an identical matrix returns the
+// existing dataset (created = false) and never counts against the capacity
+// bound.
+func (r *registry) add(name string, tsv io.Reader) (ds *Dataset, created bool, err error) {
+	m, err := matrix.ReadTSV(tsv)
+	if err != nil {
+		return nil, false, err
+	}
+	imputed := m.FillNaN()
+	id := m.Hash()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.byID[id]; ok {
+		return existing, false, nil
+	}
+	if r.max > 0 && len(r.byID) >= r.max {
+		return nil, false, fmt.Errorf("service: dataset registry full (%d datasets); delete one first", len(r.byID))
+	}
+	if name == "" {
+		name = "dataset-" + id[:12]
+	}
+	ds = &Dataset{
+		ID: id, Name: name,
+		Genes: m.Rows(), Conditions: m.Cols(),
+		ImputedCells: imputed,
+		UploadedAt:   time.Now().UTC(),
+		mat:          m,
+		rowStats:     computeRowStats(m),
+	}
+	r.byID[id] = ds
+	return ds, true, nil
+}
+
+// get returns the dataset with the given content hash.
+func (r *registry) get(id string) (*Dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ds, ok := r.byID[id]
+	return ds, ok
+}
+
+// remove deletes a dataset; already-submitted jobs keep their matrix
+// reference and are unaffected.
+func (r *registry) remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[id]; !ok {
+		return false
+	}
+	delete(r.byID, id)
+	return true
+}
+
+// list returns all datasets, oldest upload first (ties broken by ID so the
+// order is deterministic).
+func (r *registry) list() []*Dataset {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Dataset, 0, len(r.byID))
+	for _, ds := range r.byID {
+		out = append(out, ds)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].UploadedAt.Equal(out[j].UploadedAt) {
+			return out[i].UploadedAt.Before(out[j].UploadedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// size returns the number of registered datasets.
+func (r *registry) size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byID)
+}
+
+func computeRowStats(m *matrix.Matrix) []RowStat {
+	out := make([]RowStat, m.Rows())
+	for i := range out {
+		out[i] = RowStat{
+			Gene:  m.RowName(i),
+			Min:   m.RowMin(i),
+			Max:   m.RowMax(i),
+			Range: m.RowRange(i),
+			Mean:  m.RowMean(i),
+			Std:   m.RowStd(i),
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package service
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"regcluster/internal/matrix"
+	"regcluster/internal/paperdata"
+)
+
+func tsvOf(t *testing.T, m *matrix.Matrix) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRegistryContentAddressing(t *testing.T) {
+	r := newRegistry(4)
+	m := paperdata.RunningExample()
+	tsv := tsvOf(t, m)
+
+	ds, created, err := r.add("table1", strings.NewReader(tsv))
+	if err != nil || !created {
+		t.Fatalf("first add: %v created=%v", err, created)
+	}
+	if ds.ID != m.Hash() {
+		t.Fatalf("ID %s, want content hash %s", ds.ID, m.Hash())
+	}
+	if ds.Genes != m.Rows() || ds.Conditions != m.Cols() {
+		t.Fatalf("shape %dx%d", ds.Genes, ds.Conditions)
+	}
+
+	// Identical re-upload is idempotent, keeps the original name, and does
+	// not consume capacity.
+	again, created, err := r.add("other-name", strings.NewReader(tsv))
+	if err != nil || created {
+		t.Fatalf("re-add: %v created=%v", err, created)
+	}
+	if again != ds || again.Name != "table1" {
+		t.Fatal("re-upload did not dedupe to the original dataset")
+	}
+	if r.size() != 1 {
+		t.Fatalf("size %d", r.size())
+	}
+}
+
+func TestRegistryDefaultNameAndCapacity(t *testing.T) {
+	r := newRegistry(1)
+	ds, _, err := r.add("", strings.NewReader("gene\ta\tb\ng1\t1\t2\ng2\t3\t4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(ds.Name, "dataset-") || len(ds.Name) != len("dataset-")+12 {
+		t.Fatalf("default name %q", ds.Name)
+	}
+	if _, _, err := r.add("x", strings.NewReader("gene\ta\tb\ng1\t5\t6\ng2\t7\t8\n")); err == nil {
+		t.Fatal("capacity bound not enforced")
+	}
+	if !r.remove(ds.ID) {
+		t.Fatal("remove failed")
+	}
+	if r.remove(ds.ID) {
+		t.Fatal("double remove succeeded")
+	}
+	if _, _, err := r.add("x", strings.NewReader("gene\ta\tb\ng1\t5\t6\ng2\t7\t8\n")); err != nil {
+		t.Fatalf("add after remove: %v", err)
+	}
+}
+
+func TestRegistryImputesAndComputesRowStats(t *testing.T) {
+	r := newRegistry(0)
+	// g1 has one missing cell; the registry imputes it with the row mean (2).
+	ds, _, err := r.add("holes", strings.NewReader("gene\tc1\tc2\tc3\ng1\t1\tNA\t3\ng2\t2\t4\t6\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.ImputedCells != 1 {
+		t.Fatalf("imputed %d cells", ds.ImputedCells)
+	}
+	rs := ds.RowStats()
+	if len(rs) != 2 || rs[0].Gene != "g1" {
+		t.Fatalf("row stats %+v", rs)
+	}
+	if rs[0].Min != 1 || rs[0].Max != 3 || rs[0].Range != 2 || rs[0].Mean != 2 {
+		t.Fatalf("g1 stats %+v", rs[0])
+	}
+	if math.Abs(rs[1].Mean-4) > 1e-12 || math.Abs(rs[1].Range-4) > 1e-12 {
+		t.Fatalf("g2 stats %+v", rs[1])
+	}
+}
+
+func TestRegistryRejectsBadTSV(t *testing.T) {
+	r := newRegistry(0)
+	if _, _, err := r.add("ragged", strings.NewReader("gene\ta\tb\ng1\t1\t2\ng2\t3\n")); err == nil {
+		t.Fatal("ragged TSV accepted")
+	}
+	if r.size() != 0 {
+		t.Fatalf("size %d after rejected upload", r.size())
+	}
+}
+
+func TestRegistryListOrder(t *testing.T) {
+	r := newRegistry(0)
+	a, _, _ := r.add("a", strings.NewReader("gene\tx\ty\ng1\t1\t2\ng2\t3\t4\n"))
+	b, _, _ := r.add("b", strings.NewReader("gene\tx\ty\ng1\t5\t6\ng2\t7\t8\n"))
+	got := r.list()
+	if len(got) != 2 {
+		t.Fatalf("list %d", len(got))
+	}
+	// Uploads share a coarse timestamp, so order falls back to ID.
+	wantFirst, wantSecond := a, b
+	if b.UploadedAt.Before(a.UploadedAt) || (a.UploadedAt.Equal(b.UploadedAt) && b.ID < a.ID) {
+		wantFirst, wantSecond = b, a
+	}
+	if got[0] != wantFirst || got[1] != wantSecond {
+		t.Fatal("list order not deterministic oldest-first")
+	}
+}

@@ -1,0 +1,415 @@
+// Package service is the long-running mining service layer over the
+// parallel reg-cluster miner: a content-addressed dataset registry, an async
+// job manager with server-side budgets and deadlines, an LRU result cache
+// keyed by (matrix content hash, canonical Params), and an in-process
+// metrics registry. cmd/regserver exposes it over HTTP JSON.
+//
+// # HTTP surface
+//
+//	POST /datasets?name=N         upload a TSV matrix (idempotent by content hash)
+//	GET  /datasets                list datasets
+//	GET  /datasets/{id}           dataset detail including per-gene row stats
+//	GET  /datasets/{id}/tsv       download the canonical TSV serialization
+//	DELETE /datasets/{id}         unregister a dataset
+//	POST /jobs                    submit {dataset, params, workers, timeout_ms}
+//	GET  /jobs                    list jobs
+//	GET  /jobs/{id}               job status with live progress counters
+//	POST /jobs/{id}/cancel        cooperative cancellation
+//	GET  /jobs/{id}/stream        NDJSON: one cluster per line as mined, then a summary line
+//	GET  /jobs/{id}/result        the settled result as a report.Document
+//	GET  /metrics                 Prometheus text exposition
+//	GET  /healthz                 liveness
+//	GET  /debug/pprof/...         net/http/pprof
+//
+// Mining output is deterministic for any worker count, so the result cache
+// is exact: a hit returns byte-identical clusters to re-mining, and repeated
+// parameter sweeps over one dataset pay the mining cost once per distinct
+// Params.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"regcluster/internal/core"
+	"regcluster/internal/report"
+)
+
+// Config bounds one Server. The zero value is usable: every limit defaults
+// to the value documented on its field.
+type Config struct {
+	// MaxConcurrentJobs is the number of jobs that may mine at once
+	// (default 2); further jobs queue.
+	MaxConcurrentJobs int
+	// DefaultWorkers is the per-job worker count used when a submission
+	// does not specify one (default 0 = GOMAXPROCS).
+	DefaultWorkers int
+	// MaxWorkersPerJob rejects submissions asking for more parallelism
+	// (default 64; 0 keeps the default).
+	MaxWorkersPerJob int
+	// CacheEntries bounds the result cache (default 256; negative disables
+	// caching).
+	CacheEntries int
+	// MaxDatasets bounds the registry (default 64).
+	MaxDatasets int
+	// MaxUploadBytes bounds one dataset upload (default 64 MiB).
+	MaxUploadBytes int64
+	// MaxJobDuration caps (and defaults) the per-job mining deadline; a
+	// submission asking for more is clamped (default 0 = unlimited).
+	MaxJobDuration time.Duration
+	// MaxNodesPerJob / MaxClustersPerJob are server-side budget caps: a
+	// submission with a larger (or unlimited) Params.MaxNodes/MaxClusters
+	// is clamped down to them (default 0 = unlimited).
+	MaxNodesPerJob    int
+	MaxClustersPerJob int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrentJobs <= 0 {
+		c.MaxConcurrentJobs = 2
+	}
+	if c.MaxWorkersPerJob <= 0 {
+		c.MaxWorkersPerJob = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxDatasets <= 0 {
+		c.MaxDatasets = 64
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 64 << 20
+	}
+	return c
+}
+
+// Server wires the registry, job manager, cache and metrics behind one
+// http.Handler.
+type Server struct {
+	cfg      Config
+	registry *registry
+	jobs     *jobManager
+	cache    *resultCache
+	metrics  *Metrics
+	mux      *http.ServeMux
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		registry: newRegistry(cfg.MaxDatasets),
+		cache:    newResultCache(cfg.CacheEntries),
+		metrics:  NewMetrics(),
+	}
+	s.jobs = newJobManager(cfg.MaxConcurrentJobs, s.cache, s.metrics)
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler returns the HTTP surface of the service.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's metrics registry (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Shutdown drains the service: new submissions are rejected with 503, jobs
+// already accepted keep running until done or until ctx expires, at which
+// point they are cancelled cooperatively and awaited. It returns ctx's error
+// when the deadline forced cancellations, nil on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.jobs.drain(ctx)
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /datasets", s.handleUpload)
+	s.mux.HandleFunc("GET /datasets", s.handleListDatasets)
+	s.mux.HandleFunc("GET /datasets/{id}", s.handleGetDataset)
+	s.mux.HandleFunc("GET /datasets/{id}/tsv", s.handleDatasetTSV)
+	s.mux.HandleFunc("DELETE /datasets/{id}", s.handleDeleteDataset)
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// datasetView is the JSON form of a dataset; row stats only on detail.
+type datasetView struct {
+	Dataset
+	RowStats []RowStat `json:"row_stats,omitempty"`
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	ds, created, err := s.registry.add(r.URL.Query().Get("name"), body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "parse dataset: %v", err)
+		return
+	}
+	s.metrics.DatasetsUploaded.Add(1)
+	status := http.StatusOK // existing dataset, idempotent re-upload
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, datasetView{Dataset: *ds})
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	list := s.registry.list()
+	views := make([]datasetView, len(list))
+	for i, ds := range list {
+		views[i] = datasetView{Dataset: *ds}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": views})
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	ds, ok := s.registry.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, datasetView{Dataset: *ds, RowStats: ds.RowStats()})
+}
+
+func (s *Server) handleDatasetTSV(w http.ResponseWriter, r *http.Request) {
+	ds, ok := s.registry.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/tab-separated-values")
+	ds.Matrix().WriteTSV(w)
+}
+
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	if !s.registry.remove(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// submitRequest is the body of POST /jobs.
+type submitRequest struct {
+	Dataset string      `json:"dataset"`
+	Params  core.Params `json:"params"`
+	// Workers is the per-job worker count; 0 uses the server default. The
+	// cluster output is identical for every worker count.
+	Workers int `json:"workers"`
+	// TimeoutMS is the mining deadline in milliseconds; 0 uses the server
+	// maximum (if any). Values above the server maximum are clamped.
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	ds, ok := s.registry.get(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
+		return
+	}
+	p := req.Params
+	if err := p.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid params: %v", err)
+		return
+	}
+	if p.CustomGammas != nil && len(p.CustomGammas) != ds.Genes {
+		writeError(w, http.StatusBadRequest, "invalid params: %d CustomGammas for %d genes", len(p.CustomGammas), ds.Genes)
+		return
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.cfg.DefaultWorkers
+	}
+	if err := core.ValidateWorkers(workers, s.cfg.MaxWorkersPerJob); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid workers: %v", err)
+		return
+	}
+	// Server-side budget caps: clamp BEFORE the cache key is derived so a
+	// clamped submission and an explicit submission of the same effective
+	// budget share a cache entry.
+	p.MaxNodes = clampCap(p.MaxNodes, s.cfg.MaxNodesPerJob)
+	p.MaxClusters = clampCap(p.MaxClusters, s.cfg.MaxClustersPerJob)
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "invalid timeout_ms: %d", req.TimeoutMS)
+		return
+	}
+	if s.cfg.MaxJobDuration > 0 && (timeout == 0 || timeout > s.cfg.MaxJobDuration) {
+		timeout = s.cfg.MaxJobDuration
+	}
+
+	j, err := s.jobs.submit(ds, p, workers, timeout)
+	if errors.Is(err, ErrDraining) {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.View())
+}
+
+// clampCap lowers a requested budget cap to the server limit; 0 means the
+// caller asked for unlimited, which a configured server limit overrides.
+func clampCap(requested, limit int) int {
+	if limit > 0 && (requested == 0 || requested > limit) {
+		return limit
+	}
+	return requested
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.jobs.list()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.cancelJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+// streamSummary is the final NDJSON line of a job stream; its Done field
+// distinguishes it from cluster lines.
+type streamSummary struct {
+	Done     bool        `json:"done"`
+	Status   JobStatus   `json:"status"`
+	Error    string      `json:"error,omitempty"`
+	Clusters int         `json:"clusters"`
+	Stats    *core.Stats `json:"stats,omitempty"`
+}
+
+// handleStream replays the job's clusters from the beginning and then
+// follows the live run, one compact JSON cluster per line (the NamedCluster
+// schema), flushing after every batch; the last line is a streamSummary. A
+// cached job streams its full result immediately.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	sent := 0
+	for {
+		clusters, terminal, changed := j.Snapshot(sent)
+		for _, nc := range clusters {
+			if err := enc.Encode(nc); err != nil {
+				return // client went away
+			}
+			sent++
+		}
+		if len(clusters) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			break
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	_, stats, errMsg, _ := j.Result()
+	enc.Encode(streamSummary{Done: true, Status: j.Status(), Error: errMsg, Clusters: sent, Stats: &stats})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// handleResult returns the settled outcome as a report.Document — the same
+// stable schema cmd/regcluster -json emits.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	clusters, stats, errMsg, terminal := j.Result()
+	if !terminal {
+		writeError(w, http.StatusConflict, "job %s is %s; poll or stream instead", j.ID, j.Status())
+		return
+	}
+	if errMsg != "" {
+		writeError(w, http.StatusConflict, "job %s ended %s: %s", j.ID, j.Status(), errMsg)
+		return
+	}
+	doc := &report.Document{Schema: report.SchemaID, Params: j.Params, Stats: stats, Clusters: clusters}
+	w.Header().Set("Content-Type", "application/json")
+	doc.Write(w)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteTo(w, []gauge{
+		{"regcluster_datasets", "Registered datasets.", func() int64 { return int64(s.registry.size()) }},
+		{"regcluster_cache_entries", "Entries in the result cache.", func() int64 { return int64(s.cache.len()) }},
+		{"regcluster_jobs_running", "Jobs holding a mining slot.", func() int64 { return int64(s.jobs.runningCount()) }},
+		{"regcluster_jobs_active", "Jobs queued or running.", func() int64 { return int64(s.jobs.queuedOrRunning()) }},
+	})
+}

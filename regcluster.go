@@ -35,6 +35,8 @@ import (
 	"regcluster/internal/core"
 	"regcluster/internal/eval"
 	"regcluster/internal/matrix"
+	"regcluster/internal/report"
+	"regcluster/internal/service"
 	"regcluster/internal/significance"
 	"regcluster/internal/synthetic"
 )
@@ -111,6 +113,28 @@ func MineParallelContext(ctx context.Context, m *Matrix, p Params, workers int) 
 func MineParallelFunc(m *Matrix, p Params, workers int, visit Visitor) (Stats, error) {
 	return core.MineParallelFunc(m, p, workers, visit)
 }
+
+// MineParallelFuncContext is MineParallelFunc with cooperative cancellation
+// through ctx, observed by every worker at node granularity.
+func MineParallelFuncContext(ctx context.Context, m *Matrix, p Params, workers int, visit Visitor) (Stats, error) {
+	return core.MineParallelFuncContext(ctx, m, p, workers, visit)
+}
+
+// Observer exposes live, monotone node/cluster counters while a mining call
+// runs — progress reporting for long jobs. The counters are approximate
+// during truncated runs (they may overshoot the settled Stats); the returned
+// Stats remain authoritative.
+type Observer = core.Observer
+
+// MineParallelFuncObserved is MineParallelFuncContext with live progress
+// counters published to obs.
+func MineParallelFuncObserved(ctx context.Context, m *Matrix, p Params, workers int, visit Visitor, obs *Observer) (Stats, error) {
+	return core.MineParallelFuncObserved(ctx, m, p, workers, visit, obs)
+}
+
+// ValidateWorkers rejects worker counts above max (when max > 0). Zero and
+// negative counts are always valid: they select GOMAXPROCS.
+func ValidateWorkers(workers, max int) error { return core.ValidateWorkers(workers, max) }
 
 // ThresholdsRangeFraction, ThresholdsMeanFraction and ThresholdsNearestPair
 // compute alternative per-gene regulation thresholds (Section 3.1) for
@@ -190,3 +214,40 @@ type SignificanceResult = significance.Result
 func SignificanceTest(m *Matrix, p Params, clusters []*Bicluster, opt SignificanceOptions) ([]SignificanceResult, error) {
 	return significance.Test(m, p, clusters, opt)
 }
+
+// ResultSchemaID identifies the stable JSON result schema emitted by Report,
+// `regcluster -json` and the service's result endpoints.
+const ResultSchemaID = report.SchemaID
+
+// Document is the stable JSON form of a mining result: parameters, stats and
+// name-resolved clusters under the ResultSchemaID schema.
+type Document = report.Document
+
+// NamedCluster is one cluster with gene/condition names resolved, the chain
+// direction, and signed members (p-members "+", n-members "-").
+type NamedCluster = report.NamedCluster
+
+// Member is one gene of a NamedCluster with its regulation sign.
+type Member = report.Member
+
+// Report converts a mining result into its stable JSON document form.
+func Report(m *Matrix, p Params, res *Result) *Document { return report.FromResult(m, p, res) }
+
+// NamedFromBicluster resolves one cluster's indices to names.
+func NamedFromBicluster(m *Matrix, b *Bicluster) NamedCluster { return report.Named(m, b) }
+
+// ReadReport parses a document previously written by Report (or the CLI's
+// -json mode), rejecting documents with a foreign schema identifier.
+func ReadReport(r io.Reader) (*Document, error) { return report.Read(r) }
+
+// ServiceConfig parameterizes the mining HTTP service.
+type ServiceConfig = service.Config
+
+// Service is the embeddable mining service: dataset registry, async job
+// manager, result cache and metrics behind an http.Handler. Run it
+// standalone with `regserver`.
+type Service = service.Server
+
+// NewService builds a mining service; mount NewService(cfg).Handler() on any
+// mux, and call Shutdown to drain jobs on exit.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the mining service over plain HTTP: boot regserver
+# on a random port, upload a synthetic matrix, mine it, and assert that an
+# identical resubmission is served from the result cache.
+set -euo pipefail
+
+GO=${GO:-go}
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+        kill "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+$GO build -o "$workdir/regserver" ./cmd/regserver
+$GO build -o "$workdir/datagen" ./cmd/datagen
+"$workdir/datagen" -kind synthetic -genes 80 -conds 12 -clusters 3 -seed 7 \
+    -out "$workdir/matrix.tsv"
+
+"$workdir/regserver" -addr 127.0.0.1:0 -jobs 1 >"$workdir/server.log" 2>&1 &
+server_pid=$!
+
+base=""
+for _ in $(seq 1 100); do
+    base=$(sed -n 's/^regserver: listening on \(http:\/\/.*\)$/\1/p' "$workdir/server.log")
+    [[ -n "$base" ]] && break
+    kill -0 "$server_pid" 2>/dev/null || fail "server died: $(cat "$workdir/server.log")"
+    sleep 0.1
+done
+[[ -n "$base" ]] || fail "server never announced its address"
+echo "serve-smoke: server at $base"
+
+curl -sf "$base/healthz" >/dev/null || fail "healthz"
+
+dataset=$(curl -sf -X POST --data-binary @"$workdir/matrix.tsv" \
+    "$base/datasets?name=smoke" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[[ -n "$dataset" ]] || fail "upload returned no dataset ID"
+echo "serve-smoke: dataset $dataset"
+
+submit() {
+    curl -sf -X POST -H 'Content-Type: application/json' -d \
+        '{"dataset":"'"$dataset"'","params":{"MinG":4,"MinC":4,"Gamma":0.1,"Epsilon":0.05}}' \
+        "$base/jobs"
+}
+
+job=$(submit)
+job_id=$(echo "$job" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[[ -n "$job_id" ]] || fail "submission returned no job ID: $job"
+echo "$job" | grep -q '"cached": *false' || fail "first submission claims a cache hit: $job"
+
+status=""
+for _ in $(seq 1 300); do
+    view=$(curl -sf "$base/jobs/$job_id")
+    status=$(echo "$view" | sed -n 's/.*"status": *"\([a-z]*\)".*/\1/p')
+    case "$status" in
+        done) break ;;
+        failed|cancelled) fail "job ended $status: $view" ;;
+    esac
+    sleep 0.1
+done
+[[ "$status" == done ]] || fail "job stuck in '$status'"
+clusters=$(echo "$view" | sed -n 's/.*"clusters": *\([0-9]*\).*/\1/p' | head -1)
+echo "serve-smoke: job $job_id done with $clusters clusters"
+
+# The NDJSON stream of a finished job replays every cluster plus a summary.
+lines=$(curl -sf "$base/jobs/$job_id/stream" | wc -l)
+[[ "$lines" -eq $((clusters + 1)) ]] || fail "stream has $lines lines for $clusters clusters"
+
+resubmit=$(submit)
+echo "$resubmit" | grep -q '"cached": *true' || fail "resubmission missed the cache: $resubmit"
+
+metrics=$(curl -sf "$base/metrics")
+echo "$metrics" | grep -q '^regcluster_cache_hits_total 1$' \
+    || fail "cache_hits metric: $(echo "$metrics" | grep cache_hits)"
+
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "server exited non-zero after SIGTERM"
+server_pid=""
+grep -q '^regserver: bye$' "$workdir/server.log" || fail "no clean shutdown line"
+echo "serve-smoke: OK"
