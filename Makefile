@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench serve-smoke
+.PHONY: build test vet race service-race check bench serve-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# The crash-recovery machinery (journal, checkpoints, drain, fault hooks)
+# must stay race-clean on its own; full `race` covers it too, but this
+# target is the fast gate while iterating on the service.
+service-race:
+	$(GO) test -race ./internal/service/... ./internal/faultinject/...
+
 check: build vet race
 
 bench:
@@ -27,3 +33,8 @@ bench:
 # HTTP with curl, asserting a cache hit on the second submission.
 serve-smoke: build
 	GO=$(GO) ./scripts/serve_smoke.sh
+
+# SIGKILL regserver mid-job, restart it on the same -data-dir, and assert
+# the job resumes from its checkpoint to a byte-identical result.
+crash-smoke: build
+	GO=$(GO) ./scripts/crash_smoke.sh

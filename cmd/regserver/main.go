@@ -67,23 +67,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		maxDuration = fs.Duration("max-job-duration", 0, "hard per-job mining deadline (0 = unlimited)")
 		maxNodes    = fs.Int("max-nodes", 0, "server-side cap on search nodes per job (0 = unlimited)")
 		maxClusters = fs.Int("max-clusters", 0, "server-side cap on clusters per job (0 = unlimited)")
-		grace       = fs.Duration("grace", 30*time.Second, "shutdown grace period before running jobs are cancelled")
+		grace       = fs.Duration("grace", 30*time.Second, "shutdown grace period before running jobs are interrupted")
+		dataDir     = fs.String("data-dir", "", "durable state directory: datasets, results, and the job journal survive restarts; interrupted jobs resume from their checkpoints (empty = in-memory only)")
+		ckEvery     = fs.Int("checkpoint-every", 64, "journal a miner checkpoint every N delivered clusters (negative = only at subtree boundaries)")
+		retries     = fs.Int("retries", 2, "transient job failures retried with capped exponential backoff (negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	svc := service.New(service.Config{
-		MaxConcurrentJobs: *jobs,
-		DefaultWorkers:    *workers,
-		MaxWorkersPerJob:  *maxWorkers,
-		CacheEntries:      *cacheSize,
-		MaxDatasets:       *maxDatasets,
-		MaxUploadBytes:    *maxUpload,
-		MaxJobDuration:    *maxDuration,
-		MaxNodesPerJob:    *maxNodes,
-		MaxClustersPerJob: *maxClusters,
+	svc, err := service.Open(service.Config{
+		MaxConcurrentJobs:       *jobs,
+		DefaultWorkers:          *workers,
+		MaxWorkersPerJob:        *maxWorkers,
+		CacheEntries:            *cacheSize,
+		MaxDatasets:             *maxDatasets,
+		MaxUploadBytes:          *maxUpload,
+		MaxJobDuration:          *maxDuration,
+		MaxNodesPerJob:          *maxNodes,
+		MaxClustersPerJob:       *maxClusters,
+		DataDir:                 *dataDir,
+		CheckpointEveryClusters: *ckEvery,
+		MaxJobRetries:           *retries,
 	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

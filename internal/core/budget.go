@@ -83,12 +83,12 @@ func (b *budget) chargeCluster() bool {
 func (b *budget) cancel() { b.cancelled.Store(true) }
 
 // stopped reports whether the run must halt: a cap tripped, cancel was
-// called, or the wired context expired.
+// called, or the wired context expired. The context is polled even after a
+// cap already cancelled the run — a cap trip triggers sequential subtree
+// reconciliation that can keep mining for a while, and an expiring context
+// must interrupt that too, not just the initial parallel sweep.
 func (b *budget) stopped() bool {
-	if b.cancelled.Load() {
-		return true
-	}
-	if b.done != nil {
+	if b.done != nil && !b.ctxHit.Load() {
 		select {
 		case <-b.done:
 			b.ctxHit.Store(true)
@@ -97,7 +97,7 @@ func (b *budget) stopped() bool {
 		default:
 		}
 	}
-	return false
+	return b.cancelled.Load()
 }
 
 // contextErr returns the context's error if the context interrupted the run,

@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 
+	"regcluster/internal/faultinject"
 	"regcluster/internal/matrix"
 
 	"regcluster/internal/rwave"
@@ -60,11 +62,25 @@ func MineParallelFunc(m *matrix.Matrix, p Params, workers int, visit Visitor) (S
 	return mineParallel(nil, m, p, workers, visit, nil)
 }
 
-// mineParallel is the engine entry shared by every parallel front-end. The
-// optional obs receives live node/cluster counts from every worker miner;
+// mineParallel is the plain (non-resumable) engine entry shared by the
+// pre-existing parallel front-ends.
+func mineParallel(ctx context.Context, m *matrix.Matrix, p Params, workers int, visit Visitor, obs *Observer) (Stats, error) {
+	return mineParallelOpts(ctx, m, p, workers, visit, mineOpts{obs: obs})
+}
+
+// mineOpts bundles the optional machinery of one parallel run: live progress
+// counters, a resume snapshot, and checkpoint emission.
+type mineOpts struct {
+	obs    *Observer
+	resume *Checkpoint
+	ck     CheckpointConfig
+}
+
+// mineParallelOpts is the engine entry shared by every parallel front-end.
+// The optional obs receives live node/cluster counts from every worker miner;
 // reconciliation reruns do NOT feed it, since they re-walk subtrees whose
 // nodes the interrupted workers already counted.
-func mineParallel(ctx context.Context, m *matrix.Matrix, p Params, workers int, visit Visitor, obs *Observer) (Stats, error) {
+func mineParallelOpts(ctx context.Context, m *matrix.Matrix, p Params, workers int, visit Visitor, opts mineOpts) (Stats, error) {
 	models, err := prepare(m, p)
 	if err != nil {
 		return Stats{}, err
@@ -77,10 +93,14 @@ func mineParallel(ctx context.Context, m *matrix.Matrix, p Params, workers int, 
 		workers = nConds
 	}
 	bud := newBudget(p, ctx)
-	if workers <= 1 {
+	resumable := opts.resume != nil || opts.ck.enabled()
+	if workers <= 1 && !resumable {
 		// One worker degenerates to the sequential miner on the same budget.
+		// Resumable runs always take the engine path below: it is the emitter
+		// accounting that knows subtree boundaries and watermarks, and its
+		// worker pool contains panics instead of crossing the API with them.
 		mn := &miner{m: m, p: p, models: models, bud: bud, seen: make(map[string]bool),
-			obs:  obs,
+			obs:  opts.obs,
 			sink: func(b *Bicluster, _ int) bool { return visit(b) }}
 		mn.run()
 		if err := bud.contextErr(); err != nil {
@@ -88,9 +108,24 @@ func mineParallel(ctx context.Context, m *matrix.Matrix, p Params, workers int, 
 		}
 		return mn.stats, nil
 	}
+	if workers < 1 {
+		workers = 1
+	}
 
-	e := &engine{m: m, p: p, models: models, bud: bud, visit: visit, obs: obs,
-		subs: make([]*subtree, nConds)}
+	e := &engine{m: m, p: p, models: models, bud: bud, visit: visit, obs: opts.obs,
+		ck: opts.ck, subs: make([]*subtree, nConds)}
+	if r := opts.resume; r != nil {
+		e.start = r.NextCond
+		e.skip = r.SkipClusters
+		e.agg = r.Prefix
+		e.cumNodes = r.Prefix.Nodes
+		e.cumClusters = r.Prefix.Clusters
+		e.lastChain = r.LastChain
+		// Pre-charge the shared budget with the settled prefix so MaxNodes/
+		// MaxClusters keep bounding the RUN, not the continuation.
+		bud.nodes.Store(int64(r.Prefix.Nodes))
+		bud.clusters.Store(int64(r.Prefix.Clusters))
+	}
 	for c := range e.subs {
 		e.subs[c] = newSubtree()
 	}
@@ -101,6 +136,9 @@ func mineParallel(ctx context.Context, m *matrix.Matrix, p Params, workers int, 
 	}
 	go func() {
 		for _, c := range subtreeOrder(m, p, models) {
+			if c < e.start {
+				continue // settled before the resume snapshot
+			}
 			queue <- c
 		}
 		close(queue)
@@ -124,30 +162,79 @@ type engine struct {
 	subs   []*subtree
 	wg     sync.WaitGroup
 
+	// start/skip position a resumed run: subtrees before start are settled
+	// (their totals pre-loaded into agg below), and the first skip clusters
+	// of subtree start are re-found but not re-delivered.
+	start int
+	skip  int
+
+	// Checkpoint emission state. ckFresh counts clusters delivered since the
+	// last snapshot; lastChain is the chain of the most recent delivery.
+	ck        CheckpointConfig
+	ckFresh   int
+	lastChain []int
+
 	// Exact sequential accounting of the settled prefix: agg/cumNodes/
 	// cumClusters cover whole subtrees already delivered, in starting-
 	// condition order.
 	agg         Stats
 	cumNodes    int
 	cumClusters int
+
+	// First worker panic of the run, recovered on the worker goroutine and
+	// returned from emit as the run's error.
+	panicMu  sync.Mutex
+	panicErr *PanicError
 }
 
 func (e *engine) worker(queue <-chan int) {
 	defer e.wg.Done()
 	for c := range queue {
-		sub := e.subs[c]
-		if e.bud.stopped() {
-			sub.finish(Stats{}, false)
-			continue
-		}
-		mn := &miner{m: e.m, p: e.p, models: e.models, bud: e.bud,
-			seen: make(map[string]bool), sink: sub.push, obs: e.obs}
-		mn.runFrom(c)
-		// The subtree is complete exactly when the miner ran it to the end:
-		// any stop (own cap trip or a sibling's cancellation) leaves it
-		// schedule-dependent and the emitter will re-mine it if needed.
-		sub.finish(mn.stats, !mn.stop)
+		e.mineSubtree(c)
 	}
+}
+
+// mineSubtree mines one level-1 subtree on a worker goroutine. A panic inside
+// the miner is contained here, never crossing the goroutine: it is recorded
+// as the run's PanicError, every sibling stops via the shared budget, and the
+// subtree is finished-incomplete so the emitter cannot block on it.
+func (e *engine) mineSubtree(c int) {
+	sub := e.subs[c]
+	defer func() {
+		if r := recover(); r != nil {
+			e.notePanic(r)
+			sub.finish(Stats{}, false)
+		}
+	}()
+	_ = faultinject.Hook("core.mine.subtree") // panic/delay injection for containment tests
+	if e.bud.stopped() {
+		sub.finish(Stats{}, false)
+		return
+	}
+	mn := &miner{m: e.m, p: e.p, models: e.models, bud: e.bud,
+		seen: make(map[string]bool), sink: sub.push, obs: e.obs}
+	mn.runFrom(c)
+	// The subtree is complete exactly when the miner ran it to the end:
+	// any stop (own cap trip or a sibling's cancellation) leaves it
+	// schedule-dependent and the emitter will re-mine it if needed.
+	sub.finish(mn.stats, !mn.stop)
+}
+
+// notePanic records the first worker panic (with the panicking goroutine's
+// stack) and cancels the whole run.
+func (e *engine) notePanic(r any) {
+	e.panicMu.Lock()
+	if e.panicErr == nil {
+		e.panicErr = &PanicError{Value: r, Stack: debug.Stack()}
+	}
+	e.panicMu.Unlock()
+	e.bud.cancel()
+}
+
+func (e *engine) runPanic() *PanicError {
+	e.panicMu.Lock()
+	defer e.panicMu.Unlock()
+	return e.panicErr
 }
 
 func (e *engine) stopWorkers() {
@@ -171,9 +258,14 @@ func (e *engine) stopWorkers() {
 // Workers mine subtrees in an arbitrary, schedule-dependent interleaving;
 // only the accounting here decides what the run *returns*, which is why the
 // output is deterministic and cap-exact regardless of worker count.
+//
+// On a resumed run the scan begins at the snapshot's subtree with the
+// accounting pre-loaded, and the first skip clusters of that subtree are
+// consumed (they count toward every cap, exactly as they did originally) but
+// not re-delivered.
 func (e *engine) emit() (Stats, error) {
 	nodeCap, clusterCap := e.p.MaxNodes, e.p.MaxClusters
-	for c := 0; c < len(e.subs); c++ {
+	for c := e.start; c < len(e.subs); c++ {
 		sub := e.subs[c]
 		taken := 0
 		closed := false
@@ -187,10 +279,13 @@ func (e *engine) emit() (Stats, error) {
 					return e.truncate(c, taken, clusterCap)
 				}
 				taken++
-				if !e.visit(it.b) {
-					// A visitor stop right after this cluster is equivalent
-					// to a MaxClusters cap at the delivered total.
-					return e.truncate(c, taken, e.cumClusters+taken)
+				if c != e.start || taken > e.skip {
+					if !e.visit(it.b) {
+						// A visitor stop right after this cluster is equivalent
+						// to a MaxClusters cap at the delivered total.
+						return e.truncate(c, taken, e.cumClusters+taken)
+					}
+					e.noteDelivery(c, taken, it.b)
 				}
 				if clusterCap > 0 && e.cumClusters+taken >= clusterCap {
 					return e.truncate(c, taken, clusterCap)
@@ -204,6 +299,10 @@ func (e *engine) emit() (Stats, error) {
 		if err := e.bud.contextErr(); err != nil {
 			return Stats{}, err
 		}
+		if perr := e.runPanic(); perr != nil {
+			e.stopWorkers()
+			return Stats{}, perr
+		}
 		if !complete {
 			// The worker was interrupted, so the recorded remainder of this
 			// subtree is schedule-dependent. Re-mine it sequentially against
@@ -211,8 +310,18 @@ func (e *engine) emit() (Stats, error) {
 			// the precise sequential stop point, or completes — proving the
 			// interruption was spurious overshoot — and the scan resumes.
 			e.stopWorkers()
-			st = e.rerun(c, taken, true, clusterCap)
-			e.account(st)
+			skip := taken
+			if c == e.start && e.skip > skip {
+				// The worker was interrupted before reaching the resume
+				// watermark: the rerun must still suppress every cluster the
+				// pre-crash run had already delivered.
+				skip = e.skip
+			}
+			st = e.rerun(c, skip, true, clusterCap)
+			if err := e.bud.contextErr(); err != nil {
+				return Stats{}, err
+			}
+			e.accountSubtree(c, st)
 			if st.Truncated {
 				return e.agg, nil
 			}
@@ -223,9 +332,45 @@ func (e *engine) emit() (Stats, error) {
 			// delivered cluster.
 			return e.truncate(c, taken, clusterCap)
 		}
-		e.account(st)
+		e.accountSubtree(c, st)
 	}
 	return e.agg, nil
+}
+
+// noteDelivery tracks one delivered cluster for checkpointing: it advances
+// the cadence counter, remembers the DFS chain, and snapshots when the
+// configured number of deliveries has accumulated. taken is the sequential
+// within-subtree ordinal of the delivery, i.e. the subtree watermark.
+func (e *engine) noteDelivery(c, taken int, b *Bicluster) {
+	if !e.ck.enabled() {
+		return
+	}
+	e.ckFresh++
+	e.lastChain = b.Chain
+	if e.ck.EveryClusters > 0 && e.ckFresh >= e.ck.EveryClusters {
+		e.snapshot(c, taken)
+	}
+}
+
+// accountSubtree folds a fully settled subtree into the prefix accounting and
+// emits a boundary snapshot: after this point a resumed run starts cleanly at
+// the next starting condition.
+func (e *engine) accountSubtree(c int, st Stats) {
+	e.account(st)
+	if e.ck.enabled() && !st.Truncated {
+		e.snapshot(c+1, 0)
+	}
+}
+
+// snapshot emits one Checkpoint positioned before the skip-th undelivered
+// cluster of subtree nextCond. Runs on the emitter goroutine.
+func (e *engine) snapshot(nextCond, skip int) {
+	e.ckFresh = 0
+	ck := Checkpoint{Version: CheckpointVersion, NextCond: nextCond, SkipClusters: skip, Prefix: e.agg}
+	if len(e.lastChain) > 0 {
+		ck.LastChain = append([]int(nil), e.lastChain...)
+	}
+	e.ck.OnCheckpoint(ck)
 }
 
 func (e *engine) account(st Stats) {
@@ -243,7 +388,13 @@ func (e *engine) truncate(c, taken, effClusterCap int) (Stats, error) {
 	if err := e.bud.contextErr(); err != nil {
 		return Stats{}, err
 	}
+	if perr := e.runPanic(); perr != nil {
+		return Stats{}, perr
+	}
 	e.agg.Add(e.rerun(c, taken, false, effClusterCap))
+	if err := e.bud.contextErr(); err != nil {
+		return Stats{}, err
+	}
 	return e.agg, nil
 }
 
@@ -256,6 +407,18 @@ func (e *engine) truncate(c, taken, effClusterCap int) (Stats, error) {
 // the rerun exactly like MineFunc).
 func (e *engine) rerun(c, skip int, deliver bool, clusterCap int) Stats {
 	rbud := prechargedBudget(e.p.MaxNodes, clusterCap, e.cumNodes, e.cumClusters)
+	// The rerun observes the run's context too: reconciliation after a cap
+	// trip can mine for a while, and cancellation must interrupt it. A
+	// context stop is propagated back to the shared budget so the emitter's
+	// contextErr checks see it.
+	rbud.done = e.bud.done
+	rbud.ctxErr = e.bud.ctxErr
+	defer func() {
+		if rbud.ctxHit.Load() {
+			e.bud.ctxHit.Store(true)
+			e.bud.cancelled.Store(true)
+		}
+	}()
 	emitted := 0
 	mn := &miner{m: e.m, p: e.p, models: e.models, bud: rbud,
 		seen: make(map[string]bool),
@@ -264,7 +427,11 @@ func (e *engine) rerun(c, skip int, deliver bool, clusterCap int) Stats {
 			if !deliver || emitted <= skip {
 				return true
 			}
-			return e.visit(b)
+			if !e.visit(b) {
+				return false
+			}
+			e.noteDelivery(c, emitted, b)
+			return true
 		}}
 	mn.runFrom(c)
 	return mn.stats

@@ -1,0 +1,138 @@
+// Package faultinject is a test-only fault hook registry: production code
+// calls Hook at named sites (journal appends, registry writes, miner subtree
+// starts, stream writes), and tests arm errors, panics, or delays at those
+// sites to drive crash-recovery and containment scenarios that are otherwise
+// unreachable. Nothing is ever armed outside tests, and a disarmed Hook call
+// costs a single atomic load, so the hooks stay compiled into the hot paths.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error returned by an armed error site whose Spec
+// carries no explicit Err.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// Spec describes one armed fault. Exactly one of Err/Panic should be set for
+// error or panic injection; Delay may accompany either (or stand alone).
+type Spec struct {
+	// Err is returned by Hook when the fault fires. When nil and Panic is
+	// empty, ErrInjected is returned.
+	Err error
+	// Panic, when non-empty, makes Hook panic with this message instead of
+	// returning an error.
+	Panic string
+	// Delay is slept before the fault fires (and before a pass-through when
+	// the fault is exhausted or not yet due).
+	Delay time.Duration
+	// After skips the first After matching Hook calls before firing.
+	After int
+	// Times bounds how often the fault fires; 0 means every call after After.
+	Times int
+}
+
+// TransientError marks an injected failure as transient so that retry
+// policies (the service's capped-backoff job retry) recognize it.
+type TransientError struct{ Err error }
+
+func (e *TransientError) Error() string   { return "transient: " + e.Err.Error() }
+func (e *TransientError) Unwrap() error   { return e.Err }
+func (e *TransientError) Transient() bool { return true }
+
+// armedFault is the registry entry of one site.
+type armedFault struct {
+	spec  Spec
+	calls int // Hook invocations at this site since arming
+	fired int // faults actually delivered
+}
+
+var (
+	active atomic.Int32 // number of armed sites; fast-path gate
+	mu     sync.Mutex
+	sites  map[string]*armedFault
+	hits   map[string]int // per-site fire counts, survive disarm until Reset
+)
+
+// Arm installs spec at site, replacing any previous fault there, and returns
+// a disarm function. Tests should defer the disarm (or call Reset in a test
+// cleanup) so faults never leak across tests.
+func Arm(site string, spec Spec) (disarm func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	if sites == nil {
+		sites = make(map[string]*armedFault)
+		hits = make(map[string]int)
+	}
+	if _, exists := sites[site]; !exists {
+		active.Add(1)
+	}
+	sites[site] = &armedFault{spec: spec}
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, exists := sites[site]; exists {
+			delete(sites, site)
+			active.Add(-1)
+		}
+	}
+}
+
+// Reset disarms every site and clears the fire counters.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	active.Add(-int32(len(sites)))
+	sites = nil
+	hits = nil
+}
+
+// Fired returns how many faults have been delivered at site since the last
+// Reset (across re-arms).
+func Fired(site string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return hits[site]
+}
+
+// Hook triggers the fault armed at site, if any: it sleeps Spec.Delay, then
+// panics (Spec.Panic) or returns an error (Spec.Err or ErrInjected) once the
+// After/Times window admits this call. Disarmed sites return nil after one
+// atomic load.
+func Hook(site string) error {
+	if active.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	f, ok := sites[site]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	f.calls++
+	due := f.calls > f.spec.After && (f.spec.Times == 0 || f.fired < f.spec.Times)
+	if due {
+		f.fired++
+		hits[site]++
+	}
+	spec := f.spec
+	mu.Unlock()
+
+	if spec.Delay > 0 {
+		time.Sleep(spec.Delay)
+	}
+	if !due {
+		return nil
+	}
+	if spec.Panic != "" {
+		panic(fmt.Sprintf("faultinject: %s: %s", site, spec.Panic))
+	}
+	if spec.Err != nil {
+		return spec.Err
+	}
+	return ErrInjected
+}

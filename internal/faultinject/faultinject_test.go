@@ -1,0 +1,111 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHookIsNil(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Hook("nothing.armed"); err != nil {
+		t.Fatalf("disarmed hook returned %v", err)
+	}
+}
+
+func TestErrorInjectionAfterTimes(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	disarm := Arm("site.err", Spec{Err: boom, After: 2, Times: 2})
+	defer disarm()
+
+	var got []error
+	for i := 0; i < 6; i++ {
+		got = append(got, Hook("site.err"))
+	}
+	want := []error{nil, nil, boom, boom, nil, nil}
+	for i := range want {
+		if !errors.Is(got[i], want[i]) && got[i] != want[i] {
+			t.Fatalf("call %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if Fired("site.err") != 2 {
+		t.Fatalf("fired %d times", Fired("site.err"))
+	}
+}
+
+func TestDefaultErrAndDisarm(t *testing.T) {
+	t.Cleanup(Reset)
+	disarm := Arm("site.def", Spec{})
+	if err := Hook("site.def"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	disarm()
+	if err := Hook("site.def"); err != nil {
+		t.Fatalf("disarmed site still fires: %v", err)
+	}
+	disarm() // double disarm is harmless
+}
+
+func TestPanicInjection(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("site.panic", Spec{Panic: "kaboom"})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "kaboom") {
+			t.Fatalf("panic value %v", r)
+		}
+	}()
+	Hook("site.panic")
+}
+
+func TestDelayInjection(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("site.delay", Spec{Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Hook("site.delay"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("hook returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestTransientError(t *testing.T) {
+	inner := errors.New("disk hiccup")
+	var te *TransientError = &TransientError{Err: inner}
+	if !errors.Is(te, inner) {
+		t.Fatal("TransientError does not unwrap")
+	}
+	var marker interface{ Transient() bool }
+	if !errors.As(error(te), &marker) || !marker.Transient() {
+		t.Fatal("TransientError not recognized via the Transient interface")
+	}
+}
+
+func TestConcurrentHooks(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("site.conc", Spec{Times: 10})
+	var wg sync.WaitGroup
+	var fired sync.Map
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				if err := Hook("site.conc"); err != nil {
+					fired.Store(err, true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if Fired("site.conc") != 10 {
+		t.Fatalf("fired %d, want 10", Fired("site.conc"))
+	}
+}

@@ -48,6 +48,10 @@ type resultCache struct {
 	max   int
 	ll    *list.List // front = most recently used; values are *cacheItem
 	items map[string]*list.Element
+	// onEvict, when set, observes every LRU eviction (not explicit
+	// replacements) — the durable server hooks it to delete the evicted
+	// entry's result file so disk usage tracks the cache bound.
+	onEvict func(key string)
 }
 
 type cacheItem struct {
@@ -87,7 +91,11 @@ func (c *resultCache) put(key string, res cachedResult) {
 	for c.ll.Len() >= c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheItem).key)
+		old := oldest.Value.(*cacheItem).key
+		delete(c.items, old)
+		if c.onEvict != nil {
+			c.onEvict(old)
+		}
 	}
 	c.items[key] = c.ll.PushFront(&cacheItem{key: key, res: res})
 }

@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"regcluster/internal/core"
+	"regcluster/internal/faultinject"
 	"regcluster/internal/report"
 )
 
@@ -16,31 +19,37 @@ import (
 //
 //	queued ──▶ running ──▶ done
 //	   │           ├─────▶ failed
+//	   │           ├─────▶ interrupted   (shutdown; resumes on next boot)
 //	   └───────────┴─────▶ cancelled
 //
 // Cache hits are born terminal: a submission whose result is cached is
 // recorded as done with Cached set, without ever occupying a mining slot.
+// Interrupted is terminal *within this process* — the job's checkpoint is
+// journaled and the next boot re-enqueues it.
 type JobStatus string
 
 const (
-	StatusQueued    JobStatus = "queued"
-	StatusRunning   JobStatus = "running"
-	StatusDone      JobStatus = "done"
-	StatusFailed    JobStatus = "failed"
-	StatusCancelled JobStatus = "cancelled"
+	StatusQueued      JobStatus = "queued"
+	StatusRunning     JobStatus = "running"
+	StatusDone        JobStatus = "done"
+	StatusFailed      JobStatus = "failed"
+	StatusCancelled   JobStatus = "cancelled"
+	StatusInterrupted JobStatus = "interrupted"
 )
 
-// terminal reports whether no further state changes can happen.
+// terminal reports whether no further state changes can happen in this
+// process.
 func (s JobStatus) terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled || s == StatusInterrupted
 }
 
 // ErrDraining is returned by submit once shutdown has begun.
 var ErrDraining = errors.New("service: shutting down, not accepting jobs")
 
 // Job is one submitted mining request. All mutable state is guarded by mu;
-// clusters only ever grows, so snapshot readers may retain the returned
-// slice prefix without copying.
+// clusters only ever grows during one attempt, so snapshot readers may retain
+// the returned slice prefix without copying (rewindTo re-allocates rather
+// than truncating in place for the same reason).
 type Job struct {
 	ID      string
 	Dataset *Dataset
@@ -50,18 +59,28 @@ type Job struct {
 
 	obs core.Observer // live node/cluster counters while mining
 
-	mu       sync.Mutex
-	status   JobStatus
-	cached   bool
-	err      string
-	clusters []report.NamedCluster
-	stats    core.Stats
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	changed  chan struct{} // closed and replaced on every state change
-	cancel   context.CancelFunc
-	done     chan struct{} // closed once status is terminal
+	mu        sync.Mutex
+	status    JobStatus
+	cached    bool
+	recovered bool // re-enqueued from the journal at boot
+	err       string
+	stack     string // panic stack when a contained worker panic failed the job
+	clusters  []report.NamedCluster
+	stats     core.Stats
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	changed   chan struct{} // closed and replaced on every state change
+	cancel    context.CancelFunc
+	done      chan struct{} // closed once status is terminal
+
+	// Crash-recovery state. lastCkpt is the most recent miner snapshot (the
+	// resume point of the next attempt or the next boot); journaled is the
+	// cluster watermark already written to the WAL; attempts counts
+	// transient-failure retries.
+	lastCkpt  *core.Checkpoint
+	journaled int
+	attempts  int
 }
 
 // JobView is the JSON form of a job's state at one instant.
@@ -70,9 +89,16 @@ type JobView struct {
 	Dataset string      `json:"dataset"`
 	Status  JobStatus   `json:"status"`
 	Cached  bool        `json:"cached"`
-	Workers int         `json:"workers"`
-	Params  core.Params `json:"params"`
-	Error   string      `json:"error,omitempty"`
+	// Recovered marks a job re-enqueued from the journal after a restart.
+	Recovered bool        `json:"recovered,omitempty"`
+	Workers   int         `json:"workers"`
+	Params    core.Params `json:"params"`
+	Error     string      `json:"error,omitempty"`
+	// Stack is the captured goroutine stack when a contained worker panic
+	// failed the job.
+	Stack string `json:"stack,omitempty"`
+	// Attempts counts transient-failure retries already spent.
+	Attempts int `json:"attempts,omitempty"`
 	// Clusters is the number of clusters delivered so far (final once the
 	// status is terminal).
 	Clusters int `json:"clusters"`
@@ -91,13 +117,16 @@ func (j *Job) View() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID:      j.ID,
-		Dataset: j.Dataset.ID,
-		Status:  j.status,
-		Cached:  j.cached,
-		Workers: j.Workers,
-		Params:  j.Params,
-		Error:   j.err,
+		ID:        j.ID,
+		Dataset:   j.Dataset.ID,
+		Status:    j.status,
+		Cached:    j.cached,
+		Recovered: j.recovered,
+		Workers:   j.Workers,
+		Params:    j.Params,
+		Error:     j.err,
+		Stack:     j.stack,
+		Attempts:  j.attempts,
 
 		Clusters:     len(j.clusters),
 		LiveNodes:    j.obs.Nodes(),
@@ -154,12 +183,51 @@ func (j *Job) bump() {
 	j.changed = make(chan struct{})
 }
 
-// jobManager owns the job table, the mining-slot semaphore and the
-// result-cache interaction. One manager serves one Server.
+// rewindTo discards clusters past the checkpoint watermark before a retry
+// resumes from that checkpoint, so the resumed attempt never re-delivers
+// them. The prefix is COPIED into a fresh backing array: stream readers may
+// still hold aliases of the old one, and the re-mined appends must not write
+// through those (the re-mined values are identical — mining is deterministic
+// — but the race detector rightly objects to the overlapping writes).
+func (j *Job) rewindTo(watermark int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if watermark < len(j.clusters) {
+		j.clusters = append([]report.NamedCluster(nil), j.clusters[:watermark]...)
+	}
+	if j.journaled > watermark {
+		j.journaled = watermark
+	}
+}
+
+// resumePoint returns the snapshot the next mining attempt starts from.
+func (j *Job) resumePoint() *core.Checkpoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastCkpt
+}
+
+// jobManager owns the job table, the mining-slot semaphore, the result-cache
+// interaction, and — when the server is durable — the job journal. One
+// manager serves one Server.
 type jobManager struct {
 	cache   *resultCache
 	metrics *Metrics
 	slots   chan struct{} // buffered; one token per concurrent mining job
+
+	// Durability plumbing; wal/store are nil on an in-memory server.
+	wal     *journal
+	store   *store
+	ckEvery int // checkpoint cadence in delivered clusters
+	logf    func(format string, args ...any)
+
+	// Transient-failure retry policy: up to maxRetries re-attempts, sleeping
+	// retryBase<<attempt (capped at retryMax) plus up to 50% jitter.
+	maxRetries int
+	retryBase  time.Duration
+	retryMax   time.Duration
+
+	draining atomic.Bool // drain() began; cancellations become interruptions
 
 	mu      sync.Mutex
 	jobs    map[string]*Job
@@ -174,11 +242,29 @@ func newJobManager(maxConcurrent int, cache *resultCache, metrics *Metrics) *job
 		maxConcurrent = 1
 	}
 	return &jobManager{
-		cache:   cache,
-		metrics: metrics,
-		slots:   make(chan struct{}, maxConcurrent),
-		jobs:    make(map[string]*Job),
+		cache:      cache,
+		metrics:    metrics,
+		slots:      make(chan struct{}, maxConcurrent),
+		jobs:       make(map[string]*Job),
+		ckEvery:    64,
+		logf:       func(string, ...any) {},
+		maxRetries: 2,
+		retryBase:  100 * time.Millisecond,
+		retryMax:   5 * time.Second,
 	}
+}
+
+// journalAppend writes one WAL record, tolerating failure: the journal is a
+// recovery aid, and a disk error must degrade durability, never availability.
+func (m *jobManager) journalAppend(rec journalRecord) bool {
+	if m.wal == nil {
+		return false
+	}
+	if err := m.wal.append(rec); err != nil {
+		m.logf("service: journal %s for %s: %v (continuing without durability)", rec.Type, rec.Job, err)
+		return false
+	}
+	return true
 }
 
 // submit registers a mining job for (ds, p) and returns it. When the result
@@ -186,8 +272,6 @@ func newJobManager(maxConcurrent int, cache *resultCache, metrics *Metrics) *job
 // Cached set and no mining slot is consumed. Parameters must be validated by
 // the caller; p is stored as submitted (post server-side clamping).
 func (m *jobManager) submit(ds *Dataset, p core.Params, workers int, timeout time.Duration) (*Job, error) {
-	key := cacheKey(ds.ID, p)
-
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -205,13 +289,25 @@ func (m *jobManager) submit(ds *Dataset, p core.Params, workers int, timeout tim
 		changed: make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	seq := m.seq
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
 	m.metrics.JobsSubmitted.Add(1)
+	m.mu.Unlock()
 
+	pp := p
+	m.journalAppend(journalRecord{Type: recSubmit, Job: j.ID, Seq: seq,
+		Dataset: ds.ID, Params: &pp, Workers: workers, TimeoutMS: timeout.Milliseconds()})
+	m.launch(j)
+	return j, nil
+}
+
+// launch settles a job from the cache or starts its mining goroutine. It is
+// shared by submit and boot-time recovery.
+func (m *jobManager) launch(j *Job) {
+	key := cacheKey(j.Dataset.ID, j.Params)
 	if res, ok := m.cache.get(key); ok {
 		m.metrics.CacheHits.Add(1)
-		m.mu.Unlock()
 		j.mu.Lock()
 		j.cached = true
 		j.clusters = res.clusters
@@ -222,7 +318,9 @@ func (m *jobManager) submit(ds *Dataset, p core.Params, workers int, timeout tim
 		j.bump()
 		close(j.done)
 		j.mu.Unlock()
-		return j, nil
+		st := res.stats
+		m.journalAppend(journalRecord{Type: recDone, Job: j.ID, CacheKey: key, Cached: true, Stats: &st})
+		return
 	}
 	m.metrics.CacheMisses.Add(1)
 	ctx, cancel := context.WithCancel(context.Background())
@@ -230,13 +328,33 @@ func (m *jobManager) submit(ds *Dataset, p core.Params, workers int, timeout tim
 	j.cancel = cancel
 	j.mu.Unlock()
 	m.running.Add(1)
-	m.mu.Unlock()
-
 	go m.run(ctx, j, key)
-	return j, nil
 }
 
-// run executes one mining job: wait for a slot, mine with streaming, settle.
+// recover re-enqueues a job reconstructed from the journal at boot: prefix
+// clusters already delivered before the crash, plus the snapshot to resume
+// from. Runs before the server accepts traffic.
+func (m *jobManager) recover(j *Job) {
+	m.mu.Lock()
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.mu.Unlock()
+	m.metrics.Recoveries.Add(1)
+	m.launch(j)
+}
+
+// restoreTerminal installs the shell of a job that had already settled before
+// the restart, so /jobs keeps answering for it.
+func (m *jobManager) restoreTerminal(j *Job) {
+	close(j.done)
+	m.mu.Lock()
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.mu.Unlock()
+}
+
+// run executes one mining job: wait for a slot, mine (with checkpointing and
+// transient-failure retries), settle.
 func (m *jobManager) run(ctx context.Context, j *Job, key string) {
 	defer m.running.Done()
 	select {
@@ -265,9 +383,49 @@ func (m *jobManager) run(ctx context.Context, j *Job, key string) {
 		defer cancel()
 	}
 
-	mat := j.Dataset.Matrix()
 	start := time.Now()
-	stats, err := core.MineParallelFuncObserved(mineCtx, mat, j.Params, j.Workers, func(b *core.Bicluster) bool {
+	var stats core.Stats
+	var err error
+	for attempt := 0; ; attempt++ {
+		stats, err = m.mine(mineCtx, j)
+		if err == nil || !isTransient(err) || attempt >= m.maxRetries || mineCtx.Err() != nil {
+			break
+		}
+		m.metrics.JobRetries.Add(1)
+		j.mu.Lock()
+		j.attempts++
+		j.mu.Unlock()
+		delay := m.backoff(attempt)
+		m.logf("service: job %s attempt %d failed transiently (%v); retrying in %v", j.ID, attempt+1, err, delay)
+		select {
+		case <-time.After(delay):
+		case <-mineCtx.Done():
+		}
+	}
+	m.metrics.ObserveMiningLatency(time.Since(start))
+	m.settle(j, key, stats, err)
+}
+
+// mine runs one attempt over the resumable miner. The attempt resumes from
+// the job's last checkpoint (nil on the first attempt of a fresh job),
+// having first rewound the delivered clusters to that checkpoint's watermark
+// so a retry never duplicates deliveries.
+func (m *jobManager) mine(ctx context.Context, j *Job) (core.Stats, error) {
+	if err := faultinject.Hook("jobs.mine"); err != nil {
+		return core.Stats{}, err
+	}
+	resume := j.resumePoint()
+	if resume != nil {
+		j.rewindTo(resume.Delivered())
+	} else {
+		j.rewindTo(0)
+	}
+	mat := j.Dataset.Matrix()
+	ck := core.CheckpointConfig{
+		EveryClusters: m.ckEvery,
+		OnCheckpoint:  func(c core.Checkpoint) { m.noteCheckpoint(j, c) },
+	}
+	return core.MineParallelFuncResumable(ctx, mat, j.Params, j.Workers, func(b *core.Bicluster) bool {
 		nc := report.Named(mat, b)
 		j.mu.Lock()
 		j.clusters = append(j.clusters, nc)
@@ -275,25 +433,86 @@ func (m *jobManager) run(ctx context.Context, j *Job, key string) {
 		j.mu.Unlock()
 		m.metrics.ClustersStreamed.Add(1)
 		return true
-	}, &j.obs)
-	m.metrics.ObserveMiningLatency(time.Since(start))
-	m.settle(j, key, stats, err)
+	}, &j.obs, resume, ck)
+}
+
+// noteCheckpoint records a miner snapshot: it becomes the job's resume point
+// and — on a durable server — is journaled together with every cluster
+// delivered since the previous journaled watermark. The callback runs
+// synchronously on the mining emitter goroutine, so the append completes
+// before any further cluster is delivered: the WAL watermark never runs
+// ahead of delivery.
+func (m *jobManager) noteCheckpoint(j *Job, ck core.Checkpoint) {
+	m.metrics.Checkpoints.Add(1)
+	j.mu.Lock()
+	ckCopy := ck
+	j.lastCkpt = &ckCopy
+	watermark := ck.Delivered()
+	if watermark > len(j.clusters) {
+		watermark = len(j.clusters)
+	}
+	var fresh []report.NamedCluster
+	if m.wal != nil && watermark > j.journaled {
+		fresh = append([]report.NamedCluster(nil), j.clusters[j.journaled:watermark]...)
+	}
+	j.mu.Unlock()
+	if m.wal == nil {
+		return
+	}
+	if m.journalAppend(journalRecord{Type: recCheckpoint, Job: j.ID, Ckpt: &ckCopy, NewClusters: fresh}) {
+		j.mu.Lock()
+		j.journaled = watermark
+		j.mu.Unlock()
+	}
+}
+
+// backoff returns the capped exponential delay before retry `attempt`+1,
+// with up to 50% uniform jitter so a herd of failing jobs does not retry in
+// lockstep.
+func (m *jobManager) backoff(attempt int) time.Duration {
+	d := m.retryBase << attempt
+	if d > m.retryMax || d <= 0 {
+		d = m.retryMax
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// isTransient reports whether an error is worth retrying: anything that
+// declares itself transient (e.g. injected faults, wrapped I/O hiccups).
+// Cancellation, deadlines, and worker panics are never transient — the first
+// two are caller decisions, and a panic is a bug to surface, not retry.
+func isTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
 }
 
 // settle moves a job to its terminal state and, on success, publishes the
-// result to the cache. Interrupted runs (cancel or deadline) are never
-// cached: their truncation point is schedule-dependent, unlike MaxNodes/
-// MaxClusters truncation, which is deterministic and therefore cacheable.
+// result to the cache (and, on a durable server, to disk and the journal).
+// Interrupted runs (cancel or deadline) are never cached: their truncation
+// point is schedule-dependent, unlike MaxNodes/MaxClusters truncation, which
+// is deterministic and therefore cacheable. A worker panic surfaces as
+// failed with the captured stack; shutdown-driven cancellation surfaces as
+// interrupted, journaled with the resume checkpoint.
 func (m *jobManager) settle(j *Job, key string, stats core.Stats, err error) {
+	var perr *core.PanicError
 	j.mu.Lock()
 	j.stats = stats
 	j.finished = time.Now().UTC()
 	switch {
 	case err == nil:
 		j.status = StatusDone
+	case errors.As(err, &perr):
+		j.status = StatusFailed
+		j.err = perr.Error()
+		j.stack = string(perr.Stack)
 	case errors.Is(err, context.Canceled):
-		j.status = StatusCancelled
-		j.err = "cancelled"
+		if m.draining.Load() {
+			j.status = StatusInterrupted
+			j.err = "interrupted by shutdown"
+		} else {
+			j.status = StatusCancelled
+			j.err = "cancelled"
+		}
 	case errors.Is(err, context.DeadlineExceeded):
 		j.status = StatusFailed
 		j.err = "deadline exceeded"
@@ -302,7 +521,9 @@ func (m *jobManager) settle(j *Job, key string, stats core.Stats, err error) {
 		j.err = err.Error()
 	}
 	status := j.status
+	errMsg := j.err
 	clusters := j.clusters
+	ckpt := j.lastCkpt
 	j.bump()
 	close(j.done)
 	j.mu.Unlock()
@@ -311,11 +532,27 @@ func (m *jobManager) settle(j *Job, key string, stats core.Stats, err error) {
 	case StatusDone:
 		m.metrics.JobsFinished.Add(1)
 		m.metrics.NodesVisited.Add(int64(stats.Nodes))
-		m.cache.put(key, cachedResult{clusters: clusters, stats: stats})
+		res := cachedResult{clusters: clusters, stats: stats}
+		m.cache.put(key, res)
+		if m.store != nil {
+			if err := m.store.saveResult(key, res); err != nil {
+				m.logf("service: persist result of %s: %v", j.ID, err)
+			}
+		}
+		st := stats
+		m.journalAppend(journalRecord{Type: recDone, Job: j.ID, CacheKey: key, Stats: &st})
 	case StatusCancelled:
 		m.metrics.JobsCancelled.Add(1)
+		m.journalAppend(journalRecord{Type: recCancelled, Job: j.ID})
+	case StatusInterrupted:
+		m.journalAppend(journalRecord{Type: recInterrupted, Job: j.ID, Ckpt: ckpt})
 	case StatusFailed:
+		if perr != nil {
+			m.metrics.PanicsRecovered.Add(1)
+			m.logf("service: job %s failed on a contained worker panic: %v", j.ID, perr.Value)
+		}
 		m.metrics.JobsFailed.Add(1)
+		m.journalAppend(journalRecord{Type: recFailed, Job: j.ID, Error: errMsg})
 	}
 }
 
@@ -373,7 +610,10 @@ func (m *jobManager) queuedOrRunning() int {
 // drain stops accepting new jobs and waits for in-flight ones. While ctx is
 // live the running jobs finish naturally; once it expires they are cancelled
 // and drain waits for the cooperative stop (prompt: miners observe
-// cancellation at every node boundary).
+// cancellation at every node boundary). On a durable server a job cancelled
+// by the expiring grace period settles as interrupted — its checkpoint is
+// journaled and the next boot resumes it — rather than as a dead-end
+// cancellation.
 func (m *jobManager) drain(ctx context.Context) error {
 	m.mu.Lock()
 	m.closed = true
@@ -393,6 +633,7 @@ func (m *jobManager) drain(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 	}
+	m.draining.Store(true)
 	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
 	for _, j := range jobs {
 		j.mu.Lock()

@@ -27,6 +27,14 @@ type Metrics struct {
 
 	DatasetsUploaded atomic.Int64
 
+	// Durability and failure-containment counters (regserver_* exposition
+	// names; they arrived with the crash-recovery layer, after the
+	// regcluster_* counters above were already scraped in the wild).
+	Recoveries      atomic.Int64 // interrupted jobs re-enqueued at boot
+	Checkpoints     atomic.Int64 // miner snapshots taken
+	JobRetries      atomic.Int64 // transient-failure retries (backoff waits)
+	PanicsRecovered atomic.Int64 // worker/stream panics contained
+
 	latency latencyHistogram
 }
 
@@ -87,6 +95,10 @@ func (mt *Metrics) WriteTo(w io.Writer, gauges []gauge) {
 	counter("regcluster_nodes_visited_total", "Search-tree nodes visited by finished jobs.", mt.NodesVisited.Load())
 	counter("regcluster_clusters_streamed_total", "Clusters emitted by miners.", mt.ClustersStreamed.Load())
 	counter("regcluster_datasets_uploaded_total", "Dataset uploads accepted (re-uploads included).", mt.DatasetsUploaded.Load())
+	counter("regserver_recoveries_total", "Interrupted jobs re-enqueued from their checkpoints at boot.", mt.Recoveries.Load())
+	counter("regserver_checkpoints_total", "Miner checkpoints taken.", mt.Checkpoints.Load())
+	counter("regserver_job_retries_total", "Transient job failures retried with backoff.", mt.JobRetries.Load())
+	counter("regserver_panics_recovered_total", "Panics recovered inside workers and stream handlers.", mt.PanicsRecovered.Load())
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.value())
 	}

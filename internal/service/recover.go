@@ -1,0 +1,265 @@
+package service
+
+import (
+	"time"
+
+	"regcluster/internal/core"
+	"regcluster/internal/report"
+)
+
+// Boot-time crash recovery. The sequence (run by Open before the server
+// accepts traffic):
+//
+//  1. load persisted datasets into the registry (each file verified against
+//     its content-addressed name; corrupt files are skipped with a warning);
+//  2. load persisted results into the LRU cache, oldest first;
+//  3. replay the job journal into per-job states: submit parameters, the
+//     cluster prefix delivered before the crash, the last checkpoint, and
+//     the terminal record if one was written;
+//  4. compact the journal — the replayed state is rewritten in canonical
+//     form (submit + final checkpoint or terminal per job) so the WAL does
+//     not grow without bound across restarts;
+//  5. rebuild the job table: settled jobs become read-only shells, and jobs
+//     the crash interrupted are re-enqueued from their checkpoints.
+//
+// Recovery is tolerant end to end: a missing, empty, or corrupt data-dir
+// degrades to a clean boot with logged warnings, never a refusal to start.
+
+// replayedJob is the journal-derived state of one job.
+type replayedJob struct {
+	submit      journalRecord
+	clusters    []report.NamedCluster
+	ckpt        *core.Checkpoint
+	terminal    *journalRecord
+	interrupted bool
+}
+
+// replayRecords folds journal records into per-job states, returning the
+// states in submission order plus the highest journaled sequence number.
+// Unknown record types are skipped (forward compatibility: a journal written
+// by a newer server still boots here), as are records for jobs whose submit
+// record was lost.
+func replayRecords(recs []journalRecord, logf func(string, ...any)) (ordered []*replayedJob, maxSeq int) {
+	byID := make(map[string]*replayedJob)
+	for _, rec := range recs {
+		switch rec.Type {
+		case recSubmit:
+			if rec.Job == "" || rec.Params == nil || rec.Dataset == "" {
+				logf("service: journal: malformed submit record for %q; skipping", rec.Job)
+				continue
+			}
+			j := &replayedJob{submit: rec}
+			byID[rec.Job] = j
+			ordered = append(ordered, j)
+			if rec.Seq > maxSeq {
+				maxSeq = rec.Seq
+			}
+		case recCheckpoint:
+			j, ok := byID[rec.Job]
+			if !ok {
+				logf("service: journal: checkpoint for unknown job %q; skipping", rec.Job)
+				continue
+			}
+			if rec.Ckpt == nil {
+				logf("service: journal: checkpoint record for %q carries no snapshot; skipping", rec.Job)
+				continue
+			}
+			j.ckpt = rec.Ckpt
+			// A re-journaled overlap (an earlier append failed mid-run) is
+			// reconciled against the snapshot's watermark: keep the prefix
+			// this record does not cover, then append its clusters.
+			before := rec.Ckpt.Delivered() - len(rec.NewClusters)
+			if before < 0 {
+				before = 0
+			}
+			if before < len(j.clusters) {
+				j.clusters = j.clusters[:before]
+			}
+			j.clusters = append(j.clusters, rec.NewClusters...)
+		case recDone, recFailed, recCancelled:
+			j, ok := byID[rec.Job]
+			if !ok {
+				logf("service: journal: %s for unknown job %q; skipping", rec.Type, rec.Job)
+				continue
+			}
+			r := rec
+			j.terminal = &r
+		case recInterrupted:
+			j, ok := byID[rec.Job]
+			if !ok {
+				logf("service: journal: interrupted for unknown job %q; skipping", rec.Job)
+				continue
+			}
+			j.interrupted = true
+			if rec.Ckpt != nil {
+				j.ckpt = rec.Ckpt
+			}
+		default:
+			logf("service: journal: unknown record type %q; skipping (newer server?)", rec.Type)
+		}
+	}
+	return ordered, maxSeq
+}
+
+// canonicalRecords renders the replayed state back into a minimal journal
+// for compaction: submit + terminal for settled jobs, submit + one merged
+// checkpoint (full cluster prefix) for jobs about to be resumed.
+func canonicalRecords(jobs []*replayedJob) []journalRecord {
+	var out []journalRecord
+	for _, j := range jobs {
+		out = append(out, j.submit)
+		switch {
+		case j.terminal != nil:
+			out = append(out, *j.terminal)
+		case j.ckpt != nil:
+			out = append(out, journalRecord{Type: recCheckpoint, Time: j.submit.Time,
+				Job: j.submit.Job, Ckpt: j.ckpt, NewClusters: j.clusters})
+		}
+	}
+	return out
+}
+
+// bootRecover runs the recovery sequence against s.store. It returns an
+// error only for a journal that exists but cannot be rewritten (a data-dir
+// that accepts no writes is not durable, and pretending otherwise would
+// break the service's promise); every data-corruption case degrades to a
+// warning.
+func (s *Server) bootRecover() error {
+	for _, ds := range s.store.loadDatasets() {
+		s.registry.restore(ds)
+	}
+	for _, r := range s.store.loadResults(s.cfg.CacheEntries) {
+		s.cache.put(r.key, r.res)
+	}
+
+	recs := replayJournalFile(s.store.journalPath(), s.logf)
+	jobs, maxSeq := replayRecords(recs, s.logf)
+	s.jobs.mu.Lock()
+	if maxSeq > s.jobs.seq {
+		s.jobs.seq = maxSeq
+	}
+	s.jobs.mu.Unlock()
+
+	if err := s.store.compactJournal(canonicalRecords(jobs)); err != nil {
+		return err
+	}
+	wal, err := openJournal(s.store.journalPath())
+	if err != nil {
+		return err
+	}
+	s.wal = wal
+	s.jobs.wal = wal
+
+	for _, rj := range jobs {
+		if rj.terminal != nil {
+			s.restoreSettled(rj)
+		} else {
+			s.resumeInterrupted(rj)
+		}
+	}
+	return nil
+}
+
+// jobShell rebuilds the common immutable part of a replayed job.
+func (s *Server) jobShell(rj *replayedJob) *Job {
+	sub := rj.submit
+	ds, ok := s.registry.get(sub.Dataset)
+	if !ok {
+		// The dataset file was lost or corrupt; keep an ID-only stand-in so
+		// views still render. Pending jobs against it fail in the caller.
+		ds = &Dataset{ID: sub.Dataset, Name: "lost-" + shortID(sub.Dataset)}
+	}
+	var p core.Params
+	if sub.Params != nil {
+		p = *sub.Params
+	}
+	return &Job{
+		ID:      sub.Job,
+		Dataset: ds,
+		Params:  p,
+		Workers: sub.Workers,
+		Timeout: time.Duration(sub.TimeoutMS) * time.Millisecond,
+		created: sub.Time,
+		changed: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// restoreSettled installs the read-only shell of a job that had settled
+// before the restart. Done jobs re-attach their clusters from the restored
+// result cache when the entry survived.
+func (s *Server) restoreSettled(rj *replayedJob) {
+	j := s.jobShell(rj)
+	term := rj.terminal
+	j.finished = term.Time
+	j.started = term.Time
+	j.stats = core.Stats{}
+	if term.Stats != nil {
+		j.stats = *term.Stats
+	}
+	switch term.Type {
+	case recDone:
+		j.status = StatusDone
+		j.cached = term.Cached
+		if res, ok := s.cache.get(term.CacheKey); ok {
+			j.clusters = res.clusters
+		} else if term.CacheKey != "" {
+			s.logf("service: job %s: settled result %s not recovered; clusters unavailable", j.ID, shortID(term.CacheKey))
+		}
+	case recFailed:
+		j.status = StatusFailed
+		j.err = term.Error
+	case recCancelled:
+		j.status = StatusCancelled
+		j.err = "cancelled"
+	}
+	s.jobs.restoreTerminal(j)
+}
+
+// resumeInterrupted re-enqueues a job the previous process never settled —
+// either it journaled an explicit interrupted record at shutdown, or it
+// crashed with no terminal record at all. The job resumes from its last
+// checkpoint with the journaled cluster prefix already in place; with no
+// checkpoint it restarts from scratch.
+func (s *Server) resumeInterrupted(rj *replayedJob) {
+	j := s.jobShell(rj)
+	if _, ok := s.registry.get(rj.submit.Dataset); !ok {
+		j.status = StatusFailed
+		j.err = "dataset " + rj.submit.Dataset + " not recovered after restart"
+		j.finished = time.Now().UTC()
+		s.jobs.restoreTerminal(j)
+		s.jobs.metrics.JobsFailed.Add(1)
+		// Journal the failure so the next boot does not re-fail it forever.
+		s.jobs.journalAppend(journalRecord{Type: recFailed, Job: j.ID, Error: j.err})
+		return
+	}
+	j.status = StatusQueued
+	j.recovered = true
+	if rj.ckpt != nil {
+		if err := rj.ckpt.Validate(j.Dataset.Matrix().Cols()); err != nil {
+			s.logf("service: job %s: checkpoint unusable (%v); restarting from scratch", j.ID, err)
+		} else if len(rj.clusters) != rj.ckpt.Delivered() {
+			// Lost checkpoint appends left a gap between the journaled
+			// cluster prefix and the snapshot's watermark; resuming would
+			// stream a hole. Mining is deterministic, so re-mining from
+			// scratch costs time but never correctness.
+			s.logf("service: job %s: journal holds %d clusters but the checkpoint covers %d; restarting from scratch",
+				j.ID, len(rj.clusters), rj.ckpt.Delivered())
+		} else {
+			ck := *rj.ckpt
+			j.lastCkpt = &ck
+			j.clusters = append([]report.NamedCluster(nil), rj.clusters...)
+			j.journaled = len(j.clusters)
+		}
+	}
+	s.logf("service: resuming job %s from checkpoint (%d clusters already delivered)", j.ID, len(j.clusters))
+	s.jobs.recover(j)
+}
+
+// shortID truncates a content hash for log lines.
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}

@@ -1,0 +1,424 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"regcluster/internal/core"
+	"regcluster/internal/faultinject"
+	"regcluster/internal/matrix"
+	"regcluster/internal/paperdata"
+	"regcluster/internal/report"
+	"regcluster/internal/synthetic"
+)
+
+// openTestServer boots a (usually durable) server via Open and serves it.
+func openTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+// recoveryWorkload is a deterministic multi-hundred-cluster run, bounded by
+// MaxClusters so the uninterrupted reference is itself deterministic (capped
+// runs return the exact sequential prefix and are cacheable).
+func recoveryWorkload(t *testing.T) (*matrix.Matrix, core.Params) {
+	t.Helper()
+	m, _, err := synthetic.Generate(synthetic.Config{Genes: 220, Conds: 14, Clusters: 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, core.Params{MinG: 3, MinC: 3, Gamma: 0.03, Epsilon: 1.5, MaxClusters: 400}
+}
+
+// minedReference mines the workload uninterrupted and returns the named form.
+func minedReference(t *testing.T, m *matrix.Matrix, p core.Params) ([]report.NamedCluster, core.Stats) {
+	t.Helper()
+	want, err := core.Mine(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	named := make([]report.NamedCluster, len(want.Clusters))
+	for i, b := range want.Clusters {
+		named[i] = report.Named(m, b)
+	}
+	return named, want.Stats
+}
+
+// waitClusters polls a job until it has delivered at least n clusters,
+// failing if it settles first.
+func waitClusters(t *testing.T, ts *httptest.Server, id string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v := getJob(t, ts, id)
+		if v.Clusters >= n {
+			return
+		}
+		if v.Status.terminal() {
+			t.Fatalf("job settled (%s) before delivering %d clusters (has %d); slow the workload down",
+				v.Status, n, v.Clusters)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job never delivered %d clusters", n)
+}
+
+// TestKillAndRestartResumesFromCheckpoint is the acceptance scenario: a job
+// whose process dies mid-run (simulated by failing every journal append from
+// the crash point on, so the WAL freezes exactly as a SIGKILL would leave
+// it) is re-enqueued from its last checkpoint on the next boot, and the
+// recovered result — journaled prefix plus resumed suffix — byte-equals the
+// uninterrupted deterministic run.
+func TestKillAndRestartResumesFromCheckpoint(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	m, p := recoveryWorkload(t)
+	wantNamed, wantStats := minedReference(t, m, p)
+	if len(wantNamed) < 50 {
+		t.Fatalf("workload too small for a mid-run crash: %d clusters", len(wantNamed))
+	}
+
+	cfg := Config{DataDir: dir, CheckpointEveryClusters: 1, Logf: t.Logf}
+	srvA, tsA := openTestServer(t, cfg)
+
+	// Slow the miner down so the "crash" lands mid-enumeration.
+	disarmDelay := faultinject.Arm("core.mine.subtree", faultinject.Spec{Delay: 25 * time.Millisecond})
+	defer disarmDelay()
+
+	id := uploadMatrix(t, tsA, m, "recovery")
+	v := submitJob(t, tsA, submitRequest{Dataset: id, Params: p, Workers: 4})
+	waitClusters(t, tsA, v.ID, 20)
+
+	// Crash: from here on nothing reaches the WAL — the journal on disk is
+	// frozen at the last completed append, exactly the state a SIGKILL
+	// leaves. Then tear the process state down.
+	disarmWAL := faultinject.Arm("journal.append", faultinject.Spec{Err: errors.New("simulated crash: process died")})
+	resp, err := http.Post(tsA.URL+"/jobs/"+v.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitTerminal(t, tsA, v.ID)
+	tsA.Close()
+	srvA.Close()
+	disarmWAL()
+	disarmDelay()
+
+	// Restart on the same data-dir: the job must come back, resume, and
+	// finish with the uninterrupted run's exact output.
+	srvB, tsB := openTestServer(t, cfg)
+	jv := getJob(t, tsB, v.ID)
+	if !jv.Recovered {
+		t.Fatalf("job not marked recovered after restart: %+v", jv)
+	}
+	if jv.Clusters == 0 {
+		t.Fatal("recovered job lost its journaled cluster prefix")
+	}
+	if recov := metricValue(t, tsB, "regserver_recoveries_total"); recov != 1 {
+		t.Fatalf("recoveries_total %d, want 1", recov)
+	}
+	fin := waitTerminal(t, tsB, v.ID)
+	if fin.Status != StatusDone {
+		t.Fatalf("recovered job ended %s (%s)", fin.Status, fin.Error)
+	}
+	if fin.Stats == nil || *fin.Stats != wantStats {
+		t.Fatalf("recovered stats %+v, want %+v", fin.Stats, wantStats)
+	}
+	streamed, _ := streamClusters(t, tsB, v.ID)
+	gotJSON, _ := json.Marshal(streamed)
+	wantJSON, _ := json.Marshal(wantNamed)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("recovered result does not byte-equal the uninterrupted run (%d vs %d clusters)",
+			len(streamed), len(wantNamed))
+	}
+
+	// The recovered result was cached and persisted: resubmitting is a hit.
+	v2 := submitJob(t, tsB, submitRequest{Dataset: id, Params: p})
+	if !v2.Cached {
+		t.Fatal("recovered result not cached")
+	}
+	_ = srvB
+}
+
+// TestDrainJournalsInterrupted covers the graceful-shutdown satellite: a job
+// still running when the grace period expires settles as `interrupted` (not
+// a dead-end cancellation), its checkpoint is journaled, and the next boot
+// resumes it to the exact uninterrupted result.
+func TestDrainJournalsInterrupted(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	m, p := recoveryWorkload(t)
+	wantNamed, wantStats := minedReference(t, m, p)
+
+	cfg := Config{DataDir: dir, CheckpointEveryClusters: 1, Logf: t.Logf}
+	srvA, tsA := openTestServer(t, cfg)
+	// A hefty per-subtree stall guarantees the job outlives the grace period.
+	disarmDelay := faultinject.Arm("core.mine.subtree", faultinject.Spec{Delay: 150 * time.Millisecond})
+	defer disarmDelay()
+
+	id := uploadMatrix(t, tsA, m, "drain")
+	v := submitJob(t, tsA, submitRequest{Dataset: id, Params: p, Workers: 2})
+	waitClusters(t, tsA, v.ID, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := srvA.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain err %v, want deadline (the job should outlive the grace period)", err)
+	}
+	fin := waitTerminal(t, tsA, v.ID)
+	if fin.Status != StatusInterrupted {
+		t.Fatalf("drained job ended %s, want interrupted", fin.Status)
+	}
+	tsA.Close()
+	srvA.Close()
+	disarmDelay()
+
+	_, tsB := openTestServer(t, cfg)
+	fin2 := waitTerminal(t, tsB, v.ID)
+	if fin2.Status != StatusDone || !fin2.Recovered {
+		t.Fatalf("resumed job %+v", fin2)
+	}
+	if fin2.Stats == nil || *fin2.Stats != wantStats {
+		t.Fatalf("resumed stats %+v, want %+v", fin2.Stats, wantStats)
+	}
+	streamed, _ := streamClusters(t, tsB, v.ID)
+	if !reflect.DeepEqual(streamed, wantNamed) {
+		t.Fatal("resumed result diverges from the uninterrupted run")
+	}
+}
+
+// TestSettledStateSurvivesRestart: datasets, done jobs, and the result cache
+// all come back after a clean restart; a resubmission is a cache hit served
+// from recovered files without re-mining.
+func TestSettledStateSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DataDir: dir, Logf: t.Logf}
+	srvA, tsA := openTestServer(t, cfg)
+
+	m := paperdata.RunningExample()
+	wantNamed, wantStats := minedReference(t, m, runningParams())
+	id := uploadMatrix(t, tsA, m, "table1")
+	v := submitJob(t, tsA, submitRequest{Dataset: id, Params: runningParams()})
+	if fin := waitTerminal(t, tsA, v.ID); fin.Status != StatusDone {
+		t.Fatalf("job ended %s", fin.Status)
+	}
+	tsA.Close()
+	srvA.Close()
+
+	srvB, tsB := openTestServer(t, cfg)
+	// Dataset is back, content-addressed as before.
+	resp, err := http.Get(tsB.URL + "/datasets/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered dataset GET status %d", resp.StatusCode)
+	}
+	// The settled job answers with its full result.
+	jv := getJob(t, tsB, v.ID)
+	if jv.Status != StatusDone || jv.Clusters != len(wantNamed) {
+		t.Fatalf("recovered job view %+v, want done with %d clusters", jv, len(wantNamed))
+	}
+	if jv.Stats == nil || *jv.Stats != wantStats {
+		t.Fatalf("recovered job stats %+v", jv.Stats)
+	}
+	streamed, _ := streamClusters(t, tsB, v.ID)
+	if !reflect.DeepEqual(streamed, wantNamed) {
+		t.Fatal("recovered done job streams different clusters")
+	}
+	// Resubmission hits the recovered cache — no mining.
+	v2 := submitJob(t, tsB, submitRequest{Dataset: id, Params: runningParams()})
+	if !v2.Cached {
+		t.Fatal("recovered cache missed")
+	}
+	if nodes := metricValue(t, tsB, "regcluster_nodes_visited_total"); nodes != 0 {
+		t.Fatalf("restart re-mined %d nodes", nodes)
+	}
+	if srvB.cache.len() == 0 {
+		t.Fatal("result cache empty after recovery")
+	}
+}
+
+// TestWorkerPanicFailsJobOnly: an injected panic on a mining worker yields a
+// failed job carrying the captured stack, while the server keeps serving —
+// the next job on the same server completes.
+func TestWorkerPanicFailsJobOnly(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	_, ts := newTestServer(t, Config{Logf: t.Logf})
+	m := paperdata.RunningExample()
+	id := uploadMatrix(t, ts, m, "table1")
+
+	disarm := faultinject.Arm("core.mine.subtree", faultinject.Spec{Panic: "injected worker panic", Times: 1})
+	v := submitJob(t, ts, submitRequest{Dataset: id, Params: runningParams(), Workers: 4})
+	fin := waitTerminal(t, ts, v.ID)
+	disarm()
+	if fin.Status != StatusFailed {
+		t.Fatalf("panicked job ended %s", fin.Status)
+	}
+	if !strings.Contains(fin.Error, "injected worker panic") {
+		t.Fatalf("panic message lost: %q", fin.Error)
+	}
+	if !strings.Contains(fin.Stack, "goroutine") {
+		t.Fatalf("no stack captured: %q", fin.Stack)
+	}
+	if got := metricValue(t, ts, "regserver_panics_recovered_total"); got != 1 {
+		t.Fatalf("panics_recovered %d", got)
+	}
+
+	// The server is not wounded: the same submission now succeeds.
+	v2 := submitJob(t, ts, submitRequest{Dataset: id, Params: runningParams()})
+	if fin2 := waitTerminal(t, ts, v2.ID); fin2.Status != StatusDone {
+		t.Fatalf("post-panic job ended %s (%s)", fin2.Status, fin2.Error)
+	}
+}
+
+// TestTransientFailureRetries: transient errors retry with backoff until the
+// run succeeds; the retry count is metered and surfaced on the job view.
+func TestTransientFailureRetries(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	_, ts := newTestServer(t, Config{RetryBaseDelay: time.Millisecond, Logf: t.Logf})
+	m := paperdata.RunningExample()
+	id := uploadMatrix(t, ts, m, "table1")
+
+	disarm := faultinject.Arm("jobs.mine",
+		faultinject.Spec{Err: &faultinject.TransientError{Err: errors.New("blip")}, Times: 2})
+	defer disarm()
+	v := submitJob(t, ts, submitRequest{Dataset: id, Params: runningParams()})
+	fin := waitTerminal(t, ts, v.ID)
+	if fin.Status != StatusDone {
+		t.Fatalf("retried job ended %s (%s)", fin.Status, fin.Error)
+	}
+	if fin.Attempts != 2 {
+		t.Fatalf("attempts %d, want 2", fin.Attempts)
+	}
+	if got := metricValue(t, ts, "regserver_job_retries_total"); got != 2 {
+		t.Fatalf("job_retries %d, want 2", got)
+	}
+}
+
+// TestTransientFailureExhausts: a persistently transient failure surfaces
+// after the retry budget, as failed (never an endless loop).
+func TestTransientFailureExhausts(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	_, ts := newTestServer(t, Config{MaxJobRetries: 1, RetryBaseDelay: time.Millisecond, Logf: t.Logf})
+	m := paperdata.RunningExample()
+	id := uploadMatrix(t, ts, m, "table1")
+
+	disarm := faultinject.Arm("jobs.mine",
+		faultinject.Spec{Err: &faultinject.TransientError{Err: errors.New("disk flaky")}})
+	defer disarm()
+	v := submitJob(t, ts, submitRequest{Dataset: id, Params: runningParams()})
+	fin := waitTerminal(t, ts, v.ID)
+	if fin.Status != StatusFailed || !strings.Contains(fin.Error, "disk flaky") {
+		t.Fatalf("exhausted job: %s (%q)", fin.Status, fin.Error)
+	}
+	if fin.Attempts != 1 {
+		t.Fatalf("attempts %d, want 1", fin.Attempts)
+	}
+}
+
+// TestStreamSubscriberDisconnect covers the streaming satellite: a client
+// that reads part of the stream and vanishes kills only its own stream — the
+// job runs to completion and a later subscriber replays everything.
+func TestStreamSubscriberDisconnect(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	_, ts := newTestServer(t, Config{Logf: t.Logf})
+	m, p := recoveryWorkload(t)
+	wantNamed, _ := minedReference(t, m, p)
+	disarmDelay := faultinject.Arm("core.mine.subtree", faultinject.Spec{Delay: 15 * time.Millisecond})
+	defer disarmDelay()
+
+	id := uploadMatrix(t, ts, m, "streamy")
+	v := submitJob(t, ts, submitRequest{Dataset: id, Params: p, Workers: 4})
+	waitClusters(t, ts, v.ID, 5)
+
+	// Slow subscriber: read a handful of lines, then slam the connection.
+	resp, err := http.Get(ts.URL + "/jobs/" + v.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for i := 0; i < 3 && sc.Scan(); i++ {
+		time.Sleep(10 * time.Millisecond) // simulate a slow reader
+	}
+	resp.Body.Close() // disconnect mid-stream
+
+	// The job is unharmed and finishes with the full deterministic output.
+	fin := waitTerminal(t, ts, v.ID)
+	if fin.Status != StatusDone {
+		t.Fatalf("job ended %s after a subscriber vanished", fin.Status)
+	}
+	streamed, summary := streamClusters(t, ts, v.ID)
+	if !reflect.DeepEqual(streamed, wantNamed) {
+		t.Fatal("replay after disconnect diverges")
+	}
+	if summary.Clusters != len(wantNamed) {
+		t.Fatalf("summary counts %d clusters, want %d", summary.Clusters, len(wantNamed))
+	}
+}
+
+// TestStreamPanicContained: a panic inside the stream write path (injected
+// at the encoder site) cancels only that subscriber; the job and the server
+// survive, and the panic is metered.
+func TestStreamPanicContained(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	_, ts := newTestServer(t, Config{Logf: t.Logf})
+	m, p := recoveryWorkload(t)
+	wantNamed, _ := minedReference(t, m, p)
+	id := uploadMatrix(t, ts, m, "streampanic")
+	v := submitJob(t, ts, submitRequest{Dataset: id, Params: p})
+	if fin := waitTerminal(t, ts, v.ID); fin.Status != StatusDone {
+		t.Fatalf("job ended %s", fin.Status)
+	}
+
+	disarm := faultinject.Arm("stream.write", faultinject.Spec{Panic: "encoder exploded", After: 5, Times: 1})
+	resp, err := http.Get(ts.URL + "/jobs/" + v.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, readErr := countNDJSONLines(resp.Body)
+	resp.Body.Close()
+	disarm()
+	if readErr == nil && got > len(wantNamed) {
+		t.Fatalf("read %d lines from a panicked stream of %d clusters", got, len(wantNamed))
+	}
+	if fired := faultinject.Fired("stream.write"); fired != 1 {
+		t.Fatalf("stream fault fired %d times", fired)
+	}
+	if panics := metricValue(t, ts, "regserver_panics_recovered_total"); panics != 1 {
+		t.Fatalf("panics_recovered %d, want 1", panics)
+	}
+	// The same stream replays fully once the fault is gone.
+	streamed, _ := streamClusters(t, ts, v.ID)
+	if !reflect.DeepEqual(streamed, wantNamed) {
+		t.Fatal("post-panic replay diverges")
+	}
+}
+
+// countNDJSONLines drains a reader, counting lines; the read error (if any)
+// is returned rather than fatal — a mid-stream panic may cut the body off.
+func countNDJSONLines(r interface{ Read([]byte) (int, error) }) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	return n, sc.Err()
+}

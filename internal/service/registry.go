@@ -80,19 +80,40 @@ func (r *registry) add(name string, tsv io.Reader) (ds *Dataset, created bool, e
 	if r.max > 0 && len(r.byID) >= r.max {
 		return nil, false, fmt.Errorf("service: dataset registry full (%d datasets); delete one first", len(r.byID))
 	}
+	ds = newDataset(m, name, imputed, time.Now().UTC())
+	r.byID[ds.ID] = ds
+	return ds, true, nil
+}
+
+// newDataset builds the registry entry of an already-imputed matrix; the
+// upload path and boot-time recovery share it so a restored dataset is
+// indistinguishable from a freshly uploaded one (same defaulted name, same
+// precomputed row stats).
+func newDataset(m *matrix.Matrix, name string, imputed int, uploadedAt time.Time) *Dataset {
+	id := m.Hash()
 	if name == "" {
 		name = "dataset-" + id[:12]
 	}
-	ds = &Dataset{
+	return &Dataset{
 		ID: id, Name: name,
 		Genes: m.Rows(), Conditions: m.Cols(),
 		ImputedCells: imputed,
-		UploadedAt:   time.Now().UTC(),
+		UploadedAt:   uploadedAt,
 		mat:          m,
 		rowStats:     computeRowStats(m),
 	}
-	r.byID[id] = ds
-	return ds, true, nil
+}
+
+// restore re-registers a dataset recovered from disk at boot, before the
+// server accepts traffic. Recovery never drops data over a capacity bound:
+// a data-dir holding more datasets than the configured limit still boots
+// complete (the bound keeps applying to new uploads).
+func (r *registry) restore(ds *Dataset) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[ds.ID]; !ok {
+		r.byID[ds.ID] = ds
+	}
 }
 
 // get returns the dataset with the given content hash.

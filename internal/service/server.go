@@ -32,11 +32,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/pprof"
 	"time"
 
 	"regcluster/internal/core"
+	"regcluster/internal/faultinject"
 	"regcluster/internal/report"
 )
 
@@ -67,6 +69,25 @@ type Config struct {
 	// is clamped down to them (default 0 = unlimited).
 	MaxNodesPerJob    int
 	MaxClustersPerJob int
+
+	// DataDir enables durability: datasets, settled results, and the job
+	// journal live under this directory, written atomically, and a restart
+	// replays them — re-registering datasets, restoring the result cache,
+	// and resuming interrupted jobs from their checkpoints. Empty keeps the
+	// fully in-memory behavior.
+	DataDir string
+	// CheckpointEveryClusters is the miner snapshot cadence: a checkpoint
+	// is journaled every N delivered clusters, plus at every subtree
+	// boundary (default 64; negative keeps only the boundary snapshots).
+	CheckpointEveryClusters int
+	// MaxJobRetries bounds transient-failure retries per job (default 2;
+	// negative disables retrying).
+	MaxJobRetries int
+	// RetryBaseDelay seeds the capped exponential backoff between retries
+	// (default 100ms, doubling per attempt, capped at 5s, plus jitter).
+	RetryBaseDelay time.Duration
+	// Logf receives recovery and durability diagnostics (default log.Printf).
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -85,11 +106,29 @@ func (c Config) withDefaults() Config {
 	if c.MaxUploadBytes <= 0 {
 		c.MaxUploadBytes = 64 << 20
 	}
+	switch {
+	case c.CheckpointEveryClusters == 0:
+		c.CheckpointEveryClusters = 64
+	case c.CheckpointEveryClusters < 0:
+		c.CheckpointEveryClusters = 0 // boundary-only snapshots
+	}
+	if c.MaxJobRetries == 0 {
+		c.MaxJobRetries = 2
+	} else if c.MaxJobRetries < 0 {
+		c.MaxJobRetries = 0
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 100 * time.Millisecond
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
 	return c
 }
 
 // Server wires the registry, job manager, cache and metrics behind one
-// http.Handler.
+// http.Handler; with Config.DataDir set it also owns the durable store and
+// the job journal.
 type Server struct {
 	cfg      Config
 	registry *registry
@@ -97,21 +136,69 @@ type Server struct {
 	cache    *resultCache
 	metrics  *Metrics
 	mux      *http.ServeMux
+	logf     func(format string, args ...any)
+
+	// Durable state; nil on an in-memory server.
+	store *store
+	wal   *journal
 }
 
-// New returns a ready-to-serve Server.
-func New(cfg Config) *Server {
+// Open boots a Server. With Config.DataDir set it runs the full recovery
+// sequence — load datasets, restore the result cache, replay and compact the
+// job journal, re-enqueue interrupted jobs — before returning, so by the
+// time the handler serves its first request the service has caught up with
+// its pre-crash self. Errors are reserved for an unusable data-dir (cannot
+// create, cannot write the journal); data corruption degrades to logged
+// warnings and a partial (or clean) boot.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
 		registry: newRegistry(cfg.MaxDatasets),
 		cache:    newResultCache(cfg.CacheEntries),
 		metrics:  NewMetrics(),
+		logf:     cfg.Logf,
 	}
 	s.jobs = newJobManager(cfg.MaxConcurrentJobs, s.cache, s.metrics)
+	s.jobs.ckEvery = cfg.CheckpointEveryClusters
+	s.jobs.maxRetries = cfg.MaxJobRetries
+	s.jobs.retryBase = cfg.RetryBaseDelay
+	s.jobs.logf = s.logf
+	if cfg.DataDir != "" {
+		st, err := openStore(cfg.DataDir, s.logf)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		s.jobs.store = st
+		s.cache.onEvict = st.deleteResult
+		if err := s.bootRecover(); err != nil {
+			return nil, err
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
+	return s, nil
+}
+
+// New returns a ready-to-serve Server. It cannot fail without a DataDir;
+// callers configuring one should prefer Open, since New panics on a boot
+// error instead of returning it.
+func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic("service: " + err.Error())
+	}
 	return s
+}
+
+// Close releases the server's durable resources (the journal file handle).
+// Call it after Shutdown; an in-memory server's Close is a no-op.
+func (s *Server) Close() error {
+	if s.wal != nil {
+		return s.wal.close()
+	}
+	return nil
 }
 
 // Handler returns the HTTP surface of the service.
@@ -181,6 +268,15 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parse dataset: %v", err)
 		return
 	}
+	if created && s.store != nil {
+		if err := s.store.saveDataset(ds); err != nil {
+			// A dataset the store cannot persist would silently vanish on
+			// restart, breaking the durability promise; reject the upload.
+			s.registry.remove(ds.ID)
+			writeError(w, http.StatusInternalServerError, "persist dataset: %v", err)
+			return
+		}
+	}
 	s.metrics.DatasetsUploaded.Add(1)
 	status := http.StatusOK // existing dataset, idempotent re-upload
 	if created {
@@ -221,6 +317,9 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	if !s.registry.remove(r.PathValue("id")) {
 		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("id"))
 		return
+	}
+	if s.store != nil {
+		s.store.deleteDataset(r.PathValue("id"))
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -343,12 +442,22 @@ type streamSummary struct {
 // follows the live run, one compact JSON cluster per line (the NamedCluster
 // schema), flushing after every batch; the last line is a streamSummary. A
 // cached job streams its full result immediately.
+//
+// The handler is a pure subscriber: an encoder error, a vanished client, or
+// even a panic inside the response path ends THIS stream only — the mining
+// job it watches is untouched, and other subscribers keep streaming.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.metrics.PanicsRecovered.Add(1)
+			s.logf("service: stream %s: contained panic: %v", j.ID, rec)
+		}
+	}()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no")
 	flusher, _ := w.(http.Flusher)
@@ -358,6 +467,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	for {
 		clusters, terminal, changed := j.Snapshot(sent)
 		for _, nc := range clusters {
+			if err := faultinject.Hook("stream.write"); err != nil {
+				return // injected subscriber failure
+			}
 			if err := enc.Encode(nc); err != nil {
 				return // client went away
 			}

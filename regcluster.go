@@ -249,5 +249,12 @@ type ServiceConfig = service.Config
 type Service = service.Server
 
 // NewService builds a mining service; mount NewService(cfg).Handler() on any
-// mux, and call Shutdown to drain jobs on exit.
+// mux, and call Shutdown to drain jobs on exit. With ServiceConfig.DataDir
+// set, prefer OpenService: New panics where Open reports the boot error.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// OpenService builds a mining service, running crash recovery against
+// cfg.DataDir (replay the job journal, re-register datasets, restore the
+// result cache, resume interrupted jobs) before returning. Call Close after
+// Shutdown to release the journal.
+func OpenService(cfg ServiceConfig) (*Service, error) { return service.Open(cfg) }
