@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race service-race check bench serve-smoke crash-smoke
+.PHONY: build test vet race service-race check bench bench-baseline bench-compare bench-smoke serve-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,27 @@ check: build vet race
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+# Record a fresh benchmark baseline: make bench-baseline N=2 writes
+# BENCH_2.json (ns/op, B/op, allocs/op for the E1-E8 benchmark set).
+N ?= 1
+bench-baseline:
+	GO=$(GO) ./scripts/bench_baseline.sh BENCH_$(N).json
+
+# Re-run the benchmark set and diff against the newest committed baseline
+# with benchstat-style thresholds (fail on >15% ns/op or >5% allocs/op
+# regression on any benchmark).
+bench-compare:
+	GO=$(GO) ./scripts/bench_baseline.sh /tmp/bench_current.json
+	$(GO) run ./cmd/benchdiff \
+		-old "$$(ls BENCH_*.json | sort -V | tail -1)" \
+		-new /tmp/bench_current.json \
+		-max-ns-regress 15 -max-allocs-regress 5
+
+# Fast CI gate: one iteration of the running example and the RWave index
+# build proves the bench harness still compiles and runs.
+bench-smoke:
+	$(GO) test -run XXX -bench 'BenchmarkRunningExample$$|BenchmarkRWaveBuild$$' -benchtime 1x -benchmem .
 
 # Boot regserver on a random port and run one mining job end to end over
 # HTTP with curl, asserting a cache hit on the second submission.

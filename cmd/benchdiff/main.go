@@ -1,0 +1,253 @@
+// Command benchdiff turns `go test -bench -benchmem` output into the
+// machine-readable BENCH_<n>.json baseline format and diffs two such
+// baselines with benchstat-style regression thresholds.
+//
+// Parse mode (stdin -> JSON on stdout):
+//
+//	go test -run XXX -bench . -benchmem . | benchdiff -parse -label BENCH_0
+//
+// Compare mode (exit status 1 when a regression exceeds a threshold):
+//
+//	benchdiff -old BENCH_0.json -new BENCH_1.json -max-ns-regress 15 -max-allocs-regress 5
+//
+// scripts/bench_baseline.sh and `make bench-compare` wrap both modes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BaselineSchema identifies the JSON document format of a recorded baseline.
+const BaselineSchema = "regcluster.bench/v1"
+
+// Measurement is one benchmark's recorded figures.
+type Measurement struct {
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Baseline is one BENCH_<n>.json document.
+type Baseline struct {
+	Schema     string                 `json:"schema"`
+	Label      string                 `json:"label,omitempty"`
+	Go         string                 `json:"go"`
+	CPU        string                 `json:"cpu,omitempty"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		parse      = fs.Bool("parse", false, "parse `go test -bench` output from stdin and emit baseline JSON")
+		label      = fs.String("label", "", "label to embed in the parsed baseline")
+		oldPath    = fs.String("old", "", "baseline JSON to compare against")
+		newPath    = fs.String("new", "", "candidate JSON to compare")
+		maxNs      = fs.Float64("max-ns-regress", 15, "fail when ns/op regresses by more than this percentage")
+		maxAllocs  = fs.Float64("max-allocs-regress", 5, "fail when allocs/op regresses by more than this percentage")
+		strictKeys = fs.Bool("strict", false, "fail when a baseline benchmark is missing from the candidate")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *parse {
+		b, err := ParseBench(stdin, *label)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(b)
+	}
+	if *oldPath == "" || *newPath == "" {
+		fs.Usage()
+		return fmt.Errorf("need -parse, or both -old and -new")
+	}
+	oldB, err := loadBaseline(*oldPath)
+	if err != nil {
+		return err
+	}
+	newB, err := loadBaseline(*newPath)
+	if err != nil {
+		return err
+	}
+	rep := Compare(oldB, newB, *maxNs, *maxAllocs, *strictKeys)
+	fmt.Fprint(stdout, rep.Table())
+	if len(rep.Failures) > 0 {
+		return fmt.Errorf("%d regression(s) beyond thresholds:\n  %s",
+			len(rep.Failures), strings.Join(rep.Failures, "\n  "))
+	}
+	return nil
+}
+
+func loadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, b.Schema, BaselineSchema)
+	}
+	return &b, nil
+}
+
+// benchLine matches one result line of `go test -bench -benchmem` output,
+// e.g. "BenchmarkFig7Genes/g=3000-8  3  1114964186 ns/op  175875896 B/op  347112 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// metricField matches one trailing "<value> <unit>" pair after ns/op.
+var metricField = regexp.MustCompile(`([0-9.]+) ([^\s]+)`)
+
+// ParseBench reads `go test -bench` text and collects every benchmark result
+// line into a Baseline. The -<GOMAXPROCS> suffix is stripped so keys stay
+// stable across machines; a benchmark appearing twice (e.g. -count > 1)
+// keeps the later measurement. CPU and go fields come from the runtime, and
+// the "cpu:" header line of the output when present.
+func ParseBench(r io.Reader, label string) (*Baseline, error) {
+	b := &Baseline{
+		Schema:     BaselineSchema,
+		Label:      label,
+		Go:         runtime.Version(),
+		Benchmarks: map[string]Measurement{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			b.CPU = strings.TrimSpace(rest)
+			continue
+		}
+		mm := benchLine.FindStringSubmatch(line)
+		if mm == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(mm[2])
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q", line)
+		}
+		ns, err := strconv.ParseFloat(mm[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q", line)
+		}
+		m := Measurement{Iters: iters, NsPerOp: ns}
+		for _, f := range metricField.FindAllStringSubmatch(mm[4], -1) {
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				continue
+			}
+			switch f[2] {
+			case "B/op":
+				m.BPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		b.Benchmarks[mm[1]] = m
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	return b, nil
+}
+
+// Delta is the old-vs-new comparison of one benchmark.
+type Delta struct {
+	Name     string
+	Old, New Measurement
+	// NsPct/AllocPct are signed percentage changes; positive = regression.
+	NsPct, AllocPct float64
+	Missing         bool // present in old, absent from new
+}
+
+// Report is the outcome of one Compare call.
+type Report struct {
+	Deltas   []Delta
+	Failures []string
+}
+
+func pct(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+// Compare diffs every benchmark of old against new. A benchmark regresses
+// when its ns/op (allocs/op) grows by more than maxNs (maxAllocs) percent;
+// benchmarks only present in new are reported but never fail.
+func Compare(oldB, newB *Baseline, maxNs, maxAllocs float64, strict bool) *Report {
+	rep := &Report{}
+	names := make([]string, 0, len(oldB.Benchmarks))
+	for name := range oldB.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := oldB.Benchmarks[name]
+		n, ok := newB.Benchmarks[name]
+		if !ok {
+			rep.Deltas = append(rep.Deltas, Delta{Name: name, Old: o, Missing: true})
+			if strict {
+				rep.Failures = append(rep.Failures, fmt.Sprintf("%s: missing from candidate", name))
+			}
+			continue
+		}
+		d := Delta{Name: name, Old: o, New: n,
+			NsPct: pct(o.NsPerOp, n.NsPerOp), AllocPct: pct(o.AllocsPerOp, n.AllocsPerOp)}
+		rep.Deltas = append(rep.Deltas, d)
+		if maxNs > 0 && d.NsPct > maxNs {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("%s: ns/op %+.1f%% (limit +%.1f%%)", name, d.NsPct, maxNs))
+		}
+		if maxAllocs > 0 && d.AllocPct > maxAllocs {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("%s: allocs/op %+.1f%% (limit +%.1f%%)", name, d.AllocPct, maxAllocs))
+		}
+	}
+	return rep
+}
+
+// Table renders the comparison in benchstat-style columns.
+func (r *Report) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-44s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs", "Δallocs")
+	for _, d := range r.Deltas {
+		if d.Missing {
+			fmt.Fprintf(&sb, "%-44s %14.0f %14s %8s %12.0f %12s %8s\n",
+				d.Name, d.Old.NsPerOp, "-", "-", d.Old.AllocsPerOp, "-", "-")
+			continue
+		}
+		fmt.Fprintf(&sb, "%-44s %14.0f %14.0f %+7.1f%% %12.0f %12.0f %+7.1f%%\n",
+			d.Name, d.Old.NsPerOp, d.New.NsPerOp, d.NsPct,
+			d.Old.AllocsPerOp, d.New.AllocsPerOp, d.AllocPct)
+	}
+	return sb.String()
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: regcluster
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRunningExample-8   	    9634	    124093 ns/op	   35712 B/op	     418 allocs/op
+BenchmarkFig7Genes/g=3000-8 	       3	1114964186 ns/op	175875896 B/op	  347112 allocs/op
+BenchmarkPruningAblation/full-8         	       1	 312000000 ns/op	         1091 nodes	       27305 candidates	 1000000 B/op	    5000 allocs/op
+PASS
+ok  	regcluster	4.2s
+`
+
+func TestParseBench(t *testing.T) {
+	b, err := ParseBench(strings.NewReader(sampleBench), "BENCH_T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Schema != BaselineSchema || b.Label != "BENCH_T" {
+		t.Fatalf("bad header: %+v", b)
+	}
+	if b.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("bad cpu: %q", b.CPU)
+	}
+	if len(b.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(b.Benchmarks), b.Benchmarks)
+	}
+	m, ok := b.Benchmarks["BenchmarkFig7Genes/g=3000"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %+v", b.Benchmarks)
+	}
+	if m.Iters != 3 || m.NsPerOp != 1114964186 || m.BPerOp != 175875896 || m.AllocsPerOp != 347112 {
+		t.Fatalf("bad measurement: %+v", m)
+	}
+	// Custom -benchmem metrics (nodes, candidates) must not clobber B/op.
+	abl := b.Benchmarks["BenchmarkPruningAblation/full"]
+	if abl.BPerOp != 1000000 || abl.AllocsPerOp != 5000 {
+		t.Fatalf("custom metrics mis-parsed: %+v", abl)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := ParseBench(strings.NewReader("PASS\n"), ""); err == nil {
+		t.Fatal("want error on output without benchmarks")
+	}
+}
+
+func mkBaseline(bench map[string]Measurement) *Baseline {
+	return &Baseline{Schema: BaselineSchema, Go: "go1.24.0", Benchmarks: bench}
+}
+
+func TestCompareThresholds(t *testing.T) {
+	oldB := mkBaseline(map[string]Measurement{
+		"BenchmarkA": {Iters: 10, NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkB": {Iters: 10, NsPerOp: 2000, AllocsPerOp: 50},
+		"BenchmarkC": {Iters: 10, NsPerOp: 500, AllocsPerOp: 10},
+	})
+	newB := mkBaseline(map[string]Measurement{
+		"BenchmarkA": {Iters: 10, NsPerOp: 700, AllocsPerOp: 40},   // improvement
+		"BenchmarkB": {Iters: 10, NsPerOp: 2600, AllocsPerOp: 50},  // +30% ns regression
+		"BenchmarkC": {Iters: 10, NsPerOp: 510, AllocsPerOp: 12},   // +20% allocs regression
+		"BenchmarkD": {Iters: 10, NsPerOp: 9999, AllocsPerOp: 999}, // new, ignored
+	})
+	rep := Compare(oldB, newB, 15, 5, false)
+	if len(rep.Deltas) != 3 {
+		t.Fatalf("want 3 deltas, got %+v", rep.Deltas)
+	}
+	if len(rep.Failures) != 2 {
+		t.Fatalf("want 2 failures (B ns, C allocs), got %v", rep.Failures)
+	}
+	for _, f := range rep.Failures {
+		if !strings.HasPrefix(f, "BenchmarkB:") && !strings.HasPrefix(f, "BenchmarkC:") {
+			t.Fatalf("unexpected failure %q", f)
+		}
+	}
+	if !strings.Contains(rep.Table(), "BenchmarkA") {
+		t.Fatalf("table misses rows:\n%s", rep.Table())
+	}
+}
+
+func TestCompareMissingStrict(t *testing.T) {
+	oldB := mkBaseline(map[string]Measurement{"BenchmarkA": {Iters: 1, NsPerOp: 1}})
+	newB := mkBaseline(map[string]Measurement{})
+	if rep := Compare(oldB, newB, 15, 5, false); len(rep.Failures) != 0 {
+		t.Fatalf("non-strict compare must tolerate missing benchmarks: %v", rep.Failures)
+	}
+	if rep := Compare(oldB, newB, 15, 5, true); len(rep.Failures) != 1 {
+		t.Fatalf("strict compare must flag missing benchmarks: %v", rep.Failures)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	// Parse the sample into a baseline file.
+	var out bytes.Buffer
+	if err := run([]string{"-parse", "-label", "BENCH_0"}, strings.NewReader(sampleBench), &out, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	oldPath := filepath.Join(dir, "BENCH_0.json")
+	if err := os.WriteFile(oldPath, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var doc Baseline
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("parse mode emitted invalid JSON: %v", err)
+	}
+
+	// An identical candidate passes the comparison.
+	var diff bytes.Buffer
+	if err := run([]string{"-old", oldPath, "-new", oldPath}, nil, &diff, os.Stderr); err != nil {
+		t.Fatalf("self-compare failed: %v\n%s", err, diff.String())
+	}
+
+	// A regressed candidate fails it.
+	doc.Benchmarks["BenchmarkRunningExample"] = Measurement{
+		Iters: 9634, NsPerOp: 124093 * 3, AllocsPerOp: 418,
+	}
+	regressed, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPath := filepath.Join(dir, "BENCH_X.json")
+	if err := os.WriteFile(newPath, regressed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diff.Reset()
+	if err := run([]string{"-old", oldPath, "-new", newPath}, nil, &diff, os.Stderr); err == nil {
+		t.Fatalf("3x ns/op regression passed the gate:\n%s", diff.String())
+	}
+}
+
+func TestLoadBaselineRejectsForeignSchema(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "x.json")
+	if err := os.WriteFile(p, []byte(`{"schema":"other/v9","benchmarks":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(p); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}

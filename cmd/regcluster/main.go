@@ -9,6 +9,13 @@
 // names) followed by one line per gene; "NA"/empty cells are treated as
 // missing and imputed with the row mean. With -json the clusters are emitted
 // as a report document instead of text.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (the heap
+// profile is taken right after mining, before report rendering), so perf
+// work never needs a code edit to capture one:
+//
+//	regcluster -in expression.tsv -cpuprofile cpu.pprof -memprofile mem.pprof
+//	go tool pprof cpu.pprof
 package main
 
 import (
@@ -17,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"regcluster/internal/core"
@@ -52,6 +61,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		showStats = fs.Bool("stats", false, "print search statistics to stderr")
 		parallel  = fs.Int("parallel", 1, "worker count (0 = all cores, 1 = sequential)")
 		validate  = fs.Bool("validate", false, "re-check every cluster against Definition 3.2 before output")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf   = fs.String("memprofile", "", "write a heap profile taken after mining to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +99,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := core.ValidateWorkers(*parallel, 4096); err != nil {
 		return err
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -103,6 +125,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if err != nil {
 		return err
+	}
+	if *memProf != "" {
+		f, ferr := os.Create(*memProf)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			return fmt.Errorf("memprofile: %v", werr)
+		}
 	}
 	clusters := res.Clusters
 	if *maximal {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -117,5 +118,34 @@ func TestRunGammaModes(t *testing.T) {
 	var sink strings.Builder
 	if err := run([]string{"-in", path, "-gammamode", "weird"}, &sink, &sink); err == nil {
 		t.Error("unknown gamma mode accepted")
+	}
+}
+
+func TestRunProfiles(t *testing.T) {
+	path := writeRunningExample(t)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out strings.Builder
+	err := run([]string{
+		"-in", path, "-ming", "3", "-minc", "5", "-gamma", "0.15", "-epsilon", "0.1",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &out, &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	// A CPU profile path that cannot be created must fail loudly, not mine.
+	if err := run([]string{"-in", path, "-cpuprofile", filepath.Join(dir, "no", "such", "dir", "x")},
+		&out, &strings.Builder{}); err == nil {
+		t.Error("unwritable -cpuprofile accepted")
 	}
 }

@@ -111,7 +111,7 @@ func TestMaximalWindows(t *testing.T) {
 		{nil, 1, 1, nil},
 	}
 	for i, tc := range cases {
-		got := maximalWindows(mk(tc.hs...), tc.eps, tc.minLen)
+		got := maximalWindows(nil, mk(tc.hs...), tc.eps, tc.minLen)
 		if !reflect.DeepEqual(got, tc.want) {
 			t.Errorf("case %d: windows = %v, want %v", i, got, tc.want)
 		}

@@ -113,10 +113,13 @@ func TestMatchCandidateZeroBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mn := &miner{m: m, p: p, models: models, bud: newBudget(p, nil), seen: make(map[string]bool)}
+	mn := newMiner(m, p, models, newBudget(p, nil))
+	mn.sc.ensure(m.Rows(), m.Cols())
 	// Chain (c0, c1) has baseline 0 for gene 0; candidate c2 is a regulation
 	// successor of c1, so without the guard H = 1/0 = +Inf.
-	ext := mn.matchCandidate([]int{0, 1}, []member{{gene: 0, up: true}}, 1, 2)
+	mn.pushChain(0)
+	mn.pushChain(1)
+	ext := mn.matchCandidate([]member{{gene: 0, up: true}}, 1, 2, mn.sc.frame(2))
 	if len(ext) != 0 {
 		t.Fatalf("zero-baseline member not dropped: %+v", ext)
 	}

@@ -7,7 +7,9 @@ import (
 )
 
 // FuzzMine throws arbitrary small matrices and parameters at the miner: it
-// must never panic, and every output must satisfy Definition 3.2.
+// must never panic, every output must satisfy Definition 3.2, and the
+// optimized hot path must reproduce the frozen pre-optimization reference
+// (reference_test.go) exactly — clusters, enumeration order, and Stats.
 func FuzzMine(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6}, 3, uint8(10), uint8(50))
 	f.Add([]byte{0, 0, 0, 0}, 2, uint8(0), uint8(0))
@@ -40,6 +42,18 @@ func FuzzMine(f *testing.F) {
 			if err := CheckBicluster(m, p, b); err != nil {
 				t.Fatalf("invalid output %v: %v\nmatrix %v params %+v", b, err, m, p)
 			}
+		}
+		// The zero-allocation path must be indistinguishable from the seed
+		// semantics.
+		ref, err := referenceMine(m, p)
+		if err != nil {
+			t.Fatalf("reference error: %v", err)
+		}
+		if !sameClustersExact(ref.Clusters, res.Clusters) {
+			t.Fatalf("optimized diverged from reference: %d vs %d clusters", len(res.Clusters), len(ref.Clusters))
+		}
+		if ref.Stats != res.Stats {
+			t.Fatalf("Stats diverged from reference:\nref %+v\ngot %+v", ref.Stats, res.Stats)
 		}
 		// Parallel must agree.
 		par, err := MineParallel(m, p, 3)

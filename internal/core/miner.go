@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"regcluster/internal/matrix"
 	"regcluster/internal/rwave"
@@ -58,7 +58,7 @@ func mineSequential(ctx context.Context, m *matrix.Matrix, p Params, visit Visit
 	if err != nil {
 		return nil, err
 	}
-	mn := &miner{m: m, p: p, models: models, bud: newBudget(p, ctx), seen: make(map[string]bool)}
+	mn := newMiner(m, p, models, newBudget(p, ctx))
 	if visit != nil {
 		mn.sink = func(b *Bicluster, _ int) bool { return visit(b) }
 	}
@@ -69,7 +69,10 @@ func mineSequential(ctx context.Context, m *matrix.Matrix, p Params, visit Visit
 	return mn, nil
 }
 
-// prepare validates the inputs and builds the per-gene RWave models.
+// prepare validates the inputs and builds the per-gene RWave models, fanning
+// the construction out across CPUs for large gene counts (the models are
+// independent per gene, and MineParallel shares the one resulting slice
+// between all workers and reconciliation reruns).
 func prepare(m *matrix.Matrix, p Params) ([]*rwave.Model, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -80,26 +83,24 @@ func prepare(m *matrix.Matrix, p Params) ([]*rwave.Model, error) {
 	if m.HasNaN() {
 		return nil, fmt.Errorf("core: matrix contains NaN cells; impute first (matrix.FillNaN)")
 	}
-	models := make([]*rwave.Model, m.Rows())
-	for g := range models {
+	return rwave.BuildAllFunc(m.Rows(), func(g int) *rwave.Model {
 		switch {
 		case p.CustomGammas != nil:
-			models[g] = rwave.BuildAbsolute(m, g, p.CustomGammas[g])
+			return rwave.BuildAbsolute(m, g, p.CustomGammas[g])
 		case p.AbsoluteGamma:
-			models[g] = rwave.BuildAbsolute(m, g, p.Gamma)
+			return rwave.BuildAbsolute(m, g, p.Gamma)
 		default:
-			models[g] = rwave.Build(m, g, p.Gamma)
+			return rwave.Build(m, g, p.Gamma)
 		}
-	}
-	return models, nil
+	}), nil
 }
 
 type miner struct {
 	m      *matrix.Matrix
 	p      Params
 	models []*rwave.Model
-	bud    *budget         // global caps + cancellation, shared across workers
-	seen   map[string]bool // pruning (3b) duplicate-state keys
+	bud    *budget  // global caps + cancellation, shared across workers
+	dedup  dedupSet // pruning (3b) duplicate-state suppression
 	out    []*Bicluster
 	// sink, when set, receives each cluster as it is found together with the
 	// miner-local node ordinal of its emission (stats.Nodes at that moment),
@@ -109,6 +110,15 @@ type miner struct {
 	obs   *Observer // optional live progress counters, shared across workers
 	stats Stats
 	stop  bool // set when a cap fires, the sink stops, or the budget cancels
+
+	sc scratch // reusable hot-path working storage (see scratch.go)
+}
+
+// newMiner builds one mining session bound to the given (usually shared)
+// budget. Every construction site must come through here so the scratch
+// arena and dedup set are always initialized.
+func newMiner(m *matrix.Matrix, p Params, models []*rwave.Model, bud *budget) *miner {
+	return &miner{m: m, p: p, models: models, bud: bud, dedup: newDedupSet()}
 }
 
 func (mn *miner) run() {
@@ -117,12 +127,28 @@ func (mn *miner) run() {
 	}
 }
 
+// pushChain appends c to the chain stack and marks it in the membership
+// bitset; popChain undoes exactly one push. Biclusters copy the chain on
+// emission, so the stack never escapes.
+func (mn *miner) pushChain(c int) {
+	mn.sc.chain = append(mn.sc.chain, c)
+	mn.sc.inChain.set(c)
+}
+
+func (mn *miner) popChain() {
+	n := len(mn.sc.chain) - 1
+	mn.sc.inChain.clear(mn.sc.chain[n])
+	mn.sc.chain = mn.sc.chain[:n]
+}
+
 // runFrom mines the level-1 subtree rooted at starting condition c. Every
 // gene joins in each direction it could sustain (pruning (2) estimates the
-// reachable chain length as MaxUp/DownChainFrom).
+// reachable chain length as MaxUp/DownChainFrom), so the root member list
+// can hold up to two entries per gene.
 func (mn *miner) runFrom(c int) {
+	mn.sc.ensure(mn.m.Rows(), mn.m.Cols())
 	nGenes := mn.m.Rows()
-	members := make([]member, 0, nGenes)
+	members := mn.sc.root[:0]
 	for g := 0; g < nGenes; g++ {
 		mod := mn.models[g]
 		if mn.p.DisableChainLengthPruning || mod.MaxUpChainFrom(c) >= mn.p.MinC {
@@ -136,11 +162,14 @@ func (mn *miner) runFrom(c int) {
 			mn.stats.MembersDroppedByLength++
 		}
 	}
-	mn.mineC2([]int{c}, members)
+	mn.pushChain(c)
+	mn.mineC2(members)
+	mn.popChain()
 }
 
-// mineC2 is the MineC² subroutine of Figure 5.
-func (mn *miner) mineC2(chain []int, members []member) {
+// mineC2 is the MineC² subroutine of Figure 5; the current chain lives on
+// the miner's chain stack.
+func (mn *miner) mineC2(members []member) {
 	if mn.stop || mn.bud.stopped() {
 		mn.stop = true
 		return
@@ -173,16 +202,14 @@ func (mn *miner) mineC2(chain []int, members []member) {
 	}
 
 	// Output test + pruning (3b).
-	if len(chain) >= mn.p.MinC && mn.isRepresentative(chain, members, pCount) {
-		b := mn.toBicluster(chain, members)
-		key := b.Key()
-		if mn.seen[key] {
+	if len(mn.sc.chain) >= mn.p.MinC && mn.isRepresentative(members, pCount) {
+		b := mn.toBicluster(members)
+		if !mn.dedup.add(b) {
 			mn.stats.Duplicates++
 			if !mn.p.DisableDedupPruning {
 				return // the subtree rooted here was fully explored before
 			}
 		} else {
-			mn.seen[key] = true
 			mn.stats.Clusters++
 			if mn.obs != nil {
 				mn.obs.clusters.Add(1)
@@ -201,30 +228,30 @@ func (mn *miner) mineC2(chain []int, members []member) {
 		}
 	}
 
-	mn.extend(chain, members, pCount)
+	mn.extend(members, pCount)
 }
 
 // extend generates candidate successor conditions for the chain tail and
-// recurses into every validated sliding window.
-func (mn *miner) extend(chain []int, members []member, pCount int) {
-	last := chain[len(chain)-1]
-	inChain := make(map[int]bool, len(chain))
-	for _, c := range chain {
-		inChain[c] = true
-	}
+// recurses into every validated sliding window. All working storage comes
+// from the depth's scratch frame; the chain stack grows by the candidate
+// condition around each recursion.
+func (mn *miner) extend(members []member, pCount int) {
+	depth := len(mn.sc.chain)
+	f := mn.sc.frame(depth)
+	last := mn.sc.chain[depth-1]
 
-	var candidates []int
+	cand := f.cand[:0]
 	if mn.p.NaiveCandidates {
 		for c := 0; c < mn.m.Cols(); c++ {
-			if !inChain[c] {
-				candidates = append(candidates, c)
+			if !mn.sc.inChain.has(c) {
+				cand = append(cand, c)
 			}
 		}
 	} else {
 		// Scan only the regulation successors of the chain tail over the
 		// p-members' RWave models (justified by pruning (3a): a candidate
 		// supported by no p-member cannot lead to a representative chain).
-		seen := make(map[int]bool)
+		seen := mn.sc.candSeen
 		for _, mb := range members {
 			if !mb.up {
 				continue
@@ -232,49 +259,57 @@ func (mn *miner) extend(chain []int, members []member, pCount int) {
 			mod := mn.models[mb.gene]
 			for r := mod.SuccessorStartRank(last); r < mod.Conditions(); r++ {
 				c := mod.Order(r)
-				if !seen[c] && !inChain[c] {
-					seen[c] = true
-					candidates = append(candidates, c)
+				if !seen.has(c) && !mn.sc.inChain.has(c) {
+					seen.set(c)
+					cand = append(cand, c)
 				}
 			}
 		}
-		sort.Ints(candidates)
+		for _, c := range cand {
+			seen.clear(c) // leave the shared bitset empty for the next extend
+		}
+		slices.Sort(cand)
 	}
+	f.cand = cand
 
-	for _, ci := range candidates {
+	for _, ci := range cand {
 		if mn.stop || mn.bud.stopped() {
 			mn.stop = true
 			return
 		}
 		mn.stats.CandidatesExamined++
-		ext := mn.matchCandidate(chain, members, last, ci)
+		ext := mn.matchCandidate(members, last, ci, f)
 		if len(ext) == 0 {
 			continue
 		}
-		windows := maximalWindows(ext, mn.p.Epsilon, mn.p.MinG)
-		if len(windows) == 0 {
+		f.win = maximalWindows(f.win[:0], ext, mn.p.Epsilon, mn.p.MinG)
+		if len(f.win) == 0 {
 			mn.stats.PrunedCoherence++
 			continue
 		}
-		newChain := append(chain[:len(chain):len(chain)], ci)
-		for _, w := range windows {
-			nm := make([]member, 0, w[1]-w[0]+1)
+		mn.pushChain(ci)
+		for _, w := range f.win {
+			nm := f.nm[:0]
 			for k := w[0]; k <= w[1]; k++ {
 				nm = append(nm, ext[k].member)
 			}
 			sortMembers(nm)
-			mn.mineC2(newChain, nm)
+			f.nm = nm
+			mn.mineC2(nm)
 		}
+		mn.popChain()
 	}
 }
 
 // matchCandidate returns the members of the current node that extend to
 // chain+ci — p-members for which ci is a regulation successor of the tail,
 // n-members for which it is a regulation predecessor — each with its
-// Equation 7 coherence score, sorted by score.
-func (mn *miner) matchCandidate(chain []int, members []member, last, ci int) []extMember {
+// Equation 7 coherence score, sorted by score. The result lives in the
+// frame's extension buffer and is valid until the next call on that frame.
+func (mn *miner) matchCandidate(members []member, last, ci int, f *frame) []extMember {
+	chain := mn.sc.chain
 	chainLen := len(chain)
-	var ext []extMember
+	ext := f.ext[:0]
 	for _, mb := range members {
 		mod := mn.models[mb.gene]
 		if mb.up {
@@ -312,31 +347,42 @@ func (mn *miner) matchCandidate(chain []int, members []member, last, ci int) []e
 		}
 		ext = append(ext, extMember{member{mb.gene, mb.up}, h})
 	}
-	sort.Slice(ext, func(a, b int) bool {
-		if ext[a].h != ext[b].h {
-			return ext[a].h < ext[b].h
-		}
-		if ext[a].gene != ext[b].gene {
-			return ext[a].gene < ext[b].gene
-		}
-		return ext[a].up && !ext[b].up
-	})
+	f.ext = ext
+	sortExtMembers(ext)
 	return ext
 }
 
 // isRepresentative implements the canonical-direction rule: the chain whose
 // compliant genes form the majority is the representative; ties go to the
 // chain starting at the larger condition id.
-func (mn *miner) isRepresentative(chain []int, members []member, pCount int) bool {
+func (mn *miner) isRepresentative(members []member, pCount int) bool {
 	nCount := len(members) - pCount
 	if pCount != nCount {
 		return pCount > nCount
 	}
+	chain := mn.sc.chain
 	return chain[0] > chain[len(chain)-1]
 }
 
-func (mn *miner) toBicluster(chain []int, members []member) *Bicluster {
-	b := &Bicluster{Chain: append([]int(nil), chain...)}
+// toBicluster materializes the current node as an escaping Bicluster.
+// Members arrive sorted by (gene, direction), so the split member lists are
+// already in ascending gene order.
+func (mn *miner) toBicluster(members []member) *Bicluster {
+	nP := 0
+	for _, mb := range members {
+		if mb.up {
+			nP++
+		}
+	}
+	b := &Bicluster{Chain: append(make([]int, 0, len(mn.sc.chain)), mn.sc.chain...)}
+	// An empty member list stays nil, exactly as the seed's append-built
+	// slices did: report JSON and checkpoint byte-equality depend on it.
+	if nP > 0 {
+		b.PMembers = make([]int, 0, nP)
+	}
+	if nN := len(members) - nP; nN > 0 {
+		b.NMembers = make([]int, 0, nN)
+	}
 	for _, mb := range members {
 		if mb.up {
 			b.PMembers = append(b.PMembers, mb.gene)
@@ -344,16 +390,13 @@ func (mn *miner) toBicluster(chain []int, members []member) *Bicluster {
 			b.NMembers = append(b.NMembers, mb.gene)
 		}
 	}
-	sort.Ints(b.PMembers)
-	sort.Ints(b.NMembers)
 	return b
 }
 
-// maximalWindows returns the index ranges [l, r] (inclusive) of all maximal
-// sliding windows over the score-sorted ext slice whose H spread is at most
-// eps and whose size is at least minLen.
-func maximalWindows(ext []extMember, eps float64, minLen int) [][2]int {
-	var out [][2]int
+// maximalWindows appends to dst the index ranges [l, r] (inclusive) of all
+// maximal sliding windows over the score-sorted ext slice whose H spread is
+// at most eps and whose size is at least minLen.
+func maximalWindows(dst [][2]int, ext []extMember, eps float64, minLen int) [][2]int {
 	r := 0
 	prevR := -1
 	for l := 0; l < len(ext); l++ {
@@ -364,20 +407,11 @@ func maximalWindows(ext []extMember, eps float64, minLen int) [][2]int {
 			r++
 		}
 		if r-l+1 >= minLen && r > prevR {
-			out = append(out, [2]int{l, r})
+			dst = append(dst, [2]int{l, r})
 			prevR = r
 		}
 	}
-	return out
-}
-
-func sortMembers(ms []member) {
-	sort.Slice(ms, func(a, b int) bool {
-		if ms[a].gene != ms[b].gene {
-			return ms[a].gene < ms[b].gene
-		}
-		return ms[a].up && !ms[b].up
-	})
+	return dst
 }
 
 func distinctGenes(ms []member) int {

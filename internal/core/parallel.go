@@ -99,9 +99,9 @@ func mineParallelOpts(ctx context.Context, m *matrix.Matrix, p Params, workers i
 		// Resumable runs always take the engine path below: it is the emitter
 		// accounting that knows subtree boundaries and watermarks, and its
 		// worker pool contains panics instead of crossing the API with them.
-		mn := &miner{m: m, p: p, models: models, bud: bud, seen: make(map[string]bool),
-			obs:  opts.obs,
-			sink: func(b *Bicluster, _ int) bool { return visit(b) }}
+		mn := newMiner(m, p, models, bud)
+		mn.obs = opts.obs
+		mn.sink = func(b *Bicluster, _ int) bool { return visit(b) }
 		mn.run()
 		if err := bud.contextErr(); err != nil {
 			return Stats{}, err
@@ -211,8 +211,9 @@ func (e *engine) mineSubtree(c int) {
 		sub.finish(Stats{}, false)
 		return
 	}
-	mn := &miner{m: e.m, p: e.p, models: e.models, bud: e.bud,
-		seen: make(map[string]bool), sink: sub.push, obs: e.obs}
+	mn := newMiner(e.m, e.p, e.models, e.bud)
+	mn.sink = sub.push
+	mn.obs = e.obs
 	mn.runFrom(c)
 	// The subtree is complete exactly when the miner ran it to the end:
 	// any stop (own cap trip or a sibling's cancellation) leaves it
@@ -420,19 +421,18 @@ func (e *engine) rerun(c, skip int, deliver bool, clusterCap int) Stats {
 		}
 	}()
 	emitted := 0
-	mn := &miner{m: e.m, p: e.p, models: e.models, bud: rbud,
-		seen: make(map[string]bool),
-		sink: func(b *Bicluster, _ int) bool {
-			emitted++
-			if !deliver || emitted <= skip {
-				return true
-			}
-			if !e.visit(b) {
-				return false
-			}
-			e.noteDelivery(c, emitted, b)
+	mn := newMiner(e.m, e.p, e.models, rbud)
+	mn.sink = func(b *Bicluster, _ int) bool {
+		emitted++
+		if !deliver || emitted <= skip {
 			return true
-		}}
+		}
+		if !e.visit(b) {
+			return false
+		}
+		e.noteDelivery(c, emitted, b)
+		return true
+	}
 	mn.runFrom(c)
 	return mn.stats
 }

@@ -1,0 +1,184 @@
+package core
+
+// Scratch arena and duplicate-suppression machinery of the zero-allocation
+// mining hot path. One miner owns one scratch: all per-node working storage
+// — chain stack, condition bitsets, candidate/extension/member buffers — is
+// reused across the millions of nodes a search visits, so steady-state
+// mining allocates only for escaping outputs (emitted Biclusters) and dedup
+// bookkeeping. The differential tests (differential_test.go) pin the
+// resulting behaviour to the frozen pre-optimization reference bit for bit.
+
+import "slices"
+
+// condSet is a bitset over condition ids (one uint64 word per 64 ids).
+type condSet []uint64
+
+func newCondSet(n int) condSet   { return make(condSet, (n+63)/64) }
+func (s condSet) has(c int) bool { return s[c>>6]&(1<<(uint(c)&63)) != 0 }
+func (s condSet) set(c int)      { s[c>>6] |= 1 << (uint(c) & 63) }
+func (s condSet) clear(c int)    { s[c>>6] &^= 1 << (uint(c) & 63) }
+
+// frame is the reusable working set of one recursion depth: the candidate
+// conditions, the surviving extensions with their H scores, the validated
+// sliding windows, and the member list handed to the child node. A depth's
+// frame stays live for the whole candidate loop of its extend call while
+// deeper recursion uses deeper frames, so indexing frames by chain length
+// makes reuse safe without copying.
+type frame struct {
+	cand []int
+	ext  []extMember
+	win  [][2]int
+	nm   []member
+}
+
+// scratch is the per-miner arena.
+type scratch struct {
+	chain    []int   // current chain as a stack (replaces per-level copies)
+	inChain  condSet // chain membership (replaces the per-node inChain map)
+	candSeen condSet // candidate dedup within one extend (replaces the seen map)
+	root     []member
+	frames   []*frame
+}
+
+// ensure sizes the arena for an nGenes×nConds matrix; it runs once per
+// miner (every later call is a cheap nil check). The root member buffer
+// holds up to TWO entries per gene — both directions can join at level 1 —
+// which also fixes the historical nGenes under-allocation that forced a
+// mid-loop regrowth on every level-1 subtree.
+func (s *scratch) ensure(nGenes, nConds int) {
+	if s.inChain != nil {
+		return
+	}
+	s.inChain = newCondSet(nConds)
+	s.candSeen = newCondSet(nConds)
+	s.chain = make([]int, 0, nConds)
+	s.root = make([]member, 0, 2*nGenes)
+}
+
+// frame returns the scratch frame of the given recursion depth, growing the
+// pool on first descent.
+func (s *scratch) frame(depth int) *frame {
+	for len(s.frames) <= depth {
+		s.frames = append(s.frames, &frame{})
+	}
+	return s.frames[depth]
+}
+
+// dedupSet suppresses duplicate clusters (pruning 3b) without materializing
+// Bicluster.Key() strings: clusters are hashed structurally into buckets and
+// compared field by field only within a bucket, so the common non-duplicate
+// case costs one hash and (almost always) an empty bucket probe.
+type dedupSet struct {
+	buckets map[uint64][]*Bicluster
+}
+
+func newDedupSet() dedupSet {
+	return dedupSet{buckets: make(map[uint64][]*Bicluster)}
+}
+
+// add inserts b and reports true, or reports false when an identical
+// cluster (same chain sequence, p-members, n-members) was added before.
+func (d *dedupSet) add(b *Bicluster) bool {
+	h := hashCluster(b)
+	for _, o := range d.buckets[h] {
+		if slices.Equal(o.Chain, b.Chain) &&
+			slices.Equal(o.PMembers, b.PMembers) &&
+			slices.Equal(o.NMembers, b.NMembers) {
+			return false
+		}
+	}
+	d.buckets[h] = append(d.buckets[h], b)
+	return true
+}
+
+// hashCluster is FNV-1a over the cluster's three int sequences with distinct
+// section separators. Collisions are harmless (add falls back to structural
+// comparison), they only cost a bucket scan.
+func hashCluster(b *Bicluster) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b.Chain {
+		h = (h ^ uint64(c)) * prime64
+	}
+	h = (h ^ ^uint64(0)) * prime64
+	for _, g := range b.PMembers {
+		h = (h ^ uint64(g)) * prime64
+	}
+	h = (h ^ ^uint64(1)) * prime64
+	for _, g := range b.NMembers {
+		h = (h ^ uint64(g)) * prime64
+	}
+	return h
+}
+
+// insertionSortCutoff bounds the slice length below which the hand-rolled
+// insertion sorts beat the generic pdqsort dispatch. Extension lists at deep
+// nodes are usually tiny; level-1 lists are huge and take the slices path.
+const insertionSortCutoff = 16
+
+// lessExt is the extension ordering of matchCandidate: ascending H score,
+// ties by gene then direction (p before n). Members are unique per (gene,
+// direction), so the order is total and any comparison sort yields the same
+// sequence the reference sort.Slice produced.
+func lessExt(a, b extMember) bool {
+	if a.h != b.h {
+		return a.h < b.h
+	}
+	if a.gene != b.gene {
+		return a.gene < b.gene
+	}
+	return a.up && !b.up
+}
+
+func sortExtMembers(ext []extMember) {
+	if len(ext) <= insertionSortCutoff {
+		for i := 1; i < len(ext); i++ {
+			for j := i; j > 0 && lessExt(ext[j], ext[j-1]); j-- {
+				ext[j], ext[j-1] = ext[j-1], ext[j]
+			}
+		}
+		return
+	}
+	slices.SortFunc(ext, func(a, b extMember) int {
+		switch {
+		case lessExt(a, b):
+			return -1
+		case lessExt(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// lessMember is the node member ordering: ascending gene, p before n.
+func lessMember(a, b member) bool {
+	if a.gene != b.gene {
+		return a.gene < b.gene
+	}
+	return a.up && !b.up
+}
+
+func sortMembers(ms []member) {
+	if len(ms) <= insertionSortCutoff {
+		for i := 1; i < len(ms); i++ {
+			for j := i; j > 0 && lessMember(ms[j], ms[j-1]); j-- {
+				ms[j], ms[j-1] = ms[j-1], ms[j]
+			}
+		}
+		return
+	}
+	slices.SortFunc(ms, func(a, b member) int {
+		switch {
+		case lessMember(a, b):
+			return -1
+		case lessMember(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
+}

@@ -13,7 +13,10 @@ package rwave
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"regcluster/internal/matrix"
 )
@@ -266,11 +269,82 @@ func (mod *Model) String() string {
 }
 
 // BuildAll constructs models for every gene of m with the Equation 4 relative
-// threshold.
+// threshold, fanning out across CPUs for large gene counts.
 func BuildAll(m *matrix.Matrix, gamma float64) []*Model {
-	models := make([]*Model, m.Rows())
-	for i := range models {
-		models[i] = Build(m, i, gamma)
+	if gamma < 0 || gamma > 1 {
+		// Validate once up front so a bad threshold still panics on the
+		// calling goroutine, not inside a build worker.
+		panic(fmt.Sprintf("rwave: relative gamma %v out of [0,1]", gamma))
+	}
+	return BuildAllFunc(m.Rows(), func(g int) *Model {
+		return Build(m, g, gamma)
+	})
+}
+
+// buildParallelMinGenes is the gene count below which the fan-out overhead
+// outweighs the per-gene O(n log n) build work and BuildAllFunc stays
+// sequential; buildChunk is the number of genes one worker claims per grab.
+const (
+	buildParallelMinGenes = 128
+	buildChunk            = 32
+)
+
+// BuildAllFunc constructs one model per gene index [0, n) with the supplied
+// builder. Models are independent per gene, so for large n the construction
+// runs on up to GOMAXPROCS goroutines; the result is identical to a
+// sequential loop (each slot is written exactly once by whoever claims it).
+// The builder must be safe for concurrent calls with distinct gene indices —
+// the rwave builders only read their own matrix row, so they are. A builder
+// panic is re-raised on the calling goroutine.
+func BuildAllFunc(n int, build func(g int) *Model) []*Model {
+	models := make([]*Model, n)
+	workers := runtime.GOMAXPROCS(0)
+	if n < buildParallelMinGenes || workers <= 1 {
+		for g := range models {
+			models[g] = build(g)
+		}
+		return models
+	}
+	if max := (n + buildChunk - 1) / buildChunk; workers > max {
+		workers = max
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				lo := int(next.Add(buildChunk)) - buildChunk
+				if lo >= n {
+					return
+				}
+				hi := lo + buildChunk
+				if hi > n {
+					hi = n
+				}
+				for g := lo; g < hi; g++ {
+					models[g] = build(g)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
 	}
 	return models
 }

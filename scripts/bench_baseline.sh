@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Record a machine-readable benchmark baseline (BENCH_<n>.json).
+#
+# Usage:
+#   scripts/bench_baseline.sh OUT.json [SPEC ...]
+#
+# Each SPEC is "<-bench regex>@<-benchtime>"; the default set covers the
+# E1-E8 evaluation benchmarks of bench_test.go at iteration counts that keep
+# the whole recording under a few minutes. One `go test` run per spec, all
+# outputs concatenated and parsed by cmd/benchdiff into ns/op, B/op and
+# allocs/op per benchmark.
+#
+#   scripts/bench_baseline.sh BENCH_0.json                      # default set
+#   scripts/bench_baseline.sh /tmp/b.json 'BenchmarkYeast$@5x'  # custom set
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+OUT=${1:?usage: bench_baseline.sh OUT.json [bench-regex@benchtime ...]}
+shift || true
+
+SPECS=("$@")
+if [ ${#SPECS[@]} -eq 0 ]; then
+    SPECS=(
+        'BenchmarkFig7Genes$@3x'        # E1: runtime vs #genes
+        'BenchmarkFig7Conds$@3x'        # E2: runtime vs #conditions
+        'BenchmarkFig7Clusters$@3x'     # E3: runtime vs #embedded clusters
+        'BenchmarkYeast$@3x'            # E4: yeast-substitute effectiveness run
+        'BenchmarkTable2TermFinder$@20x' # E5: GO term finder
+        'BenchmarkRunningExample$@100x' # E6: Table 1 walk-through
+        'BenchmarkPruningAblation$@1x'  # E8: pruning ablation
+        'BenchmarkRWaveBuild$@5x'       # index construction phase
+        'BenchmarkOverlapStats$@5x'     # Section 5.2 overlap statistic
+    )
+fi
+
+LABEL=$(basename "$OUT" .json)
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+for spec in "${SPECS[@]}"; do
+    regex=${spec%@*}
+    benchtime=${spec##*@}
+    echo ">> go test -bench '$regex' -benchtime $benchtime" >&2
+    $GO test -run 'XXX_none' -bench "$regex" -benchtime "$benchtime" -benchmem -timeout 30m . \
+        | tee -a "$RAW" >&2
+done
+
+$GO run ./cmd/benchdiff -parse -label "$LABEL" <"$RAW" >"$OUT"
+echo "wrote $OUT" >&2
