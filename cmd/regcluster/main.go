@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +33,7 @@ import (
 	"regcluster/internal/dataset"
 	"regcluster/internal/eval"
 	"regcluster/internal/matrix"
+	"regcluster/internal/obs"
 	"regcluster/internal/report"
 )
 
@@ -63,8 +65,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		validate  = fs.Bool("validate", false, "re-check every cluster against Definition 3.2 before output")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProf   = fs.String("memprofile", "", "write a heap profile taken after mining to this file")
+		traceRun  = fs.Bool("trace", false, "record a span trace of the run (index build, per-subtree mining) and print it to stderr after mining")
+		logFormat = fs.String("log-format", "text", `-trace output format: "text" (indented tree) or "json"`)
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	traceFmt, err := obs.ParseFormat(*logFormat)
+	if err != nil {
 		return err
 	}
 	if *in == "" {
@@ -118,13 +126,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	start := time.Now()
 	var res *core.Result
-	if *parallel == 1 {
+	var tracer *obs.Tracer
+	switch {
+	case *traceRun:
+		// The observed entry point threads a span through the run; mining
+		// output is deterministic for any worker count, so the collected
+		// clusters match the plain paths exactly.
+		tracer = obs.New()
+		sp := tracer.Start("mine")
+		var ob core.Observer
+		ob.SetSpan(sp)
+		var clusters []*core.Bicluster
+		var st core.Stats
+		st, err = core.MineParallelFuncObserved(ctx, m, p, *parallel, func(b *core.Bicluster) bool {
+			clusters = append(clusters, b)
+			return true
+		}, &ob)
+		sp.End()
+		res = &core.Result{Clusters: clusters, Stats: st}
+	case *parallel == 1:
 		res, err = core.MineContext(ctx, m, p)
-	} else {
+	default:
 		res, err = core.MineParallelContext(ctx, m, p, *parallel)
 	}
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		if traceFmt == obs.FormatJSON {
+			enc := json.NewEncoder(stderr)
+			enc.SetIndent("", "  ")
+			enc.Encode(tracer.Tree())
+		} else {
+			fmt.Fprint(stderr, obs.RenderTree(tracer.Tree()))
+		}
 	}
 	if *memProf != "" {
 		f, ferr := os.Create(*memProf)

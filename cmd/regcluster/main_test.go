@@ -149,3 +149,50 @@ func TestRunProfiles(t *testing.T) {
 		t.Error("unwritable -cpuprofile accepted")
 	}
 }
+
+func TestRunTrace(t *testing.T) {
+	path := writeRunningExample(t)
+	var out, errb strings.Builder
+	err := run([]string{
+		"-in", path, "-ming", "3", "-minc", "5", "-gamma", "0.15", "-epsilon", "0.1",
+		"-trace",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cluster 1: 3 genes x 5 conditions") {
+		t.Errorf("trace run changed the mining output:\n%s", out.String())
+	}
+	trace := errb.String()
+	for _, want := range []string{"mine ", "rwave.build", "subtree", "cond="} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace tree missing %q:\n%s", want, trace)
+		}
+	}
+
+	// JSON format: the tree must decode as []obs.Node-shaped objects.
+	errb.Reset()
+	out.Reset()
+	err = run([]string{
+		"-in", path, "-ming", "3", "-minc", "5", "-gamma", "0.15", "-epsilon", "0.1",
+		"-trace", "-log-format", "json",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []struct {
+		Name     string            `json:"name"`
+		Done     bool              `json:"done"`
+		Children []json.RawMessage `json:"children"`
+	}
+	if err := json.Unmarshal([]byte(errb.String()), &nodes); err != nil {
+		t.Fatalf("trace not valid JSON: %v\n%s", err, errb.String())
+	}
+	if len(nodes) != 1 || nodes[0].Name != "mine" || !nodes[0].Done || len(nodes[0].Children) == 0 {
+		t.Fatalf("unexpected JSON trace root: %+v", nodes)
+	}
+
+	if err := run([]string{"-in", path, "-log-format", "yaml"}, &out, &errb); err == nil {
+		t.Fatal("bad -log-format accepted")
+	}
+}

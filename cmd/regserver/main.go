@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"regcluster/internal/obs"
 	"regcluster/internal/service"
 )
 
@@ -71,9 +72,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		dataDir     = fs.String("data-dir", "", "durable state directory: datasets, results, and the job journal survive restarts; interrupted jobs resume from their checkpoints (empty = in-memory only)")
 		ckEvery     = fs.Int("checkpoint-every", 64, "journal a miner checkpoint every N delivered clusters (negative = only at subtree boundaries)")
 		retries     = fs.Int("retries", 2, "transient job failures retried with capped exponential backoff (negative disables)")
+		trace       = fs.Bool("trace", false, "record a span tree per job (queue wait, mining attempts, stream replays), served at GET /jobs/{id}/trace")
+		logFormat   = fs.String("log-format", "text", `structured log format: "text" or "json" (one JSON object per line)`)
+		slowJob     = fs.Duration("slow-job", 30*time.Second, "log a warning with a per-phase breakdown for jobs slower than this (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	format, err := obs.ParseFormat(*logFormat)
+	if err != nil {
+		return err
+	}
+	slow := *slowJob
+	if slow <= 0 {
+		slow = -1 // Config treats 0 as "use the default"; negative disables
 	}
 
 	svc, err := service.Open(service.Config{
@@ -89,6 +101,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		DataDir:                 *dataDir,
 		CheckpointEveryClusters: *ckEvery,
 		MaxJobRetries:           *retries,
+		Logger:                  obs.NewLogger(stderr, format),
+		EnableTracing:           *trace,
+		SlowJobThreshold:        slow,
 	})
 	if err != nil {
 		return err

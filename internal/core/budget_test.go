@@ -109,7 +109,7 @@ func TestMatchCandidateZeroBaseline(t *testing.T) {
 	// absolute γ = 0 the model still orders c2 above both.
 	m := matrix.FromRows([][]float64{{0, 0, 1}})
 	p := Params{MinG: 2, MinC: 2, Gamma: 0, AbsoluteGamma: true, Epsilon: 1}
-	models, err := prepare(m, p)
+	models, err := prepare(m, p, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

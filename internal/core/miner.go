@@ -7,6 +7,7 @@ import (
 	"slices"
 
 	"regcluster/internal/matrix"
+	"regcluster/internal/obs"
 	"regcluster/internal/rwave"
 )
 
@@ -54,7 +55,7 @@ func MineContext(ctx context.Context, m *matrix.Matrix, p Params) (*Result, erro
 // the clusters accumulate on the returned miner's out slice; otherwise they
 // stream to the visitor as MineFunc documents.
 func mineSequential(ctx context.Context, m *matrix.Matrix, p Params, visit Visitor) (*miner, error) {
-	models, err := prepare(m, p)
+	models, err := prepare(m, p, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -72,8 +73,10 @@ func mineSequential(ctx context.Context, m *matrix.Matrix, p Params, visit Visit
 // prepare validates the inputs and builds the per-gene RWave models, fanning
 // the construction out across CPUs for large gene counts (the models are
 // independent per gene, and MineParallel shares the one resulting slice
-// between all workers and reconciliation reruns).
-func prepare(m *matrix.Matrix, p Params) ([]*rwave.Model, error) {
+// between all workers and reconciliation reruns). When sp is non-nil the
+// index construction is recorded as an "rwave.build" child span with
+// per-chunk children; a nil sp costs nothing.
+func prepare(m *matrix.Matrix, p Params, sp *obs.Span) ([]*rwave.Model, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -83,7 +86,8 @@ func prepare(m *matrix.Matrix, p Params) ([]*rwave.Model, error) {
 	if m.HasNaN() {
 		return nil, fmt.Errorf("core: matrix contains NaN cells; impute first (matrix.FillNaN)")
 	}
-	return rwave.BuildAllFunc(m.Rows(), func(g int) *rwave.Model {
+	bsp := sp.Start("rwave.build")
+	models := rwave.BuildAllSpan(m.Rows(), func(g int) *rwave.Model {
 		switch {
 		case p.CustomGammas != nil:
 			return rwave.BuildAbsolute(m, g, p.CustomGammas[g])
@@ -92,7 +96,9 @@ func prepare(m *matrix.Matrix, p Params) ([]*rwave.Model, error) {
 		default:
 			return rwave.Build(m, g, p.Gamma)
 		}
-	}), nil
+	}, bsp)
+	bsp.End()
+	return models, nil
 }
 
 type miner struct {
@@ -108,6 +114,7 @@ type miner struct {
 	// miner like a cap trip.
 	sink  func(b *Bicluster, node int) bool
 	obs   *Observer // optional live progress counters, shared across workers
+	span  *obs.Span // optional trace parent: run() nests one span per subtree
 	stats Stats
 	stop  bool // set when a cap fires, the sink stops, or the budget cancels
 
@@ -123,7 +130,17 @@ func newMiner(m *matrix.Matrix, p Params, models []*rwave.Model, bud *budget) *m
 
 func (mn *miner) run() {
 	for c := 0; c < mn.m.Cols() && !mn.stop; c++ {
+		if mn.span == nil {
+			mn.runFrom(c)
+			continue
+		}
+		sp := mn.span.Start("subtree")
+		n0, k0 := mn.stats.Nodes, mn.stats.Clusters
 		mn.runFrom(c)
+		sp.SetInt("cond", int64(c))
+		sp.Add("nodes", int64(mn.stats.Nodes-n0))
+		sp.Add("clusters", int64(mn.stats.Clusters-k0))
+		sp.End()
 	}
 }
 

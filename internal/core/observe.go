@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"regcluster/internal/matrix"
+	"regcluster/internal/obs"
 )
 
 // Observer exposes live progress counters of an in-flight mining run. All
@@ -19,6 +20,7 @@ import (
 type Observer struct {
 	nodes    atomic.Int64
 	clusters atomic.Int64
+	span     atomic.Pointer[obs.Span]
 }
 
 // Nodes returns the number of search-tree nodes visited so far.
@@ -26,6 +28,23 @@ func (o *Observer) Nodes() int64 { return o.nodes.Load() }
 
 // Clusters returns the number of clusters emitted by workers so far.
 func (o *Observer) Clusters() int64 { return o.clusters.Load() }
+
+// SetSpan attaches a parent tracing span: the next mining run started with
+// this Observer records its phase spans (RWave index construction with
+// per-chunk children, per-subtree enumeration, reconciliation reruns) and
+// counters (checkpoints, budget trips) as children of sp. Store nil to
+// detach. With no span attached — the default — the instrumentation degrades
+// to nil no-ops that allocate nothing, preserving the zero-allocation hot
+// path. Call between runs, not mid-run: miners read the span once at start.
+func (o *Observer) SetSpan(sp *obs.Span) { o.span.Store(sp) }
+
+// traceSpan returns the attached span; nil-safe on a nil Observer.
+func (o *Observer) traceSpan() *obs.Span {
+	if o == nil {
+		return nil
+	}
+	return o.span.Load()
+}
 
 // MineParallelFuncContext is MineParallelFunc with cooperative cancellation:
 // every worker observes ctx at node and candidate boundaries, and once it

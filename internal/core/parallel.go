@@ -9,6 +9,7 @@ import (
 
 	"regcluster/internal/faultinject"
 	"regcluster/internal/matrix"
+	"regcluster/internal/obs"
 
 	"regcluster/internal/rwave"
 )
@@ -81,7 +82,8 @@ type mineOpts struct {
 // reconciliation reruns do NOT feed it, since they re-walk subtrees whose
 // nodes the interrupted workers already counted.
 func mineParallelOpts(ctx context.Context, m *matrix.Matrix, p Params, workers int, visit Visitor, opts mineOpts) (Stats, error) {
-	models, err := prepare(m, p)
+	sp := opts.obs.traceSpan()
+	models, err := prepare(m, p, sp)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -101,10 +103,14 @@ func mineParallelOpts(ctx context.Context, m *matrix.Matrix, p Params, workers i
 		// worker pool contains panics instead of crossing the API with them.
 		mn := newMiner(m, p, models, bud)
 		mn.obs = opts.obs
+		mn.span = sp
 		mn.sink = func(b *Bicluster, _ int) bool { return visit(b) }
 		mn.run()
 		if err := bud.contextErr(); err != nil {
 			return Stats{}, err
+		}
+		if mn.stats.Truncated {
+			sp.Add("budget_trips", 1)
 		}
 		return mn.stats, nil
 	}
@@ -112,7 +118,7 @@ func mineParallelOpts(ctx context.Context, m *matrix.Matrix, p Params, workers i
 		workers = 1
 	}
 
-	e := &engine{m: m, p: p, models: models, bud: bud, visit: visit, obs: opts.obs,
+	e := &engine{m: m, p: p, models: models, bud: bud, visit: visit, obs: opts.obs, sp: sp,
 		ck: opts.ck, subs: make([]*subtree, nConds)}
 	if r := opts.resume; r != nil {
 		e.start = r.NextCond
@@ -159,6 +165,7 @@ type engine struct {
 	bud    *budget
 	visit  Visitor
 	obs    *Observer
+	sp     *obs.Span // optional trace parent for subtree/rerun spans; nil = off
 	subs   []*subtree
 	wg     sync.WaitGroup
 
@@ -211,10 +218,20 @@ func (e *engine) mineSubtree(c int) {
 		sub.finish(Stats{}, false)
 		return
 	}
+	ssp := e.sp.Start("subtree")
 	mn := newMiner(e.m, e.p, e.models, e.bud)
 	mn.sink = sub.push
 	mn.obs = e.obs
 	mn.runFrom(c)
+	if ssp != nil {
+		ssp.SetInt("cond", int64(c))
+		ssp.Add("nodes", int64(mn.stats.Nodes))
+		ssp.Add("clusters", int64(mn.stats.Clusters))
+		if mn.stop {
+			ssp.SetAttr("interrupted", "true")
+		}
+		ssp.End()
+	}
 	// The subtree is complete exactly when the miner ran it to the end:
 	// any stop (own cap trip or a sibling's cancellation) leaves it
 	// schedule-dependent and the emitter will re-mine it if needed.
@@ -324,6 +341,7 @@ func (e *engine) emit() (Stats, error) {
 			}
 			e.accountSubtree(c, st)
 			if st.Truncated {
+				e.sp.Add("budget_trips", 1)
 				return e.agg, nil
 			}
 			continue
@@ -367,6 +385,7 @@ func (e *engine) accountSubtree(c int, st Stats) {
 // cluster of subtree nextCond. Runs on the emitter goroutine.
 func (e *engine) snapshot(nextCond, skip int) {
 	e.ckFresh = 0
+	e.sp.Add("checkpoints", 1)
 	ck := Checkpoint{Version: CheckpointVersion, NextCond: nextCond, SkipClusters: skip, Prefix: e.agg}
 	if len(e.lastChain) > 0 {
 		ck.LastChain = append([]int(nil), e.lastChain...)
@@ -385,6 +404,7 @@ func (e *engine) account(st Stats) {
 // re-mined against the pre-charged continuation budget solely to reproduce
 // the truncated sequential run's Stats. No further clusters are delivered.
 func (e *engine) truncate(c, taken, effClusterCap int) (Stats, error) {
+	e.sp.Add("budget_trips", 1)
 	e.stopWorkers()
 	if err := e.bud.contextErr(); err != nil {
 		return Stats{}, err
@@ -407,6 +427,15 @@ func (e *engine) truncate(c, taken, effClusterCap int) (Stats, error) {
 // deliver is set the remainder streams to the visitor (whose stop truncates
 // the rerun exactly like MineFunc).
 func (e *engine) rerun(c, skip int, deliver bool, clusterCap int) Stats {
+	rsp := e.sp.Start("rerun")
+	if rsp != nil {
+		rsp.SetInt("cond", int64(c))
+		rsp.SetInt("skip", int64(skip))
+		if deliver {
+			rsp.SetAttr("deliver", "true")
+		}
+		defer rsp.End()
+	}
 	rbud := prechargedBudget(e.p.MaxNodes, clusterCap, e.cumNodes, e.cumClusters)
 	// The rerun observes the run's context too: reconciliation after a cap
 	// trip can mine for a while, and cancellation must interrupt it. A

@@ -265,7 +265,7 @@ func TestMineContextBackground(t *testing.T) {
 func TestSubtreeOrderLargestFirst(t *testing.T) {
 	m := randomMatrix(50, 8, 11)
 	p := Params{MinG: 3, MinC: 3, Gamma: 0.05, Epsilon: 0.4}
-	models, err := prepare(m, p)
+	models, err := prepare(m, p, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

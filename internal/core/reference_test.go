@@ -30,7 +30,7 @@ type refMiner struct {
 
 // referenceMine is the frozen equivalent of Mine.
 func referenceMine(m *matrix.Matrix, p Params) (*Result, error) {
-	models, err := prepare(m, p)
+	models, err := prepare(m, p, nil)
 	if err != nil {
 		return nil, err
 	}

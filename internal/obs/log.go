@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Format selects the rendering of one log line.
+type Format int
+
+const (
+	// FormatText renders "ts LEVEL msg key=val ..." — for humans.
+	FormatText Format = iota
+	// FormatJSON renders one JSON object per line — for collectors.
+	FormatJSON
+)
+
+// ParseFormat maps a flag value ("text" or "json") to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "text", "":
+		return FormatText, nil
+	case "json":
+		return FormatJSON, nil
+	}
+	return FormatText, fmt.Errorf("obs: unknown log format %q (want text or json)", s)
+}
+
+// Logger emits structured log lines with bound context fields. A nil *Logger
+// is a valid no-op. Loggers derived with With share the parent's sink, so
+// one mutex serializes the whole family's output.
+type Logger struct {
+	mu     *sync.Mutex
+	w      io.Writer         // nil when emit is set
+	emit   func(line string) // alternative sink (legacy Logf adapters, tests)
+	format Format
+	fields []Field
+	now    func() time.Time
+}
+
+// Field is one bound key/value pair.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// NewLogger returns a Logger writing one line per record to w.
+func NewLogger(w io.Writer, format Format) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, format: format, now: time.Now}
+}
+
+// NewFuncLogger returns a Logger delivering each rendered line (without a
+// trailing newline) to emit — the adapter for printf-style sinks.
+func NewFuncLogger(emit func(line string), format Format) *Logger {
+	return &Logger{mu: &sync.Mutex{}, emit: emit, format: format, now: time.Now}
+}
+
+// With returns a derived Logger with extra bound fields, given as
+// alternating key, value pairs. The receiver is unchanged.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	d := *l
+	d.fields = append(append([]Field(nil), l.fields...), pairs(kv)...)
+	return &d
+}
+
+// Info logs at level info with optional alternating key, value pairs.
+func (l *Logger) Info(msg string, kv ...any) { l.log("info", msg, kv) }
+
+// Warn logs at level warn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log("warn", msg, kv) }
+
+// Error logs at level error.
+func (l *Logger) Error(msg string, kv ...any) { l.log("error", msg, kv) }
+
+// Printf logs a preformatted message at level info — the bridge for legacy
+// log.Printf call sites.
+func (l *Logger) Printf(format string, args ...any) {
+	l.log("info", fmt.Sprintf(format, args...), nil)
+}
+
+// pairs folds alternating key/value arguments into fields. A trailing key
+// without a value, or a non-string key, is kept under a synthetic key rather
+// than dropped: a malformed call site should be visible in the output, not
+// silently lossy.
+func pairs(kv []any) []Field {
+	if len(kv) == 0 {
+		return nil
+	}
+	out := make([]Field, 0, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprintf("!badkey-%v", kv[i])
+		}
+		if i+1 < len(kv) {
+			out = append(out, Field{Key: key, Value: kv[i+1]})
+		} else {
+			out = append(out, Field{Key: "!dangling", Value: key})
+		}
+	}
+	return out
+}
+
+func (l *Logger) log(level, msg string, kv []any) {
+	if l == nil {
+		return
+	}
+	ts := l.now().UTC()
+	var line string
+	if l.format == FormatJSON {
+		line = renderJSON(ts, level, msg, l.fields, pairs(kv))
+	} else {
+		line = renderText(ts, level, msg, l.fields, pairs(kv))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.emit != nil {
+		l.emit(line)
+		return
+	}
+	io.WriteString(l.w, line+"\n")
+}
+
+func renderJSON(ts time.Time, level, msg string, bound, extra []Field) string {
+	var b strings.Builder
+	b.WriteString(`{"ts":`)
+	b.WriteString(jsonQuote(ts.Format(time.RFC3339Nano)))
+	b.WriteString(`,"level":`)
+	b.WriteString(jsonQuote(level))
+	b.WriteString(`,"msg":`)
+	b.WriteString(jsonQuote(msg))
+	for _, f := range bound {
+		writeJSONField(&b, f)
+	}
+	for _, f := range extra {
+		writeJSONField(&b, f)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func writeJSONField(b *strings.Builder, f Field) {
+	b.WriteByte(',')
+	b.WriteString(jsonQuote(f.Key))
+	b.WriteByte(':')
+	raw, err := json.Marshal(f.Value)
+	if err != nil {
+		raw, _ = json.Marshal(fmt.Sprintf("%v", f.Value))
+	}
+	b.Write(raw)
+}
+
+// jsonQuote JSON-quotes a string (the only scalar we hand-render).
+func jsonQuote(s string) string {
+	raw, _ := json.Marshal(s)
+	return string(raw)
+}
+
+func renderText(ts time.Time, level, msg string, bound, extra []Field) string {
+	var b strings.Builder
+	b.WriteString(ts.Format("2006-01-02T15:04:05.000Z"))
+	b.WriteByte(' ')
+	b.WriteString(strings.ToUpper(level))
+	b.WriteByte(' ')
+	b.WriteString(msg)
+	for _, f := range bound {
+		writeTextField(&b, f)
+	}
+	for _, f := range extra {
+		writeTextField(&b, f)
+	}
+	return b.String()
+}
+
+func writeTextField(b *strings.Builder, f Field) {
+	b.WriteByte(' ')
+	b.WriteString(f.Key)
+	b.WriteByte('=')
+	v := fmt.Sprintf("%v", f.Value)
+	if strings.ContainsAny(v, " \t\n\"") {
+		v = jsonQuote(v)
+	}
+	b.WriteString(v)
+}

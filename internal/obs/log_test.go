@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJSONLogLine(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, FormatJSON).With("job", "job-000001")
+	l.Info("job settled", "status", "done", "clusters", 12, "ok", true)
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not one JSON object per line: %q: %v", buf.String(), err)
+	}
+	if rec["level"] != "info" || rec["msg"] != "job settled" {
+		t.Fatalf("bad envelope: %v", rec)
+	}
+	if rec["job"] != "job-000001" || rec["status"] != "done" || rec["clusters"] != float64(12) || rec["ok"] != true {
+		t.Fatalf("fields lost: %v", rec)
+	}
+	if _, ok := rec["ts"].(string); !ok {
+		t.Fatalf("no timestamp: %v", rec)
+	}
+}
+
+func TestTextLogLine(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, FormatText)
+	l.Warn("slow job", "job", "job-000002", "queue_ms", 1500, "note", "two words")
+	line := buf.String()
+	for _, want := range []string{"WARN", "slow job", "job=job-000002", "queue_ms=1500", `note="two words"`} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestFuncLoggerAndWith(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	l := NewFuncLogger(func(line string) {
+		mu.Lock()
+		lines = append(lines, line)
+		mu.Unlock()
+	}, FormatText)
+	base := l.With("req", "r000001")
+	base.Info("http request", "status", 200)
+	l.Error("unrelated") // parent unchanged by With
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], "req=r000001") || !strings.Contains(lines[0], "status=200") {
+		t.Fatalf("bound fields missing: %q", lines[0])
+	}
+	if strings.Contains(lines[1], "req=") {
+		t.Fatalf("With leaked into parent: %q", lines[1])
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	if f, err := ParseFormat("json"); err != nil || f != FormatJSON {
+		t.Fatalf("json: %v %v", f, err)
+	}
+	if f, err := ParseFormat("TEXT"); err != nil || f != FormatText {
+		t.Fatalf("text: %v %v", f, err)
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Fatal("yaml accepted")
+	}
+}
+
+func TestPrintfBridge(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, FormatText)
+	l.Printf("service: journal %s for %s: %v", "done", "job-000003", "disk full")
+	if !strings.Contains(buf.String(), "journal done for job-000003: disk full") {
+		t.Fatalf("printf bridge mangled the message: %q", buf.String())
+	}
+}
+
+func TestMalformedPairsVisible(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, FormatText)
+	l.Info("oops", "dangling")
+	if !strings.Contains(buf.String(), "!dangling=dangling") {
+		t.Fatalf("dangling key dropped silently: %q", buf.String())
+	}
+}
+
+func TestRuntimeSampler(t *testing.T) {
+	rs := NewRuntimeSampler(time.Second, nil)
+	s := rs.Latest()
+	if s.Goroutines <= 0 || s.TakenAt.IsZero() {
+		t.Fatalf("first sample not taken: %+v", s)
+	}
+	rs.Start()
+	rs.Start() // idempotent
+	rs.Stop()
+	rs.Stop() // idempotent
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sample is one point-in-time snapshot of the Go runtime.
+type Sample struct {
+	TakenAt        time.Time
+	Goroutines     int
+	HeapAllocBytes uint64
+	HeapSysBytes   uint64
+	NumGC          uint32
+	GCPauseTotal   time.Duration
+}
+
+// RuntimeSampler periodically snapshots the runtime (goroutine count, heap
+// usage, cumulative GC pause) so gauges and logs can report it without every
+// reader paying for runtime.ReadMemStats. A nil sampler is a valid no-op
+// whose Latest returns the zero Sample.
+type RuntimeSampler struct {
+	interval time.Duration
+	log      *Logger // optional: one info line per sample
+
+	latest atomic.Pointer[Sample]
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// NewRuntimeSampler returns a sampler on the given cadence (minimum 1s; zero
+// or negative selects 10s) that takes an immediate first sample so Latest is
+// never empty. log, when non-nil, receives one line per sample.
+func NewRuntimeSampler(interval time.Duration, log *Logger) *RuntimeSampler {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	if interval < time.Second {
+		interval = time.Second
+	}
+	rs := &RuntimeSampler{interval: interval, log: log}
+	rs.sample()
+	return rs
+}
+
+// Start launches the sampling loop; Stop ends it. Starting twice is a no-op.
+func (rs *RuntimeSampler) Start() {
+	if rs == nil {
+		return
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.stop != nil {
+		return
+	}
+	rs.stop = make(chan struct{})
+	rs.stopped = make(chan struct{})
+	go rs.loop(rs.stop, rs.stopped)
+}
+
+// Stop halts the sampling loop and waits for it to exit. Safe to call
+// without Start and safe to call twice.
+func (rs *RuntimeSampler) Stop() {
+	if rs == nil {
+		return
+	}
+	rs.mu.Lock()
+	stop, stopped := rs.stop, rs.stopped
+	rs.stop, rs.stopped = nil, nil
+	rs.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-stopped
+}
+
+// Latest returns the most recent sample.
+func (rs *RuntimeSampler) Latest() Sample {
+	if rs == nil {
+		return Sample{}
+	}
+	if s := rs.latest.Load(); s != nil {
+		return *s
+	}
+	return Sample{}
+}
+
+func (rs *RuntimeSampler) loop(stop <-chan struct{}, stopped chan<- struct{}) {
+	defer close(stopped)
+	t := time.NewTicker(rs.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			rs.sample()
+		case <-stop:
+			return
+		}
+	}
+}
+
+func (rs *RuntimeSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := &Sample{
+		TakenAt:        time.Now(),
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		NumGC:          ms.NumGC,
+		GCPauseTotal:   time.Duration(ms.PauseTotalNs),
+	}
+	rs.latest.Store(s)
+	rs.log.Info("runtime sample",
+		"goroutines", s.Goroutines,
+		"heap_alloc_bytes", s.HeapAllocBytes,
+		"gc_count", s.NumGC,
+		"gc_pause_ms", s.GCPauseTotal.Milliseconds(),
+	)
+}

@@ -1,0 +1,245 @@
+// Package obs is the zero-dependency observability layer of the repo:
+// nestable span tracing (Tracer/Span), structured JSON/text logging
+// (Logger), and a periodic runtime sampler (RuntimeSampler).
+//
+// Everything is nil-safe by design: a nil *Tracer, *Span, or *Logger is a
+// valid no-op whose methods return immediately without allocating, so hot
+// paths can be instrumented unconditionally and pay only a nil check when
+// observability is off. The zero-allocation guarantee of the disabled path
+// is pinned by tests (TestNoopSpanZeroAlloc) and by the mining benchmark
+// harness, which runs with tracing disabled.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer owns one trace: a forest of timed spans. A nil *Tracer is a valid
+// no-op tracer — Start returns a nil *Span and Tree returns nil.
+type Tracer struct {
+	base time.Time
+
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// New returns an empty Tracer whose span timestamps are reported relative to
+// the moment of this call.
+func New() *Tracer { return &Tracer{base: time.Now()} }
+
+// Start opens a new root span. Safe for concurrent use.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Tree snapshots the current span forest as serializable nodes. Spans still
+// open are included with Done=false and a duration measured up to now, so a
+// live trace renders meaningfully mid-run.
+func (t *Tracer) Tree() []*Node {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	t.mu.Unlock()
+	now := time.Now()
+	out := make([]*Node, len(roots))
+	for i, s := range roots {
+		out[i] = s.node(t.base, now)
+	}
+	return out
+}
+
+// Span is one timed region of a trace, with string attributes, accumulating
+// int64 counters, and child spans. All methods are safe for concurrent use
+// and are no-ops on a nil receiver, allocating nothing.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	ended    bool
+	end      time.Time
+	attrs    []Attr
+	counters []Counter
+	children []*Span
+}
+
+// Attr is one key/value annotation of a span.
+type Attr struct {
+	Key, Value string
+}
+
+// Counter is one accumulating span counter.
+type Counter struct {
+	Key   string
+	Value int64
+}
+
+// Start opens a child span. Children may be opened concurrently from several
+// goroutines (the parallel miner does), and may even be added after the
+// parent ended (a stream replay outliving its job).
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span. Only the first End sticks.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr records a string attribute; a repeated key overwrites.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// SetInt records an integer attribute (rendered as its decimal string).
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatInt(v, 10))
+}
+
+// Add accumulates delta into the named counter.
+func (s *Span) Add(key string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.counters {
+		if s.counters[i].Key == key {
+			s.counters[i].Value += delta
+			return
+		}
+	}
+	s.counters = append(s.counters, Counter{Key: key, Value: delta})
+}
+
+// Node is the serializable (JSON) form of one span at snapshot time. Offsets
+// and durations are microseconds; StartUS is relative to the tracer's birth.
+type Node struct {
+	Name     string            `json:"name"`
+	StartUS  int64             `json:"start_us"`
+	DurUS    int64             `json:"dur_us"`
+	Done     bool              `json:"done"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Counters map[string]int64  `json:"counters,omitempty"`
+	Children []*Node           `json:"children,omitempty"`
+}
+
+// node renders the span (and, recursively, its children) against the trace
+// base time; open spans are measured up to `now`.
+func (s *Span) node(base, now time.Time) *Node {
+	s.mu.Lock()
+	end := s.end
+	done := s.ended
+	if !done {
+		end = now
+	}
+	n := &Node{
+		Name:    s.name,
+		StartUS: s.start.Sub(base).Microseconds(),
+		DurUS:   end.Sub(s.start).Microseconds(),
+		Done:    done,
+	}
+	if len(s.attrs) > 0 {
+		n.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			n.Attrs[a.Key] = a.Value
+		}
+	}
+	if len(s.counters) > 0 {
+		n.Counters = make(map[string]int64, len(s.counters))
+		for _, c := range s.counters {
+			n.Counters[c.Key] = c.Value
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		n.Children = append(n.Children, c.node(base, now))
+	}
+	return n
+}
+
+// RenderTree renders a span forest as an indented text tree, one span per
+// line: name, duration, attrs, counters. Deterministic (keys sorted).
+func RenderTree(nodes []*Node) string {
+	var b strings.Builder
+	for _, n := range nodes {
+		renderNode(&b, n, 0)
+	}
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *Node, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	fmt.Fprintf(b, "%s %s", n.Name, time.Duration(n.DurUS)*time.Microsecond)
+	if !n.Done {
+		b.WriteString(" (open)")
+	}
+	for _, k := range sortedKeys(n.Attrs) {
+		fmt.Fprintf(b, " %s=%s", k, n.Attrs[k])
+	}
+	for _, k := range sortedKeys(n.Counters) {
+		fmt.Fprintf(b, " %s=%d", k, n.Counters[k])
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		renderNode(b, c, depth+1)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanNesting: the tree mirrors the Start nesting, with attrs, counters
+// and durations in place.
+func TestSpanNesting(t *testing.T) {
+	tr := New()
+	root := tr.Start("job")
+	root.SetAttr("job", "job-000001")
+	q := root.Start("queue")
+	time.Sleep(time.Millisecond)
+	q.End()
+	a := root.Start("attempt")
+	a.SetInt("attempt", 0)
+	s1 := a.Start("subtree")
+	s1.Add("nodes", 10)
+	s1.Add("nodes", 5)
+	s1.End()
+	a.End()
+	root.End()
+
+	tree := tr.Tree()
+	if len(tree) != 1 {
+		t.Fatalf("got %d roots, want 1", len(tree))
+	}
+	r := tree[0]
+	if r.Name != "job" || !r.Done || r.Attrs["job"] != "job-000001" {
+		t.Fatalf("bad root: %+v", r)
+	}
+	if len(r.Children) != 2 || r.Children[0].Name != "queue" || r.Children[1].Name != "attempt" {
+		t.Fatalf("bad children: %+v", r.Children)
+	}
+	att := r.Children[1]
+	if att.Attrs["attempt"] != "0" {
+		t.Fatalf("SetInt attr lost: %+v", att.Attrs)
+	}
+	if len(att.Children) != 1 || att.Children[0].Counters["nodes"] != 15 {
+		t.Fatalf("counter did not accumulate: %+v", att.Children)
+	}
+	if q := r.Children[0]; q.DurUS <= 0 {
+		t.Fatalf("queue span has no duration: %+v", q)
+	}
+	if r.DurUS < att.DurUS {
+		t.Fatalf("root (%dus) shorter than child (%dus)", r.DurUS, att.DurUS)
+	}
+}
+
+// TestOpenSpansRender: a snapshot taken mid-run includes unfinished spans
+// with Done=false and a live duration.
+func TestOpenSpansRender(t *testing.T) {
+	tr := New()
+	root := tr.Start("job")
+	root.Start("queue") // never ended
+	time.Sleep(time.Millisecond)
+	tree := tr.Tree()
+	if tree[0].Done {
+		t.Fatal("open root reported done")
+	}
+	if c := tree[0].Children[0]; c.Done || c.DurUS <= 0 {
+		t.Fatalf("open child: %+v", c)
+	}
+}
+
+// TestConcurrentChildren: children may be opened from many goroutines — the
+// parallel miner's per-subtree spans do exactly this.
+func TestConcurrentChildren(t *testing.T) {
+	tr := New()
+	root := tr.Start("mine")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				s := root.Start("subtree")
+				s.SetInt("cond", int64(i))
+				s.Add("nodes", 1)
+				s.End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if n := len(tr.Tree()[0].Children); n != 16*50 {
+		t.Fatalf("got %d children, want %d", n, 16*50)
+	}
+}
+
+// TestNilSafety: every operation on nil receivers is a no-op.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	c := sp.Start("y")
+	c.SetAttr("k", "v")
+	c.SetInt("i", 1)
+	c.Add("n", 2)
+	c.End()
+	if tr.Tree() != nil {
+		t.Fatal("nil tracer returned a tree")
+	}
+	var l *Logger
+	l.Info("nope")
+	l.With("k", "v").Error("nope")
+	var rs *RuntimeSampler
+	rs.Start()
+	rs.Stop()
+	if g := rs.Latest().Goroutines; g != 0 {
+		t.Fatalf("nil sampler sampled: %d", g)
+	}
+}
+
+// TestNoopSpanZeroAlloc pins the contract the mining hot path depends on:
+// with tracing off (nil spans), instrumentation allocates nothing.
+func TestNoopSpanZeroAlloc(t *testing.T) {
+	var sp *Span
+	allocs := testing.AllocsPerRun(1000, func() {
+		c := sp.Start("subtree")
+		c.SetInt("cond", 3)
+		c.Add("nodes", 17)
+		c.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op span ops allocate %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	tr := New()
+	root := tr.Start("job")
+	s := root.Start("subtree")
+	s.SetInt("cond", 2)
+	s.Add("nodes", 7)
+	s.End()
+	root.End()
+	out := RenderTree(tr.Tree())
+	if !strings.Contains(out, "job ") || !strings.Contains(out, "  subtree ") {
+		t.Fatalf("bad render:\n%s", out)
+	}
+	if !strings.Contains(out, "cond=2") || !strings.Contains(out, "nodes=7") {
+		t.Fatalf("attrs/counters missing:\n%s", out)
+	}
+}
+
+// TestTreeJSONRoundTrip: the Node form is the wire schema of
+// GET /jobs/{id}/trace; it must survive JSON.
+func TestTreeJSONRoundTrip(t *testing.T) {
+	tr := New()
+	root := tr.Start("job")
+	root.Start("queue").End()
+	root.End()
+	raw, err := json.Marshal(tr.Tree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []*Node
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Name != "job" || len(back[0].Children) != 1 {
+		t.Fatalf("round trip lost structure: %s", raw)
+	}
+}

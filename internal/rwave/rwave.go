@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"regcluster/internal/matrix"
+	"regcluster/internal/obs"
 )
 
 // Pointer is a regulation pointer between two sorted ranks of a gene's
@@ -297,17 +298,36 @@ const (
 // the rwave builders only read their own matrix row, so they are. A builder
 // panic is re-raised on the calling goroutine.
 func BuildAllFunc(n int, build func(g int) *Model) []*Model {
+	return BuildAllSpan(n, build, nil)
+}
+
+// BuildAllSpan is BuildAllFunc with phase tracing: when sp is non-nil, each
+// worker records one child span per claimed gene chunk (attrs lo/hi), and sp
+// itself collects genes/workers attributes — the per-phase breakdown of the
+// index construction. A nil sp is free: the spans degrade to no-ops without
+// allocating, so the zero-allocation mining hot path is untouched.
+func BuildAllSpan(n int, build func(g int) *Model, sp *obs.Span) []*Model {
 	models := make([]*Model, n)
 	workers := runtime.GOMAXPROCS(0)
 	if n < buildParallelMinGenes || workers <= 1 {
+		sp.SetInt("genes", int64(n))
+		sp.SetInt("workers", 1)
+		csp := sp.Start("rwave.chunk")
+		if csp != nil {
+			csp.SetInt("lo", 0)
+			csp.SetInt("hi", int64(n))
+		}
 		for g := range models {
 			models[g] = build(g)
 		}
+		csp.End()
 		return models
 	}
 	if max := (n + buildChunk - 1) / buildChunk; workers > max {
 		workers = max
 	}
+	sp.SetInt("genes", int64(n))
+	sp.SetInt("workers", int64(workers))
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
@@ -336,9 +356,15 @@ func BuildAllFunc(n int, build func(g int) *Model) []*Model {
 				if hi > n {
 					hi = n
 				}
+				csp := sp.Start("rwave.chunk")
+				if csp != nil {
+					csp.SetInt("lo", int64(lo))
+					csp.SetInt("hi", int64(hi))
+				}
 				for g := lo; g < hi; g++ {
 					models[g] = build(g)
 				}
+				csp.End()
 			}
 		}()
 	}

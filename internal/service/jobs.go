@@ -12,6 +12,7 @@ import (
 
 	"regcluster/internal/core"
 	"regcluster/internal/faultinject"
+	"regcluster/internal/obs"
 	"regcluster/internal/report"
 )
 
@@ -59,6 +60,13 @@ type Job struct {
 
 	obs core.Observer // live node/cluster counters while mining
 
+	// Tracing state, armed by startTrace before the job is published (so
+	// handlers read the fields without locking). All nil when tracing is off;
+	// every span operation degrades to a no-op then.
+	tracer    *obs.Tracer
+	root      *obs.Span // the "job" span: queue + attempts + streams
+	queueSpan *obs.Span
+
 	mu        sync.Mutex
 	status    JobStatus
 	cached    bool
@@ -81,14 +89,33 @@ type Job struct {
 	lastCkpt  *core.Checkpoint
 	journaled int
 	attempts  int
+
+	// Phase durations, settled as each phase ends (for the slow-job log).
+	queuedFor time.Duration
+	ranFor    time.Duration
 }
+
+// startTrace arms per-job span recording: a "job" root span with a "queue"
+// child that ends when the job takes a mining slot. Must run before the job
+// is published to the manager's table — handlers read the span fields
+// without locking, relying on that happens-before.
+func (j *Job) startTrace() {
+	j.tracer = obs.New()
+	j.root = j.tracer.Start("job")
+	j.root.SetAttr("id", j.ID)
+	j.root.SetAttr("dataset", j.Dataset.ID)
+	j.queueSpan = j.root.Start("queue")
+}
+
+// Trace snapshots the job's span forest; nil when tracing is off.
+func (j *Job) Trace() []*obs.Node { return j.tracer.Tree() }
 
 // JobView is the JSON form of a job's state at one instant.
 type JobView struct {
-	ID      string      `json:"id"`
-	Dataset string      `json:"dataset"`
-	Status  JobStatus   `json:"status"`
-	Cached  bool        `json:"cached"`
+	ID      string    `json:"id"`
+	Dataset string    `json:"dataset"`
+	Status  JobStatus `json:"status"`
+	Cached  bool      `json:"cached"`
 	// Recovered marks a job re-enqueued from the journal after a restart.
 	Recovered bool        `json:"recovered,omitempty"`
 	Workers   int         `json:"workers"`
@@ -221,6 +248,14 @@ type jobManager struct {
 	ckEvery int // checkpoint cadence in delivered clusters
 	logf    func(format string, args ...any)
 
+	// Observability plumbing set by the Server: log is the structured logger
+	// (nil-safe), trace arms per-job span recording, and slowJob is the
+	// threshold above which a settled job emits a per-phase breakdown warning
+	// (0 disables).
+	log     *obs.Logger
+	trace   bool
+	slowJob time.Duration
+
 	// Transient-failure retry policy: up to maxRetries re-attempts, sleeping
 	// retryBase<<attempt (capped at retryMax) plus up to 50% jitter.
 	maxRetries int
@@ -289,6 +324,9 @@ func (m *jobManager) submit(ds *Dataset, p core.Params, workers int, timeout tim
 		changed: make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	if m.trace {
+		j.startTrace()
+	}
 	seq := m.seq
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
@@ -308,6 +346,12 @@ func (m *jobManager) launch(j *Job) {
 	key := cacheKey(j.Dataset.ID, j.Params)
 	if res, ok := m.cache.get(key); ok {
 		m.metrics.CacheHits.Add(1)
+		j.queueSpan.End()
+		if j.root != nil {
+			j.root.SetAttr("status", string(StatusDone))
+			j.root.SetAttr("cached", "true")
+			j.root.End()
+		}
 		j.mu.Lock()
 		j.cached = true
 		j.clusters = res.clusters
@@ -335,6 +379,9 @@ func (m *jobManager) launch(j *Job) {
 // clusters already delivered before the crash, plus the snapshot to resume
 // from. Runs before the server accepts traffic.
 func (m *jobManager) recover(j *Job) {
+	if m.trace {
+		j.startTrace()
+	}
 	m.mu.Lock()
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
@@ -357,6 +404,7 @@ func (m *jobManager) restoreTerminal(j *Job) {
 // transient-failure retries), settle.
 func (m *jobManager) run(ctx context.Context, j *Job, key string) {
 	defer m.running.Done()
+	qstart := time.Now()
 	select {
 	case m.slots <- struct{}{}:
 		defer func() { <-m.slots }()
@@ -368,8 +416,12 @@ func (m *jobManager) run(ctx context.Context, j *Job, key string) {
 		m.settle(j, key, core.Stats{}, ctx.Err())
 		return
 	}
+	wait := time.Since(qstart)
+	m.metrics.ObservePhase(PhaseQueue, wait)
+	j.queueSpan.End()
 
 	j.mu.Lock()
+	j.queuedFor = wait
 	j.status = StatusRunning
 	j.started = time.Now().UTC()
 	j.bump()
@@ -387,7 +439,13 @@ func (m *jobManager) run(ctx context.Context, j *Job, key string) {
 	var stats core.Stats
 	var err error
 	for attempt := 0; ; attempt++ {
+		asp := j.root.Start("attempt")
+		if asp != nil {
+			asp.SetInt("n", int64(attempt))
+			j.obs.SetSpan(asp)
+		}
 		stats, err = m.mine(mineCtx, j)
+		asp.End()
 		if err == nil || !isTransient(err) || attempt >= m.maxRetries || mineCtx.Err() != nil {
 			break
 		}
@@ -402,7 +460,13 @@ func (m *jobManager) run(ctx context.Context, j *Job, key string) {
 		case <-mineCtx.Done():
 		}
 	}
-	m.metrics.ObserveMiningLatency(time.Since(start))
+	j.obs.SetSpan(nil)
+	ran := time.Since(start)
+	m.metrics.ObserveMiningLatency(ran)
+	m.metrics.ObservePhase(PhaseRun, ran)
+	j.mu.Lock()
+	j.ranFor = ran
+	j.mu.Unlock()
 	m.settle(j, key, stats, err)
 }
 
@@ -524,9 +588,33 @@ func (m *jobManager) settle(j *Job, key string, stats core.Stats, err error) {
 	errMsg := j.err
 	clusters := j.clusters
 	ckpt := j.lastCkpt
+	queuedFor, ranFor := j.queuedFor, j.ranFor
+	attempts := j.attempts
+	total := j.finished.Sub(j.created)
 	j.bump()
 	close(j.done)
 	j.mu.Unlock()
+
+	j.queueSpan.End() // still open when the job never took a slot
+	if j.root != nil {
+		j.root.SetAttr("status", string(status))
+		if errMsg != "" {
+			j.root.SetAttr("error", errMsg)
+		}
+		j.root.End()
+	}
+	if m.slowJob > 0 && total > m.slowJob {
+		m.log.Warn("slow job",
+			"job", j.ID,
+			"status", string(status),
+			"total_ms", total.Milliseconds(),
+			"queue_ms", queuedFor.Milliseconds(),
+			"run_ms", ranFor.Milliseconds(),
+			"attempts", attempts,
+			"clusters", len(clusters),
+			"nodes", stats.Nodes,
+		)
+	}
 
 	switch status {
 	case StatusDone:

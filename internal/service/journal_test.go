@@ -36,6 +36,12 @@ func (lc *logCapture) contains(substr string) bool {
 	return false
 }
 
+func (lc *logCapture) snapshot() []string {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return append([]string(nil), lc.lines...)
+}
+
 func writeJournalLines(t *testing.T, dir string, lines ...string) string {
 	t.Helper()
 	path := filepath.Join(dir, journalFileName)

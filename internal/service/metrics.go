@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -35,20 +36,50 @@ type Metrics struct {
 	JobRetries      atomic.Int64 // transient-failure retries (backoff waits)
 	PanicsRecovered atomic.Int64 // worker/stream panics contained
 
+	// StreamsInflight counts live /jobs/{id}/stream subscribers (a gauge:
+	// incremented on subscribe, decremented when the stream ends).
+	StreamsInflight atomic.Int64
+
 	latency latencyHistogram
+	phases  [numPhases]latencyHistogram
 }
+
+// Phase indexes the per-phase duration histograms: the time a job spends
+// waiting for a mining slot, the time it spends mining, and the boot-time
+// journal replay.
+type Phase int
+
+const (
+	PhaseQueue Phase = iota
+	PhaseRun
+	PhaseReplay
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"queue", "run", "replay"}
 
 // NewMetrics returns a registry with the default mining-latency buckets
 // (1ms … ~16s, powers of four).
 func NewMetrics() *Metrics {
-	return &Metrics{latency: latencyHistogram{
+	mt := &Metrics{latency: newLatencyHistogram()}
+	for i := range mt.phases {
+		mt.phases[i] = newLatencyHistogram()
+	}
+	return mt
+}
+
+func newLatencyHistogram() latencyHistogram {
+	return latencyHistogram{
 		bounds: []float64{0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384},
 		counts: make([]atomic.Int64, 9),
-	}}
+	}
 }
 
 // ObserveMiningLatency records the wall-clock duration of one mining run.
 func (mt *Metrics) ObserveMiningLatency(d time.Duration) { mt.latency.observe(d.Seconds()) }
+
+// ObservePhase records the wall-clock duration of one job phase.
+func (mt *Metrics) ObservePhase(p Phase, d time.Duration) { mt.phases[p].observe(d.Seconds()) }
 
 // latencyHistogram is a fixed-bucket cumulative histogram.
 // counts[i] accumulates observations <= bounds[i]; the final slot is +Inf.
@@ -105,13 +136,30 @@ func (mt *Metrics) WriteTo(w io.Writer, gauges []gauge) {
 
 	const hname = "regcluster_mining_latency_seconds"
 	fmt.Fprintf(w, "# HELP %s Wall-clock duration of mining runs.\n# TYPE %s histogram\n", hname, hname)
-	cum := int64(0)
-	for i, b := range mt.latency.bounds {
-		cum += mt.latency.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", hname, fmt.Sprintf("%g", b), cum)
+	mt.latency.write(w, hname, "")
+
+	const pname = "regserver_phase_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Wall-clock duration of job phases (queue wait, mining run, boot journal replay).\n# TYPE %s histogram\n", pname, pname)
+	for i := range mt.phases {
+		mt.phases[i].write(w, pname, fmt.Sprintf("phase=%q,", phaseNames[i]))
 	}
-	cum += mt.latency.counts[len(mt.latency.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", hname, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", hname, float64(mt.latency.sumUs.Load())/1e6)
-	fmt.Fprintf(w, "%s_count %d\n", hname, mt.latency.count.Load())
+}
+
+// write renders one histogram in the text exposition format. label, when
+// non-empty, is a `key="value",` prefix injected into every brace set so
+// several histograms can share one metric family.
+func (h *latencyHistogram) write(w io.Writer, name, label string) {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, label, fmt.Sprintf("%g", b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, label, cum)
+	suffix := ""
+	if label != "" {
+		suffix = "{" + strings.TrimSuffix(label, ",") + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, suffix, float64(h.sumUs.Load())/1e6)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.count.Load())
 }

@@ -1,0 +1,163 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"regcluster/internal/obs"
+	"regcluster/internal/paperdata"
+)
+
+// traceResponse mirrors the GET /jobs/{id}/trace body.
+type traceResponse struct {
+	Job    string      `json:"job"`
+	Status JobStatus   `json:"status"`
+	Trace  []*obs.Node `json:"trace"`
+}
+
+func getTrace(t *testing.T, url string) (traceResponse, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tr traceResponse
+	json.NewDecoder(resp.Body).Decode(&tr)
+	return tr, resp.StatusCode
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{EnableTracing: true})
+	id := uploadMatrix(t, ts, paperdata.RunningExample(), "running")
+	v := submitJob(t, ts, submitRequest{Dataset: id, Params: runningParams()})
+	waitTerminal(t, ts, v.ID)
+
+	tr, status := getTrace(t, ts.URL+"/jobs/"+v.ID+"/trace")
+	if status != http.StatusOK {
+		t.Fatalf("trace status %d", status)
+	}
+	if tr.Job != v.ID || len(tr.Trace) != 1 {
+		t.Fatalf("bad trace envelope: %+v", tr)
+	}
+	root := tr.Trace[0]
+	if root.Name != "job" || !root.Done {
+		t.Fatalf("root span not a finished job: %+v", root)
+	}
+	if root.Attrs["status"] != string(StatusDone) {
+		t.Fatalf("job span status attr = %q", root.Attrs["status"])
+	}
+	names := map[string]int{}
+	var walk func(ns []*obs.Node)
+	walk = func(ns []*obs.Node) {
+		for _, n := range ns {
+			names[n.Name]++
+			walk(n.Children)
+		}
+	}
+	walk(root.Children)
+	for _, want := range []string{"queue", "attempt", "rwave.build", "subtree"} {
+		if names[want] == 0 {
+			t.Fatalf("span %q missing from trace (have %v)", want, names)
+		}
+	}
+
+	// A cached re-submission still gets a (terminal, cached) job span.
+	v2 := submitJob(t, ts, submitRequest{Dataset: id, Params: runningParams()})
+	tr2, _ := getTrace(t, ts.URL+"/jobs/"+v2.ID+"/trace")
+	if len(tr2.Trace) != 1 || tr2.Trace[0].Attrs["cached"] != "true" {
+		t.Fatalf("cached job trace: %+v", tr2.Trace)
+	}
+
+	if _, status := getTrace(t, ts.URL+"/jobs/nope/trace"); status != http.StatusNotFound {
+		t.Fatalf("unknown job trace status %d", status)
+	}
+}
+
+func TestTraceEndpointDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := uploadMatrix(t, ts, paperdata.RunningExample(), "running")
+	v := submitJob(t, ts, submitRequest{Dataset: id, Params: runningParams()})
+	waitTerminal(t, ts, v.ID)
+	if _, status := getTrace(t, ts.URL+"/jobs/"+v.ID+"/trace"); status != http.StatusNotFound {
+		t.Fatalf("trace without -trace: status %d, want 404", status)
+	}
+}
+
+func TestRequestLogMiddleware(t *testing.T) {
+	var lc logCapture
+	_, ts := newTestServer(t, Config{Logf: lc.logf})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	rid := resp.Header.Get("X-Request-Id")
+	if rid == "" {
+		t.Fatal("no X-Request-Id header")
+	}
+	if !lc.contains("http request") || !lc.contains("req="+rid) ||
+		!lc.contains("path=/healthz") || !lc.contains("status=200") {
+		t.Fatalf("request log incomplete: %v", lc.snapshot())
+	}
+}
+
+func TestSlowJobWarning(t *testing.T) {
+	var lc logCapture
+	// Any job is "slow" against a 1ns threshold.
+	_, ts := newTestServer(t, Config{Logf: lc.logf, SlowJobThreshold: time.Nanosecond})
+	id := uploadMatrix(t, ts, paperdata.RunningExample(), "running")
+	v := submitJob(t, ts, submitRequest{Dataset: id, Params: runningParams()})
+	waitTerminal(t, ts, v.ID)
+	if !lc.contains("slow job") || !lc.contains("job="+v.ID) ||
+		!lc.contains("queue_ms=") || !lc.contains("run_ms=") {
+		t.Fatalf("no slow-job breakdown logged: %v", lc.snapshot())
+	}
+
+	// Negative threshold disables the warning.
+	var quiet logCapture
+	_, ts2 := newTestServer(t, Config{Logf: quiet.logf, SlowJobThreshold: -1})
+	id2 := uploadMatrix(t, ts2, paperdata.RunningExample(), "running")
+	v2 := submitJob(t, ts2, submitRequest{Dataset: id2, Params: runningParams()})
+	waitTerminal(t, ts2, v2.ID)
+	if quiet.contains("slow job") {
+		t.Fatalf("slow-job warning despite disabled threshold: %v", quiet.snapshot())
+	}
+}
+
+func TestMetricsObservability(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := uploadMatrix(t, ts, paperdata.RunningExample(), "running")
+	v := submitJob(t, ts, submitRequest{Dataset: id, Params: runningParams()})
+	waitTerminal(t, ts, v.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE regserver_phase_duration_seconds histogram",
+		`regserver_phase_duration_seconds_bucket{phase="queue",le="+Inf"} 1`,
+		`regserver_phase_duration_seconds_bucket{phase="run",le="+Inf"} 1`,
+		`regserver_phase_duration_seconds_count{phase="queue"} 1`,
+		"# TYPE regserver_jobs_queued gauge",
+		"# TYPE regserver_streams_inflight gauge",
+		"# TYPE regserver_goroutines gauge",
+		"# TYPE regserver_heap_alloc_bytes gauge",
+		"# TYPE regserver_gc_pause_seconds_total gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -35,10 +35,12 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 
 	"regcluster/internal/core"
 	"regcluster/internal/faultinject"
+	"regcluster/internal/obs"
 	"regcluster/internal/report"
 )
 
@@ -88,6 +90,20 @@ type Config struct {
 	RetryBaseDelay time.Duration
 	// Logf receives recovery and durability diagnostics (default log.Printf).
 	Logf func(format string, args ...any)
+
+	// Logger is the structured logger for request logs, slow-job warnings,
+	// and recovery events. When nil, one is derived from Logf (text format),
+	// so legacy printf sinks keep receiving every line.
+	Logger *obs.Logger
+	// EnableTracing records a span tree per job (queue wait, mining attempts
+	// with per-phase children, stream replays), served by
+	// GET /jobs/{id}/trace. Off by default: the tracing hooks then degrade to
+	// nil no-ops that allocate nothing.
+	EnableTracing bool
+	// SlowJobThreshold emits a warning with a per-phase breakdown for any job
+	// whose total wall time (queue + mining) exceeds it (default 30s;
+	// negative disables).
+	SlowJobThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +139,16 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
+	if c.Logger == nil {
+		logf := c.Logf
+		c.Logger = obs.NewFuncLogger(func(line string) { logf("%s", line) }, obs.FormatText)
+	}
+	switch {
+	case c.SlowJobThreshold == 0:
+		c.SlowJobThreshold = 30 * time.Second
+	case c.SlowJobThreshold < 0:
+		c.SlowJobThreshold = 0 // disabled
+	}
 	return c
 }
 
@@ -137,6 +163,13 @@ type Server struct {
 	metrics  *Metrics
 	mux      *http.ServeMux
 	logf     func(format string, args ...any)
+
+	// Observability: the structured logger every diagnostic routes through,
+	// the periodic runtime sampler feeding /metrics gauges, and the request
+	// sequence for log correlation IDs.
+	obsLog  *obs.Logger
+	sampler *obs.RuntimeSampler
+	reqSeq  atomic.Int64
 
 	// Durable state; nil on an in-memory server.
 	store *store
@@ -157,13 +190,19 @@ func Open(cfg Config) (*Server, error) {
 		registry: newRegistry(cfg.MaxDatasets),
 		cache:    newResultCache(cfg.CacheEntries),
 		metrics:  NewMetrics(),
-		logf:     cfg.Logf,
+		obsLog:   cfg.Logger,
 	}
+	// Legacy printf sinks route through the structured logger's bridge, so
+	// every diagnostic gets the envelope (and the configured format).
+	s.logf = s.obsLog.Printf
 	s.jobs = newJobManager(cfg.MaxConcurrentJobs, s.cache, s.metrics)
 	s.jobs.ckEvery = cfg.CheckpointEveryClusters
 	s.jobs.maxRetries = cfg.MaxJobRetries
 	s.jobs.retryBase = cfg.RetryBaseDelay
 	s.jobs.logf = s.logf
+	s.jobs.log = s.obsLog
+	s.jobs.trace = cfg.EnableTracing
+	s.jobs.slowJob = cfg.SlowJobThreshold
 	if cfg.DataDir != "" {
 		st, err := openStore(cfg.DataDir, s.logf)
 		if err != nil {
@@ -172,10 +211,20 @@ func Open(cfg Config) (*Server, error) {
 		s.store = st
 		s.jobs.store = st
 		s.cache.onEvict = st.deleteResult
+		t0 := time.Now()
 		if err := s.bootRecover(); err != nil {
 			return nil, err
 		}
+		replay := time.Since(t0)
+		s.metrics.ObservePhase(PhaseReplay, replay)
+		s.obsLog.Info("boot recovery complete",
+			"dur_ms", replay.Milliseconds(),
+			"datasets", s.registry.size(),
+			"jobs", len(s.jobs.list()),
+		)
 	}
+	s.sampler = obs.NewRuntimeSampler(0, nil)
+	s.sampler.Start()
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s, nil
@@ -192,17 +241,70 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Close releases the server's durable resources (the journal file handle).
-// Call it after Shutdown; an in-memory server's Close is a no-op.
+// Close releases the server's durable resources (the journal file handle)
+// and stops the runtime sampler. Call it after Shutdown.
 func (s *Server) Close() error {
+	s.sampler.Stop()
 	if s.wal != nil {
 		return s.wal.close()
 	}
 	return nil
 }
 
-// Handler returns the HTTP surface of the service.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP surface of the service, wrapped in the request
+// logging middleware.
+func (s *Server) Handler() http.Handler { return s.requestLog(s.mux) }
+
+// statusWriter captures the response status for the request log while
+// passing streaming (http.Flusher) through to the underlying writer — the
+// NDJSON stream handler depends on it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// requestLog assigns each request a correlation ID (echoed in X-Request-Id)
+// and emits one structured line per completed request.
+func (s *Server) requestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("r%06d", s.reqSeq.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.obsLog.Info("http request",
+			"req", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"dur_ms", time.Since(start).Milliseconds(),
+		)
+	})
+}
 
 // Metrics returns the server's metrics registry (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -227,6 +329,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -452,6 +555,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
+	s.metrics.StreamsInflight.Add(1)
+	defer s.metrics.StreamsInflight.Add(-1)
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.metrics.PanicsRecovered.Add(1)
@@ -464,6 +569,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 
 	sent := 0
+	ssp := j.root.Start("stream") // a replay may outlive the job span; that's fine
+	defer func() {
+		ssp.SetInt("clusters", int64(sent))
+		ssp.End()
+	}()
 	for {
 		clusters, terminal, changed := j.Snapshot(sent)
 		for _, nc := range clusters {
@@ -516,6 +626,26 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	doc.Write(w)
 }
 
+// handleTrace returns the finished (or still-growing) span tree of one job.
+// 404 covers both an unknown job and a server running without -trace.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	tree := j.Trace()
+	if tree == nil {
+		writeError(w, http.StatusNotFound, "no trace for job %s (run the server with tracing enabled)", j.ID)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"job":    j.ID,
+		"status": j.Status(),
+		"trace":  tree,
+	})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteTo(w, []gauge{
@@ -523,5 +653,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"regcluster_cache_entries", "Entries in the result cache.", func() int64 { return int64(s.cache.len()) }},
 		{"regcluster_jobs_running", "Jobs holding a mining slot.", func() int64 { return int64(s.jobs.runningCount()) }},
 		{"regcluster_jobs_active", "Jobs queued or running.", func() int64 { return int64(s.jobs.queuedOrRunning()) }},
+		{"regserver_jobs_queued", "Jobs waiting for a mining slot.", func() int64 {
+			q := s.jobs.queuedOrRunning() - s.jobs.runningCount()
+			if q < 0 {
+				q = 0
+			}
+			return int64(q)
+		}},
+		{"regserver_streams_inflight", "Live cluster-stream subscribers.", func() int64 { return s.metrics.StreamsInflight.Load() }},
+		{"regserver_goroutines", "Goroutines at the last runtime sample.", func() int64 { return int64(s.sampler.Latest().Goroutines) }},
+		{"regserver_heap_alloc_bytes", "Heap bytes in use at the last runtime sample.", func() int64 { return int64(s.sampler.Latest().HeapAllocBytes) }},
+		{"regserver_gc_runs", "Completed GC cycles at the last runtime sample.", func() int64 { return int64(s.sampler.Latest().NumGC) }},
 	})
+	gp := "regserver_gc_pause_seconds_total"
+	fmt.Fprintf(w, "# HELP %s Cumulative GC pause at the last runtime sample.\n# TYPE %s gauge\n%s %g\n",
+		gp, gp, gp, s.sampler.Latest().GCPauseTotal.Seconds())
 }

@@ -25,7 +25,7 @@ $GO build -o "$workdir/datagen" ./cmd/datagen
 "$workdir/datagen" -kind synthetic -genes 80 -conds 12 -clusters 3 -seed 7 \
     -out "$workdir/matrix.tsv"
 
-"$workdir/regserver" -addr 127.0.0.1:0 -jobs 1 >"$workdir/server.log" 2>&1 &
+"$workdir/regserver" -addr 127.0.0.1:0 -jobs 1 -trace >"$workdir/server.log" 2>&1 &
 server_pid=$!
 
 base=""
@@ -73,6 +73,15 @@ echo "serve-smoke: job $job_id done with $clusters clusters"
 # The NDJSON stream of a finished job replays every cluster plus a summary.
 lines=$(curl -sf "$base/jobs/$job_id/stream" | wc -l)
 [[ "$lines" -eq $((clusters + 1)) ]] || fail "stream has $lines lines for $clusters clusters"
+
+# With -trace the finished job serves a non-empty span tree: a "job" root
+# with the mining phases underneath.
+trace=$(curl -sf "$base/jobs/$job_id/trace")
+echo "$trace" | grep -q '"name": *"job"' || fail "trace has no job span: $trace"
+for span in queue attempt rwave.build subtree; do
+    echo "$trace" | grep -q '"name": *"'"$span"'"' || fail "trace missing $span span"
+done
+echo "serve-smoke: trace has job/queue/attempt/rwave.build/subtree spans"
 
 resubmit=$(submit)
 echo "$resubmit" | grep -q '"cached": *true' || fail "resubmission missed the cache: $resubmit"
