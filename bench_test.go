@@ -175,6 +175,44 @@ func BenchmarkRWaveBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepSharedModel measures what the model cache buys an ε-sweep:
+// "rebuild" runs a 4-point sweep the naive way (each point constructs its own
+// RWave index), "shared" builds the index once and re-mines with it. The gap
+// is the amortized preprocessing cost of Figure 5.
+func BenchmarkSweepSharedModel(b *testing.B) {
+	m := genMatrix(b, 1000, 20, 10)
+	base := experiments.MiningDefaults(1000)
+	epsilons := []float64{0.005, 0.01, 0.02, 0.04}
+	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, e := range epsilons {
+				p := base
+				p.Epsilon = e
+				if _, err := core.Mine(m, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			models, err := core.BuildModels(m, base, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range epsilons {
+				p := base
+				p.Epsilon = e
+				if _, err := core.MineWithModels(m, p, models); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkOverlapStats measures the Section 5.2 overlap statistic on a
 // full yeast result set.
 func BenchmarkOverlapStats(b *testing.B) {

@@ -15,6 +15,8 @@
 //	GET    /datasets/{id}/tsv   download the (imputed) matrix
 //	DELETE /datasets/{id}       remove a dataset
 //	POST   /jobs                submit a mining job (JSON body)
+//	POST   /sweep               submit a batch ε/γ/MinG/MinC parameter sweep
+//	GET    /sweeps, /sweeps/{id} sweep summaries (one RWave build per γ group)
 //	GET    /jobs, /jobs/{id}    inspect jobs
 //	POST   /jobs/{id}/cancel    cooperative cancellation
 //	GET    /jobs/{id}/stream    NDJSON cluster stream (live)
@@ -63,6 +65,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		workers     = fs.Int("workers", 0, "default per-job worker count (0 = all cores)")
 		maxWorkers  = fs.Int("max-workers", 64, "reject submissions asking for more workers than this")
 		cacheSize   = fs.Int("cache", 256, "result-cache entries (negative disables caching)")
+		modelCache  = fs.Int("model-cache", 16, "shared RWave model sets retained across jobs that agree on (dataset, γ-scheme) (negative disables retention)")
 		maxDatasets = fs.Int("max-datasets", 64, "dataset registry capacity")
 		maxUpload   = fs.Int64("max-upload-bytes", 64<<20, "largest accepted dataset upload")
 		maxDuration = fs.Duration("max-job-duration", 0, "hard per-job mining deadline (0 = unlimited)")
@@ -93,6 +96,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		DefaultWorkers:          *workers,
 		MaxWorkersPerJob:        *maxWorkers,
 		CacheEntries:            *cacheSize,
+		ModelCacheEntries:       *modelCache,
 		MaxDatasets:             *maxDatasets,
 		MaxUploadBytes:          *maxUpload,
 		MaxJobDuration:          *maxDuration,

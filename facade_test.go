@@ -49,6 +49,58 @@ func TestPublicAPIParallelAndThresholds(t *testing.T) {
 	}
 }
 
+// TestPublicAPISharedModels covers the model-sharing surface: BuildModels +
+// Mine*WithModels reproduce Mine exactly across an ε variation, and ModelKey
+// distinguishes γ-schemes but not ε.
+func TestPublicAPISharedModels(t *testing.T) {
+	m := regcluster.MatrixFromRows([][]float64{
+		{0, 10, 20, 30, 40},
+		{0, 20, 40, 60, 80},
+		{100, 75, 50, 25, 0},
+	})
+	p := regcluster.Params{MinG: 3, MinC: 5, Gamma: 0.2, Epsilon: 1e-9}
+	models, err := regcluster.BuildModels(m, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{1e-9, 0.5} {
+		q := p
+		q.Epsilon = eps
+		want, err := regcluster.Mine(m, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := regcluster.MineWithModels(m, q, models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotPar, err := regcluster.MineParallelWithModels(m, q, 2, models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Clusters) != len(want.Clusters) || len(gotPar.Clusters) != len(want.Clusters) {
+			t.Fatalf("ε=%v: %d/%d clusters with shared models, want %d",
+				eps, len(got.Clusters), len(gotPar.Clusters), len(want.Clusters))
+		}
+		for i := range want.Clusters {
+			if got.Clusters[i].Key() != want.Clusters[i].Key() ||
+				gotPar.Clusters[i].Key() != want.Clusters[i].Key() {
+				t.Fatalf("ε=%v cluster %d diverges with shared models", eps, i)
+			}
+		}
+	}
+	q := p
+	q.Epsilon = 0.5
+	if regcluster.ModelKey("ds", p) != regcluster.ModelKey("ds", q) {
+		t.Fatal("ε changed the model key")
+	}
+	q = p
+	q.Gamma = 0.3
+	if regcluster.ModelKey("ds", p) == regcluster.ModelKey("ds", q) {
+		t.Fatal("γ did not change the model key")
+	}
+}
+
 func TestPublicAPIYeastAndGO(t *testing.T) {
 	cfg := regcluster.YeastConfig{Genes: 300, Conds: 17, Modules: 3, Seed: 11}
 	m, modules, err := regcluster.GenerateYeastLike(cfg)

@@ -44,7 +44,7 @@ func Mine(m *matrix.Matrix, p Params) (*Result, error) {
 // promptly and returns the context's error. The cancellation point is not
 // deterministic, so no partial result is returned.
 func MineContext(ctx context.Context, m *matrix.Matrix, p Params) (*Result, error) {
-	mn, err := mineSequential(ctx, m, p, nil)
+	mn, err := mineSequential(ctx, m, p, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -53,9 +53,10 @@ func MineContext(ctx context.Context, m *matrix.Matrix, p Params) (*Result, erro
 
 // mineSequential runs one single-threaded mining session. With a nil visitor
 // the clusters accumulate on the returned miner's out slice; otherwise they
-// stream to the visitor as MineFunc documents.
-func mineSequential(ctx context.Context, m *matrix.Matrix, p Params, visit Visitor) (*miner, error) {
-	models, err := prepare(m, p, nil)
+// stream to the visitor as MineFunc documents. A non-nil models slice reuses
+// a prebuilt RWave index instead of building one (see BuildModels).
+func mineSequential(ctx context.Context, m *matrix.Matrix, p Params, models []*rwave.Model, visit Visitor) (*miner, error) {
+	models, err := resolveModels(m, p, models, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -70,6 +71,22 @@ func mineSequential(ctx context.Context, m *matrix.Matrix, p Params, visit Visit
 	return mn, nil
 }
 
+// validateInputs checks everything that gates a mining run or an index build:
+// the parameters themselves (including the non-finite fence), the per-gene
+// threshold count, and the absence of unimputed NaN cells.
+func validateInputs(m *matrix.Matrix, p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.CustomGammas != nil && len(p.CustomGammas) != m.Rows() {
+		return fmt.Errorf("core: %d CustomGammas for %d genes", len(p.CustomGammas), m.Rows())
+	}
+	if m.HasNaN() {
+		return fmt.Errorf("core: matrix contains NaN cells; impute first (matrix.FillNaN)")
+	}
+	return nil
+}
+
 // prepare validates the inputs and builds the per-gene RWave models, fanning
 // the construction out across CPUs for large gene counts (the models are
 // independent per gene, and MineParallel shares the one resulting slice
@@ -77,14 +94,8 @@ func mineSequential(ctx context.Context, m *matrix.Matrix, p Params, visit Visit
 // index construction is recorded as an "rwave.build" child span with
 // per-chunk children; a nil sp costs nothing.
 func prepare(m *matrix.Matrix, p Params, sp *obs.Span) ([]*rwave.Model, error) {
-	if err := p.Validate(); err != nil {
+	if err := validateInputs(m, p); err != nil {
 		return nil, err
-	}
-	if p.CustomGammas != nil && len(p.CustomGammas) != m.Rows() {
-		return nil, fmt.Errorf("core: %d CustomGammas for %d genes", len(p.CustomGammas), m.Rows())
-	}
-	if m.HasNaN() {
-		return nil, fmt.Errorf("core: matrix contains NaN cells; impute first (matrix.FillNaN)")
 	}
 	bsp := sp.Start("rwave.build")
 	models := rwave.BuildAllSpan(m.Rows(), func(g int) *rwave.Model {
@@ -98,6 +109,25 @@ func prepare(m *matrix.Matrix, p Params, sp *obs.Span) ([]*rwave.Model, error) {
 		}
 	}, bsp)
 	bsp.End()
+	return models, nil
+}
+
+// resolveModels is the single entry every miner front-end funnels through:
+// with nil models it validates and builds (prepare); with a caller-supplied
+// slice it still validates the inputs — the prebuilt index must have come
+// from an equivalent BuildModels call, which these checks keep honest — and
+// only verifies the gene count, since re-deriving the per-gene thresholds to
+// cross-check each Model would cost as much as rebuilding.
+func resolveModels(m *matrix.Matrix, p Params, models []*rwave.Model, sp *obs.Span) ([]*rwave.Model, error) {
+	if models == nil {
+		return prepare(m, p, sp)
+	}
+	if err := validateInputs(m, p); err != nil {
+		return nil, err
+	}
+	if len(models) != m.Rows() {
+		return nil, fmt.Errorf("core: %d prebuilt models for %d genes", len(models), m.Rows())
+	}
 	return models, nil
 }
 

@@ -70,11 +70,13 @@ func mineParallel(ctx context.Context, m *matrix.Matrix, p Params, workers int, 
 }
 
 // mineOpts bundles the optional machinery of one parallel run: live progress
-// counters, a resume snapshot, and checkpoint emission.
+// counters, a resume snapshot, checkpoint emission, and a prebuilt RWave
+// model set (nil = build one for this run).
 type mineOpts struct {
 	obs    *Observer
 	resume *Checkpoint
 	ck     CheckpointConfig
+	models []*rwave.Model
 }
 
 // mineParallelOpts is the engine entry shared by every parallel front-end.
@@ -83,7 +85,7 @@ type mineOpts struct {
 // nodes the interrupted workers already counted.
 func mineParallelOpts(ctx context.Context, m *matrix.Matrix, p Params, workers int, visit Visitor, opts mineOpts) (Stats, error) {
 	sp := opts.obs.traceSpan()
-	models, err := prepare(m, p, sp)
+	models, err := resolveModels(m, p, opts.models, sp)
 	if err != nil {
 		return Stats{}, err
 	}

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Params are the mining inputs of Figure 5 plus safety caps and the ablation
 // switches used by experiment E8. The zero value is invalid; fill at least
@@ -58,13 +61,26 @@ type Params struct {
 	NaiveCandidates bool
 }
 
-// Validate reports whether the parameters are usable.
+// isFinite reports whether v is an ordinary float: not NaN and not ±Inf.
+// Validation must test this explicitly — NaN compares false against every
+// bound, so a plain `v < 0` range check silently admits it.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// Validate reports whether the parameters are usable. Every float field must
+// be finite: a NaN or ±Inf threshold would build a garbage RWave index (and
+// NaN slips through ordinary range checks), so non-finite values are rejected
+// up front rather than left to corrupt the mining downstream.
 func (p Params) Validate() error {
 	if p.MinG < 2 {
 		return fmt.Errorf("core: MinG = %d, need at least 2", p.MinG)
 	}
 	if p.MinC < 2 {
 		return fmt.Errorf("core: MinC = %d, need at least 2 (the coherence baseline is the first two chain conditions)", p.MinC)
+	}
+	if !isFinite(p.Gamma) {
+		return fmt.Errorf("core: Gamma = %v, must be finite", p.Gamma)
 	}
 	if p.AbsoluteGamma {
 		if p.Gamma < 0 {
@@ -73,10 +89,16 @@ func (p Params) Validate() error {
 	} else if p.Gamma < 0 || p.Gamma > 1 {
 		return fmt.Errorf("core: relative Gamma = %v, must lie in [0,1] (Equation 4)", p.Gamma)
 	}
+	if !isFinite(p.Epsilon) {
+		return fmt.Errorf("core: Epsilon = %v, must be finite", p.Epsilon)
+	}
 	if p.Epsilon < 0 {
 		return fmt.Errorf("core: Epsilon = %v, must be non-negative", p.Epsilon)
 	}
 	for g, v := range p.CustomGammas {
+		if !isFinite(v) {
+			return fmt.Errorf("core: CustomGammas[%d] = %v, must be finite", g, v)
+		}
 		if v < 0 {
 			return fmt.Errorf("core: CustomGammas[%d] = %v, must be non-negative", g, v)
 		}

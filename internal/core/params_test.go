@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestValidateRejectsNonFinite pins the non-finite fence: NaN passes every
+// ordinary `< 0` range check, so each float field needs an explicit finiteness
+// test. A Params that slipped through here used to build a garbage RWave index
+// (NaN Gamma) or panic the service cache key (non-finite CustomGammas).
+func TestValidateRejectsNonFinite(t *testing.T) {
+	valid := Params{MinG: 2, MinC: 2, Gamma: 0.1, Epsilon: 0.5}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("baseline params invalid: %v", err)
+	}
+	nonFinite := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	cases := []struct {
+		name   string
+		mutate func(*Params, float64)
+	}{
+		{"Gamma", func(p *Params, v float64) { p.Gamma = v }},
+		{"absolute Gamma", func(p *Params, v float64) { p.Gamma = v; p.AbsoluteGamma = true }},
+		{"Epsilon", func(p *Params, v float64) { p.Epsilon = v }},
+		{"CustomGammas first", func(p *Params, v float64) { p.CustomGammas = []float64{v, 1} }},
+		{"CustomGammas last", func(p *Params, v float64) { p.CustomGammas = []float64{1, v} }},
+	}
+	for _, tc := range cases {
+		for _, v := range nonFinite {
+			p := valid
+			tc.mutate(&p, v)
+			err := p.Validate()
+			if err == nil {
+				t.Errorf("%s = %v accepted", tc.name, v)
+				continue
+			}
+			if !strings.Contains(err.Error(), "finite") {
+				t.Errorf("%s = %v: error %q does not name finiteness", tc.name, v, err)
+			}
+		}
+	}
+}
+
+// TestValidateFiniteEdgeValues checks that the finiteness fence does not
+// over-reject: extreme but finite values stay valid where they were before.
+func TestValidateFiniteEdgeValues(t *testing.T) {
+	ok := []Params{
+		{MinG: 2, MinC: 2, Gamma: 0, Epsilon: 0},
+		{MinG: 2, MinC: 2, Gamma: 1, Epsilon: math.MaxFloat64},
+		{MinG: 2, MinC: 2, Gamma: math.MaxFloat64, AbsoluteGamma: true},
+		{MinG: 2, MinC: 2, Gamma: 0.1, CustomGammas: []float64{0, math.MaxFloat64}},
+	}
+	for i, p := range ok {
+		if err := p.Validate(); err != nil {
+			t.Errorf("case %d: finite params rejected: %v", i, err)
+		}
+	}
+}

@@ -12,7 +12,7 @@ type Visitor func(b *Bicluster) bool
 // exit. The enumeration order is identical to Mine's. The returned Stats
 // reflect the work done up to the stop point.
 func MineFunc(m *matrix.Matrix, p Params, visit Visitor) (Stats, error) {
-	mn, err := mineSequential(nil, m, p, visit)
+	mn, err := mineSequential(nil, m, p, nil, visit)
 	if err != nil {
 		return Stats{}, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -13,9 +14,23 @@ import (
 // the average expression value of Chen et al.). These helpers compute such
 // alternatives as explicit per-gene threshold vectors for Params.CustomGammas.
 
+// mustFiniteGamma fences the γ multiplier of the threshold helpers. A
+// non-finite multiplier would leak NaN into the output vector on degenerate
+// genes (Inf × 0 = NaN on a constant row, where max−min and the adjacent gaps
+// are 0) and NaN γ contaminates every gene; Params.Validate would reject the
+// resulting CustomGammas, but failing here names the actual mistake. The
+// panic mirrors rwave.Build's contract for out-of-range γ.
+func mustFiniteGamma(gamma float64) {
+	if !isFinite(gamma) {
+		panic(fmt.Sprintf("core: threshold gamma %v must be finite", gamma))
+	}
+}
+
 // ThresholdsRangeFraction returns γ × (max−min) per gene — the paper's
-// Equation 4 default, exposed for symmetry.
+// Equation 4 default, exposed for symmetry. A constant gene (max−min = 0)
+// gets threshold 0. gamma must be finite.
 func ThresholdsRangeFraction(m *matrix.Matrix, gamma float64) []float64 {
+	mustFiniteGamma(gamma)
 	out := make([]float64, m.Rows())
 	for g := range out {
 		out[g] = gamma * m.RowRange(g)
@@ -24,8 +39,10 @@ func ThresholdsRangeFraction(m *matrix.Matrix, gamma float64) []float64 {
 }
 
 // ThresholdsMeanFraction returns γ × mean(|row|) per gene — the
-// average-expression-value style threshold of Chen, Filkov & Skiena.
+// average-expression-value style threshold of Chen, Filkov & Skiena. An
+// all-zero gene gets threshold 0. gamma must be finite.
 func ThresholdsMeanFraction(m *matrix.Matrix, gamma float64) []float64 {
+	mustFiniteGamma(gamma)
 	out := make([]float64, m.Rows())
 	for g := range out {
 		row := m.Row(g)
@@ -43,7 +60,9 @@ func ThresholdsMeanFraction(m *matrix.Matrix, gamma float64) []float64 {
 // ThresholdsNearestPair returns, per gene, the average difference between
 // every pair of adjacent values in the sorted profile — the OP-Cluster
 // (Liu & Wang) style threshold: steps smaller than the typical adjacent gap
-// are treated as noise.
+// are treated as noise. The sum of adjacent gaps telescopes to max−min, so a
+// constant gene (and a single-column matrix) gets threshold 0; the output is
+// finite for any finite matrix.
 func ThresholdsNearestPair(m *matrix.Matrix) []float64 {
 	out := make([]float64, m.Rows())
 	for g := range out {

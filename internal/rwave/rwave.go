@@ -43,9 +43,11 @@ type Model struct {
 
 // Build constructs the RWave^γ model for the given gene row of m using the
 // paper's Equation 4 threshold: γ_i = gamma × (max_j d_ij − min_j d_ij).
-// gamma must lie in [0, 1].
+// gamma must lie in [0, 1]. The guard is written as a negated conjunction so
+// NaN — which compares false against every bound — is rejected too, instead
+// of silently yielding a NaN threshold.
 func Build(m *matrix.Matrix, gene int, gamma float64) *Model {
-	if gamma < 0 || gamma > 1 {
+	if !(gamma >= 0 && gamma <= 1) {
 		panic(fmt.Sprintf("rwave: relative gamma %v out of [0,1]", gamma))
 	}
 	return BuildAbsolute(m, gene, gamma*m.RowRange(gene))
@@ -55,8 +57,10 @@ func Build(m *matrix.Matrix, gene int, gamma float64) *Model {
 // γ_i = gammaAbs (Section 3.1 notes that alternative per-gene thresholds may
 // be plugged in; this is the hook).
 func BuildAbsolute(m *matrix.Matrix, gene int, gammaAbs float64) *Model {
-	if gammaAbs < 0 {
-		panic(fmt.Sprintf("rwave: negative gamma %v", gammaAbs))
+	if !(gammaAbs >= 0) {
+		// Negated form so NaN (which fails every comparison) is rejected
+		// alongside negatives, instead of poisoning the regulation pointers.
+		panic(fmt.Sprintf("rwave: gamma %v must be a non-negative number", gammaAbs))
 	}
 	n := m.Cols()
 	mod := &Model{
@@ -272,9 +276,9 @@ func (mod *Model) String() string {
 // BuildAll constructs models for every gene of m with the Equation 4 relative
 // threshold, fanning out across CPUs for large gene counts.
 func BuildAll(m *matrix.Matrix, gamma float64) []*Model {
-	if gamma < 0 || gamma > 1 {
-		// Validate once up front so a bad threshold still panics on the
-		// calling goroutine, not inside a build worker.
+	if !(gamma >= 0 && gamma <= 1) {
+		// Validate once up front (NaN included) so a bad threshold still
+		// panics on the calling goroutine, not inside a build worker.
 		panic(fmt.Sprintf("rwave: relative gamma %v out of [0,1]", gamma))
 	}
 	return BuildAllFunc(m.Rows(), func(g int) *Model {

@@ -3,8 +3,9 @@ package service
 import (
 	"container/list"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
-	"encoding/json"
+	"math"
 	"sync"
 
 	"regcluster/internal/core"
@@ -12,24 +13,56 @@ import (
 )
 
 // cacheKey derives the result-cache key from the dataset's content hash and
-// the canonical JSON encoding of the mining parameters. Every Params field
-// participates — the ablation switches change only work, not output, but
-// keying on them keeps the derivation trivially audit-able, and MaxClusters/
-// MaxNodes MUST participate because capped runs return a truncated prefix.
-// The worker count deliberately does not: mining output is deterministic for
-// any worker count, so a sweep re-submitted with different parallelism still
-// hits.
+// an explicit field-by-field encoding of the mining parameters. Every Params
+// field participates — the ablation switches change only work, not output,
+// but keying on them keeps the derivation trivially audit-able, and
+// MaxClusters/MaxNodes MUST participate because capped runs return a
+// truncated prefix. The worker count deliberately does not: mining output is
+// deterministic for any worker count, so a sweep re-submitted with different
+// parallelism still hits.
+//
+// The encoding is total: floats enter by IEEE-754 bit pattern, so the
+// function is defined for ANY Params value, non-finite floats included.
+// (An earlier version round-tripped Params through json.Marshal under a
+// "marshalling cannot fail" comment — but encoding/json rejects NaN/±Inf, so
+// a non-finite value that slipped past validation panicked the server here.
+// Validate now fences those values at the API boundary; this derivation no
+// longer cares either way.)
+//
+// Adding a field to core.Params without extending this encoding would make
+// the cache conflate distinct jobs; TestCacheKeySensitivity pins every field.
 func cacheKey(datasetID string, p core.Params) string {
-	canon, err := json.Marshal(p)
-	if err != nil {
-		// Params is a plain struct of numbers, bools and a float slice;
-		// marshalling cannot fail.
-		panic("service: marshal Params: " + err.Error())
-	}
 	h := sha256.New()
 	h.Write([]byte(datasetID))
-	h.Write([]byte{'|'})
-	h.Write(canon)
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	b := func(v bool) {
+		if v {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	u64(uint64(p.MinG))
+	u64(uint64(p.MinC))
+	f64(p.Gamma)
+	f64(p.Epsilon)
+	b(p.AbsoluteGamma)
+	b(p.CustomGammas != nil)
+	u64(uint64(len(p.CustomGammas)))
+	for _, v := range p.CustomGammas {
+		f64(v)
+	}
+	u64(uint64(p.MaxClusters))
+	u64(uint64(p.MaxNodes))
+	b(p.DisableChainLengthPruning)
+	b(p.DisableMajorityPruning)
+	b(p.DisableDedupPruning)
+	b(p.NaiveCandidates)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

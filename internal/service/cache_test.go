@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"regcluster/internal/core"
@@ -23,16 +24,51 @@ func TestCacheKeySensitivity(t *testing.T) {
 		func(p *core.Params) { p.MinC = 6 },
 		func(p *core.Params) { p.Gamma = 0.2 },
 		func(p *core.Params) { p.Epsilon = 0.05 },
+		func(p *core.Params) { p.AbsoluteGamma = true },
 		func(p *core.Params) { p.MaxNodes = 100 },
 		func(p *core.Params) { p.MaxClusters = 10 },
 		func(p *core.Params) { p.CustomGammas = []float64{1, 2, 3} },
+		func(p *core.Params) { p.CustomGammas = []float64{} }, // nil vs empty is a real difference: empty overrides Gamma
+		func(p *core.Params) { p.DisableChainLengthPruning = true },
+		func(p *core.Params) { p.DisableMajorityPruning = true },
+		func(p *core.Params) { p.DisableDedupPruning = true },
+		func(p *core.Params) { p.NaiveCandidates = true },
 	}
+	keys := map[string]int{k0: -1}
 	for i, mutate := range mutations {
 		p := base
 		mutate(&p)
-		if cacheKey("ds1", p) == k0 {
-			t.Errorf("mutation %d does not affect the key", i)
+		k := cacheKey("ds1", p)
+		if prev, dup := keys[k]; dup {
+			t.Errorf("mutations %d and %d collide", i, prev)
 		}
+		keys[k] = i
+	}
+}
+
+// TestCacheKeyTotalOnNonFinite is the regression for the "marshalling cannot
+// fail" panic: the old JSON-based derivation panicked on NaN/±Inf (which
+// encoding/json rejects), so a non-finite Params that slipped past the old
+// Validate crashed the server at submit time. The bitwise encoding is total —
+// any Params value keys without panicking, deterministically, and distinct
+// non-finite values get distinct keys.
+func TestCacheKeyTotalOnNonFinite(t *testing.T) {
+	bad := []core.Params{
+		{MinG: 3, MinC: 5, Gamma: math.NaN(), Epsilon: 0.1},
+		{MinG: 3, MinC: 5, Gamma: math.Inf(1), Epsilon: 0.1},
+		{MinG: 3, MinC: 5, Gamma: 0.15, Epsilon: math.Inf(-1)},
+		{MinG: 3, MinC: 5, Gamma: 0.15, Epsilon: 0.1, CustomGammas: []float64{1, math.NaN()}},
+	}
+	seen := map[string]int{}
+	for i, p := range bad {
+		k := cacheKey("ds1", p) // must not panic
+		if k != cacheKey("ds1", p) {
+			t.Errorf("case %d: key not deterministic", i)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("cases %d and %d collide", i, prev)
+		}
+		seen[k] = i
 	}
 }
 

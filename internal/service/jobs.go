@@ -242,6 +242,10 @@ type jobManager struct {
 	metrics *Metrics
 	slots   chan struct{} // buffered; one token per concurrent mining job
 
+	// models is the shared RWave-build cache; nil means every attempt builds
+	// its own index (the pre-cache behavior, kept for bare-manager tests).
+	models *modelCache
+
 	// Durability plumbing; wal/store are nil on an in-memory server.
 	wal     *journal
 	store   *store
@@ -489,7 +493,22 @@ func (m *jobManager) mine(ctx context.Context, j *Job) (core.Stats, error) {
 		EveryClusters: m.ckEvery,
 		OnCheckpoint:  func(c core.Checkpoint) { m.noteCheckpoint(j, c) },
 	}
-	return core.MineParallelFuncResumable(ctx, mat, j.Params, j.Workers, func(b *core.Bicluster) bool {
+	var models []*core.RWaveModel
+	if m.models != nil {
+		// One RWave build per (dataset, γ-scheme), shared across every job
+		// and retry that agrees on the ModelKey. Passing the job's Observer
+		// lands the "rwave.build" span under this job's attempt span when the
+		// build actually runs here; jobs that reuse the set skip the span
+		// along with the work.
+		var err error
+		models, err = m.models.getOrBuild(core.ModelKey(j.Dataset.ID, j.Params), func() ([]*core.RWaveModel, error) {
+			return core.BuildModels(mat, j.Params, &j.obs)
+		})
+		if err != nil {
+			return core.Stats{}, err
+		}
+	}
+	return core.MineParallelFuncResumableWithModels(ctx, mat, j.Params, j.Workers, func(b *core.Bicluster) bool {
 		nc := report.Named(mat, b)
 		j.mu.Lock()
 		j.clusters = append(j.clusters, nc)
@@ -497,7 +516,7 @@ func (m *jobManager) mine(ctx context.Context, j *Job) (core.Stats, error) {
 		j.mu.Unlock()
 		m.metrics.ClustersStreamed.Add(1)
 		return true
-	}, &j.obs, resume, ck)
+	}, &j.obs, resume, ck, models)
 }
 
 // noteCheckpoint records a miner snapshot: it becomes the job's resume point

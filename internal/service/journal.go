@@ -25,6 +25,12 @@ const (
 	recFailed      = "failed"      // job ended in an error
 	recCancelled   = "cancelled"   // job cancelled by the caller
 	recInterrupted = "interrupted" // job stopped by shutdown; resumable from Ckpt
+	// recSweep binds already-submitted point jobs into one sweep. It is
+	// appended after the last point's submit record, so a crash mid-sweep
+	// leaves at worst a set of ordinary jobs (each individually resumable);
+	// a journal holding the record restores the sweep view intact. Older
+	// servers skip it as an unknown type.
+	recSweep = "sweep"
 )
 
 // journalRecord is one line of the job journal. Fields are a union over the
@@ -52,6 +58,10 @@ type journalRecord struct {
 	CacheKey string      `json:"cache_key,omitempty"`
 	Cached   bool        `json:"cached,omitempty"`
 	Error    string      `json:"error,omitempty"`
+
+	// sweep: the sweep ID and its point jobs, in grid order.
+	Sweep     string   `json:"sweep,omitempty"`
+	PointJobs []string `json:"point_jobs,omitempty"`
 }
 
 // journal is the append side of the WAL. Appends are serialized and fsynced

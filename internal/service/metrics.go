@@ -23,6 +23,14 @@ type Metrics struct {
 	CacheHits   atomic.Int64
 	CacheMisses atomic.Int64
 
+	// Model-cache counters (the shared RWave-build cache). A hit is any
+	// lookup that avoided a build — a retained entry or joining an in-flight
+	// build; a miss is a lookup that started one. Misses therefore equal the
+	// number of RWave builds performed.
+	ModelCacheHits      atomic.Int64
+	ModelCacheMisses    atomic.Int64
+	ModelCacheEvictions atomic.Int64
+
 	NodesVisited     atomic.Int64 // settled Stats.Nodes summed over finished jobs
 	ClustersStreamed atomic.Int64 // clusters delivered by miners, live
 
@@ -130,6 +138,9 @@ func (mt *Metrics) WriteTo(w io.Writer, gauges []gauge) {
 	counter("regserver_checkpoints_total", "Miner checkpoints taken.", mt.Checkpoints.Load())
 	counter("regserver_job_retries_total", "Transient job failures retried with backoff.", mt.JobRetries.Load())
 	counter("regserver_panics_recovered_total", "Panics recovered inside workers and stream handlers.", mt.PanicsRecovered.Load())
+	counter("regserver_model_cache_hits_total", "Jobs that reused a shared RWave model build (cached or in-flight).", mt.ModelCacheHits.Load())
+	counter("regserver_model_cache_misses_total", "RWave model builds performed (one per distinct dataset+γ-scheme).", mt.ModelCacheMisses.Load())
+	counter("regserver_model_cache_evictions_total", "Shared RWave model sets evicted by the LRU bound.", mt.ModelCacheEvictions.Load())
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.value())
 	}

@@ -35,11 +35,11 @@ type replayedJob struct {
 }
 
 // replayRecords folds journal records into per-job states, returning the
-// states in submission order plus the highest journaled sequence number.
-// Unknown record types are skipped (forward compatibility: a journal written
-// by a newer server still boots here), as are records for jobs whose submit
-// record was lost.
-func replayRecords(recs []journalRecord, logf func(string, ...any)) (ordered []*replayedJob, maxSeq int) {
+// states in submission order, the sweep-binding records in append order, and
+// the highest journaled sequence number. Unknown record types are skipped
+// (forward compatibility: a journal written by a newer server still boots
+// here), as are records for jobs whose submit record was lost.
+func replayRecords(recs []journalRecord, logf func(string, ...any)) (ordered []*replayedJob, sweeps []journalRecord, maxSeq int) {
 	byID := make(map[string]*replayedJob)
 	for _, rec := range recs {
 		switch rec.Type {
@@ -94,17 +94,21 @@ func replayRecords(recs []journalRecord, logf func(string, ...any)) (ordered []*
 			if rec.Ckpt != nil {
 				j.ckpt = rec.Ckpt
 			}
+		case recSweep:
+			sweeps = append(sweeps, rec)
 		default:
 			logf("service: journal: unknown record type %q; skipping (newer server?)", rec.Type)
 		}
 	}
-	return ordered, maxSeq
+	return ordered, sweeps, maxSeq
 }
 
 // canonicalRecords renders the replayed state back into a minimal journal
 // for compaction: submit + terminal for settled jobs, submit + one merged
-// checkpoint (full cluster prefix) for jobs about to be resumed.
-func canonicalRecords(jobs []*replayedJob) []journalRecord {
+// checkpoint (full cluster prefix) for jobs about to be resumed, then the
+// sweep bindings (which only reference jobs, so they compact verbatim and
+// stay after every point's submit record).
+func canonicalRecords(jobs []*replayedJob, sweeps []journalRecord) []journalRecord {
 	var out []journalRecord
 	for _, j := range jobs {
 		out = append(out, j.submit)
@@ -116,7 +120,7 @@ func canonicalRecords(jobs []*replayedJob) []journalRecord {
 				Job: j.submit.Job, Ckpt: j.ckpt, NewClusters: j.clusters})
 		}
 	}
-	return out
+	return append(out, sweeps...)
 }
 
 // bootRecover runs the recovery sequence against s.store. It returns an
@@ -133,14 +137,14 @@ func (s *Server) bootRecover() error {
 	}
 
 	recs := replayJournalFile(s.store.journalPath(), s.logf)
-	jobs, maxSeq := replayRecords(recs, s.logf)
+	jobs, sweeps, maxSeq := replayRecords(recs, s.logf)
 	s.jobs.mu.Lock()
 	if maxSeq > s.jobs.seq {
 		s.jobs.seq = maxSeq
 	}
 	s.jobs.mu.Unlock()
 
-	if err := s.store.compactJournal(canonicalRecords(jobs)); err != nil {
+	if err := s.store.compactJournal(canonicalRecords(jobs, sweeps)); err != nil {
 		return err
 	}
 	wal, err := openJournal(s.store.journalPath())
@@ -156,6 +160,10 @@ func (s *Server) bootRecover() error {
 		} else {
 			s.resumeInterrupted(rj)
 		}
+	}
+	// Sweeps restore after their point jobs so the views bind to live state.
+	for _, rec := range sweeps {
+		s.restoreSweep(rec)
 	}
 	return nil
 }

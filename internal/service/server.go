@@ -12,6 +12,9 @@
 //	GET  /datasets/{id}/tsv       download the canonical TSV serialization
 //	DELETE /datasets/{id}         unregister a dataset
 //	POST /jobs                    submit {dataset, params, workers, timeout_ms}
+//	POST /sweep                   submit a batch ε/γ/MinG/MinC parameter sweep
+//	GET  /sweeps                  list sweeps with per-point status
+//	GET  /sweeps/{id}             sweep summary (regcluster.sweep/v1)
 //	GET  /jobs                    list jobs
 //	GET  /jobs/{id}               job status with live progress counters
 //	POST /jobs/{id}/cancel        cooperative cancellation
@@ -24,7 +27,9 @@
 // Mining output is deterministic for any worker count, so the result cache
 // is exact: a hit returns byte-identical clusters to re-mining, and repeated
 // parameter sweeps over one dataset pay the mining cost once per distinct
-// Params.
+// Params. A second cache sits below it: prebuilt RWave model sets keyed by
+// (dataset, γ-scheme), shared across jobs and sweep points that differ only
+// in ε/MinG/MinC/caps, so an ε-sweep performs exactly one index build.
 package service
 
 import (
@@ -59,6 +64,12 @@ type Config struct {
 	// CacheEntries bounds the result cache (default 256; negative disables
 	// caching).
 	CacheEntries int
+	// ModelCacheEntries bounds the shared RWave-model cache: prebuilt
+	// per-gene index sets keyed by (dataset, γ-scheme), reused across jobs
+	// and sweep points that differ only in ε/MinG/MinC/caps (default 16;
+	// negative disables retention — concurrent duplicate builds still
+	// coalesce). Each entry holds one model per gene of its dataset.
+	ModelCacheEntries int
 	// MaxDatasets bounds the registry (default 64).
 	MaxDatasets int
 	// MaxUploadBytes bounds one dataset upload (default 64 MiB).
@@ -116,6 +127,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
 	}
+	if c.ModelCacheEntries == 0 {
+		c.ModelCacheEntries = 16
+	}
 	if c.MaxDatasets <= 0 {
 		c.MaxDatasets = 64
 	}
@@ -159,6 +173,7 @@ type Server struct {
 	cfg      Config
 	registry *registry
 	jobs     *jobManager
+	sweeps   *sweepManager
 	cache    *resultCache
 	metrics  *Metrics
 	mux      *http.ServeMux
@@ -196,6 +211,8 @@ func Open(cfg Config) (*Server, error) {
 	// every diagnostic gets the envelope (and the configured format).
 	s.logf = s.obsLog.Printf
 	s.jobs = newJobManager(cfg.MaxConcurrentJobs, s.cache, s.metrics)
+	s.jobs.models = newModelCache(cfg.ModelCacheEntries, s.metrics)
+	s.sweeps = newSweepManager()
 	s.jobs.ckEvery = cfg.CheckpointEveryClusters
 	s.jobs.maxRetries = cfg.MaxJobRetries
 	s.jobs.retryBase = cfg.RetryBaseDelay
@@ -324,6 +341,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /datasets/{id}/tsv", s.handleDatasetTSV)
 	s.mux.HandleFunc("DELETE /datasets/{id}", s.handleDeleteDataset)
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /sweeps", s.handleListSweeps)
+	s.mux.HandleFunc("GET /sweeps/{id}", s.handleGetSweep)
 	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
@@ -651,6 +671,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.metrics.WriteTo(w, []gauge{
 		{"regcluster_datasets", "Registered datasets.", func() int64 { return int64(s.registry.size()) }},
 		{"regcluster_cache_entries", "Entries in the result cache.", func() int64 { return int64(s.cache.len()) }},
+		{"regserver_model_cache_entries", "Shared RWave model sets currently retained.", func() int64 { return int64(s.jobs.models.len()) }},
 		{"regcluster_jobs_running", "Jobs holding a mining slot.", func() int64 { return int64(s.jobs.runningCount()) }},
 		{"regcluster_jobs_active", "Jobs queued or running.", func() int64 { return int64(s.jobs.queuedOrRunning()) }},
 		{"regserver_jobs_queued", "Jobs waiting for a mining slot.", func() int64 {

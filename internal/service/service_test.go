@@ -373,6 +373,42 @@ func TestJobDeadline(t *testing.T) {
 	}
 }
 
+// TestSubmitNonFiniteParamsRejected is the end-to-end regression for the
+// cacheKey panic: a submission carrying non-finite parameters must be
+// rejected with a 4xx — at JSON decode for out-of-range literals like 1e999,
+// or by core.Params.Validate for anything that gets through — and the server
+// must stay alive afterwards. Before the fix, such params passed Validate
+// (NaN beats every range check) and panicked json.Marshal inside cacheKey.
+func TestSubmitNonFiniteParamsRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := uploadMatrix(t, ts, paperdata.RunningExample(), "table1")
+
+	bodies := []string{
+		`{"dataset":"` + id + `","params":{"MinG":3,"MinC":5,"Gamma":1e999,"Epsilon":1}}`,
+		`{"dataset":"` + id + `","params":{"MinG":3,"MinC":5,"Gamma":0.1,"Epsilon":-1e999}}`,
+		`{"dataset":"` + id + `","params":{"MinG":3,"MinC":5,"Gamma":0.1,"Epsilon":1,"CustomGammas":[1e999]}}`,
+	}
+	for i, body := range bodies {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+			t.Errorf("case %d: status %d, want 4xx", i, resp.StatusCode)
+		}
+	}
+	// The server survived every rejection.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d after rejections", resp.StatusCode)
+	}
+}
+
 // TestSubmitValidation exercises the 4xx paths of the submit handler.
 func TestSubmitValidation(t *testing.T) {
 	_, ts := newTestServer(t, Config{MaxWorkersPerJob: 4})

@@ -1,0 +1,353 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"regcluster/internal/core"
+)
+
+// Batch parameter sweeps. A sweep mines one dataset under a grid of
+// parameters — the paper's Figure 7 sensitivity studies as one request. Each
+// grid point is an ordinary job: individually journaled, checkpointed,
+// result-cached and streamable, so a crash resumes the unfinished points and
+// a repeated sweep hits the result cache point-by-point. The grid is ordered
+// γ-major, i.e. grouped by core.ModelKey, and the job manager's shared model
+// cache then performs exactly one RWave build per group (the index depends
+// only on dataset + γ-scheme, not on ε/MinG/MinC).
+
+// SweepSchemaID identifies the JSON summary schema of GET /sweeps/{id}.
+const SweepSchemaID = "regcluster.sweep/v1"
+
+// maxSweepPoints bounds one sweep's grid; grids are cheap to enumerate but
+// every point is a mining job, and a runaway cartesian product should fail
+// loudly at submit time rather than queue for hours.
+const maxSweepPoints = 256
+
+// sweepState is the manager-side record of one sweep: immutable after
+// creation, point outcomes read live from the job table.
+type sweepState struct {
+	id        string
+	dataset   string
+	jobIDs    []string
+	params    []core.Params // same order as jobIDs
+	created   time.Time
+	recovered bool
+}
+
+// sweepManager owns the sweep table. Separate from jobManager's mutex domain:
+// sweeps are bookkeeping over jobs, never the other way around.
+type sweepManager struct {
+	mu    sync.Mutex
+	seq   int
+	byID  map[string]*sweepState
+	order []string
+}
+
+func newSweepManager() *sweepManager {
+	return &sweepManager{byID: make(map[string]*sweepState)}
+}
+
+func (sm *sweepManager) nextID() string {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	sm.seq++
+	return fmt.Sprintf("sweep-%06d", sm.seq)
+}
+
+func (sm *sweepManager) add(sw *sweepState) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	sm.byID[sw.id] = sw
+	sm.order = append(sm.order, sw.id)
+}
+
+func (sm *sweepManager) get(id string) (*sweepState, bool) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	sw, ok := sm.byID[id]
+	return sw, ok
+}
+
+func (sm *sweepManager) list() []*sweepState {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	out := make([]*sweepState, 0, len(sm.order))
+	for _, id := range sm.order {
+		out = append(out, sm.byID[id])
+	}
+	return out
+}
+
+// noteSeq raises the ID sequence past a recovered sweep's number so fresh
+// sweeps never collide with replayed ones.
+func (sm *sweepManager) noteSeq(id string) {
+	var n int
+	if _, err := fmt.Sscanf(id, "sweep-%d", &n); err != nil {
+		return
+	}
+	sm.mu.Lock()
+	if n > sm.seq {
+		sm.seq = n
+	}
+	sm.mu.Unlock()
+}
+
+// sweepRequest is the body of POST /sweep: a base Params plus optional value
+// lists. The grid is the cartesian product over the lists; an absent list
+// contributes the base value. CustomGammas, when set on the base, apply to
+// every point (one γ-scheme, one model build) and Gammas must then be empty.
+type sweepRequest struct {
+	Dataset string      `json:"dataset"`
+	Params  core.Params `json:"params"`
+	// Grid axes. Gammas entries are interpreted through the base Params'
+	// AbsoluteGamma switch, exactly like Params.Gamma.
+	Gammas   []float64 `json:"gammas"`
+	Epsilons []float64 `json:"epsilons"`
+	MinGs    []int     `json:"min_gs"`
+	MinCs    []int     `json:"min_cs"`
+	// Workers/TimeoutMS apply per point, with the same server defaults and
+	// clamps as POST /jobs.
+	Workers   int   `json:"workers"`
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// sweepGrid enumerates the request's parameter grid, γ-major so that points
+// sharing a model build are contiguous, with exact duplicates dropped.
+func sweepGrid(req sweepRequest) ([]core.Params, error) {
+	if req.Params.CustomGammas != nil && len(req.Gammas) > 0 {
+		return nil, errors.New("gammas cannot be combined with CustomGammas (which fix the γ-scheme)")
+	}
+	gammas := req.Gammas
+	if len(gammas) == 0 {
+		gammas = []float64{req.Params.Gamma}
+	}
+	epsilons := req.Epsilons
+	if len(epsilons) == 0 {
+		epsilons = []float64{req.Params.Epsilon}
+	}
+	minGs := req.MinGs
+	if len(minGs) == 0 {
+		minGs = []int{req.Params.MinG}
+	}
+	minCs := req.MinCs
+	if len(minCs) == 0 {
+		minCs = []int{req.Params.MinC}
+	}
+	total := len(gammas) * len(epsilons) * len(minGs) * len(minCs)
+	if total > maxSweepPoints {
+		return nil, fmt.Errorf("grid has %d points, limit %d", total, maxSweepPoints)
+	}
+	seen := make(map[string]bool, total)
+	out := make([]core.Params, 0, total)
+	for _, g := range gammas {
+		for _, mg := range minGs {
+			for _, mc := range minCs {
+				for _, e := range epsilons {
+					p := req.Params
+					p.Gamma, p.MinG, p.MinC, p.Epsilon = g, mg, mc, e
+					key := cacheKey("", p)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// sweepPointView is one grid point of a sweep summary.
+type sweepPointView struct {
+	Params core.Params `json:"params"`
+	Job    string      `json:"job"`
+	Status JobStatus   `json:"status"`
+	Cached bool        `json:"cached,omitempty"`
+	// Clusters is the number delivered so far (final once Status is
+	// terminal); Stats settles with the point.
+	Clusters int         `json:"clusters"`
+	Stats    *core.Stats `json:"stats,omitempty"`
+	Error    string      `json:"error,omitempty"`
+}
+
+// sweepView is the regcluster.sweep/v1 summary: per-point cluster counts and
+// Stats, enough to pick "the ε yielding 10–50 clusters" without fetching any
+// full result.
+type sweepView struct {
+	Schema    string    `json:"schema"`
+	ID        string    `json:"id"`
+	Dataset   string    `json:"dataset"`
+	Recovered bool      `json:"recovered,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+	// Done is true once every point is terminal.
+	Done bool `json:"done"`
+	// ModelGroups is the number of distinct γ-schemes in the grid — the
+	// number of RWave builds the sweep needs at most (fewer when a group's
+	// build is already cached from earlier jobs).
+	ModelGroups int              `json:"model_groups"`
+	Points      []sweepPointView `json:"points"`
+}
+
+// view assembles the live summary of one sweep from the job table.
+func (s *Server) sweepViewOf(sw *sweepState) sweepView {
+	v := sweepView{
+		Schema:    SweepSchemaID,
+		ID:        sw.id,
+		Dataset:   sw.dataset,
+		Recovered: sw.recovered,
+		CreatedAt: sw.created,
+		Done:      true,
+		Points:    make([]sweepPointView, len(sw.jobIDs)),
+	}
+	groups := make(map[string]bool)
+	for i, jobID := range sw.jobIDs {
+		groups[core.ModelKey(sw.dataset, sw.params[i])] = true
+		pv := sweepPointView{Params: sw.params[i], Job: jobID}
+		if j, ok := s.jobs.get(jobID); ok {
+			jv := j.View()
+			pv.Status = jv.Status
+			pv.Cached = jv.Cached
+			pv.Clusters = jv.Clusters
+			pv.Stats = jv.Stats
+			pv.Error = jv.Error
+		} else {
+			// The job vanished (journal corruption); surface it as failed
+			// rather than omitting the point.
+			pv.Status = StatusFailed
+			pv.Error = "point job not found"
+		}
+		if !pv.Status.terminal() {
+			v.Done = false
+		}
+		v.Points[i] = pv
+	}
+	v.ModelGroups = len(groups)
+	return v
+}
+
+// handleSweep is POST /sweep: validate the grid, submit one job per point
+// (journaled, cached, streamable like any other job), journal the sweep
+// binding, and return the initial summary.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	ds, ok := s.registry.get(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
+		return
+	}
+	grid, err := sweepGrid(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid sweep: %v", err)
+		return
+	}
+	for i := range grid {
+		if err := grid[i].Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid params at grid point %d: %v", i, err)
+			return
+		}
+		if grid[i].CustomGammas != nil && len(grid[i].CustomGammas) != ds.Genes {
+			writeError(w, http.StatusBadRequest, "invalid params: %d CustomGammas for %d genes", len(grid[i].CustomGammas), ds.Genes)
+			return
+		}
+		// Server-side clamps, identical to POST /jobs (before cache keying).
+		grid[i].MaxNodes = clampCap(grid[i].MaxNodes, s.cfg.MaxNodesPerJob)
+		grid[i].MaxClusters = clampCap(grid[i].MaxClusters, s.cfg.MaxClustersPerJob)
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.cfg.DefaultWorkers
+	}
+	if err := core.ValidateWorkers(workers, s.cfg.MaxWorkersPerJob); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid workers: %v", err)
+		return
+	}
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "invalid timeout_ms: %d", req.TimeoutMS)
+		return
+	}
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if s.cfg.MaxJobDuration > 0 && (timeout == 0 || timeout > s.cfg.MaxJobDuration) {
+		timeout = s.cfg.MaxJobDuration
+	}
+
+	sw := &sweepState{
+		id:      s.sweeps.nextID(),
+		dataset: ds.ID,
+		params:  grid,
+		created: time.Now().UTC(),
+		jobIDs:  make([]string, 0, len(grid)),
+	}
+	for _, p := range grid {
+		j, err := s.jobs.submit(ds, p, workers, timeout)
+		if errors.Is(err, ErrDraining) {
+			// Points already submitted keep running as ordinary jobs; the
+			// sweep itself is not recorded.
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		sw.jobIDs = append(sw.jobIDs, j.ID)
+	}
+	s.sweeps.add(sw)
+	s.jobs.journalAppend(journalRecord{Type: recSweep, Sweep: sw.id,
+		Dataset: sw.dataset, PointJobs: sw.jobIDs})
+	writeJSON(w, http.StatusAccepted, s.sweepViewOf(sw))
+}
+
+func (s *Server) handleListSweeps(w http.ResponseWriter, _ *http.Request) {
+	list := s.sweeps.list()
+	views := make([]sweepView, len(list))
+	for i, sw := range list {
+		views[i] = s.sweepViewOf(sw)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": views})
+}
+
+func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweeps.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sweepViewOf(sw))
+}
+
+// restoreSweep rebuilds one sweep from its journal record at boot. Point
+// params are read back from the restored jobs themselves — the sweep record
+// deliberately stores only the binding, never a second copy of the params.
+func (s *Server) restoreSweep(rec journalRecord) {
+	if rec.Sweep == "" || len(rec.PointJobs) == 0 {
+		s.logf("service: journal: malformed sweep record %q; skipping", rec.Sweep)
+		return
+	}
+	sw := &sweepState{
+		id:        rec.Sweep,
+		dataset:   rec.Dataset,
+		created:   rec.Time,
+		recovered: true,
+		jobIDs:    rec.PointJobs,
+		params:    make([]core.Params, len(rec.PointJobs)),
+	}
+	for i, jobID := range rec.PointJobs {
+		if j, ok := s.jobs.get(jobID); ok {
+			sw.params[i] = j.Params
+		}
+	}
+	s.sweeps.noteSeq(sw.id)
+	s.sweeps.add(sw)
+}

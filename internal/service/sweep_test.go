@@ -1,0 +1,355 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"regcluster/internal/core"
+	"regcluster/internal/faultinject"
+	"regcluster/internal/paperdata"
+	"regcluster/internal/report"
+)
+
+// postSweep submits a sweep request and decodes the response (a sweepView on
+// success, ignored on error); the status code is returned either way.
+func postSweep(t *testing.T, ts *httptest.Server, req any) (sweepView, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v sweepView
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v, resp.StatusCode
+}
+
+func getSweep(t *testing.T, ts *httptest.Server, id string) sweepView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/sweeps/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /sweeps/%s status %d", id, resp.StatusCode)
+	}
+	var v sweepView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// waitSweepDone polls a sweep until every point is terminal.
+func waitSweepDone(t *testing.T, ts *httptest.Server, id string) sweepView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		v := getSweep(t, ts, id)
+		if v.Done {
+			return v
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("sweep %s never finished", id)
+	return sweepView{}
+}
+
+// TestSweepSharedBuildByteIdentical is the tentpole acceptance test: an
+// ε-sweep under one γ performs exactly one RWave build (metrics-asserted),
+// and every point's result is byte-identical — compared on the JSON encoding
+// — to a standalone core.Mine run with the same Params.
+func TestSweepSharedBuildByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	m := paperdata.RunningExample()
+	id := uploadMatrix(t, ts, m, "table1")
+
+	epsilons := []float64{0.05, 0.1, 0.2, 0.3}
+	v, code := postSweep(t, ts, sweepRequest{
+		Dataset:  id,
+		Params:   core.Params{MinG: 3, MinC: 5, Gamma: 0.15},
+		Epsilons: epsilons,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep status %d", code)
+	}
+	if v.Schema != SweepSchemaID {
+		t.Fatalf("schema %q, want %q", v.Schema, SweepSchemaID)
+	}
+	if len(v.Points) != len(epsilons) || v.ModelGroups != 1 {
+		t.Fatalf("%d points in %d model groups, want %d in 1", len(v.Points), v.ModelGroups, len(epsilons))
+	}
+
+	fin := waitSweepDone(t, ts, v.ID)
+	for i, pt := range fin.Points {
+		if pt.Status != StatusDone {
+			t.Fatalf("point %d ended %s (%s)", i, pt.Status, pt.Error)
+		}
+		if pt.Params.Epsilon != epsilons[i] {
+			t.Fatalf("point %d has ε=%v, want grid order preserved (%v)", i, pt.Params.Epsilon, epsilons[i])
+		}
+		want, err := core.Mine(m, pt.Params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantNamed := make([]report.NamedCluster, len(want.Clusters))
+		for k, b := range want.Clusters {
+			wantNamed[k] = report.Named(m, b)
+		}
+		got, _ := streamClusters(t, ts, pt.Job)
+		gotJSON, _ := json.Marshal(got)
+		wantJSON, _ := json.Marshal(wantNamed)
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("point %d (ε=%v) diverges from standalone Mine", i, pt.Params.Epsilon)
+		}
+		if pt.Clusters != len(wantNamed) || pt.Stats == nil || *pt.Stats != want.Stats {
+			t.Fatalf("point %d summary: %d clusters, stats %+v; want %d, %+v",
+				i, pt.Clusters, pt.Stats, len(wantNamed), want.Stats)
+		}
+	}
+
+	// One γ group ⇒ exactly one model build for the whole sweep.
+	if misses := metricValue(t, ts, "regserver_model_cache_misses_total"); misses != 1 {
+		t.Fatalf("%d model builds for a one-γ sweep, want 1", misses)
+	}
+	if hits := metricValue(t, ts, "regserver_model_cache_hits_total"); hits != int64(len(epsilons)-1) {
+		t.Fatalf("model cache hits %d, want %d", metricValue(t, ts, "regserver_model_cache_hits_total"), len(epsilons)-1)
+	}
+
+	// Resubmitting the sweep is a pure result-cache replay: every point comes
+	// back Cached, and no further model build (or avoided build) is counted —
+	// cache-hit jobs never reach the miner.
+	v2, _ := postSweep(t, ts, sweepRequest{
+		Dataset:  id,
+		Params:   core.Params{MinG: 3, MinC: 5, Gamma: 0.15},
+		Epsilons: epsilons,
+	})
+	fin2 := waitSweepDone(t, ts, v2.ID)
+	for i, pt := range fin2.Points {
+		if !pt.Cached || pt.Status != StatusDone {
+			t.Fatalf("resubmitted point %d: cached=%v status=%s", i, pt.Cached, pt.Status)
+		}
+	}
+	if misses := metricValue(t, ts, "regserver_model_cache_misses_total"); misses != 1 {
+		t.Fatalf("cached sweep re-built models (misses %d)", misses)
+	}
+}
+
+// TestSweepMultiGammaGroups: a 2γ×2ε grid builds exactly one model set per γ
+// group, in grid (γ-major) order.
+func TestSweepMultiGammaGroups(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	m := paperdata.RunningExample()
+	id := uploadMatrix(t, ts, m, "table1")
+
+	v, code := postSweep(t, ts, sweepRequest{
+		Dataset:  id,
+		Params:   core.Params{MinG: 3, MinC: 5},
+		Gammas:   []float64{0.15, 0.3},
+		Epsilons: []float64{0.1, 0.3},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep status %d", code)
+	}
+	if len(v.Points) != 4 || v.ModelGroups != 2 {
+		t.Fatalf("%d points in %d groups, want 4 in 2", len(v.Points), v.ModelGroups)
+	}
+	fin := waitSweepDone(t, ts, v.ID)
+	for i, pt := range fin.Points {
+		if pt.Status != StatusDone {
+			t.Fatalf("point %d ended %s (%s)", i, pt.Status, pt.Error)
+		}
+	}
+	if misses := metricValue(t, ts, "regserver_model_cache_misses_total"); misses != 2 {
+		t.Fatalf("%d model builds for 2 γ groups", misses)
+	}
+	if hits := metricValue(t, ts, "regserver_model_cache_hits_total"); hits != 2 {
+		t.Fatalf("model cache hits %d, want 2", hits)
+	}
+}
+
+// TestSweepValidation: malformed grids are rejected atomically — no point
+// jobs are created for a request that fails validation.
+func TestSweepValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	m := paperdata.RunningExample()
+	id := uploadMatrix(t, ts, m, "table1")
+	base := core.Params{MinG: 3, MinC: 5, Gamma: 0.15, Epsilon: 0.1}
+
+	cases := []struct {
+		name string
+		req  any
+		code int
+	}{
+		{"unknown dataset", sweepRequest{Dataset: "nope", Params: base}, http.StatusNotFound},
+		{"oversized grid", sweepRequest{Dataset: id, Params: base,
+			Epsilons: make([]float64, maxSweepPoints+1)}, http.StatusBadRequest},
+		{"invalid gamma point", sweepRequest{Dataset: id, Params: base,
+			Gammas: []float64{0.1, 1.5}}, http.StatusBadRequest},
+		{"non-finite epsilon", json.RawMessage(`{"dataset":"` + id + `","params":{"MinG":3,"MinC":5,"Gamma":0.15},"epsilons":[0.1,1e999]}`), http.StatusBadRequest},
+		{"gammas with CustomGammas", sweepRequest{Dataset: id,
+			Params: core.Params{MinG: 3, MinC: 5, Epsilon: 0.1,
+				CustomGammas: make([]float64, m.Rows())},
+			Gammas: []float64{0.1, 0.2}}, http.StatusBadRequest},
+		{"negative timeout", sweepRequest{Dataset: id, Params: base, TimeoutMS: -1}, http.StatusBadRequest},
+		{"excess workers", sweepRequest{Dataset: id, Params: base, Workers: 1 << 20}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if _, code := postSweep(t, ts, tc.req); code != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jobs struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs.Jobs) != 0 {
+		t.Fatalf("rejected sweeps created %d jobs", len(jobs.Jobs))
+	}
+	if _, code := postSweep(t, ts, sweepRequest{Dataset: id, Params: base}); code != http.StatusAccepted {
+		t.Fatalf("degenerate one-point sweep rejected: %d", code)
+	}
+}
+
+// TestSweepDedupesGrid: duplicate axis values collapse to one point (one job,
+// one cache entry), not N identical jobs.
+func TestSweepDedupesGrid(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	m := paperdata.RunningExample()
+	id := uploadMatrix(t, ts, m, "table1")
+
+	v, code := postSweep(t, ts, sweepRequest{
+		Dataset:  id,
+		Params:   core.Params{MinG: 3, MinC: 5, Gamma: 0.15},
+		Epsilons: []float64{0.1, 0.1, 0.3, 0.1},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep status %d", code)
+	}
+	if len(v.Points) != 2 {
+		t.Fatalf("%d points after dedupe, want 2", len(v.Points))
+	}
+	waitSweepDone(t, ts, v.ID)
+}
+
+// TestSweepListEndpoint: GET /sweeps enumerates submitted sweeps in order and
+// GET /sweeps/{id} 404s on unknown IDs.
+func TestSweepListEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	m := paperdata.RunningExample()
+	id := uploadMatrix(t, ts, m, "table1")
+	base := core.Params{MinG: 3, MinC: 5, Gamma: 0.15, Epsilon: 0.1}
+
+	v1, _ := postSweep(t, ts, sweepRequest{Dataset: id, Params: base})
+	v2, _ := postSweep(t, ts, sweepRequest{Dataset: id, Params: base, Epsilons: []float64{0.2, 0.3}})
+
+	resp, err := http.Get(ts.URL + "/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Sweeps []sweepView `json:"sweeps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sweeps) != 2 || list.Sweeps[0].ID != v1.ID || list.Sweeps[1].ID != v2.ID {
+		t.Fatalf("sweep list %+v, want [%s %s]", list.Sweeps, v1.ID, v2.ID)
+	}
+	r404, err := http.Get(ts.URL + "/sweeps/sweep-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r404.Body.Close()
+	if r404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown sweep status %d", r404.StatusCode)
+	}
+	waitSweepDone(t, ts, v1.ID)
+	waitSweepDone(t, ts, v2.ID)
+}
+
+// TestSweepSurvivesRestart: a durable server drained mid-sweep journals the
+// sweep binding and the interrupted points; the next boot restores the sweep
+// view (marked recovered), resumes the unfinished points, and the sweep
+// completes with every point done.
+func TestSweepSurvivesRestart(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	m, p := recoveryWorkload(t)
+
+	cfg := Config{DataDir: dir, CheckpointEveryClusters: 1, MaxConcurrentJobs: 2, Logf: t.Logf}
+	srvA, tsA := openTestServer(t, cfg)
+	disarmDelay := faultinject.Arm("core.mine.subtree", faultinject.Spec{Delay: 40 * time.Millisecond})
+	defer disarmDelay()
+
+	id := uploadMatrix(t, tsA, m, "sweepy")
+	v, code := postSweep(t, tsA, sweepRequest{
+		Dataset:  id,
+		Params:   p,
+		Epsilons: []float64{p.Epsilon, p.Epsilon / 2},
+		Workers:  2,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep status %d", code)
+	}
+	waitClusters(t, tsA, v.Points[0].Job, 1)
+
+	// Drain with an expiring grace period: running points settle interrupted,
+	// queued ones stay queued in the journal; then the process "dies".
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := srvA.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain err %v, want deadline", err)
+	}
+	tsA.Close()
+	srvA.Close()
+	disarmDelay()
+
+	_, tsB := openTestServer(t, cfg)
+	got := getSweep(t, tsB, v.ID)
+	if !got.Recovered || got.Dataset != id || len(got.Points) != 2 {
+		t.Fatalf("restored sweep %+v", got)
+	}
+	for i, pt := range got.Points {
+		if pt.Params.Epsilon != v.Points[i].Params.Epsilon || pt.Job != v.Points[i].Job {
+			t.Fatalf("restored point %d: %+v vs submitted %+v", i, pt, v.Points[i])
+		}
+	}
+	fin := waitSweepDone(t, tsB, v.ID)
+	for i, pt := range fin.Points {
+		if pt.Status != StatusDone {
+			t.Fatalf("resumed point %d ended %s (%s)", i, pt.Status, pt.Error)
+		}
+		want, err := core.Mine(m, pt.Params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Clusters != len(want.Clusters) || pt.Stats == nil || *pt.Stats != want.Stats {
+			t.Fatalf("resumed point %d: %d clusters, stats %+v; want %d, %+v",
+				i, pt.Clusters, pt.Stats, len(want.Clusters), want.Stats)
+		}
+	}
+}

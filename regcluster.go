@@ -136,6 +136,39 @@ func MineParallelFuncObserved(ctx context.Context, m *Matrix, p Params, workers 
 // negative counts are always valid: they select GOMAXPROCS.
 func ValidateWorkers(workers, max int) error { return core.ValidateWorkers(workers, max) }
 
+// RWaveModel is one gene's prebuilt RWave^γ index (Section 3). A model set —
+// one per gene, from BuildModels — is immutable and safe to share across
+// concurrent mining runs.
+type RWaveModel = core.RWaveModel
+
+// BuildModels constructs the RWave model set Mine would build internally. The
+// index depends only on the matrix and the γ-scheme (Gamma/AbsoluteGamma or
+// CustomGammas) — not on Epsilon, MinG, MinC or the caps — so a parameter
+// sweep over those knobs can build once and call MineWithModels per point. A
+// non-nil Observer with an attached span records the construction; pass nil
+// otherwise.
+func BuildModels(m *Matrix, p Params, o *Observer) ([]*RWaveModel, error) {
+	return core.BuildModels(m, p, o)
+}
+
+// ModelKey names the model set BuildModels(m, p) produces, for a matrix
+// identified by datasetHash: two (dataset, Params) pairs share a key exactly
+// when they share a model set. Use it to index caches of prebuilt models.
+func ModelKey(datasetHash string, p Params) string { return core.ModelKey(datasetHash, p) }
+
+// MineWithModels is Mine reusing a prebuilt model set from BuildModels on the
+// same matrix with a ModelKey-equivalent Params; output is identical to
+// Mine(m, p).
+func MineWithModels(m *Matrix, p Params, models []*RWaveModel) (*Result, error) {
+	return core.MineWithModels(m, p, models)
+}
+
+// MineParallelWithModels is MineParallel reusing a prebuilt model set, with
+// the same determinism guarantee for any worker count.
+func MineParallelWithModels(m *Matrix, p Params, workers int, models []*RWaveModel) (*Result, error) {
+	return core.MineParallelWithModels(m, p, workers, models)
+}
+
 // ThresholdsRangeFraction, ThresholdsMeanFraction and ThresholdsNearestPair
 // compute alternative per-gene regulation thresholds (Section 3.1) for
 // Params.CustomGammas.

@@ -30,6 +30,7 @@ if [ ${#SPECS[@]} -eq 0 ]; then
         'BenchmarkRunningExample$@100x' # E6: Table 1 walk-through
         'BenchmarkPruningAblation$@1x'  # E8: pruning ablation
         'BenchmarkRWaveBuild$@5x'       # index construction phase
+        'BenchmarkSweepSharedModel$@3x' # ε-sweep with/without the shared model set
         'BenchmarkOverlapStats$@5x'     # Section 5.2 overlap statistic
     )
 fi

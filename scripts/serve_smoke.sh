@@ -90,6 +90,37 @@ metrics=$(curl -sf "$base/metrics")
 echo "$metrics" | grep -q '^regcluster_cache_hits_total 1$' \
     || fail "cache_hits metric: $(echo "$metrics" | grep cache_hits)"
 
+# Batch sweep: four ε points under one γ (distinct from the job above) must
+# cost exactly one additional RWave build — the sweep points share the model
+# set through the cache. With -jobs 1 the points run serially, so the
+# hit/miss split is deterministic: 2 misses total (first job's γ=0.1 plus the
+# sweep's γ=0.15 group) and 3 hits (the other three sweep points).
+sweep=$(curl -sf -X POST -H 'Content-Type: application/json' -d \
+    '{"dataset":"'"$dataset"'","params":{"MinG":4,"MinC":4,"Gamma":0.15},"epsilons":[0.02,0.05,0.08,0.11]}' \
+    "$base/sweep")
+sweep_id=$(echo "$sweep" | sed -n 's/.*"id": *"\(sweep-[0-9]*\)".*/\1/p' | head -1)
+[[ -n "$sweep_id" ]] || fail "sweep submission returned no ID: $sweep"
+echo "$sweep" | grep -q '"schema": *"regcluster.sweep/v1"' || fail "sweep schema: $sweep"
+echo "$sweep" | grep -q '"model_groups": *1' || fail "sweep model_groups: $sweep"
+
+sweep_done=""
+for _ in $(seq 1 300); do
+    sview=$(curl -sf "$base/sweeps/$sweep_id")
+    if echo "$sview" | grep -q '"done": *true'; then sweep_done=yes; break; fi
+    sleep 0.1
+done
+[[ -n "$sweep_done" ]] || fail "sweep never finished: $sview"
+points=$(echo "$sview" | grep -c '"job": *"job-') || true
+[[ "$points" -eq 4 ]] || fail "sweep has $points points, want 4"
+echo "$sview" | grep -q '"failed"' && fail "sweep has failed points: $sview"
+echo "serve-smoke: sweep $sweep_id done with $points points"
+
+metrics=$(curl -sf "$base/metrics")
+echo "$metrics" | grep -q '^regserver_model_cache_misses_total 2$' \
+    || fail "model cache misses: $(echo "$metrics" | grep model_cache)"
+echo "$metrics" | grep -q '^regserver_model_cache_hits_total 3$' \
+    || fail "model cache hits: $(echo "$metrics" | grep model_cache)"
+
 kill -TERM "$server_pid"
 wait "$server_pid" || fail "server exited non-zero after SIGTERM"
 server_pid=""
