@@ -36,6 +36,9 @@ type Measurement struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BPerOp      float64 `json:"b_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Samples counts the result lines that backed this measurement (one
+	// unless the run used -count > 1).
+	Samples int `json:"samples,omitempty"`
 }
 
 // Baseline is one BENCH_<n>.json document.
@@ -60,6 +63,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	var (
 		parse      = fs.Bool("parse", false, "parse `go test -bench` output from stdin and emit baseline JSON")
 		label      = fs.String("label", "", "label to embed in the parsed baseline")
+		bestOf     = fs.Int("best-of", 1, "with -parse: keep the fastest of the duplicate result lines per benchmark (pair with go test -count N to record min-of-N); 1 keeps the last line")
 		oldPath    = fs.String("old", "", "baseline JSON to compare against")
 		newPath    = fs.String("new", "", "candidate JSON to compare")
 		maxNs      = fs.Float64("max-ns-regress", 15, "fail when ns/op regresses by more than this percentage")
@@ -70,7 +74,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return err
 	}
 	if *parse {
-		b, err := ParseBench(stdin, *label)
+		b, err := ParseBench(stdin, *label, *bestOf)
 		if err != nil {
 			return err
 		}
@@ -123,10 +127,13 @@ var metricField = regexp.MustCompile(`([0-9.]+) ([^\s]+)`)
 
 // ParseBench reads `go test -bench` text and collects every benchmark result
 // line into a Baseline. The -<GOMAXPROCS> suffix is stripped so keys stay
-// stable across machines; a benchmark appearing twice (e.g. -count > 1)
-// keeps the later measurement. CPU and go fields come from the runtime, and
-// the "cpu:" header line of the output when present.
-func ParseBench(r io.Reader, label string) (*Baseline, error) {
+// stable across machines. A benchmark appearing more than once (e.g. under
+// -count > 1) keeps the later line when bestOf <= 1, or the fastest line
+// (minimum ns/op — benchstat's noise-robust summary for a mostly-idle
+// machine) when bestOf > 1; either way Samples records how many lines were
+// seen. CPU and go fields come from the runtime, and the "cpu:" header line
+// of the output when present.
+func ParseBench(r io.Reader, label string, bestOf int) (*Baseline, error) {
 	b := &Baseline{
 		Schema:     BaselineSchema,
 		Label:      label,
@@ -164,6 +171,14 @@ func ParseBench(r io.Reader, label string) (*Baseline, error) {
 				m.BPerOp = v
 			case "allocs/op":
 				m.AllocsPerOp = v
+			}
+		}
+		m.Samples = 1
+		if prev, ok := b.Benchmarks[mm[1]]; ok {
+			m.Samples = prev.Samples + 1
+			if bestOf > 1 && prev.NsPerOp < m.NsPerOp {
+				m = prev
+				m.Samples++
 			}
 		}
 		b.Benchmarks[mm[1]] = m

@@ -21,7 +21,7 @@ ok  	regcluster	4.2s
 `
 
 func TestParseBench(t *testing.T) {
-	b, err := ParseBench(strings.NewReader(sampleBench), "BENCH_T")
+	b, err := ParseBench(strings.NewReader(sampleBench), "BENCH_T", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,8 +49,39 @@ func TestParseBench(t *testing.T) {
 }
 
 func TestParseBenchEmpty(t *testing.T) {
-	if _, err := ParseBench(strings.NewReader("PASS\n"), ""); err == nil {
+	if _, err := ParseBench(strings.NewReader("PASS\n"), "", 1); err == nil {
 		t.Fatal("want error on output without benchmarks")
+	}
+}
+
+const repeatedBench = `BenchmarkRunningExample-8   	    9634	    130000 ns/op	   35712 B/op	     418 allocs/op
+BenchmarkRunningExample-8   	    9634	    124093 ns/op	   35712 B/op	     418 allocs/op
+BenchmarkRunningExample-8   	    9634	    128500 ns/op	   35712 B/op	     418 allocs/op
+BenchmarkRWaveBuild-8       	     100	  10000000 ns/op
+`
+
+// TestParseBenchBestOf: with -best-of, the fastest of the duplicate result
+// lines of a -count N run wins; without it, the last one does. Either way the
+// sample count is recorded.
+func TestParseBenchBestOf(t *testing.T) {
+	best, err := ParseBench(strings.NewReader(repeatedBench), "", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := best.Benchmarks["BenchmarkRunningExample"]
+	if m.NsPerOp != 124093 || m.Samples != 3 {
+		t.Fatalf("best-of kept %+v, want the 124093 ns/op sample of 3", m)
+	}
+	if single := best.Benchmarks["BenchmarkRWaveBuild"]; single.Samples != 1 {
+		t.Fatalf("single-line benchmark has %d samples", single.Samples)
+	}
+
+	last, err := ParseBench(strings.NewReader(repeatedBench), "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := last.Benchmarks["BenchmarkRunningExample"]; m.NsPerOp != 128500 || m.Samples != 3 {
+		t.Fatalf("last-wins kept %+v, want the final 128500 ns/op sample", m)
 	}
 }
 

@@ -23,12 +23,22 @@
 //	GET    /jobs/{id}/result    settled result document
 //	GET    /metrics, /healthz, /debug/pprof/*
 //
+// Distributed mode (see internal/dist): `-mode coordinator` serves the same
+// API but splits every job into per-condition subtree leases that remote
+// workers claim over HTTP; `-mode worker -join URL` turns the process into
+// such a worker — it replicates datasets by content hash, mines leased
+// subtrees, and ships clusters back in heartbeats. A worker killed mid-lease
+// costs one lease TTL: the coordinator re-issues the subtree from the last
+// received watermark, and the merged output stays byte-identical to a
+// single-node run.
+//
 // On SIGINT/SIGTERM the server stops accepting work and drains running jobs,
 // cancelling whatever is still mining when the grace period expires.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -40,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"regcluster/internal/dist"
 	"regcluster/internal/obs"
 	"regcluster/internal/service"
 )
@@ -78,6 +89,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		trace       = fs.Bool("trace", false, "record a span tree per job (queue wait, mining attempts, stream replays), served at GET /jobs/{id}/trace")
 		logFormat   = fs.String("log-format", "text", `structured log format: "text" or "json" (one JSON object per line)`)
 		slowJob     = fs.Duration("slow-job", 30*time.Second, "log a warning with a per-phase breakdown for jobs slower than this (0 disables)")
+		mode        = fs.String("mode", "single", `mining mode: "single" (in-process), "coordinator" (lease subtrees to workers), or "worker" (join a coordinator)`)
+		join        = fs.String("join", "", "coordinator base URL a worker registers with (worker mode only)")
+		advertise   = fs.String("advertise", "", "name this worker reports to the coordinator (default: the hostname)")
+		leaseTTL    = fs.Duration("lease-ttl", 5*time.Second, "coordinator lease TTL: a lease without a heartbeat for this long is revoked and re-issued")
+		localLoops  = fs.Int("local-workers", 1, "in-process mining loops each coordinator job runs alongside remote workers (0 = remote workers only)")
+		slots       = fs.Int("slots", 0, "subtree leases a worker mines concurrently (0 = all cores)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +102,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	format, err := obs.ParseFormat(*logFormat)
 	if err != nil {
 		return err
+	}
+	if *mode == "worker" {
+		return runWorker(ctx, workerOptions{
+			addr: *addr, join: *join, advertise: *advertise, slots: *slots, format: format,
+		}, stdout, stderr)
+	}
+	if *join != "" {
+		return fmt.Errorf("-join only applies to -mode worker (got -mode %s)", *mode)
+	}
+	// The service treats DistLocalWorkers 0 as "default one loop"; the flag's
+	// 0 means "none" (pure remote mining), which the service spells negative.
+	distLocal := *localLoops
+	if distLocal <= 0 {
+		distLocal = -1
 	}
 	slow := *slowJob
 	if slow <= 0 {
@@ -108,6 +139,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Logger:                  obs.NewLogger(stderr, format),
 		EnableTracing:           *trace,
 		SlowJobThreshold:        slow,
+		Mode:                    *mode,
+		LeaseTTL:                *leaseTTL,
+		DistLocalWorkers:        distLocal,
 	})
 	if err != nil {
 		return err
@@ -144,6 +178,81 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if httpErr != nil && !errors.Is(httpErr, context.DeadlineExceeded) {
 		return httpErr
+	}
+	fmt.Fprintln(stdout, "regserver: bye")
+	return nil
+}
+
+// workerOptions is the worker-mode slice of the flag set.
+type workerOptions struct {
+	addr      string
+	join      string
+	advertise string
+	slots     int
+	format    obs.Format
+}
+
+// runWorker turns the process into a mining worker: it registers with the
+// coordinator at -join, long-polls for subtree leases, and serves only a
+// local /healthz (liveness plus lease counters) on -addr. It blocks until ctx
+// is cancelled; mining in flight at that point is abandoned and the
+// coordinator re-issues it after one lease TTL.
+func runWorker(ctx context.Context, opt workerOptions, stdout, stderr io.Writer) error {
+	if opt.join == "" {
+		return errors.New("-mode worker requires -join (coordinator base URL)")
+	}
+	name := opt.advertise
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	logger := obs.NewLogger(stderr, opt.format)
+	w := dist.NewWorker(dist.WorkerConfig{
+		Coordinator: opt.join,
+		Name:        name,
+		Slots:       opt.slots,
+		Logf:        logger.Printf,
+	})
+
+	ln, err := net.Listen("tcp", opt.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "regserver: worker listening on http://%s (coordinator %s)\n", ln.Addr(), opt.join)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(map[string]any{ //nolint:errcheck // best-effort probe body
+			"status":           "ok",
+			"mode":             "worker",
+			"coordinator":      opt.join,
+			"leases_completed": w.Completed.Load(),
+			"leases_abandoned": w.Abandoned.Load(),
+			"leases_nacked":    w.Nacked.Load(),
+			"replicas_fetched": w.Replicated.Load(),
+		})
+	})
+	httpSrv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- w.Run(ctx) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case err := <-runErr:
+		if err != nil {
+			return err
+		}
+	case <-ctx.Done():
+		<-runErr // Run returns once its lease loops notice the cancellation.
+	}
+	fmt.Fprintln(stdout, "regserver: worker shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
 	}
 	fmt.Fprintln(stdout, "regserver: bye")
 	return nil

@@ -160,6 +160,144 @@ func TestServerLifecycle(t *testing.T) {
 	}
 }
 
+// startProc launches run() with the given args and returns the base URL it
+// announced on stdout plus the error channel; the server dies with ctx.
+func startProc(t *testing.T, ctx context.Context, args ...string) (string, *lineBuffer, chan error) {
+	t.Helper()
+	var stdout, stderr lineBuffer
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, args, &stdout, &stderr) }()
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		out := stdout.String()
+		if i := strings.Index(out, "http://"); i >= 0 {
+			if j := strings.IndexByte(out[i:], '\n'); j > 0 {
+				// The line may carry trailing detail ("... (coordinator ...)");
+				// the URL is its first token.
+				return strings.Fields(out[i : i+j])[0], &stdout, runErr
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no listening line printed; stdout %q stderr %q", stdout.String(), stderr.String())
+	return "", nil, nil
+}
+
+// TestDistributedLifecycle boots a coordinator with no local mining loops and
+// two worker processes (all via run(), the real CLI entry point), mines the
+// Table 1 job through them, checks the worker-side probe, and shuts everything
+// down cleanly.
+func TestDistributedLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, _, coordErr := startProc(t, ctx,
+		"-addr", "127.0.0.1:0", "-mode", "coordinator", "-local-workers", "0",
+		"-lease-ttl", "2s", "-grace", "5s")
+	wbase1, _, werr1 := startProc(t, ctx, "-addr", "127.0.0.1:0", "-mode", "worker", "-join", base, "-advertise", "w1")
+	_, _, werr2 := startProc(t, ctx, "-addr", "127.0.0.1:0", "-mode", "worker", "-join", base, "-advertise", "w2")
+
+	m := paperdata.RunningExample()
+	var tsv bytes.Buffer
+	if err := m.WriteTSV(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/datasets?name=table1", "text/tab-separated-values", &tsv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ds struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ds); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	body, _ := json.Marshal(map[string]any{
+		"dataset": ds.ID,
+		"params":  core.Params{MinG: 3, MinC: 5, Gamma: 0.15, Epsilon: 0.1},
+	})
+	resp, err = http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	status := ""
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline) && status != "done"; {
+		resp, err := http.Get(base + "/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jv struct {
+			Status   string `json:"status"`
+			Clusters int    `json:"clusters"`
+			Error    string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&jv)
+		resp.Body.Close()
+		status = jv.Status
+		if status == "done" && jv.Clusters != 1 {
+			t.Fatalf("distributed table 1 mined %d clusters, want 1", jv.Clusters)
+		}
+		if status == "failed" {
+			t.Fatalf("distributed job failed: %s", jv.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if status != "done" {
+		t.Fatalf("distributed job stuck in %q", status)
+	}
+
+	// The worker probe reports its lease work.
+	resp, err = http.Get(wbase1 + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wh struct {
+		Mode string `json:"mode"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&wh); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if wh.Mode != "worker" {
+		t.Fatalf("worker probe mode %q", wh.Mode)
+	}
+
+	cancel()
+	for _, ch := range []chan error{coordErr, werr1, werr2} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("process exited with %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("process did not shut down")
+		}
+	}
+}
+
+// TestModeFlagValidation covers the distributed flag-error paths.
+func TestModeFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "worker"}, // worker without -join
+		{"-mode", "single", "-join", "http://localhost"}, // -join outside worker mode
+		{"-mode", "shard", "-addr", "127.0.0.1:0"},       // unknown mode
+	}
+	for _, args := range cases {
+		var stdout, stderr lineBuffer
+		if err := run(context.Background(), args, &stdout, &stderr); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
 // TestBadFlags covers the flag-error path.
 func TestBadFlags(t *testing.T) {
 	var stdout, stderr lineBuffer

@@ -38,6 +38,12 @@ func (o *Observer) Clusters() int64 { return o.clusters.Load() }
 // path. Call between runs, not mid-run: miners read the span once at start.
 func (o *Observer) SetSpan(sp *obs.Span) { o.span.Store(sp) }
 
+// TraceSpan returns the currently attached span (nil when tracing is off);
+// nil-safe on a nil Observer. Callers that route mining through an external
+// engine — e.g. a distributed coordinator — use it to parent that engine's
+// spans under the same attempt span SetSpan armed.
+func (o *Observer) TraceSpan() *obs.Span { return o.traceSpan() }
+
 // traceSpan returns the attached span; nil-safe on a nil Observer.
 func (o *Observer) traceSpan() *obs.Span {
 	if o == nil {

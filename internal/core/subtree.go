@@ -1,0 +1,364 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"regcluster/internal/matrix"
+	"regcluster/internal/obs"
+	"regcluster/internal/rwave"
+)
+
+// Subtree work units: the distribution surface of the miner.
+//
+// A level-1 subtree (one starting condition) is the natural shippable unit of
+// a mining run — a representative chain lives entirely in the subtree of its
+// first condition, so subtrees are independent and can be mined anywhere, in
+// any order, by any process that holds the same matrix and Params. This file
+// exposes that unit: MineSubtree produces one subtree's clusters and Stats in
+// isolation, and SubtreeMerger reassembles any set of subtree partials into
+// the exact sequential output, enforcing the global MaxNodes/MaxClusters caps
+// through the same accounting the in-process parallel engine uses (see
+// engine.emit in parallel.go). Distributed output is therefore byte-identical
+// to Mine's for any placement of subtrees across workers.
+
+// SubtreeCluster is one cluster found inside a subtree, tagged with the
+// subtree-local node ordinal of its emission (the miner's Stats.Nodes at that
+// moment). The ordinal lets a merger decide whether the sequential miner,
+// charged with the preceding subtrees' nodes, would still have processed the
+// emitting node. All fields are integers, so the JSON round-trip across a
+// process boundary is exact.
+type SubtreeCluster struct {
+	Cluster *Bicluster `json:"cluster"`
+	Node    int        `json:"node"`
+}
+
+// SubtreePartial is the complete output of mining one level-1 subtree in
+// isolation: its clusters in DFS order and its isolated Stats (counted as if
+// the subtree were the only work, with no global caps applied).
+type SubtreePartial struct {
+	Cond     int              `json:"cond"`
+	Clusters []SubtreeCluster `json:"clusters,omitempty"`
+	Stats    Stats            `json:"stats"`
+}
+
+// SubtreeOrder returns the starting conditions in the deterministic
+// largest-estimated-subtree-first dispatch order the parallel engine uses.
+// A coordinator leasing subtrees to workers should issue them in this order
+// so the skewed tail does not land last.
+func SubtreeOrder(m *matrix.Matrix, p Params, models []*rwave.Model) ([]int, error) {
+	models, err := resolveModels(m, p, models, nil)
+	if err != nil {
+		return nil, err
+	}
+	return subtreeOrder(m, p, models), nil
+}
+
+// MineSubtreeFunc mines the single level-1 subtree rooted at cond, streaming
+// every cluster to visit in DFS order together with its subtree-local node
+// ordinal. The run is isolated: MaxNodes/MaxClusters are ignored (global caps
+// are the merger's job, and a worker cannot know how much budget precedes
+// it), and the returned Stats count only this subtree. A false return from
+// visit abandons the subtree — the partial is then incomplete (Truncated is
+// set) and must not be offered to a merger. ctx cancels cooperatively at node
+// and candidate boundaries.
+func MineSubtreeFunc(ctx context.Context, m *matrix.Matrix, p Params, cond int, models []*rwave.Model, visit func(SubtreeCluster) bool) (Stats, error) {
+	if visit == nil {
+		return Stats{}, fmt.Errorf("core: MineSubtreeFunc requires a visitor")
+	}
+	models, err := resolveModels(m, p, models, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	if cond < 0 || cond >= m.Cols() {
+		return Stats{}, fmt.Errorf("core: subtree condition %d outside [0,%d)", cond, m.Cols())
+	}
+	iso := p
+	iso.MaxNodes, iso.MaxClusters = 0, 0
+	bud := newBudget(iso, ctx)
+	mn := newMiner(m, iso, models, bud)
+	mn.sink = func(b *Bicluster, node int) bool {
+		return visit(SubtreeCluster{Cluster: b, Node: node})
+	}
+	mn.runFrom(cond)
+	if err := bud.contextErr(); err != nil {
+		return Stats{}, err
+	}
+	return mn.stats, nil
+}
+
+// MineSubtree is MineSubtreeFunc collecting into a SubtreePartial.
+func MineSubtree(ctx context.Context, m *matrix.Matrix, p Params, cond int, models []*rwave.Model) (*SubtreePartial, error) {
+	sp := &SubtreePartial{Cond: cond}
+	stats, err := MineSubtreeFunc(ctx, m, p, cond, models, func(sc SubtreeCluster) bool {
+		sp.Clusters = append(sp.Clusters, sc)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sp.Stats = stats
+	return sp, nil
+}
+
+// SubtreeMerger reassembles complete subtree partials — produced by
+// MineSubtree anywhere, in any order — into the exact sequential mining
+// output. It mirrors the in-process emitter's accounting (engine.emit):
+// clusters are delivered in starting-condition order, DFS within a subtree;
+// the global MaxNodes/MaxClusters caps are enforced against the settled
+// prefix using each cluster's subtree-local node ordinal; and any truncation
+// (cap trip or visitor stop) re-mines the truncating subtree locally against
+// a budget pre-charged with the prefix totals, reproducing the truncated
+// sequential run's Stats exactly. Not safe for concurrent use; one goroutine
+// owns a merger.
+type SubtreeMerger struct {
+	ctx    context.Context
+	m      *matrix.Matrix
+	p      Params
+	models []*rwave.Model
+	visit  Visitor
+	ck     CheckpointConfig
+	sp     *obs.Span // optional trace parent for reconciliation reruns
+
+	next    int                     // first condition not yet folded
+	resume  int                     // the resumed subtree; its first `skip` clusters are suppressed
+	skip    int                     // remaining resume watermark of subtree `resume`
+	pending map[int]*SubtreePartial // offered out of order, waiting for their turn
+
+	// Exact sequential accounting of the settled prefix, as in engine.emit.
+	agg         Stats
+	cumNodes    int
+	cumClusters int
+
+	// Checkpoint emission state (see engine.noteDelivery/snapshot).
+	ckFresh   int
+	lastChain []int
+
+	done bool
+	err  error
+}
+
+// NewSubtreeMerger builds a merger over (m, p). The visitor receives clusters
+// on the Offer caller's goroutine; resume positions the merger after a prior
+// run's checkpoint (its prefix is never re-delivered), and ck emits new
+// snapshots exactly as the in-process engine would — at subtree boundaries
+// plus every EveryClusters deliveries. ctx bounds reconciliation reruns; nil
+// means background.
+func NewSubtreeMerger(ctx context.Context, m *matrix.Matrix, p Params, models []*rwave.Model, visit Visitor, resume *Checkpoint, ck CheckpointConfig) (*SubtreeMerger, error) {
+	if visit == nil {
+		return nil, fmt.Errorf("core: SubtreeMerger requires a visitor")
+	}
+	models, err := resolveModels(m, p, models, nil)
+	if err != nil {
+		return nil, err
+	}
+	g := &SubtreeMerger{ctx: ctx, m: m, p: p, models: models, visit: visit, ck: ck,
+		pending: make(map[int]*SubtreePartial)}
+	if resume != nil {
+		if err := resume.Validate(m.Cols()); err != nil {
+			return nil, err
+		}
+		g.next = resume.NextCond
+		g.resume = resume.NextCond
+		g.skip = resume.SkipClusters
+		g.agg = resume.Prefix
+		g.cumNodes = resume.Prefix.Nodes
+		g.cumClusters = resume.Prefix.Clusters
+		g.lastChain = resume.LastChain
+	}
+	if g.next >= m.Cols() {
+		g.done = true
+	}
+	return g, nil
+}
+
+// SetSpan attaches a trace parent: reconciliation reruns and budget trips are
+// recorded under it. Nil (the default) disables tracing at zero cost.
+func (g *SubtreeMerger) SetSpan(sp *obs.Span) { g.sp = sp }
+
+// NextCond returns the first starting condition the merger still needs; it
+// is meaningless once Done.
+func (g *SubtreeMerger) NextCond() int { return g.next }
+
+// Done reports whether the run has settled: every subtree folded, or a cap /
+// visitor stop truncated it. No further Offer calls are needed (they are
+// ignored).
+func (g *SubtreeMerger) Done() bool { return g.done }
+
+// Result returns the run's total Stats and error. Valid only once Done.
+func (g *SubtreeMerger) Result() (Stats, error) { return g.agg, g.err }
+
+// Offer folds one complete subtree partial. Partials may arrive in any
+// order; out-of-order ones are parked until every earlier subtree has been
+// folded. Offer returns the merger's Done state; after a truncation or error
+// it stays done and further offers are no-ops. Offering a partial for an
+// already-folded subtree, a duplicate, or one marked Truncated is an error.
+func (g *SubtreeMerger) Offer(part *SubtreePartial) (bool, error) {
+	if g.done {
+		return true, g.err
+	}
+	c := part.Cond
+	if c < g.next || c >= g.m.Cols() {
+		return g.done, fmt.Errorf("core: subtree partial for condition %d outside [%d,%d)", c, g.next, g.m.Cols())
+	}
+	if _, dup := g.pending[c]; dup {
+		return g.done, fmt.Errorf("core: duplicate subtree partial for condition %d", c)
+	}
+	if part.Stats.Truncated {
+		return g.done, fmt.Errorf("core: subtree partial for condition %d is incomplete (abandoned mid-mine)", c)
+	}
+	g.pending[c] = part
+	for !g.done {
+		nxt, ok := g.pending[g.next]
+		if !ok {
+			break
+		}
+		delete(g.pending, g.next)
+		g.foldOne(nxt)
+	}
+	if g.done {
+		g.pending = nil
+	}
+	return g.done, g.err
+}
+
+// foldOne settles subtree part.Cond into the prefix, replicating the emitter
+// loop of engine.emit for a complete subtree.
+func (g *SubtreeMerger) foldOne(part *SubtreePartial) {
+	c := part.Cond
+	nodeCap, clusterCap := g.p.MaxNodes, g.p.MaxClusters
+	skip := 0
+	if c == g.resume {
+		skip = g.skip
+	}
+	taken := 0
+	for _, sc := range part.Clusters {
+		if nodeCap > 0 && g.cumNodes+sc.Node > nodeCap {
+			// The node that emitted this cluster lies beyond the global cap:
+			// the sequential miner stops before it.
+			g.truncate(c, taken, clusterCap)
+			return
+		}
+		taken++
+		if taken > skip {
+			if !g.visit(sc.Cluster) {
+				// A visitor stop right after this cluster is equivalent to a
+				// MaxClusters cap at the delivered total.
+				g.truncate(c, taken, g.cumClusters+taken)
+				return
+			}
+			g.noteDelivery(c, taken, sc.Cluster)
+		}
+		if clusterCap > 0 && g.cumClusters+taken >= clusterCap {
+			g.truncate(c, taken, clusterCap)
+			return
+		}
+	}
+	if nodeCap > 0 && g.cumNodes+part.Stats.Nodes > nodeCap {
+		// The node cap fires inside this subtree after its last cluster.
+		g.truncate(c, taken, clusterCap)
+		return
+	}
+	g.account(part.Stats)
+	g.next = c + 1
+	if g.next >= g.m.Cols() {
+		g.done = true
+	}
+	if g.ck.enabled() {
+		g.snapshot(g.next, 0)
+	}
+}
+
+// noteDelivery mirrors engine.noteDelivery: cadence checkpoints keyed to the
+// subtree watermark of the delivery.
+func (g *SubtreeMerger) noteDelivery(c, taken int, b *Bicluster) {
+	if !g.ck.enabled() {
+		return
+	}
+	g.ckFresh++
+	g.lastChain = b.Chain
+	if g.ck.EveryClusters > 0 && g.ckFresh >= g.ck.EveryClusters {
+		g.snapshot(c, taken)
+	}
+}
+
+func (g *SubtreeMerger) snapshot(nextCond, skip int) {
+	g.ckFresh = 0
+	g.sp.Add("checkpoints", 1)
+	ck := Checkpoint{Version: CheckpointVersion, NextCond: nextCond, SkipClusters: skip, Prefix: g.agg}
+	if len(g.lastChain) > 0 {
+		ck.LastChain = append([]int(nil), g.lastChain...)
+	}
+	g.ck.OnCheckpoint(ck)
+}
+
+func (g *SubtreeMerger) account(st Stats) {
+	g.agg.Add(st)
+	g.cumNodes += st.Nodes
+	g.cumClusters += st.Clusters
+}
+
+// truncate settles a truncation detected while folding subtree c, after
+// `taken` of its clusters were admitted: the subtree is re-mined locally
+// against the pre-charged continuation budget solely to reproduce the
+// truncated sequential run's Stats. No further clusters are delivered.
+func (g *SubtreeMerger) truncate(c, taken, effClusterCap int) {
+	g.done = true
+	g.sp.Add("budget_trips", 1)
+	rsp := g.sp.Start("rerun")
+	if rsp != nil {
+		rsp.SetInt("cond", int64(c))
+		rsp.SetInt("skip", int64(taken))
+		defer rsp.End()
+	}
+	rbud := prechargedBudget(g.p.MaxNodes, effClusterCap, g.cumNodes, g.cumClusters)
+	if g.ctx != nil {
+		rbud.done = g.ctx.Done()
+		rbud.ctxErr = g.ctx.Err
+	}
+	mn := newMiner(g.m, g.p, g.models, rbud)
+	mn.sink = func(*Bicluster, int) bool { return true }
+	mn.runFrom(c)
+	if err := rbud.contextErr(); err != nil {
+		g.err = err
+		g.agg = Stats{}
+		return
+	}
+	g.agg.Add(mn.stats)
+}
+
+// MergeSubtreePartials folds a full set of subtree partials (one per
+// condition, any order) into a Result identical to Mine(m, p)'s — including
+// cap truncation, which re-mines the truncating subtree locally. It is the
+// batch convenience over SubtreeMerger.
+func MergeSubtreePartials(m *matrix.Matrix, p Params, models []*rwave.Model, partials []*SubtreePartial) (*Result, error) {
+	res := &Result{}
+	g, err := NewSubtreeMerger(nil, m, p, models, func(b *Bicluster) bool {
+		res.Clusters = append(res.Clusters, b)
+		return true
+	}, nil, CheckpointConfig{})
+	if err != nil {
+		return nil, err
+	}
+	sorted := append([]*SubtreePartial(nil), partials...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Cond < sorted[j].Cond })
+	for _, part := range sorted {
+		done, err := g.Offer(part)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			break
+		}
+	}
+	if !g.Done() {
+		return nil, fmt.Errorf("core: missing subtree partial for condition %d", g.NextCond())
+	}
+	stats, err := g.Result()
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = stats
+	return res, nil
+}

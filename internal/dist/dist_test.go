@@ -1,0 +1,398 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"regcluster/internal/core"
+	"regcluster/internal/faultinject"
+	"regcluster/internal/matrix"
+	"regcluster/internal/synthetic"
+)
+
+func distTestMatrix(t *testing.T) (*matrix.Matrix, core.Params) {
+	t.Helper()
+	mm, _, err := synthetic.Generate(synthetic.Config{Genes: 110, Conds: 12, Clusters: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mm, core.Params{MinG: 4, MinC: 4, Gamma: 0.08, Epsilon: 0.05}
+}
+
+// mapSource serves replicas from a map, content-addressed like the registry.
+type mapSource map[string]*matrix.Matrix
+
+func (s mapSource) Dataset(id string) (*matrix.Matrix, bool) {
+	m, ok := s[id]
+	return m, ok
+}
+
+func assertSameClusters(t *testing.T, want, got []*core.Bicluster) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("cluster count: want %d, got %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i].Key() != got[i].Key() {
+			t.Fatalf("cluster %d differs:\n want %s\n got  %s", i, want[i], got[i])
+		}
+	}
+}
+
+// Two remote workers over real HTTP, no local mining: the merged stream and
+// Stats must be byte-identical to the single-node sequential miner.
+func TestDistributedMineByteIdenticalAcrossWorkers(t *testing.T) {
+	m, p := distTestMatrix(t)
+	want, err := core.Mine(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := m.Hash()
+	c := NewCoordinator(Config{LeaseTTL: 500 * time.Millisecond, Datasets: mapSource{id: m}, Logf: t.Logf})
+	mux := http.NewServeMux()
+	c.Routes(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	workers := make([]*Worker, 2)
+	for i := range workers {
+		workers[i] = NewWorker(WorkerConfig{Coordinator: srv.URL, Name: fmt.Sprintf("test-worker-%d", i)})
+		go workers[i].Run(wctx) //nolint:errcheck // cancelled at test end
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var got []*core.Bicluster
+	stats, err := c.Mine(ctx, MineRequest{
+		Job: "job-e2e", Matrix: m, DatasetID: id, Params: p, LocalWorkers: -1,
+	}, func(b *core.Bicluster) bool {
+		got = append(got, b)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameClusters(t, want.Clusters, got)
+	if !reflect.DeepEqual(want.Stats, stats) {
+		t.Errorf("stats: want %+v, got %+v", want.Stats, stats)
+	}
+	joined, issued, _, completed := c.Counters()
+	if joined != 2 {
+		t.Errorf("workers joined: want 2, got %d", joined)
+	}
+	if completed != int64(m.Cols()) || issued < completed {
+		t.Errorf("lease counters: issued %d, completed %d (want %d units)", issued, completed, m.Cols())
+	}
+	if n := c.ActiveLeases(); n != 0 {
+		t.Errorf("leases still active after run: %d", n)
+	}
+	if c.WorkersConnected() != 2 {
+		t.Errorf("workers connected: want 2, got %d", c.WorkersConnected())
+	}
+	// Workers bump Completed after the coordinator has already merged their
+	// final heartbeat; give the counters a moment to settle.
+	mined := func() int64 { return workers[0].Completed.Load() + workers[1].Completed.Load() }
+	for deadline := time.Now().Add(2 * time.Second); mined() != int64(m.Cols()) && time.Now().Before(deadline); {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if mined() != int64(m.Cols()) {
+		t.Errorf("worker completions: want %d, got %d", m.Cols(), mined())
+	}
+	if workers[0].Completed.Load() == 0 || workers[1].Completed.Load() == 0 {
+		t.Errorf("work not spread across workers: %d vs %d",
+			workers[0].Completed.Load(), workers[1].Completed.Load())
+	}
+}
+
+// A worker dying mid-lease (faultinject at dist.worker.mine — it stops
+// mining and never heartbeats again) must cost only a TTL: the lease is
+// revoked, the subtree re-leased, and the final output stays byte-identical.
+func TestDistributedMineSurvivesWorkerDeathMidLease(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Arm("dist.worker.mine", faultinject.Spec{After: 8, Times: 1})
+
+	m, p := distTestMatrix(t)
+	want, err := core.Mine(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := m.Hash()
+	c := NewCoordinator(Config{LeaseTTL: 120 * time.Millisecond, Datasets: mapSource{id: m}, Logf: t.Logf})
+	mux := http.NewServeMux()
+	c.Routes(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	var abandoned func() int64
+	{
+		ws := make([]*Worker, 2)
+		for i := range ws {
+			ws[i] = NewWorker(WorkerConfig{Coordinator: srv.URL, Name: fmt.Sprintf("doomed-%d", i)})
+			go ws[i].Run(wctx) //nolint:errcheck
+		}
+		abandoned = func() int64 { return ws[0].Abandoned.Load() + ws[1].Abandoned.Load() }
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var got []*core.Bicluster
+	stats, err := c.Mine(ctx, MineRequest{
+		Job: "job-kill", Matrix: m, DatasetID: id, Params: p, LocalWorkers: -1,
+	}, func(b *core.Bicluster) bool {
+		got = append(got, b)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faultinject.Fired("dist.worker.mine") == 0 {
+		t.Fatal("kill site never fired; test exercised nothing")
+	}
+	if abandoned() == 0 {
+		t.Error("no worker abandoned a lease")
+	}
+	if _, _, reassigned, _ := c.Counters(); reassigned == 0 {
+		t.Error("no lease was reassigned after the simulated death")
+	}
+	assertSameClusters(t, want.Clusters, got)
+	if !reflect.DeepEqual(want.Stats, stats) {
+		t.Errorf("stats: want %+v, got %+v", want.Stats, stats)
+	}
+}
+
+// Deterministic watermark recovery, driving the lease protocol directly: a
+// holder ships half a subtree and vanishes; the re-issued lease must carry
+// Skip equal to exactly what the coordinator verified, and the re-mined
+// remainder must complete the run byte-identically.
+func TestKilledWorkerResumesFromReceivedWatermark(t *testing.T) {
+	m, p := distTestMatrix(t)
+	models, err := core.BuildModels(m, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Mine(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoordinator(Config{LeaseTTL: 40 * time.Millisecond, Logf: t.Logf})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	var got []*core.Bicluster
+	var stats core.Stats
+	var mineErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		stats, mineErr = c.Mine(ctx, MineRequest{
+			Matrix: m, Params: p, Models: models, LocalWorkers: -1,
+		}, func(b *core.Bicluster) bool {
+			got = append(got, b)
+			return true
+		})
+	}()
+
+	killed := false
+	killedShipped := 0
+	resumedSkip := -1
+	for {
+		select {
+		case <-done:
+			goto settled
+		default:
+		}
+		ls := c.take("w1", false, nil)
+		if ls == nil {
+			time.Sleep(3 * time.Millisecond)
+			continue
+		}
+		part, err := core.MineSubtree(ctx, m, p, ls.unit.cond, models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest := part.Clusters[ls.skip:]
+		if !killed && ls.skip == 0 && len(rest) >= 2 {
+			// Ship half, then vanish: no Done, no further heartbeats.
+			killed = true
+			killedShipped = len(rest) / 2
+			resp := c.progress(heartbeatRequest{Worker: "w1", Lease: ls.id,
+				Clusters: rest[:killedShipped],
+				Ckpt:     SubtreeCheckpoint{Cond: ls.unit.cond, Delivered: killedShipped}})
+			if !resp.OK {
+				t.Fatalf("half shipment rejected: %+v", resp)
+			}
+			continue
+		}
+		if ls.skip > 0 {
+			resumedSkip = ls.skip
+		}
+		resp := c.progress(heartbeatRequest{Worker: "w1", Lease: ls.id, Clusters: rest,
+			Ckpt: SubtreeCheckpoint{Cond: ls.unit.cond, Delivered: ls.skip + len(rest)},
+			Done: true, Stats: &part.Stats})
+		if !resp.OK || resp.Revoked {
+			t.Fatalf("completion rejected: %+v", resp)
+		}
+	}
+settled:
+	if mineErr != nil {
+		t.Fatal(mineErr)
+	}
+	if !killed {
+		t.Fatal("never found a subtree worth killing; test is vacuous")
+	}
+	if resumedSkip != killedShipped {
+		t.Errorf("re-issued lease skip: want %d (received watermark), got %d", killedShipped, resumedSkip)
+	}
+	if _, _, reassigned, _ := c.Counters(); reassigned == 0 {
+		t.Error("revoker never reassigned the abandoned lease")
+	}
+	assertSameClusters(t, want.Clusters, got)
+	if !reflect.DeepEqual(want.Stats, stats) {
+		t.Errorf("stats: want %+v, got %+v", want.Stats, stats)
+	}
+}
+
+// A heartbeat whose watermark does not extend the verified prefix exactly
+// must revoke the lease instead of corrupting the unit.
+func TestWatermarkMismatchRevokesLease(t *testing.T) {
+	m, p := distTestMatrix(t)
+	c := NewCoordinator(Config{LeaseTTL: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = c.Mine(ctx, MineRequest{Matrix: m, Params: p, LocalWorkers: -1}, func(*core.Bicluster) bool { return true })
+	}()
+	var ls *leaseState
+	for ls == nil {
+		if ls = c.take("w1", false, nil); ls == nil {
+			time.Sleep(3 * time.Millisecond)
+		}
+	}
+	resp := c.progress(heartbeatRequest{Worker: "w1", Lease: ls.id,
+		Ckpt: SubtreeCheckpoint{Cond: ls.unit.cond, Delivered: 7}}) // nothing shipped, claims 7
+	if !resp.Revoked {
+		t.Fatalf("inconsistent watermark accepted: %+v", resp)
+	}
+	if resp := c.progress(heartbeatRequest{Worker: "w1", Lease: ls.id,
+		Ckpt: SubtreeCheckpoint{Cond: ls.unit.cond, Delivered: 0}}); !resp.Revoked {
+		t.Fatalf("heartbeat for a revoked lease accepted: %+v", resp)
+	}
+	cancel()
+	<-done
+}
+
+// Satellite: a replica whose bytes do not hash to the advertised id must be
+// rejected before mining — the worker nacks the lease and mines nothing.
+func TestWorkerRejectsCorruptReplica(t *testing.T) {
+	m, p := distTestMatrix(t)
+	evil, _, err := synthetic.Generate(synthetic.Config{Genes: 110, Conds: 12, Clusters: 4, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := m.Hash() // advertise the honest hash, serve different bytes
+	c := NewCoordinator(Config{
+		LeaseTTL: 300 * time.Millisecond, MaxUnitFailures: 2,
+		Datasets: mapSource{id: evil}, Logf: t.Logf,
+	})
+	mux := http.NewServeMux()
+	c.Routes(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	w := NewWorker(WorkerConfig{Coordinator: srv.URL, Name: "gullible", Logf: t.Logf})
+	go w.Run(wctx) //nolint:errcheck
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var got []*core.Bicluster
+	_, err = c.Mine(ctx, MineRequest{
+		Job: "job-corrupt", Matrix: m, DatasetID: id, Params: p, LocalWorkers: -1,
+	}, func(b *core.Bicluster) bool {
+		got = append(got, b)
+		return true
+	})
+	if err == nil {
+		t.Fatal("run with a corrupt replica source did not fail")
+	}
+	if !strings.Contains(err.Error(), "rejected") || !strings.Contains(err.Error(), "hash") {
+		t.Errorf("error does not surface the hash rejection: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("%d clusters mined from unverifiable data", len(got))
+	}
+	if w.Nacked.Load() == 0 {
+		t.Error("worker never nacked the corrupt replica")
+	}
+	if w.Completed.Load() != 0 || w.Replicated.Load() != 0 {
+		t.Errorf("worker accepted corrupt data: completed %d, replicated %d",
+			w.Completed.Load(), w.Replicated.Load())
+	}
+}
+
+// Distributed runs resume from engine checkpoints like local ones: a run cut
+// by a visitor stop hands back a checkpoint, and a fresh distributed run
+// resumed from it delivers exactly the missing suffix.
+func TestDistributedResumeFromCheckpoint(t *testing.T) {
+	m, p := distTestMatrix(t)
+	models, err := core.BuildModels(m, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full []*core.Bicluster
+	ref, err := core.Mine(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full = ref.Clusters
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	c := NewCoordinator(Config{LeaseTTL: time.Second})
+
+	// First run: capture cadence checkpoints, let it complete via local mining.
+	var cks []core.Checkpoint
+	var first []*core.Bicluster
+	if _, err := c.Mine(ctx, MineRequest{
+		Matrix: m, Params: p, Models: models,
+		Ck: core.CheckpointConfig{EveryClusters: 9, OnCheckpoint: func(ck core.Checkpoint) { cks = append(cks, ck) }},
+	}, func(b *core.Bicluster) bool {
+		first = append(first, b)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	assertSameClusters(t, full, first)
+	if len(cks) == 0 {
+		t.Fatal("no checkpoints emitted")
+	}
+	ck := cks[len(cks)/2]
+	if ck.Delivered() == 0 || ck.Delivered() >= len(full) {
+		t.Fatalf("checkpoint watermark %d not mid-run (of %d)", ck.Delivered(), len(full))
+	}
+
+	var tail []*core.Bicluster
+	stats, err := c.Mine(ctx, MineRequest{
+		Matrix: m, Params: p, Models: models, Resume: &ck,
+	}, func(b *core.Bicluster) bool {
+		tail = append(tail, b)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameClusters(t, full[ck.Delivered():], tail)
+	if !reflect.DeepEqual(ref.Stats, stats) {
+		t.Errorf("resumed stats: want %+v, got %+v", ref.Stats, stats)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"regcluster/internal/core"
+	"regcluster/internal/dist"
 	"regcluster/internal/faultinject"
 	"regcluster/internal/obs"
 	"regcluster/internal/report"
@@ -245,6 +246,14 @@ type jobManager struct {
 	// models is the shared RWave-build cache; nil means every attempt builds
 	// its own index (the pre-cache behavior, kept for bare-manager tests).
 	models *modelCache
+
+	// coord, when non-nil, routes mining through the distributed
+	// coordinator (subtree leases to remote workers plus local loops)
+	// instead of the in-process parallel engine. Output is byte-identical
+	// either way; distLocalWorkers carries the Config.DistLocalWorkers
+	// override into each run.
+	coord            *dist.Coordinator
+	distLocalWorkers int
 
 	// Durability plumbing; wal/store are nil on an in-memory server.
 	wal     *journal
@@ -508,7 +517,7 @@ func (m *jobManager) mine(ctx context.Context, j *Job) (core.Stats, error) {
 			return core.Stats{}, err
 		}
 	}
-	return core.MineParallelFuncResumableWithModels(ctx, mat, j.Params, j.Workers, func(b *core.Bicluster) bool {
+	visit := func(b *core.Bicluster) bool {
 		nc := report.Named(mat, b)
 		j.mu.Lock()
 		j.clusters = append(j.clusters, nc)
@@ -516,7 +525,24 @@ func (m *jobManager) mine(ctx context.Context, j *Job) (core.Stats, error) {
 		j.mu.Unlock()
 		m.metrics.ClustersStreamed.Add(1)
 		return true
-	}, &j.obs, resume, ck, models)
+	}
+	if m.coord != nil {
+		// Coordinator mode: the same visitor, resume point, and checkpoint
+		// cadence feed the distributed merger, so the journal/recovery path
+		// is oblivious to where the subtrees were mined.
+		return m.coord.Mine(ctx, dist.MineRequest{
+			Job:          j.ID,
+			Matrix:       mat,
+			DatasetID:    j.Dataset.ID,
+			Params:       j.Params,
+			Models:       models,
+			Resume:       resume,
+			Ck:           ck,
+			Span:         j.obs.TraceSpan(),
+			LocalWorkers: m.distLocalWorkers,
+		}, visit)
+	}
+	return core.MineParallelFuncResumableWithModels(ctx, mat, j.Params, j.Workers, visit, &j.obs, resume, ck, models)
 }
 
 // noteCheckpoint records a miner snapshot: it becomes the job's resume point
@@ -700,6 +726,14 @@ func (m *jobManager) cancelJob(id string) (*Job, bool) {
 
 // runningCount returns the number of jobs currently holding a mining slot.
 func (m *jobManager) runningCount() int { return len(m.slots) }
+
+// isClosed reports whether drain has begun: the manager no longer accepts
+// submissions, so readiness probes should steer traffic elsewhere.
+func (m *jobManager) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
 
 // queuedOrRunning returns the number of non-terminal jobs.
 func (m *jobManager) queuedOrRunning() int {

@@ -31,6 +31,14 @@ const (
 	// a journal holding the record restores the sweep view intact. Older
 	// servers skip it as an unknown type.
 	recSweep = "sweep"
+	// recWorker / recLease are coordinator-mode audit records: worker joins
+	// and lease lifecycle transitions (issued / reassigned / completed).
+	// They are transient by design — replay skips them (leases do not
+	// survive the coordinator process; an interrupted distributed job
+	// resumes from its ordinary checkpoint records), so compaction drops
+	// them, and servers predating them skip them as unknown types.
+	recWorker = "worker"
+	recLease  = "lease"
 )
 
 // journalRecord is one line of the job journal. Fields are a union over the
@@ -62,6 +70,15 @@ type journalRecord struct {
 	// sweep: the sweep ID and its point jobs, in grid order.
 	Sweep     string   `json:"sweep,omitempty"`
 	PointJobs []string `json:"point_jobs,omitempty"`
+
+	// coordinator-mode audit records (recWorker / recLease)
+	Worker     string `json:"worker,omitempty"`
+	Addr       string `json:"addr,omitempty"`        // advertised worker name
+	Lease      string `json:"lease,omitempty"`       // lease id
+	LeaseEvent string `json:"lease_event,omitempty"` // issued / reassigned / completed
+	Cond       *int   `json:"cond,omitempty"`        // subtree condition of the lease
+	Skip       int    `json:"skip,omitempty"`        // received watermark at the event
+	Reason     string `json:"reason,omitempty"`      // reassignment cause
 }
 
 // journal is the append side of the WAL. Appends are serialized and fsynced

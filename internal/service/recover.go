@@ -96,6 +96,12 @@ func replayRecords(recs []journalRecord, logf func(string, ...any)) (ordered []*
 			}
 		case recSweep:
 			sweeps = append(sweeps, rec)
+		case recWorker, recLease:
+			// Coordinator-mode audit trail: leases and worker registrations
+			// do not survive the coordinator process (an interrupted
+			// distributed job resumes from its ordinary checkpoint records),
+			// so these records carry no replayable state and compaction
+			// drops them.
 		default:
 			logf("service: journal: unknown record type %q; skipping (newer server?)", rec.Type)
 		}

@@ -48,6 +48,19 @@ func (d *Dataset) Matrix() *matrix.Matrix { return d.mat }
 // RowStats returns the precomputed per-gene summaries.
 func (d *Dataset) RowStats() []RowStat { return d.rowStats }
 
+// registrySource adapts the registry to the coordinator's replication
+// interface: workers fetch datasets by the same content hash the registry
+// keys on, so placement needs no extra bookkeeping.
+type registrySource struct{ r *registry }
+
+func (rs registrySource) Dataset(id string) (*matrix.Matrix, bool) {
+	ds, ok := rs.r.get(id)
+	if !ok {
+		return nil, false
+	}
+	return ds.Matrix(), true
+}
+
 // registry is the in-memory dataset store: content-addressed, bounded, safe
 // for concurrent use.
 type registry struct {

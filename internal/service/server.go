@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"regcluster/internal/core"
+	"regcluster/internal/dist"
 	"regcluster/internal/faultinject"
 	"regcluster/internal/obs"
 	"regcluster/internal/report"
@@ -115,6 +116,23 @@ type Config struct {
 	// whose total wall time (queue + mining) exceeds it (default 30s;
 	// negative disables).
 	SlowJobThreshold time.Duration
+
+	// Mode selects how jobs mine: "single" (default) uses the in-process
+	// parallel engine; "coordinator" splits every job into per-condition
+	// subtree leases served to remote workers over the /dist/* endpoints
+	// (plus DistLocalWorkers in-process loops) and merges the partials
+	// through the same reconciliation path, so the output is byte-identical
+	// either way. (Worker mode is a different process shape entirely and
+	// lives in cmd/regserver, not here.)
+	Mode string
+	// LeaseTTL is how long a coordinator lease survives without a worker
+	// heartbeat before its subtree is re-queued (default 5s).
+	LeaseTTL time.Duration
+	// DistLocalWorkers is the number of in-process mining loops each
+	// coordinator-mode job runs alongside remote workers: 0 means 1 (the
+	// coordinator can always finish a job alone), negative means none —
+	// jobs then wait for remote workers.
+	DistLocalWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -189,6 +207,10 @@ type Server struct {
 	// Durable state; nil on an in-memory server.
 	store *store
 	wal   *journal
+
+	// coord is the distributed-mining coordinator; nil outside
+	// Mode == "coordinator".
+	coord *dist.Coordinator
 }
 
 // Open boots a Server. With Config.DataDir set it runs the full recovery
@@ -220,6 +242,23 @@ func Open(cfg Config) (*Server, error) {
 	s.jobs.log = s.obsLog
 	s.jobs.trace = cfg.EnableTracing
 	s.jobs.slowJob = cfg.SlowJobThreshold
+	switch cfg.Mode {
+	case "", "single":
+	case "coordinator":
+		// The coordinator must exist before recovery: interrupted jobs
+		// re-enqueued at boot mine through it like fresh ones.
+		s.coord = dist.NewCoordinator(dist.Config{
+			LeaseTTL:     cfg.LeaseTTL,
+			LocalWorkers: cfg.DistLocalWorkers,
+			Datasets:     registrySource{s.registry},
+			Events:       s.distEvent,
+			Logf:         s.logf,
+		})
+		s.jobs.coord = s.coord
+		s.jobs.distLocalWorkers = cfg.DistLocalWorkers
+	default:
+		return nil, fmt.Errorf("service: unknown mode %q (want single or coordinator)", cfg.Mode)
+	}
 	if cfg.DataDir != "" {
 		st, err := openStore(cfg.DataDir, s.logf)
 		if err != nil {
@@ -334,6 +373,27 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.jobs.drain(ctx)
 }
 
+// distEvent bridges coordinator lifecycle events into the journal (as
+// recWorker/recLease audit records — dropped on replay and by compaction)
+// and the structured log. Reassignments warn: they mean a worker died or
+// fell behind its heartbeat TTL.
+func (s *Server) distEvent(ev dist.Event) {
+	switch ev.Kind {
+	case dist.EventWorkerJoined:
+		s.obsLog.Info("worker joined", "worker", ev.Worker, "addr", ev.Addr)
+		s.jobs.journalAppend(journalRecord{Type: recWorker, Worker: ev.Worker, Addr: ev.Addr})
+	default:
+		cond := ev.Cond
+		s.jobs.journalAppend(journalRecord{Type: recLease, Job: ev.Job, Worker: ev.Worker,
+			Lease: ev.Lease, LeaseEvent: string(ev.Kind), Cond: &cond, Skip: ev.Skip, Reason: ev.Reason})
+		if ev.Kind == dist.EventLeaseReassigned {
+			s.obsLog.Warn("lease reassigned",
+				"job", ev.Job, "lease", ev.Lease, "worker", ev.Worker,
+				"cond", int64(ev.Cond), "skip", int64(ev.Skip), "reason", ev.Reason)
+		}
+	}
+}
+
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /datasets", s.handleUpload)
 	s.mux.HandleFunc("GET /datasets", s.handleListDatasets)
@@ -351,9 +411,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.coord != nil {
+		s.coord.Routes(s.mux)
+	}
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -666,6 +727,36 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz is the readiness probe. By the time Open returns, the
+// registry is loaded and the journal replayed, so readiness reduces to "not
+// draining": 200 while the server accepts submissions, 503 once Shutdown has
+// begun (load balancers and coordinator placement checks steer away). The
+// body reports the mode and, in coordinator mode, the worker pool state.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	draining := s.jobs.isClosed()
+	mode := s.cfg.Mode
+	if mode == "" {
+		mode = "single"
+	}
+	resp := map[string]any{
+		"status":      "ok",
+		"ready":       !draining,
+		"mode":        mode,
+		"datasets":    s.registry.size(),
+		"jobs_active": s.jobs.queuedOrRunning(),
+	}
+	status := http.StatusOK
+	if draining {
+		resp["status"] = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	if s.coord != nil {
+		resp["workers_connected"] = s.coord.WorkersConnected()
+		resp["leases_active"] = s.coord.ActiveLeases()
+	}
+	writeJSON(w, status, resp)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteTo(w, []gauge{
@@ -689,4 +780,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gp := "regserver_gc_pause_seconds_total"
 	fmt.Fprintf(w, "# HELP %s Cumulative GC pause at the last runtime sample.\n# TYPE %s gauge\n%s %g\n",
 		gp, gp, gp, s.sampler.Latest().GCPauseTotal.Seconds())
+	if s.coord != nil {
+		joined, issued, reassigned, completed := s.coord.Counters()
+		writeMetric := func(kind, name, help string, v int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, kind, name, v)
+		}
+		writeMetric("gauge", "regserver_workers_connected", "Workers heard from within the last three lease TTLs.", int64(s.coord.WorkersConnected()))
+		writeMetric("gauge", "regserver_leases_active", "Subtree leases currently outstanding.", int64(s.coord.ActiveLeases()))
+		writeMetric("counter", "regserver_workers_joined_total", "Worker registrations accepted.", joined)
+		writeMetric("counter", "regserver_leases_issued_total", "Subtree leases issued (re-issues included).", issued)
+		writeMetric("counter", "regserver_leases_reassigned_total", "Leases revoked (heartbeat TTL or worker nack) and re-queued.", reassigned)
+		writeMetric("counter", "regserver_leases_completed_total", "Subtree leases completed by a final heartbeat.", completed)
+	}
 }

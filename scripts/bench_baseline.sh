@@ -10,12 +10,18 @@
 # outputs concatenated and parsed by cmd/benchdiff into ns/op, B/op and
 # allocs/op per benchmark.
 #
+# BEST_OF=N (default 1) repeats every benchmark N times (go test -count N)
+# and records the fastest sample of each — min-of-N is far less noisy on a
+# shared machine than a single run.
+#
 #   scripts/bench_baseline.sh BENCH_0.json                      # default set
+#   BEST_OF=3 scripts/bench_baseline.sh BENCH_0.json            # min-of-3
 #   scripts/bench_baseline.sh /tmp/b.json 'BenchmarkYeast$@5x'  # custom set
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GO=${GO:-go}
+BEST_OF=${BEST_OF:-1}
 OUT=${1:?usage: bench_baseline.sh OUT.json [bench-regex@benchtime ...]}
 shift || true
 
@@ -42,10 +48,10 @@ trap 'rm -f "$RAW"' EXIT
 for spec in "${SPECS[@]}"; do
     regex=${spec%@*}
     benchtime=${spec##*@}
-    echo ">> go test -bench '$regex' -benchtime $benchtime" >&2
-    $GO test -run 'XXX_none' -bench "$regex" -benchtime "$benchtime" -benchmem -timeout 30m . \
+    echo ">> go test -bench '$regex' -benchtime $benchtime -count $BEST_OF" >&2
+    $GO test -run 'XXX_none' -bench "$regex" -benchtime "$benchtime" -count "$BEST_OF" -benchmem -timeout 30m . \
         | tee -a "$RAW" >&2
 done
 
-$GO run ./cmd/benchdiff -parse -label "$LABEL" <"$RAW" >"$OUT"
+$GO run ./cmd/benchdiff -parse -label "$LABEL" -best-of "$BEST_OF" <"$RAW" >"$OUT"
 echo "wrote $OUT" >&2
