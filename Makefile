@@ -9,7 +9,7 @@ GO ?= go
 COVER_FLOOR_CORE ?= 95.0
 COVER_FLOOR_SERVICE ?= 82.0
 
-.PHONY: build test vet race service-race check lint cover bench bench-baseline bench-compare bench-smoke serve-smoke crash-smoke dist-smoke
+.PHONY: build test vet race service-race check lint cover bench bench-baseline bench-compare bench-smoke serve-smoke crash-smoke dist-smoke overload-smoke
 
 build:
 	$(GO) build ./...
@@ -99,3 +99,9 @@ crash-smoke: build
 # single-node run.
 dist-smoke: build
 	GO=$(GO) ./scripts/dist_smoke.sh
+
+# Burst 50 submissions from two API-key tenants at a 2-slot server: the
+# bounded tenant gets honest 429s with Retry-After, the light tenant's work
+# completes, no 5xx, and a restart replays identical usage ledgers.
+overload-smoke: build
+	GO=$(GO) ./scripts/overload_smoke.sh

@@ -89,6 +89,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		trace       = fs.Bool("trace", false, "record a span tree per job (queue wait, mining attempts, stream replays), served at GET /jobs/{id}/trace")
 		logFormat   = fs.String("log-format", "text", `structured log format: "text" or "json" (one JSON object per line)`)
 		slowJob     = fs.Duration("slow-job", 30*time.Second, "log a warning with a per-phase breakdown for jobs slower than this (0 disables)")
+		tenantsFile = fs.String("tenants", "", "JSON file of API-key tenants (weights, priorities, quotas); empty = anonymous tenant only")
+		tenantRate  = fs.Float64("tenant-rate", 0, "default per-tenant submission rate limit in jobs/sec (0 = unlimited)")
+		tenantBurst = fs.Int("tenant-burst", 0, "default per-tenant submission burst (0 = ceil(rate))")
+		maxActive   = fs.Int("max-active-per-tenant", 0, "jobs one tenant may have queued+running at once (0 = unlimited)")
+		maxQueued   = fs.Int("max-queued-per-tenant", 0, "jobs one tenant may have waiting for a slot (0 = unlimited)")
+		shedAt      = fs.Int("shed-watermark", 0, "total queued jobs above which the newest lowest-priority queued work is shed (0 = disabled)")
 		mode        = fs.String("mode", "single", `mining mode: "single" (in-process), "coordinator" (lease subtrees to workers), or "worker" (join a coordinator)`)
 		join        = fs.String("join", "", "coordinator base URL a worker registers with (worker mode only)")
 		advertise   = fs.String("advertise", "", "name this worker reports to the coordinator (default: the hostname)")
@@ -121,6 +127,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if slow <= 0 {
 		slow = -1 // Config treats 0 as "use the default"; negative disables
 	}
+	var tenants []service.TenantConfig
+	if *tenantsFile != "" {
+		tenants, err = service.LoadTenants(*tenantsFile)
+		if err != nil {
+			return err
+		}
+	}
 
 	svc, err := service.Open(service.Config{
 		MaxConcurrentJobs:       *jobs,
@@ -133,6 +146,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		MaxJobDuration:          *maxDuration,
 		MaxNodesPerJob:          *maxNodes,
 		MaxClustersPerJob:       *maxClusters,
+		Tenants:                 tenants,
+		TenantRatePerSec:        *tenantRate,
+		TenantBurst:             *tenantBurst,
+		MaxActivePerTenant:      *maxActive,
+		MaxQueuedPerTenant:      *maxQueued,
+		ShedWatermark:           *shedAt,
 		DataDir:                 *dataDir,
 		CheckpointEveryClusters: *ckEvery,
 		MaxJobRetries:           *retries,

@@ -109,3 +109,82 @@ func (b *budget) contextErr() error {
 	}
 	return b.ctxErr()
 }
+
+// QuotaPool is a shared atomic reservation counter over an abstract resource
+// budget — the admission-control companion to the per-run budget above. A
+// caller reserves capacity before starting work that will consume it and
+// releases the reservation when the work settles, so the pool bounds the
+// AGGREGATE in-flight commitment across concurrent runs the way budget bounds
+// one run. The service layer uses one pool per tenant to cap the sum of
+// node budgets (Params.MaxNodes) a tenant may have mining at once.
+//
+// Reserve/Release pair like a semaphore but with weighted units and a
+// lock-free compare-and-swap grant, so admission checks stay cheap under
+// submission bursts.
+type QuotaPool struct {
+	capacity int64
+	used     atomic.Int64
+}
+
+// NewQuotaPool returns a pool with the given capacity. Capacity <= 0 means
+// unlimited: every reservation succeeds and nothing is accounted.
+func NewQuotaPool(capacity int64) *QuotaPool {
+	return &QuotaPool{capacity: capacity}
+}
+
+// TryReserve atomically reserves n units, failing without side effects when
+// the reservation would push usage past the capacity. Non-positive n always
+// succeeds and reserves nothing.
+func (q *QuotaPool) TryReserve(n int64) bool {
+	if q == nil || q.capacity <= 0 || n <= 0 {
+		return true
+	}
+	for {
+		used := q.used.Load()
+		if used+n > q.capacity {
+			return false
+		}
+		if q.used.CompareAndSwap(used, used+n) {
+			return true
+		}
+	}
+}
+
+// Release returns n previously reserved units to the pool. Releasing more
+// than is reserved clamps at zero rather than going negative — a double
+// release must degrade accounting, never open the pool wider than its
+// capacity.
+func (q *QuotaPool) Release(n int64) {
+	if q == nil || q.capacity <= 0 || n <= 0 {
+		return
+	}
+	if q.used.Add(-n) < 0 {
+		// Clamp: competing releases may both observe the transient negative;
+		// CAS back to zero without double-adding.
+		for {
+			used := q.used.Load()
+			if used >= 0 {
+				return
+			}
+			if q.used.CompareAndSwap(used, 0) {
+				return
+			}
+		}
+	}
+}
+
+// InUse returns the units currently reserved.
+func (q *QuotaPool) InUse() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.used.Load()
+}
+
+// Capacity returns the pool's capacity (0 = unlimited).
+func (q *QuotaPool) Capacity() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.capacity
+}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"math"
+	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 
 	"regcluster/internal/matrix"
@@ -160,5 +162,104 @@ func TestMineDenormalBaselineNoInf(t *testing.T) {
 			t.Fatal(err)
 		}
 		assertSameRun(t, "MineParallel denormal", res, par.Clusters, par.Stats)
+	}
+}
+
+// TestQuotaPoolReserveRelease covers the admission-control pool: bounded
+// reservation, exact-capacity fill, rejection past capacity, and release
+// making room again.
+func TestQuotaPoolReserveRelease(t *testing.T) {
+	q := NewQuotaPool(100)
+	if !q.TryReserve(60) || !q.TryReserve(40) {
+		t.Fatal("reservations within capacity rejected")
+	}
+	if q.InUse() != 100 {
+		t.Fatalf("InUse %d, want 100", q.InUse())
+	}
+	if q.TryReserve(1) {
+		t.Fatal("reservation past capacity granted")
+	}
+	q.Release(40)
+	if !q.TryReserve(40) {
+		t.Fatal("released capacity not reusable")
+	}
+	if q.Capacity() != 100 {
+		t.Fatalf("Capacity %d, want 100", q.Capacity())
+	}
+}
+
+// TestQuotaPoolUnlimitedAndNil: capacity <= 0 means unlimited (nothing is
+// accounted), and every method is nil-safe so callers skip the nil checks.
+func TestQuotaPoolUnlimitedAndNil(t *testing.T) {
+	q := NewQuotaPool(0)
+	if !q.TryReserve(1 << 40) {
+		t.Fatal("unlimited pool rejected a reservation")
+	}
+	if q.InUse() != 0 {
+		t.Fatalf("unlimited pool accounted %d", q.InUse())
+	}
+	var nilQ *QuotaPool
+	if !nilQ.TryReserve(5) {
+		t.Fatal("nil pool rejected a reservation")
+	}
+	nilQ.Release(5)
+	if nilQ.InUse() != 0 || nilQ.Capacity() != 0 {
+		t.Fatal("nil pool reports non-zero state")
+	}
+	// Non-positive n always succeeds and reserves nothing.
+	full := NewQuotaPool(1)
+	if !full.TryReserve(0) || !full.TryReserve(-3) || full.InUse() != 0 {
+		t.Fatal("non-positive reservation was accounted")
+	}
+}
+
+// TestQuotaPoolOverReleaseClamps: a double release degrades accounting toward
+// zero, never opens the pool wider than its capacity.
+func TestQuotaPoolOverReleaseClamps(t *testing.T) {
+	q := NewQuotaPool(10)
+	if !q.TryReserve(5) {
+		t.Fatal("reserve failed")
+	}
+	q.Release(9) // over-release
+	if q.InUse() != 0 {
+		t.Fatalf("InUse %d after over-release, want 0", q.InUse())
+	}
+	if !q.TryReserve(10) {
+		t.Fatal("pool did not recover full capacity")
+	}
+	if q.TryReserve(1) {
+		t.Fatal("over-release opened the pool past its capacity")
+	}
+}
+
+// TestQuotaPoolConcurrent hammers one pool from many goroutines; the invariant
+// is that in-use never exceeds capacity and fully balances back to zero.
+func TestQuotaPoolConcurrent(t *testing.T) {
+	const (
+		capacity = 64
+		workers  = 8
+		rounds   = 2000
+	)
+	q := NewQuotaPool(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < rounds; i++ {
+				n := int64(rng.Intn(16) + 1)
+				if q.TryReserve(n) {
+					if used := q.InUse(); used > capacity {
+						t.Errorf("in-use %d exceeds capacity %d", used, capacity)
+					}
+					q.Release(n)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if q.InUse() != 0 {
+		t.Fatalf("pool did not balance: %d still in use", q.InUse())
 	}
 }

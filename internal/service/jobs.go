@@ -59,6 +59,12 @@ type Job struct {
 	Workers int
 	Timeout time.Duration
 
+	// tn is the owning tenant (never nil once submitted: keyless submissions
+	// belong to the anonymous tenant). nodeCost is the reservation this job
+	// holds in the tenant's aggregate node-budget pool, released at settle.
+	tn       *tenant
+	nodeCost int64
+
 	obs core.Observer // live node/cluster counters while mining
 
 	// Tracing state, armed by startTrace before the job is published (so
@@ -72,6 +78,7 @@ type Job struct {
 	status    JobStatus
 	cached    bool
 	recovered bool // re-enqueued from the journal at boot
+	shed      bool // evicted from the queue by the overload shedder
 	err       string
 	stack     string // panic stack when a contained worker panic failed the job
 	clusters  []report.NamedCluster
@@ -117,6 +124,12 @@ type JobView struct {
 	Dataset string    `json:"dataset"`
 	Status  JobStatus `json:"status"`
 	Cached  bool      `json:"cached"`
+	// Tenant is the owning tenant's ID (omitted for anonymous submissions,
+	// so pre-tenancy clients see an unchanged schema).
+	Tenant string `json:"tenant,omitempty"`
+	// Shed marks a job the overload shedder evicted from the queue; its
+	// status is cancelled.
+	Shed bool `json:"shed,omitempty"`
 	// Recovered marks a job re-enqueued from the journal after a restart.
 	Recovered bool        `json:"recovered,omitempty"`
 	Workers   int         `json:"workers"`
@@ -149,6 +162,7 @@ func (j *Job) View() JobView {
 		Dataset:   j.Dataset.ID,
 		Status:    j.status,
 		Cached:    j.cached,
+		Shed:      j.shed,
 		Recovered: j.recovered,
 		Workers:   j.Workers,
 		Params:    j.Params,
@@ -160,6 +174,9 @@ func (j *Job) View() JobView {
 		LiveNodes:    j.obs.Nodes(),
 		LiveClusters: j.obs.Clusters(),
 		CreatedAt:    j.created,
+	}
+	if j.tn != nil && j.tn.id != AnonymousTenant {
+		v.Tenant = j.tn.id
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -235,13 +252,17 @@ func (j *Job) resumePoint() *core.Checkpoint {
 	return j.lastCkpt
 }
 
-// jobManager owns the job table, the mining-slot semaphore, the result-cache
-// interaction, and — when the server is durable — the job journal. One
-// manager serves one Server.
+// jobManager owns the job table, the weighted-fair mining-slot scheduler,
+// the tenant table, the result-cache interaction, and — when the server is
+// durable — the job journal. One manager serves one Server.
 type jobManager struct {
 	cache   *resultCache
 	metrics *Metrics
-	slots   chan struct{} // buffered; one token per concurrent mining job
+
+	// sched shares the mining slots across tenants (weighted-fair with
+	// priority classes); tenants resolves API keys and holds quotas + usage.
+	sched   *scheduler
+	tenants *tenantSet
 
 	// models is the shared RWave-build cache; nil means every attempt builds
 	// its own index (the pre-cache behavior, kept for bare-manager tests).
@@ -289,10 +310,17 @@ func newJobManager(maxConcurrent int, cache *resultCache, metrics *Metrics) *job
 	if maxConcurrent < 1 {
 		maxConcurrent = 1
 	}
+	// Bare managers (tests, embedders) run with the anonymous tenant only,
+	// no quotas, and shedding disabled — the pre-tenancy behavior.
+	tenants, err := newTenantSet(nil, tenantDefaults{})
+	if err != nil {
+		panic("service: default tenant set: " + err.Error())
+	}
 	return &jobManager{
 		cache:      cache,
 		metrics:    metrics,
-		slots:      make(chan struct{}, maxConcurrent),
+		sched:      newScheduler(maxConcurrent, 0, metrics),
+		tenants:    tenants,
 		jobs:       make(map[string]*Job),
 		ckEvery:    64,
 		logf:       func(string, ...any) {},
@@ -315,27 +343,106 @@ func (m *jobManager) journalAppend(rec journalRecord) bool {
 	return true
 }
 
-// submit registers a mining job for (ds, p) and returns it. When the result
-// cache already holds the outcome, the returned job is already done with
-// Cached set and no mining slot is consumed. Parameters must be validated by
-// the caller; p is stored as submitted (post server-side clamping).
+// submit registers a mining job for (ds, p) under the anonymous tenant —
+// the pre-tenancy entry point, kept for embedders and tests.
 func (m *jobManager) submit(ds *Dataset, p core.Params, workers int, timeout time.Duration) (*Job, error) {
+	return m.submitAs(m.tenants.anonymous, ds, p, workers, timeout)
+}
+
+// admit runs the tenant's admission checks for one would-mine submission:
+// the token-bucket rate limit, the aggregate node-budget pool, and the
+// scheduler's queue/concurrency bounds. On success the caller holds one
+// scheduler reservation plus a nodeCost-unit pool reservation; on failure it
+// holds nothing and the returned error is an *admissionError carrying the
+// HTTP status and Retry-After.
+func (m *jobManager) admit(tn *tenant, p core.Params, cached bool) (nodeCost int64, err error) {
+	if err := faultinject.Hook("admission.submit"); err != nil {
+		return 0, err
+	}
+	if tn.bucket != nil {
+		if ok, retry := tn.bucket.take(1); !ok {
+			return 0, &admissionError{status: 429, retryAfter: retry,
+				msg: fmt.Sprintf("tenant %s: submission rate limit exceeded", tn.id)}
+		}
+	}
+	if cached {
+		// A cached submission settles instantly without a slot or any node
+		// budget: the rate limit is the only check that applies.
+		return 0, nil
+	}
+	if tn.nodes != nil {
+		nodeCost = int64(p.MaxNodes)
+		if nodeCost <= 0 {
+			// Defense in depth: the HTTP layer clamps unlimited submissions
+			// to the pool capacity before keying the cache; a direct caller
+			// that skipped the clamp still charges the whole pool.
+			nodeCost = tn.nodes.Capacity()
+		}
+		if !tn.nodes.TryReserve(nodeCost) {
+			return 0, &admissionError{status: 429, retryAfter: m.sched.retryAfter(1),
+				msg: fmt.Sprintf("tenant %s: node budget exhausted (%d of %d in flight)",
+					tn.id, tn.nodes.InUse(), tn.nodes.Capacity())}
+		}
+	}
+	if err := m.sched.reserve(tn, 1, false); err != nil {
+		if tn.nodes != nil {
+			tn.nodes.Release(nodeCost)
+		}
+		return 0, err
+	}
+	return nodeCost, nil
+}
+
+// noteRejected accounts one 429 on the tenant and the global metrics.
+func (m *jobManager) noteRejected(tn *tenant) {
+	tn.account(TenantUsage{Rejected: 1})
+	m.metrics.JobsRejected.Add(1)
+}
+
+// submitAs registers a mining job for (ds, p) owned by tn, running tenant
+// admission first. When the result cache already holds the outcome, the
+// returned job is already done with Cached set and no mining slot or quota
+// is consumed. Parameters must be validated by the caller; p is stored as
+// submitted (post server- and tenant-side clamping). A rejection returns an
+// *admissionError (429 + Retry-After) before anything is journaled.
+func (m *jobManager) submitAs(tn *tenant, ds *Dataset, p core.Params, workers int, timeout time.Duration) (*Job, error) {
+	if m.isClosed() {
+		return nil, ErrDraining
+	}
+	key := cacheKey(ds.ID, p)
+	_, cached := m.cache.get(key)
+	nodeCost, err := m.admit(tn, p, cached)
+	if err != nil {
+		var adm *admissionError
+		if errors.As(err, &adm) {
+			m.noteRejected(tn)
+		}
+		return nil, err
+	}
+	reserved := !cached
+
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
+		if reserved {
+			m.sched.unreserve(tn, 1)
+			tn.nodes.Release(nodeCost)
+		}
 		return nil, ErrDraining
 	}
 	m.seq++
 	j := &Job{
-		ID:      fmt.Sprintf("job-%06d", m.seq),
-		Dataset: ds,
-		Params:  p,
-		Workers: workers,
-		Timeout: timeout,
-		status:  StatusQueued,
-		created: time.Now().UTC(),
-		changed: make(chan struct{}),
-		done:    make(chan struct{}),
+		ID:       fmt.Sprintf("job-%06d", m.seq),
+		Dataset:  ds,
+		Params:   p,
+		Workers:  workers,
+		Timeout:  timeout,
+		tn:       tn,
+		nodeCost: nodeCost,
+		status:   StatusQueued,
+		created:  time.Now().UTC(),
+		changed:  make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	if m.trace {
 		j.startTrace()
@@ -345,19 +452,26 @@ func (m *jobManager) submit(ds *Dataset, p core.Params, workers int, timeout tim
 	m.order = append(m.order, j.ID)
 	m.metrics.JobsSubmitted.Add(1)
 	m.mu.Unlock()
+	tn.account(TenantUsage{Jobs: 1})
 
 	pp := p
-	m.journalAppend(journalRecord{Type: recSubmit, Job: j.ID, Seq: seq,
+	m.journalAppend(journalRecord{Type: recSubmit, Job: j.ID, Seq: seq, Tenant: tn.id,
 		Dataset: ds.ID, Params: &pp, Workers: workers, TimeoutMS: timeout.Milliseconds()})
-	m.launch(j)
+	m.launch(j, reserved)
 	return j, nil
 }
 
 // launch settles a job from the cache or starts its mining goroutine. It is
-// shared by submit and boot-time recovery.
-func (m *jobManager) launch(j *Job) {
+// shared by submit and boot-time recovery. reserved reports whether the job
+// holds a scheduler reservation: a cache hit settles without ever queueing,
+// so the reservation (and any node-budget charge) is returned immediately.
+func (m *jobManager) launch(j *Job, reserved bool) {
 	key := cacheKey(j.Dataset.ID, j.Params)
 	if res, ok := m.cache.get(key); ok {
+		if reserved {
+			m.sched.unreserve(j.tn, 1)
+			j.tn.nodes.Release(j.nodeCost)
+		}
 		m.metrics.CacheHits.Add(1)
 		j.queueSpan.End()
 		if j.root != nil {
@@ -377,6 +491,8 @@ func (m *jobManager) launch(j *Job) {
 		j.mu.Unlock()
 		st := res.stats
 		m.journalAppend(journalRecord{Type: recDone, Job: j.ID, CacheKey: key, Cached: true, Stats: &st})
+		usage := j.tn.account(TenantUsage{Completed: 1, Clusters: int64(len(res.clusters))})
+		m.journalUsage(j.tn, usage)
 		return
 	}
 	m.metrics.CacheMisses.Add(1)
@@ -388,19 +504,33 @@ func (m *jobManager) launch(j *Job) {
 	go m.run(ctx, j, key)
 }
 
+// journalUsage appends the tenant's cumulative usage snapshot. Usage records
+// are cumulative, so replay keeps only the last one per tenant and a lost
+// append costs at most the delta since the previous settlement.
+func (m *jobManager) journalUsage(tn *tenant, usage TenantUsage) {
+	u := usage
+	m.journalAppend(journalRecord{Type: recUsage, Tenant: tn.id, Usage: &u})
+}
+
 // recover re-enqueues a job reconstructed from the journal at boot: prefix
 // clusters already delivered before the crash, plus the snapshot to resume
-// from. Runs before the server accepts traffic.
+// from. Runs before the server accepts traffic. Recovery bypasses admission
+// — journaled work was admitted once and is never re-rejected — but still
+// takes a (forced) scheduler reservation so fairness accounting balances.
 func (m *jobManager) recover(j *Job) {
 	if m.trace {
 		j.startTrace()
 	}
+	if j.tn == nil {
+		j.tn = m.tenants.anonymous
+	}
+	_ = m.sched.reserve(j.tn, 1, true)
 	m.mu.Lock()
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
 	m.mu.Unlock()
 	m.metrics.Recoveries.Add(1)
-	m.launch(j)
+	m.launch(j, true)
 }
 
 // restoreTerminal installs the shell of a job that had already settled before
@@ -413,18 +543,18 @@ func (m *jobManager) restoreTerminal(j *Job) {
 	m.mu.Unlock()
 }
 
-// run executes one mining job: wait for a slot, mine (with checkpointing and
-// transient-failure retries), settle.
+// run executes one mining job: wait for a weighted-fair slot grant, mine
+// (with checkpointing and transient-failure retries), settle. A queued job
+// may leave the scheduler three ways: granted (mine), cancelled (the ctx
+// fired), or shed (the overload watermark evicted it).
 func (m *jobManager) run(ctx context.Context, j *Job, key string) {
 	defer m.running.Done()
 	qstart := time.Now()
-	select {
-	case m.slots <- struct{}{}:
-		defer func() { <-m.slots }()
-	case <-ctx.Done():
-		m.settle(j, key, core.Stats{}, ctx.Err())
+	if err := m.sched.acquire(ctx, j); err != nil {
+		m.settle(j, key, core.Stats{}, err)
 		return
 	}
+	defer m.sched.release(j)
 	if ctx.Err() != nil {
 		m.settle(j, key, core.Stats{}, ctx.Err())
 		return
@@ -614,6 +744,10 @@ func (m *jobManager) settle(j *Job, key string, stats core.Stats, err error) {
 		j.status = StatusFailed
 		j.err = perr.Error()
 		j.stack = string(perr.Stack)
+	case errors.Is(err, errShedOverload):
+		j.status = StatusCancelled
+		j.err = "shed by overload"
+		j.shed = true
 	case errors.Is(err, context.Canceled):
 		if m.draining.Load() {
 			j.status = StatusInterrupted
@@ -630,6 +764,7 @@ func (m *jobManager) settle(j *Job, key string, stats core.Stats, err error) {
 		j.err = err.Error()
 	}
 	status := j.status
+	shed := j.shed
 	errMsg := j.err
 	clusters := j.clusters
 	ckpt := j.lastCkpt
@@ -675,8 +810,15 @@ func (m *jobManager) settle(j *Job, key string, stats core.Stats, err error) {
 		st := stats
 		m.journalAppend(journalRecord{Type: recDone, Job: j.ID, CacheKey: key, Stats: &st})
 	case StatusCancelled:
-		m.metrics.JobsCancelled.Add(1)
-		m.journalAppend(journalRecord{Type: recCancelled, Job: j.ID})
+		if shed {
+			// Shed evictions are journaled with their own terminal record so a
+			// restart neither resurrects them nor miscounts them as caller
+			// cancellations (JobsShed was counted by the shedder).
+			m.journalAppend(journalRecord{Type: recShed, Job: j.ID})
+		} else {
+			m.metrics.JobsCancelled.Add(1)
+			m.journalAppend(journalRecord{Type: recCancelled, Job: j.ID})
+		}
 	case StatusInterrupted:
 		m.journalAppend(journalRecord{Type: recInterrupted, Job: j.ID, Ckpt: ckpt})
 	case StatusFailed:
@@ -687,6 +829,15 @@ func (m *jobManager) settle(j *Job, key string, stats core.Stats, err error) {
 		m.metrics.JobsFailed.Add(1)
 		m.journalAppend(journalRecord{Type: recFailed, Job: j.ID, Error: errMsg})
 	}
+
+	// Usage accounting: interrupted jobs settle for real after the next boot's
+	// resume, so only truly terminal outcomes contribute to the ledger (a
+	// restart would otherwise double-count the resumed prefix).
+	if status != StatusInterrupted {
+		usage := j.tn.account(jobUsageDelta(status, shed, stats, len(clusters), ranFor))
+		m.journalUsage(j.tn, usage)
+	}
+	j.tn.nodes.Release(j.nodeCost)
 }
 
 // get returns the job with the given ID.
@@ -725,7 +876,7 @@ func (m *jobManager) cancelJob(id string) (*Job, bool) {
 }
 
 // runningCount returns the number of jobs currently holding a mining slot.
-func (m *jobManager) runningCount() int { return len(m.slots) }
+func (m *jobManager) runningCount() int { return m.sched.runningSlots() }
 
 // isClosed reports whether drain has begun: the manager no longer accepts
 // submissions, so readiness probes should steer traffic elsewhere.

@@ -39,6 +39,14 @@ const (
 	// them, and servers predating them skip them as unknown types.
 	recWorker = "worker"
 	recLease  = "lease"
+	// recShed is the terminal record of a queued job the overload shedder
+	// evicted: replay settles it as cancelled-by-shed and never resurrects it.
+	// recUsage carries one tenant's CUMULATIVE usage snapshot, appended at
+	// every settlement; replay keeps the last record per tenant and compaction
+	// rewrites exactly one. Both are skipped as unknown types by servers that
+	// predate them.
+	recShed  = "shed"
+	recUsage = "usage"
 )
 
 // journalRecord is one line of the job journal. Fields are a union over the
@@ -70,6 +78,11 @@ type journalRecord struct {
 	// sweep: the sweep ID and its point jobs, in grid order.
 	Sweep     string   `json:"sweep,omitempty"`
 	PointJobs []string `json:"point_jobs,omitempty"`
+
+	// tenancy: Tenant owns the record's job (submit) or usage snapshot
+	// (recUsage); Usage is the cumulative per-tenant ledger at append time.
+	Tenant string       `json:"tenant,omitempty"`
+	Usage  *TenantUsage `json:"usage,omitempty"`
 
 	// coordinator-mode audit records (recWorker / recLease)
 	Worker     string `json:"worker,omitempty"`

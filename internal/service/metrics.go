@@ -44,6 +44,11 @@ type Metrics struct {
 	JobRetries      atomic.Int64 // transient-failure retries (backoff waits)
 	PanicsRecovered atomic.Int64 // worker/stream panics contained
 
+	// Admission-control counters: fast rejections (429s) and queued work
+	// evicted by the overload shedder.
+	JobsRejected atomic.Int64
+	JobsShed     atomic.Int64
+
 	// StreamsInflight counts live /jobs/{id}/stream subscribers (a gauge:
 	// incremented on subscribe, decremented when the stream ends).
 	StreamsInflight atomic.Int64
@@ -141,6 +146,8 @@ func (mt *Metrics) WriteTo(w io.Writer, gauges []gauge) {
 	counter("regserver_model_cache_hits_total", "Jobs that reused a shared RWave model build (cached or in-flight).", mt.ModelCacheHits.Load())
 	counter("regserver_model_cache_misses_total", "RWave model builds performed (one per distinct dataset+γ-scheme).", mt.ModelCacheMisses.Load())
 	counter("regserver_model_cache_evictions_total", "Shared RWave model sets evicted by the LRU bound.", mt.ModelCacheEvictions.Load())
+	counter("regserver_jobs_rejected_total", "Submissions refused by admission control (429s).", mt.JobsRejected.Load())
+	counter("regserver_jobs_shed_total", "Queued jobs evicted by the overload shedder.", mt.JobsShed.Load())
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.value())
 	}

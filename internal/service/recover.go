@@ -1,6 +1,7 @@
 package service
 
 import (
+	"sort"
 	"time"
 
 	"regcluster/internal/core"
@@ -35,11 +36,12 @@ type replayedJob struct {
 }
 
 // replayRecords folds journal records into per-job states, returning the
-// states in submission order, the sweep-binding records in append order, and
-// the highest journaled sequence number. Unknown record types are skipped
-// (forward compatibility: a journal written by a newer server still boots
-// here), as are records for jobs whose submit record was lost.
-func replayRecords(recs []journalRecord, logf func(string, ...any)) (ordered []*replayedJob, sweeps []journalRecord, maxSeq int) {
+// states in submission order, the sweep-binding records in append order, the
+// last cumulative usage snapshot per tenant, and the highest journaled
+// sequence number. Unknown record types are skipped (forward compatibility: a
+// journal written by a newer server still boots here), as are records for
+// jobs whose submit record was lost.
+func replayRecords(recs []journalRecord, logf func(string, ...any)) (ordered []*replayedJob, sweeps []journalRecord, usage map[string]TenantUsage, maxSeq int) {
 	byID := make(map[string]*replayedJob)
 	for _, rec := range recs {
 		switch rec.Type {
@@ -76,7 +78,7 @@ func replayRecords(recs []journalRecord, logf func(string, ...any)) (ordered []*
 				j.clusters = j.clusters[:before]
 			}
 			j.clusters = append(j.clusters, rec.NewClusters...)
-		case recDone, recFailed, recCancelled:
+		case recDone, recFailed, recCancelled, recShed:
 			j, ok := byID[rec.Job]
 			if !ok {
 				logf("service: journal: %s for unknown job %q; skipping", rec.Type, rec.Job)
@@ -96,6 +98,17 @@ func replayRecords(recs []journalRecord, logf func(string, ...any)) (ordered []*
 			}
 		case recSweep:
 			sweeps = append(sweeps, rec)
+		case recUsage:
+			// Usage snapshots are cumulative, so the last record per tenant is
+			// the whole ledger; earlier ones are superseded and compact away.
+			if rec.Tenant == "" || rec.Usage == nil {
+				logf("service: journal: malformed usage record; skipping")
+				continue
+			}
+			if usage == nil {
+				usage = make(map[string]TenantUsage)
+			}
+			usage[rec.Tenant] = *rec.Usage
 		case recWorker, recLease:
 			// Coordinator-mode audit trail: leases and worker registrations
 			// do not survive the coordinator process (an interrupted
@@ -106,15 +119,16 @@ func replayRecords(recs []journalRecord, logf func(string, ...any)) (ordered []*
 			logf("service: journal: unknown record type %q; skipping (newer server?)", rec.Type)
 		}
 	}
-	return ordered, sweeps, maxSeq
+	return ordered, sweeps, usage, maxSeq
 }
 
 // canonicalRecords renders the replayed state back into a minimal journal
 // for compaction: submit + terminal for settled jobs, submit + one merged
 // checkpoint (full cluster prefix) for jobs about to be resumed, then the
 // sweep bindings (which only reference jobs, so they compact verbatim and
-// stay after every point's submit record).
-func canonicalRecords(jobs []*replayedJob, sweeps []journalRecord) []journalRecord {
+// stay after every point's submit record), then one cumulative usage record
+// per tenant (stable ID order).
+func canonicalRecords(jobs []*replayedJob, sweeps []journalRecord, usage map[string]TenantUsage) []journalRecord {
 	var out []journalRecord
 	for _, j := range jobs {
 		out = append(out, j.submit)
@@ -126,7 +140,17 @@ func canonicalRecords(jobs []*replayedJob, sweeps []journalRecord) []journalReco
 				Job: j.submit.Job, Ckpt: j.ckpt, NewClusters: j.clusters})
 		}
 	}
-	return append(out, sweeps...)
+	out = append(out, sweeps...)
+	ids := make([]string, 0, len(usage))
+	for id := range usage {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		u := usage[id]
+		out = append(out, journalRecord{Type: recUsage, Tenant: id, Usage: &u})
+	}
+	return out
 }
 
 // bootRecover runs the recovery sequence against s.store. It returns an
@@ -143,14 +167,28 @@ func (s *Server) bootRecover() error {
 	}
 
 	recs := replayJournalFile(s.store.journalPath(), s.logf)
-	jobs, sweeps, maxSeq := replayRecords(recs, s.logf)
+	jobs, sweeps, usage, maxSeq := replayRecords(recs, s.logf)
 	s.jobs.mu.Lock()
 	if maxSeq > s.jobs.seq {
 		s.jobs.seq = maxSeq
 	}
 	s.jobs.mu.Unlock()
+	// Replayed usage ledgers attach to their tenants before any settlement can
+	// append a fresh snapshot; a tenant deleted from the config folds into the
+	// anonymous ledger so no journaled totals vanish. Exact matches restore
+	// first so a folded ledger merges on top instead of being overwritten.
+	for id, u := range usage {
+		if tn, ok := s.jobs.tenants.get(id); ok {
+			tn.restoreUsage(u)
+		}
+	}
+	for id, u := range usage {
+		if _, ok := s.jobs.tenants.get(id); !ok {
+			s.jobs.tenants.anonymous.account(u)
+		}
+	}
 
-	if err := s.store.compactJournal(canonicalRecords(jobs, sweeps)); err != nil {
+	if err := s.store.compactJournal(canonicalRecords(jobs, sweeps, usage)); err != nil {
 		return err
 	}
 	wal, err := openJournal(s.store.journalPath())
@@ -193,6 +231,7 @@ func (s *Server) jobShell(rj *replayedJob) *Job {
 		Params:  p,
 		Workers: sub.Workers,
 		Timeout: time.Duration(sub.TimeoutMS) * time.Millisecond,
+		tn:      s.jobs.tenants.getOrAnonymous(sub.Tenant),
 		created: sub.Time,
 		changed: make(chan struct{}),
 		done:    make(chan struct{}),
@@ -226,6 +265,10 @@ func (s *Server) restoreSettled(rj *replayedJob) {
 	case recCancelled:
 		j.status = StatusCancelled
 		j.err = "cancelled"
+	case recShed:
+		j.status = StatusCancelled
+		j.err = "shed by overload"
+		j.shed = true
 	}
 	s.jobs.restoreTerminal(j)
 }

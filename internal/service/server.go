@@ -20,8 +20,10 @@
 //	POST /jobs/{id}/cancel        cooperative cancellation
 //	GET  /jobs/{id}/stream        NDJSON: one cluster per line as mined, then a summary line
 //	GET  /jobs/{id}/result        the settled result as a report.Document
+//	GET  /tenants                 list tenants with live occupancy and usage
+//	GET  /tenants/{id}/usage      one tenant's quota state and usage ledger
 //	GET  /metrics                 Prometheus text exposition
-//	GET  /healthz                 liveness
+//	GET  /healthz                 liveness + scheduler saturation
 //	GET  /debug/pprof/...         net/http/pprof
 //
 // Mining output is deterministic for any worker count, so the result cache
@@ -37,6 +39,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -83,6 +86,27 @@ type Config struct {
 	// is clamped down to them (default 0 = unlimited).
 	MaxNodesPerJob    int
 	MaxClustersPerJob int
+
+	// Tenants configures API-key tenants (the -tenants file). Requests
+	// without a key run as the built-in anonymous tenant, so an empty list
+	// keeps every pre-tenancy flow working. The per-tenant fields below are
+	// the server-wide defaults a TenantConfig zero field inherits.
+	Tenants []TenantConfig
+	// TenantRatePerSec / TenantBurst are the default submission token-bucket
+	// parameters (0 = unlimited rate; burst defaults to ceil(rate)).
+	TenantRatePerSec float64
+	TenantBurst      int
+	// MaxActivePerTenant bounds one tenant's jobs queued or running at once;
+	// MaxQueuedPerTenant bounds its scheduler queue depth. Exceeding either
+	// rejects the submission with 429 + Retry-After (0 = unlimited).
+	MaxActivePerTenant int
+	MaxQueuedPerTenant int
+	// ShedWatermark is the global queued-work bound: when the total queue
+	// exceeds it, the scheduler sheds the newest lowest-priority queued jobs
+	// (journaled as cancelled-by-shed) until it is back at the watermark, and
+	// keeps rejecting sheddable submissions until the queue drains to half the
+	// watermark (0 = shedding disabled).
+	ShedWatermark int
 
 	// DataDir enables durability: datasets, settled results, and the job
 	// journal live under this directory, written atomically, and a restart
@@ -233,6 +257,17 @@ func Open(cfg Config) (*Server, error) {
 	// every diagnostic gets the envelope (and the configured format).
 	s.logf = s.obsLog.Printf
 	s.jobs = newJobManager(cfg.MaxConcurrentJobs, s.cache, s.metrics)
+	tenants, err := newTenantSet(cfg.Tenants, tenantDefaults{
+		ratePerSec: cfg.TenantRatePerSec,
+		burst:      cfg.TenantBurst,
+		maxActive:  cfg.MaxActivePerTenant,
+		maxQueued:  cfg.MaxQueuedPerTenant,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s.jobs.tenants = tenants
+	s.jobs.sched = newScheduler(cfg.MaxConcurrentJobs, cfg.ShedWatermark, s.metrics)
 	s.jobs.models = newModelCache(cfg.ModelCacheEntries, s.metrics)
 	s.sweeps = newSweepManager()
 	s.jobs.ckEvery = cfg.CheckpointEveryClusters
@@ -410,6 +445,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /tenants", s.handleListTenants)
+	s.mux.HandleFunc("GET /tenants/{id}/usage", s.handleTenantUsage)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.coord != nil {
@@ -521,6 +558,17 @@ type submitRequest struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
+	// Drain pre-check: during graceful shutdown new work must be turned away
+	// immediately with 503 + Retry-After, not accepted only to be interrupted
+	// when the grace period expires.
+	if s.jobs.isClosed() {
+		s.rejectDraining(w)
+		return
+	}
 	var req submitRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -550,11 +598,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid workers: %v", err)
 		return
 	}
-	// Server-side budget caps: clamp BEFORE the cache key is derived so a
-	// clamped submission and an explicit submission of the same effective
-	// budget share a cache entry.
+	// Server- and tenant-side budget caps: clamp BEFORE the cache key is
+	// derived so a clamped submission and an explicit submission of the same
+	// effective budget share a cache entry. A tenant with an aggregate node
+	// pool additionally clamps unlimited node budgets to the pool capacity, so
+	// every one of its jobs charges the pool a finite amount.
 	p.MaxNodes = clampCap(p.MaxNodes, s.cfg.MaxNodesPerJob)
 	p.MaxClusters = clampCap(p.MaxClusters, s.cfg.MaxClustersPerJob)
+	p.MaxNodes = clampCap(p.MaxNodes, tn.maxNodes)
+	p.MaxClusters = clampCap(p.MaxClusters, tn.maxClusters)
+	if tn.nodes != nil {
+		p.MaxNodes = clampCap(p.MaxNodes, int(tn.nodes.Capacity()))
+	}
 	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
 	if req.TimeoutMS < 0 {
 		writeError(w, http.StatusBadRequest, "invalid timeout_ms: %d", req.TimeoutMS)
@@ -564,16 +619,45 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		timeout = s.cfg.MaxJobDuration
 	}
 
-	j, err := s.jobs.submit(ds, p, workers, timeout)
-	if errors.Is(err, ErrDraining) {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	}
-	if err != nil {
+	j, err := s.jobs.submitAs(tn, ds, p, workers, timeout)
+	var adm *admissionError
+	switch {
+	case errors.Is(err, ErrDraining):
+		s.rejectDraining(w)
+	case errors.As(err, &adm):
+		writeAdmissionError(w, adm)
+	case err != nil:
 		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
+	default:
+		writeJSON(w, http.StatusAccepted, j.View())
 	}
-	writeJSON(w, http.StatusAccepted, j.View())
+}
+
+// resolveTenant authenticates the request's tenant; an unknown API key is a
+// 401 (a typo'd key must fail loudly, never demote to anonymous limits).
+func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request) (*tenant, bool) {
+	tn, err := s.jobs.tenants.resolve(r)
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, "%v", err)
+		return nil, false
+	}
+	return tn, true
+}
+
+// writeAdmissionError renders a 429/503 admission rejection with its
+// Retry-After header (whole seconds, at least 1).
+func writeAdmissionError(w http.ResponseWriter, adm *admissionError) {
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(adm.retryAfter)))
+	writeError(w, adm.status, "%s", adm.msg)
+}
+
+// rejectDraining turns away a submission during graceful drain: 503 plus a
+// Retry-After derived from the backlog still draining, so clients and load
+// balancers know when a replacement instance is worth trying.
+func (s *Server) rejectDraining(w http.ResponseWriter) {
+	depth := s.jobs.queuedOrRunning()
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.jobs.sched.retryAfter(depth))))
+	writeError(w, http.StatusServiceUnavailable, "%v", ErrDraining)
 }
 
 // clampCap lowers a requested budget cap to the server limit; 0 means the
@@ -727,23 +811,71 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// tenantView builds the JSON view of one tenant: identity, live scheduler
+// occupancy, node-pool state, and the cumulative usage ledger.
+func (s *Server) tenantView(tn *tenant) tenantView {
+	g := s.jobs.sched.gauges(tn)
+	return tenantView{
+		ID:                 tn.id,
+		Weight:             tn.weight,
+		Priority:           priorityNames[tn.priority],
+		Queued:             g.queued,
+		Running:            g.running,
+		NodeBudgetInUse:    tn.nodes.InUse(),
+		NodeBudgetCapacity: tn.nodes.Capacity(),
+		Usage:              tn.usageSnapshot(),
+	}
+}
+
+// handleListTenants lists every tenant (anonymous first) with live occupancy
+// and usage. API keys are never echoed.
+func (s *Server) handleListTenants(w http.ResponseWriter, _ *http.Request) {
+	tenants := s.jobs.tenants.list()
+	views := make([]tenantView, len(tenants))
+	for i, tn := range tenants {
+		views[i] = s.tenantView(tn)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": views})
+}
+
+// handleTenantUsage is the per-tenant accounting endpoint.
+func (s *Server) handleTenantUsage(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.jobs.tenants.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown tenant %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.tenantView(tn))
+}
+
 // handleHealthz is the readiness probe. By the time Open returns, the
 // registry is loaded and the journal replayed, so readiness reduces to "not
 // draining": 200 while the server accepts submissions, 503 once Shutdown has
 // begun (load balancers and coordinator placement checks steer away). The
-// body reports the mode and, in coordinator mode, the worker pool state.
+// body reports the mode, the scheduler's saturation (queue depth, shed state,
+// per-class backlog — so balancers can stop routing BEFORE hard 429s), and,
+// in coordinator mode, the worker pool state.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	draining := s.jobs.isClosed()
 	mode := s.cfg.Mode
 	if mode == "" {
 		mode = "single"
 	}
+	sat := s.jobs.sched.saturationSnapshot()
+	backlog := make(map[string]int, numPriorities)
+	for class, n := range sat.byClass {
+		backlog[priorityNames[class]] = n
+	}
 	resp := map[string]any{
-		"status":      "ok",
-		"ready":       !draining,
-		"mode":        mode,
-		"datasets":    s.registry.size(),
-		"jobs_active": s.jobs.queuedOrRunning(),
+		"status":           "ok",
+		"ready":            !draining,
+		"mode":             mode,
+		"datasets":         s.registry.size(),
+		"jobs_active":      s.jobs.queuedOrRunning(),
+		"queue_depth":      sat.queued,
+		"slots_busy":       sat.running,
+		"shedding":         sat.shedding,
+		"backlog_by_class": backlog,
 	}
 	status := http.StatusOK
 	if draining {
@@ -780,6 +912,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gp := "regserver_gc_pause_seconds_total"
 	fmt.Fprintf(w, "# HELP %s Cumulative GC pause at the last runtime sample.\n# TYPE %s gauge\n%s %g\n",
 		gp, gp, gp, s.sampler.Latest().GCPauseTotal.Seconds())
+	s.writeTenantMetrics(w)
 	if s.coord != nil {
 		joined, issued, reassigned, completed := s.coord.Counters()
 		writeMetric := func(kind, name, help string, v int64) {
@@ -792,4 +925,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		writeMetric("counter", "regserver_leases_reassigned_total", "Leases revoked (heartbeat TTL or worker nack) and re-queued.", reassigned)
 		writeMetric("counter", "regserver_leases_completed_total", "Subtree leases completed by a final heartbeat.", completed)
 	}
+}
+
+// writeTenantMetrics renders the per-tenant families, one labeled series per
+// tenant: the cumulative usage counters and the live queue/slot gauges.
+func (s *Server) writeTenantMetrics(w io.Writer) {
+	tenants := s.jobs.tenants.list()
+	family := func(kind, name, help string, value func(*tenant) string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		for _, tn := range tenants {
+			fmt.Fprintf(w, "%s{tenant=%q} %s\n", name, tn.id, value(tn))
+		}
+	}
+	usage := make(map[string]TenantUsage, len(tenants))
+	gauges := make(map[string]tenantGauges, len(tenants))
+	for _, tn := range tenants {
+		usage[tn.id] = tn.usageSnapshot()
+		gauges[tn.id] = s.jobs.sched.gauges(tn)
+	}
+	i := func(f func(TenantUsage) int64) func(*tenant) string {
+		return func(tn *tenant) string { return fmt.Sprintf("%d", f(usage[tn.id])) }
+	}
+	family("counter", "regserver_tenant_jobs_total", "Submissions accepted per tenant.", i(func(u TenantUsage) int64 { return u.Jobs }))
+	family("counter", "regserver_tenant_jobs_completed_total", "Jobs settled done per tenant.", i(func(u TenantUsage) int64 { return u.Completed }))
+	family("counter", "regserver_tenant_jobs_failed_total", "Jobs settled failed per tenant.", i(func(u TenantUsage) int64 { return u.Failed }))
+	family("counter", "regserver_tenant_jobs_cancelled_total", "Caller cancellations per tenant.", i(func(u TenantUsage) int64 { return u.Cancelled }))
+	family("counter", "regserver_tenant_jobs_shed_total", "Queued jobs evicted by overload shedding per tenant.", i(func(u TenantUsage) int64 { return u.Shed }))
+	family("counter", "regserver_tenant_jobs_rejected_total", "Submissions refused with 429 per tenant.", i(func(u TenantUsage) int64 { return u.Rejected }))
+	family("counter", "regserver_tenant_nodes_total", "Search-tree nodes mined by settled jobs per tenant.", i(func(u TenantUsage) int64 { return u.Nodes }))
+	family("counter", "regserver_tenant_clusters_total", "Clusters emitted by settled jobs per tenant.", i(func(u TenantUsage) int64 { return u.Clusters }))
+	family("counter", "regserver_tenant_node_seconds_total", "Mining-slot seconds consumed per tenant.",
+		func(tn *tenant) string { return fmt.Sprintf("%g", usage[tn.id].NodeSeconds) })
+	family("gauge", "regserver_tenant_jobs_queued", "Jobs waiting for a slot per tenant.",
+		func(tn *tenant) string { return fmt.Sprintf("%d", gauges[tn.id].queued) })
+	family("gauge", "regserver_tenant_jobs_running", "Jobs holding a slot per tenant.",
+		func(tn *tenant) string { return fmt.Sprintf("%d", gauges[tn.id].running) })
 }

@@ -235,6 +235,17 @@ func (s *Server) sweepViewOf(sw *sweepState) sweepView {
 // (journaled, cached, streamable like any other job), journal the sweep
 // binding, and return the initial summary.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
+	// Drain pre-check BEFORE any point submits: a sweep accepted during
+	// graceful drain would land a batch of jobs only to interrupt them at
+	// grace expiry. 503 + Retry-After, like POST /jobs.
+	if s.jobs.isClosed() {
+		s.rejectDraining(w)
+		return
+	}
 	var req sweepRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -261,9 +272,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "invalid params: %d CustomGammas for %d genes", len(grid[i].CustomGammas), ds.Genes)
 			return
 		}
-		// Server-side clamps, identical to POST /jobs (before cache keying).
+		// Server- and tenant-side clamps, identical to POST /jobs (before
+		// cache keying).
 		grid[i].MaxNodes = clampCap(grid[i].MaxNodes, s.cfg.MaxNodesPerJob)
 		grid[i].MaxClusters = clampCap(grid[i].MaxClusters, s.cfg.MaxClustersPerJob)
+		grid[i].MaxNodes = clampCap(grid[i].MaxNodes, tn.maxNodes)
+		grid[i].MaxClusters = clampCap(grid[i].MaxClusters, tn.maxClusters)
+		if tn.nodes != nil {
+			grid[i].MaxNodes = clampCap(grid[i].MaxNodes, int(tn.nodes.Capacity()))
+		}
 	}
 	workers := req.Workers
 	if workers == 0 {
@@ -290,14 +307,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		jobIDs:  make([]string, 0, len(grid)),
 	}
 	for _, p := range grid {
-		j, err := s.jobs.submit(ds, p, workers, timeout)
-		if errors.Is(err, ErrDraining) {
+		j, err := s.jobs.submitAs(tn, ds, p, workers, timeout)
+		var adm *admissionError
+		switch {
+		case errors.Is(err, ErrDraining):
 			// Points already submitted keep running as ordinary jobs; the
 			// sweep itself is not recorded.
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			s.rejectDraining(w)
 			return
-		}
-		if err != nil {
+		case errors.As(err, &adm):
+			// Admission (quota/rate/overload) stopped the sweep mid-grid; the
+			// accepted points keep mining as ordinary jobs under the tenant's
+			// fair share, and the client retries the whole sweep later — every
+			// settled point then resolves from the result cache.
+			writeAdmissionError(w, adm)
+			return
+		case err != nil:
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}

@@ -1,0 +1,442 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"regcluster/internal/core"
+)
+
+// Multi-tenant admission control. Every request is attributed to a tenant —
+// resolved from its API key, or the built-in anonymous tenant when no key is
+// presented — and admission happens at submit time: a token-bucket rate
+// limit, a concurrent-job quota, a bounded per-tenant queue, and an
+// aggregate in-flight node-budget pool (core.QuotaPool). A submission that
+// fails admission is rejected fast and honestly — 429 with a Retry-After
+// derived from the scheduler's observed drain rate — instead of joining an
+// unbounded queue. The weighted-fair scheduler in sched.go then shares the
+// mining slots across tenants by weight and priority class.
+
+// AnonymousTenant is the ID of the built-in tenant serving unauthenticated
+// requests, so every pre-tenancy client keeps working unchanged.
+const AnonymousTenant = "anonymous"
+
+// Priority classes order tenants for scheduling and load shedding: the
+// scheduler grants slots to higher classes first, and the overload shedder
+// evicts queued work from the lowest class first.
+const (
+	PriorityLow = iota
+	PriorityNormal
+	PriorityHigh
+	numPriorities
+)
+
+var priorityNames = [numPriorities]string{"low", "normal", "high"}
+
+// parsePriority maps a config string to a priority class; empty means normal.
+func parsePriority(s string) (int, error) {
+	switch strings.ToLower(s) {
+	case "", "normal":
+		return PriorityNormal, nil
+	case "low", "batch":
+		return PriorityLow, nil
+	case "high", "interactive":
+		return PriorityHigh, nil
+	}
+	return 0, fmt.Errorf("unknown priority %q (want low, normal, or high)", s)
+}
+
+// TenantConfig declares one tenant in the static tenants file (-tenants).
+// Zero fields inherit the server-wide defaults documented on Config.
+type TenantConfig struct {
+	// ID names the tenant in views, metrics labels, journal records, and
+	// GET /tenants/{id}/usage. Required, unique.
+	ID string `json:"id"`
+	// APIKey authenticates the tenant (X-API-Key header or Bearer token).
+	// Required for configured tenants; the anonymous tenant has none.
+	APIKey string `json:"api_key"`
+	// Weight is the tenant's fair share: the scheduler grants slots within a
+	// priority class proportionally to weight (default 1).
+	Weight int `json:"weight,omitempty"`
+	// Priority is the scheduling class: "low", "normal" (default), "high".
+	// Higher classes are always granted first; lower classes are shed first
+	// under overload.
+	Priority string `json:"priority,omitempty"`
+	// RatePerSec refills the submission token bucket; 0 inherits the server
+	// default, negative disables rate limiting for this tenant.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket capacity (default: max(1, ceil(RatePerSec))).
+	Burst int `json:"burst,omitempty"`
+	// MaxActive bounds the tenant's jobs queued or running at once; 0
+	// inherits the server default, negative means unlimited.
+	MaxActive int `json:"max_active,omitempty"`
+	// MaxQueued bounds the tenant's scheduler queue depth; 0 inherits the
+	// server default, negative means unlimited.
+	MaxQueued int `json:"max_queued,omitempty"`
+	// MaxNodesPerJob / MaxClustersPerJob clamp a submission's budget caps
+	// below the server-wide clamps (0 = no tenant clamp).
+	MaxNodesPerJob    int `json:"max_nodes_per_job,omitempty"`
+	MaxClustersPerJob int `json:"max_clusters_per_job,omitempty"`
+	// NodeBudget caps the SUM of node budgets (Params.MaxNodes) the tenant
+	// may have in flight, enforced through a shared core.QuotaPool at submit
+	// time. A submission with an unlimited node budget is clamped to the
+	// whole pool first, so every job charges the pool. 0 = unlimited.
+	NodeBudget int64 `json:"node_budget,omitempty"`
+}
+
+// LoadTenants reads a tenants file: a JSON array of TenantConfig (or an
+// object with a "tenants" key, so the file can carry future settings).
+func LoadTenants(path string) ([]TenantConfig, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenants file: %w", err)
+	}
+	var list []TenantConfig
+	if err := json.Unmarshal(raw, &list); err != nil {
+		var wrapped struct {
+			Tenants []TenantConfig `json:"tenants"`
+		}
+		if err2 := json.Unmarshal(raw, &wrapped); err2 != nil || wrapped.Tenants == nil {
+			return nil, fmt.Errorf("tenants file %s: %v", path, err)
+		}
+		list = wrapped.Tenants
+	}
+	return list, nil
+}
+
+// TenantUsage is the cumulative resource accounting of one tenant, exposed
+// at GET /tenants/{id}/usage, labeled into /metrics, and journaled as a
+// usage record on every job settlement so a restart replays consistent
+// totals. Counters only grow; Rejected/Shed count fast rejections and
+// overload evictions, the honest-degradation half of the ledger.
+type TenantUsage struct {
+	Jobs        int64   `json:"jobs"`         // submissions accepted (cache hits included)
+	Completed   int64   `json:"completed"`    // jobs that settled done
+	Failed      int64   `json:"failed"`       // jobs that settled failed
+	Cancelled   int64   `json:"cancelled"`    // caller cancellations
+	Shed        int64   `json:"shed"`         // queued jobs evicted by overload shedding
+	Rejected    int64   `json:"rejected"`     // submissions refused with 429
+	Nodes       int64   `json:"nodes"`        // search-tree nodes mined by settled jobs
+	Clusters    int64   `json:"clusters"`     // clusters emitted by settled jobs
+	NodeSeconds float64 `json:"node_seconds"` // mining-slot seconds consumed
+}
+
+// add merges one settled job's contribution (used at settle time).
+func (u *TenantUsage) add(other TenantUsage) {
+	u.Jobs += other.Jobs
+	u.Completed += other.Completed
+	u.Failed += other.Failed
+	u.Cancelled += other.Cancelled
+	u.Shed += other.Shed
+	u.Rejected += other.Rejected
+	u.Nodes += other.Nodes
+	u.Clusters += other.Clusters
+	u.NodeSeconds += other.NodeSeconds
+}
+
+// tenant is the runtime state of one tenant: its resolved config, the
+// submission token bucket, the in-flight node-budget pool, and the usage
+// counters. Scheduler state (queue, stride pass) lives in the scheduler,
+// keyed by tenant.
+type tenant struct {
+	id       string
+	key      string
+	weight   int
+	priority int
+
+	maxActive   int // queued+running bound; <=0 unlimited
+	maxQueued   int // scheduler queue bound; <=0 unlimited
+	maxNodes    int // per-job node-budget clamp; 0 none
+	maxClusters int // per-job cluster clamp; 0 none
+
+	bucket *tokenBucket    // nil = unlimited submission rate
+	nodes  *core.QuotaPool // nil = no aggregate node budget
+
+	mu    sync.Mutex
+	usage TenantUsage
+}
+
+// account merges a delta into the tenant's usage ledger and returns the new
+// cumulative snapshot (the value journaled as a usage record).
+func (t *tenant) account(delta TenantUsage) TenantUsage {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.usage.add(delta)
+	return t.usage
+}
+
+// usageSnapshot returns the current cumulative usage.
+func (t *tenant) usageSnapshot() TenantUsage {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.usage
+}
+
+// restoreUsage installs replayed totals (boot-time journal recovery). The
+// journal holds cumulative snapshots, so the last record per tenant wins.
+func (t *tenant) restoreUsage(u TenantUsage) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.usage = u
+}
+
+// tenantSet resolves tenants by API key and ID. Immutable after Open: the
+// tenants file is static configuration, like the listen address.
+type tenantSet struct {
+	byKey     map[string]*tenant
+	byID      map[string]*tenant
+	order     []string // config order, anonymous first, for stable rendering
+	anonymous *tenant
+}
+
+// tenantDefaults carries the server-wide fallbacks a TenantConfig zero field
+// inherits.
+type tenantDefaults struct {
+	ratePerSec float64 // <=0 = unlimited
+	burst      int
+	maxActive  int // <=0 = unlimited
+	maxQueued  int // <=0 = unlimited
+}
+
+// newTenantSet builds the runtime tenant table: the anonymous tenant first
+// (always present, no API key), then one tenant per config entry.
+func newTenantSet(cfgs []TenantConfig, def tenantDefaults) (*tenantSet, error) {
+	ts := &tenantSet{byKey: make(map[string]*tenant), byID: make(map[string]*tenant)}
+	anon := buildTenant(TenantConfig{ID: AnonymousTenant}, def)
+	ts.anonymous = anon
+	ts.byID[anon.id] = anon
+	ts.order = append(ts.order, anon.id)
+	for _, c := range cfgs {
+		if c.ID == "" {
+			return nil, fmt.Errorf("tenant config: missing id")
+		}
+		if c.ID == AnonymousTenant {
+			// Overriding the anonymous tenant's limits is allowed; it keeps
+			// serving keyless requests.
+			if c.APIKey != "" {
+				return nil, fmt.Errorf("tenant %q cannot carry an API key", AnonymousTenant)
+			}
+			prio, err := parsePriority(c.Priority)
+			if err != nil {
+				return nil, fmt.Errorf("tenant %q: %v", c.ID, err)
+			}
+			*anon = *buildTenant(c, def)
+			anon.priority = prio
+			continue
+		}
+		if c.APIKey == "" {
+			return nil, fmt.Errorf("tenant %q: missing api_key", c.ID)
+		}
+		if _, dup := ts.byID[c.ID]; dup {
+			return nil, fmt.Errorf("duplicate tenant id %q", c.ID)
+		}
+		if _, dup := ts.byKey[c.APIKey]; dup {
+			return nil, fmt.Errorf("tenant %q: api_key already in use", c.ID)
+		}
+		if _, err := parsePriority(c.Priority); err != nil {
+			return nil, fmt.Errorf("tenant %q: %v", c.ID, err)
+		}
+		t := buildTenant(c, def)
+		ts.byID[t.id] = t
+		ts.byKey[t.key] = t
+		ts.order = append(ts.order, t.id)
+	}
+	return ts, nil
+}
+
+// buildTenant resolves one config entry against the defaults. Priority is
+// validated by the caller.
+func buildTenant(c TenantConfig, def tenantDefaults) *tenant {
+	prio, _ := parsePriority(c.Priority)
+	t := &tenant{
+		id:          c.ID,
+		key:         c.APIKey,
+		weight:      c.Weight,
+		priority:    prio,
+		maxActive:   c.MaxActive,
+		maxQueued:   c.MaxQueued,
+		maxNodes:    c.MaxNodesPerJob,
+		maxClusters: c.MaxClustersPerJob,
+	}
+	if t.weight <= 0 {
+		t.weight = 1
+	}
+	if t.maxActive == 0 {
+		t.maxActive = def.maxActive
+	}
+	if t.maxQueued == 0 {
+		t.maxQueued = def.maxQueued
+	}
+	rate := c.RatePerSec
+	if rate == 0 {
+		rate = def.ratePerSec
+	}
+	if rate > 0 {
+		burst := c.Burst
+		if burst <= 0 {
+			burst = def.burst
+		}
+		if burst <= 0 {
+			burst = int(math.Ceil(rate))
+		}
+		if burst < 1 {
+			burst = 1
+		}
+		t.bucket = newTokenBucket(rate, float64(burst))
+	}
+	if c.NodeBudget > 0 {
+		t.nodes = core.NewQuotaPool(c.NodeBudget)
+	}
+	return t
+}
+
+// get resolves a tenant by ID.
+func (ts *tenantSet) get(id string) (*tenant, bool) {
+	t, ok := ts.byID[id]
+	return t, ok
+}
+
+// getOrAnonymous resolves a tenant by ID, falling back to anonymous — used
+// by journal replay so records from a deleted tenant still account somewhere.
+func (ts *tenantSet) getOrAnonymous(id string) *tenant {
+	if t, ok := ts.byID[id]; ok {
+		return t
+	}
+	return ts.anonymous
+}
+
+// list returns every tenant in stable order (anonymous first).
+func (ts *tenantSet) list() []*tenant {
+	out := make([]*tenant, 0, len(ts.order))
+	for _, id := range ts.order {
+		out = append(out, ts.byID[id])
+	}
+	return out
+}
+
+// errUnknownAPIKey rejects a request presenting a key no tenant owns — a
+// typo'd key must fail loudly, not silently demote to anonymous limits.
+var errUnknownAPIKey = fmt.Errorf("unknown API key")
+
+// resolve authenticates a request: X-API-Key header first, then a Bearer
+// token; no key at all resolves to the anonymous tenant.
+func (ts *tenantSet) resolve(r *http.Request) (*tenant, error) {
+	key := r.Header.Get("X-API-Key")
+	if key == "" {
+		if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+			key = strings.TrimPrefix(auth, "Bearer ")
+		}
+	}
+	if key == "" {
+		return ts.anonymous, nil
+	}
+	if t, ok := ts.byKey[key]; ok {
+		return t, nil
+	}
+	return nil, errUnknownAPIKey
+}
+
+// tokenBucket is a classic refill-on-read token bucket. now is swappable so
+// tests drive time deterministically.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	b := &tokenBucket{rate: rate, burst: burst, tokens: burst, now: time.Now}
+	b.last = b.now()
+	return b
+}
+
+// take consumes n tokens if available; otherwise it reports how long until
+// the deficit refills (the Retry-After for a rate rejection).
+func (b *tokenBucket) take(n float64) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	deficit := n - b.tokens
+	return false, time.Duration(deficit / b.rate * float64(time.Second))
+}
+
+// admissionError is a typed submit rejection: the HTTP status it maps to
+// (429 for quota/rate, 503 for drain) and the Retry-After to advertise.
+type admissionError struct {
+	status     int
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *admissionError) Error() string { return e.msg }
+
+// retryAfterSeconds renders the Retry-After header value: whole seconds,
+// rounded up, at least 1 so clients never busy-loop on "0".
+func retryAfterSeconds(d time.Duration) int64 {
+	s := int64(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// tenantView is the JSON shape of GET /tenants/{id}/usage: identity, limits,
+// live scheduler state, and the cumulative usage ledger.
+type tenantView struct {
+	ID       string `json:"id"`
+	Weight   int    `json:"weight"`
+	Priority string `json:"priority"`
+	// Queued/Running are the tenant's live scheduler occupancy.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	// NodeBudgetInUse / NodeBudgetCapacity expose the aggregate in-flight
+	// node-budget pool (0 capacity = unlimited).
+	NodeBudgetInUse    int64       `json:"node_budget_in_use,omitempty"`
+	NodeBudgetCapacity int64       `json:"node_budget_capacity,omitempty"`
+	Usage              TenantUsage `json:"usage"`
+}
+
+// tenantGauges are the live per-tenant scheduler numbers used by views and
+// metrics; filled by the scheduler.
+type tenantGauges struct {
+	queued  int
+	running int
+}
+
+// jobUsageDelta converts one settled job into its usage contribution.
+func jobUsageDelta(status JobStatus, shed bool, stats core.Stats, clusters int, ran time.Duration) TenantUsage {
+	d := TenantUsage{
+		Nodes:       int64(stats.Nodes),
+		Clusters:    int64(clusters),
+		NodeSeconds: ran.Seconds(),
+	}
+	switch {
+	case shed:
+		d.Shed = 1
+	case status == StatusDone:
+		d.Completed = 1
+	case status == StatusFailed:
+		d.Failed = 1
+	case status == StatusCancelled:
+		d.Cancelled = 1
+	}
+	return d
+}

@@ -1,0 +1,468 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"regcluster/internal/paperdata"
+)
+
+// submitWithKey posts a submission authenticated by an API key, returning the
+// decoded view, the status, and the Retry-After header (empty when absent).
+func submitWithKey(t *testing.T, ts *httptest.Server, req submitRequest, key string) (JobView, int, string) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	hr, err := http.NewRequest("POST", ts.URL+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		hr.Header.Set("X-API-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	json.NewDecoder(resp.Body).Decode(&v)
+	return v, resp.StatusCode, resp.Header.Get("Retry-After")
+}
+
+// getTenantUsage fetches GET /tenants/{id}/usage.
+func getTenantUsage(t *testing.T, ts *httptest.Server, id string) (tenantView, int) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/tenants/" + id + "/usage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v tenantView
+	json.NewDecoder(resp.Body).Decode(&v)
+	return v, resp.StatusCode
+}
+
+// labeledMetricValue reads one labeled series (name{tenant="id"}) from
+// /metrics; metricValue only matches unlabeled lines.
+func labeledMetricValue(t *testing.T, ts *httptest.Server, name, tenantID string) int64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	prefix := fmt.Sprintf("%s{tenant=%q} ", name, tenantID)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, prefix) {
+			v, err := strconv.ParseInt(strings.TrimPrefix(line, prefix), 10, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s{tenant=%q} not exposed", name, tenantID)
+	return 0
+}
+
+func cancelJob(t *testing.T, ts *httptest.Server, id string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs/"+id+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+// waitRunning polls until the job demonstrably holds a mining slot.
+func waitRunning(t *testing.T, ts *httptest.Server, id string) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		jv := getJob(t, ts, id)
+		if jv.Status == StatusRunning {
+			return
+		}
+		if jv.Status.terminal() {
+			t.Fatalf("job settled (%s) before running", jv.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("job never started running")
+}
+
+// TestTenantAuthUsageAndMetrics: an authenticated submission is attributed to
+// its tenant end to end — job view, usage ledger, labeled metrics — while a
+// wrong key fails loudly with 401 and keyless requests stay anonymous.
+func TestTenantAuthUsageAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Tenants: []TenantConfig{
+		{ID: "alpha", APIKey: "ka", Weight: 2},
+		{ID: "beta", APIKey: "kb", Priority: "high"},
+	}})
+	id := uploadMatrix(t, ts, paperdata.RunningExample(), "table1")
+
+	v, code, _ := submitWithKey(t, ts, submitRequest{Dataset: id, Params: runningParams()}, "ka")
+	if code != http.StatusAccepted || v.Tenant != "alpha" {
+		t.Fatalf("authenticated submit: %d %+v", code, v)
+	}
+	fin := waitTerminal(t, ts, v.ID)
+	if fin.Status != StatusDone || fin.Tenant != "alpha" {
+		t.Fatalf("settled view %+v", fin)
+	}
+
+	// Keyless requests resolve to the anonymous tenant; its view omits the
+	// tenant field so pre-tenancy clients see an unchanged schema.
+	av, code, _ := submitWithKey(t, ts, submitRequest{Dataset: id, Params: runningParams()}, "")
+	if code != http.StatusAccepted || av.Tenant != "" {
+		t.Fatalf("anonymous submit: %d %+v", code, av)
+	}
+	waitTerminal(t, ts, av.ID)
+
+	// A typo'd key must 401, never demote to anonymous limits.
+	if _, code, _ := submitWithKey(t, ts, submitRequest{Dataset: id, Params: runningParams()}, "typo"); code != http.StatusUnauthorized {
+		t.Fatalf("unknown key status %d, want 401", code)
+	}
+
+	u, code := getTenantUsage(t, ts, "alpha")
+	if code != http.StatusOK {
+		t.Fatalf("usage status %d", code)
+	}
+	if u.ID != "alpha" || u.Weight != 2 || u.Usage.Jobs != 1 || u.Usage.Completed != 1 || u.Usage.Nodes == 0 {
+		t.Fatalf("alpha usage %+v", u)
+	}
+	if _, code := getTenantUsage(t, ts, "ghost"); code != http.StatusNotFound {
+		t.Fatalf("unknown tenant usage status %d", code)
+	}
+
+	// GET /tenants lists every tenant, anonymous first, keys never echoed.
+	resp, err := http.Get(ts.URL + "/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := new(bytes.Buffer)
+	raw.ReadFrom(resp.Body)
+	resp.Body.Close()
+	var list struct {
+		Tenants []tenantView `json:"tenants"`
+	}
+	if err := json.Unmarshal(raw.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Tenants) != 3 || list.Tenants[0].ID != AnonymousTenant {
+		t.Fatalf("tenant list %+v", list.Tenants)
+	}
+	if strings.Contains(raw.String(), "ka") || strings.Contains(raw.String(), `"api_key"`) {
+		t.Fatal("tenant list leaked an API key")
+	}
+
+	if got := labeledMetricValue(t, ts, "regserver_tenant_jobs_total", "alpha"); got != 1 {
+		t.Fatalf(`jobs_total{tenant="alpha"} = %d`, got)
+	}
+	if got := labeledMetricValue(t, ts, "regserver_tenant_jobs_completed_total", "alpha"); got != 1 {
+		t.Fatalf(`jobs_completed_total{tenant="alpha"} = %d`, got)
+	}
+	if got := labeledMetricValue(t, ts, "regserver_tenant_jobs_total", AnonymousTenant); got != 1 {
+		t.Fatalf(`jobs_total{tenant="anonymous"} = %d`, got)
+	}
+}
+
+// TestTenantRateLimit429: exhausting a tenant's token bucket rejects with 429
+// and a Retry-After header, accounts the rejection, and leaves other tenants
+// unaffected.
+func TestTenantRateLimit429(t *testing.T) {
+	_, ts := newTestServer(t, Config{Tenants: []TenantConfig{
+		{ID: "slow-lane", APIKey: "ks", RatePerSec: 0.01, Burst: 1},
+		{ID: "fast-lane", APIKey: "kf"},
+	}})
+	id := uploadMatrix(t, ts, paperdata.RunningExample(), "table1")
+
+	v, code, _ := submitWithKey(t, ts, submitRequest{Dataset: id, Params: runningParams()}, "ks")
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit status %d", code)
+	}
+	waitTerminal(t, ts, v.ID)
+
+	_, code, retry := submitWithKey(t, ts, submitRequest{Dataset: id, Params: runningParams()}, "ks")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited submit status %d, want 429", code)
+	}
+	secs, err := strconv.Atoi(retry)
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q, want a positive integer", retry)
+	}
+
+	// The rejection lands in the ledger and the labeled metric; the other
+	// tenant's bucket is untouched.
+	u, _ := getTenantUsage(t, ts, "slow-lane")
+	if u.Usage.Rejected != 1 || u.Usage.Jobs != 1 {
+		t.Fatalf("slow-lane usage %+v", u.Usage)
+	}
+	if got := labeledMetricValue(t, ts, "regserver_tenant_jobs_rejected_total", "slow-lane"); got != 1 {
+		t.Fatalf("rejected_total %d", got)
+	}
+	if got := metricValue(t, ts, "regserver_jobs_rejected_total"); got != 1 {
+		t.Fatalf("global rejected_total %d", got)
+	}
+	if _, code, _ := submitWithKey(t, ts, submitRequest{Dataset: id, Params: runningParams()}, "kf"); code != http.StatusAccepted {
+		t.Fatalf("unrelated tenant rejected: %d", code)
+	}
+}
+
+// TestTenantQuota429: the concurrent-job quota rejects the second in-flight
+// job of a bounded tenant with 429 + Retry-After, and releases with the slot.
+func TestTenantQuota429(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrentJobs: 1, Tenants: []TenantConfig{
+		{ID: "capped", APIKey: "kc", MaxActive: 1},
+	}})
+	m, p := slowWorkload(t)
+	id := uploadMatrix(t, ts, m, "slow")
+
+	v, code, _ := submitWithKey(t, ts, submitRequest{Dataset: id, Params: p}, "kc")
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit status %d", code)
+	}
+	waitRunning(t, ts, v.ID)
+
+	p2 := p
+	p2.Epsilon = 3
+	_, code, retry := submitWithKey(t, ts, submitRequest{Dataset: id, Params: p2}, "kc")
+	if code != http.StatusTooManyRequests || retry == "" {
+		t.Fatalf("over-quota submit: %d Retry-After %q, want 429 with header", code, retry)
+	}
+
+	cancelJob(t, ts, v.ID)
+	waitTerminal(t, ts, v.ID)
+	// With the first job settled the quota is free again.
+	v3, code, _ := submitWithKey(t, ts, submitRequest{Dataset: id, Params: p2}, "kc")
+	if code != http.StatusAccepted {
+		t.Fatalf("post-settle submit status %d", code)
+	}
+	cancelJob(t, ts, v3.ID)
+	waitTerminal(t, ts, v3.ID)
+}
+
+// TestDrainWindowRejectsWithRetryAfter is the drain-window regression test:
+// from the instant graceful drain begins, POST /jobs and POST /sweep reject
+// with 503 + Retry-After instead of accepting work that the grace deadline
+// would interrupt moments later.
+func TestDrainWindowRejectsWithRetryAfter(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	m, p := slowWorkload(t)
+	id := uploadMatrix(t, ts, m, "slow")
+	v := submitJob(t, ts, submitRequest{Dataset: id, Params: p})
+	waitRunning(t, ts, v.ID)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(ctx) }()
+
+	// Wait for the drain window to open (healthz flips to 503/draining).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain never began")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Mid-drain, with the slow job still running: submissions must 503 with
+	// a Retry-After, not 202.
+	_, code, retry := submitWithKey(t, ts, submitRequest{Dataset: id, Params: p}, "")
+	if code != http.StatusServiceUnavailable || retry == "" {
+		t.Fatalf("mid-drain submit: %d Retry-After %q, want 503 with header", code, retry)
+	}
+	sweepBody, _ := json.Marshal(map[string]any{
+		"dataset": id, "params": p, "epsilons": []float64{2, 3},
+	})
+	resp, err := http.Post(ts.URL+"/sweep", "application/json", bytes.NewReader(sweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("mid-drain sweep: %d Retry-After %q, want 503 with header",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	cancelJob(t, ts, v.ID)
+	waitTerminal(t, ts, v.ID)
+	if err := <-done; err != nil {
+		t.Fatalf("drain did not complete cleanly: %v", err)
+	}
+}
+
+// TestShedSettlesJobAndSurvivesRestart: a queued low-priority job displaced
+// by a high-priority arrival settles as cancelled-by-shed, is journaled, and
+// a restart neither resurrects it nor loses any tenant's usage totals.
+func TestShedSettlesJobAndSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	tenants := []TenantConfig{
+		{ID: "batch", APIKey: "kb", Priority: "low"},
+		{ID: "inter", APIKey: "ki", Priority: "high"},
+	}
+	cfg := Config{DataDir: dir, MaxConcurrentJobs: 1, ShedWatermark: 1,
+		Tenants: tenants, Logf: t.Logf}
+	srv, ts := openTestServer(t, cfg)
+	m, p := slowWorkload(t)
+	id := uploadMatrix(t, ts, m, "slow")
+
+	// Anonymous blocker takes the only slot.
+	blocker := submitJob(t, ts, submitRequest{Dataset: id, Params: p})
+	waitRunning(t, ts, blocker.ID)
+
+	// The batch tenant queues one job — exactly at the watermark.
+	pb := p
+	pb.Epsilon = 3
+	bv, code, _ := submitWithKey(t, ts, submitRequest{Dataset: id, Params: pb}, "kb")
+	if code != http.StatusAccepted {
+		t.Fatalf("batch submit status %d", code)
+	}
+
+	// A high-priority arrival crosses the watermark; the shedder evicts the
+	// queued batch job rather than the newcomer.
+	pi := p
+	pi.Epsilon = 4
+	iv, code, _ := submitWithKey(t, ts, submitRequest{Dataset: id, Params: pi}, "ki")
+	if code != http.StatusAccepted {
+		t.Fatalf("inter submit status %d", code)
+	}
+
+	shedded := waitTerminal(t, ts, bv.ID)
+	if shedded.Status != StatusCancelled || !shedded.Shed || !strings.Contains(shedded.Error, "shed") {
+		t.Fatalf("shed job settled as %+v", shedded)
+	}
+	u, _ := getTenantUsage(t, ts, "batch")
+	if u.Usage.Shed != 1 {
+		t.Fatalf("batch usage after shed %+v", u.Usage)
+	}
+	if got := metricValue(t, ts, "regserver_jobs_shed_total"); got != 1 {
+		t.Fatalf("jobs_shed_total %d", got)
+	}
+
+	// Settle everything else, snapshot the ledgers, and drain.
+	cancelJob(t, ts, blocker.ID)
+	cancelJob(t, ts, iv.ID)
+	waitTerminal(t, ts, blocker.ID)
+	waitTerminal(t, ts, iv.ID)
+	before := map[string]TenantUsage{}
+	for _, tid := range []string{AnonymousTenant, "batch", "inter"} {
+		v, _ := getTenantUsage(t, ts, tid)
+		before[tid] = v.Usage
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ts.Close()
+	srv.Close()
+
+	// Restart on the same data-dir: the shed job must come back settled —
+	// never re-enqueued — and every usage ledger must replay to the exact
+	// pre-restart totals.
+	_, ts2 := openTestServer(t, cfg)
+	replayed := getJob(t, ts2, bv.ID)
+	if replayed.Status != StatusCancelled || !replayed.Shed {
+		t.Fatalf("shed job after restart %+v", replayed)
+	}
+	if replayed.Recovered {
+		t.Fatal("shed job was re-enqueued by recovery")
+	}
+	for tid, want := range before {
+		v, code := getTenantUsage(t, ts2, tid)
+		if code != http.StatusOK || !reflect.DeepEqual(v.Usage, want) {
+			t.Fatalf("tenant %s usage after restart:\n got %+v\nwant %+v", tid, v.Usage, want)
+		}
+	}
+}
+
+// TestReplayShedAndUsageRecords mirrors TestReplayAuditRecordsSkipped for the
+// admission-control record types: shed records settle their job on replay,
+// usage records replay last-snapshot-wins and survive compaction (one per
+// tenant), and both ride the default skip branch of a predating replayer.
+func TestReplayShedAndUsageRecords(t *testing.T) {
+	p := runningParams()
+	u1 := TenantUsage{Jobs: 2, Completed: 1, Nodes: 10}
+	u2 := TenantUsage{Jobs: 3, Completed: 2, Nodes: 25, NodeSeconds: 1.5}
+	recs := []journalRecord{
+		{Type: recSubmit, Job: "job-000001", Seq: 1, Dataset: "ds", Params: &p, Tenant: "acme"},
+		{Type: recUsage, Tenant: "acme", Usage: &u1},
+		{Type: recShed, Job: "job-000001"},
+		{Type: recUsage, Tenant: "acme", Usage: &u2}, // cumulative: last wins
+		{Type: recUsage}, // malformed: no tenant, skipped
+	}
+
+	var lc logCapture
+	jobs, _, usage, _ := replayRecords(recs, lc.logf)
+	if len(jobs) != 1 || jobs[0].terminal == nil || jobs[0].terminal.Type != recShed {
+		t.Fatalf("shed record did not settle the job: %+v", jobs)
+	}
+	if lc.contains("unknown record type") {
+		t.Fatalf("new record types hit the unknown-type path: %v", lc.snapshot())
+	}
+	if len(usage) != 1 || !reflect.DeepEqual(usage["acme"], u2) {
+		t.Fatalf("usage replay %+v, want last snapshot %+v", usage, u2)
+	}
+
+	// Compaction keeps the shed terminal record and exactly one usage record
+	// per tenant — unlike audit records, these survive rewrites.
+	var shedKept bool
+	var usageKept int
+	for _, rec := range canonicalRecords(jobs, nil, usage) {
+		switch rec.Type {
+		case recShed:
+			shedKept = true
+		case recUsage:
+			usageKept++
+			if rec.Tenant != "acme" || !reflect.DeepEqual(*rec.Usage, u2) {
+				t.Fatalf("compacted usage record %+v", rec)
+			}
+		}
+	}
+	if !shedKept || usageKept != 1 {
+		t.Fatalf("compaction kept shed=%v usage=%d, want true/1", shedKept, usageKept)
+	}
+
+	// A predating replayer decodes both new types fine and skips them: their
+	// Type strings collide with none it replays.
+	type oldRecord struct {
+		Type string `json:"type"`
+		Job  string `json:"job,omitempty"`
+	}
+	for _, rec := range recs[1:4] {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var old oldRecord
+		if err := json.Unmarshal(line, &old); err != nil {
+			t.Fatalf("predating replayer cannot decode %s: %v", line, err)
+		}
+		switch old.Type {
+		case recSubmit, recCheckpoint, recDone, recFailed, recCancelled, recInterrupted, recSweep:
+			t.Fatalf("record %q collides with a pre-tenancy replayable type", old.Type)
+		}
+	}
+}

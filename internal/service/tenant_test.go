@@ -1,0 +1,263 @@
+package service
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"regcluster/internal/core"
+)
+
+func writeTenantsFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadTenants(t *testing.T) {
+	array := writeTenantsFile(t, `[{"id":"acme","api_key":"k1","weight":2}]`)
+	got, err := LoadTenants(array)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "acme" || got[0].Weight != 2 {
+		t.Fatalf("array form parsed %+v", got)
+	}
+
+	wrapped := writeTenantsFile(t, `{"tenants":[{"id":"acme","api_key":"k1"},{"id":"beta","api_key":"k2","priority":"high"}]}`)
+	got, err = LoadTenants(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Priority != "high" {
+		t.Fatalf("wrapped form parsed %+v", got)
+	}
+
+	if _, err := LoadTenants(writeTenantsFile(t, `{"nope": true}`)); err == nil {
+		t.Fatal("accepted a file with no tenant list")
+	}
+	if _, err := LoadTenants(writeTenantsFile(t, `not json`)); err == nil {
+		t.Fatal("accepted malformed JSON")
+	}
+	if _, err := LoadTenants(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("accepted a missing file")
+	}
+}
+
+func TestNewTenantSetValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfgs []TenantConfig
+		want string
+	}{
+		{"missing id", []TenantConfig{{APIKey: "k"}}, "missing id"},
+		{"missing key", []TenantConfig{{ID: "a"}}, "missing api_key"},
+		{"anon with key", []TenantConfig{{ID: AnonymousTenant, APIKey: "k"}}, "cannot carry an API key"},
+		{"dup id", []TenantConfig{{ID: "a", APIKey: "k1"}, {ID: "a", APIKey: "k2"}}, "duplicate tenant id"},
+		{"dup key", []TenantConfig{{ID: "a", APIKey: "k"}, {ID: "b", APIKey: "k"}}, "already in use"},
+		{"bad priority", []TenantConfig{{ID: "a", APIKey: "k", Priority: "urgent"}}, "unknown priority"},
+	}
+	for _, tc := range cases {
+		if _, err := newTenantSet(tc.cfgs, tenantDefaults{}); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestTenantSetDefaultsAndOverrides(t *testing.T) {
+	cfgs := []TenantConfig{
+		{ID: "acme", APIKey: "k1", Weight: 3, Priority: "high", NodeBudget: 500},
+		{ID: "free", APIKey: "k2", RatePerSec: -1, MaxActive: -1},
+		{ID: AnonymousTenant, MaxQueued: 7},
+	}
+	def := tenantDefaults{ratePerSec: 2, burst: 4, maxActive: 10, maxQueued: 20}
+	ts, err := newTenantSet(cfgs, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acme, _ := ts.get("acme")
+	if acme.weight != 3 || acme.priority != PriorityHigh {
+		t.Fatalf("acme weight/priority = %d/%d", acme.weight, acme.priority)
+	}
+	if acme.bucket == nil || acme.bucket.rate != 2 || acme.bucket.burst != 4 {
+		t.Fatalf("acme bucket did not inherit server defaults: %+v", acme.bucket)
+	}
+	if acme.nodes == nil || acme.nodes.Capacity() != 500 {
+		t.Fatal("acme node budget pool not built")
+	}
+	if acme.maxActive != 10 || acme.maxQueued != 20 {
+		t.Fatalf("acme limits = %d/%d, want inherited 10/20", acme.maxActive, acme.maxQueued)
+	}
+
+	// Negative values opt out of the server defaults entirely.
+	free, _ := ts.get("free")
+	if free.bucket != nil {
+		t.Fatal("negative rate_per_sec did not disable the rate limit")
+	}
+	if free.maxActive > 0 {
+		t.Fatalf("negative max_active did not mean unlimited: %d", free.maxActive)
+	}
+
+	// The anonymous tenant is always present and can be re-limited by config.
+	if ts.anonymous.maxQueued != 7 {
+		t.Fatalf("anonymous maxQueued = %d, want 7", ts.anonymous.maxQueued)
+	}
+	if list := ts.list(); len(list) != 3 || list[0].id != AnonymousTenant {
+		t.Fatalf("list order %v", list)
+	}
+
+	// Default burst falls back to ceil(rate) when neither config nor server
+	// set one.
+	ts2, err := newTenantSet([]TenantConfig{{ID: "x", APIKey: "k", RatePerSec: 2.5}}, tenantDefaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := ts2.get("x")
+	if x.bucket == nil || x.bucket.burst != 3 {
+		t.Fatalf("burst fallback = %+v, want ceil(2.5)=3", x.bucket)
+	}
+}
+
+func TestTenantResolve(t *testing.T) {
+	ts, err := newTenantSet([]TenantConfig{{ID: "acme", APIKey: "secret"}}, tenantDefaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := func(hdr, val string) *http.Request {
+		r, _ := http.NewRequest("POST", "/jobs", nil)
+		if hdr != "" {
+			r.Header.Set(hdr, val)
+		}
+		return r
+	}
+
+	if tn, err := ts.resolve(req("", "")); err != nil || tn.id != AnonymousTenant {
+		t.Fatalf("keyless request resolved (%v, %v)", tn, err)
+	}
+	if tn, err := ts.resolve(req("X-API-Key", "secret")); err != nil || tn.id != "acme" {
+		t.Fatalf("X-API-Key resolved (%v, %v)", tn, err)
+	}
+	if tn, err := ts.resolve(req("Authorization", "Bearer secret")); err != nil || tn.id != "acme" {
+		t.Fatalf("Bearer resolved (%v, %v)", tn, err)
+	}
+	// A wrong key must fail loudly, never demote to anonymous.
+	if _, err := ts.resolve(req("X-API-Key", "typo")); err != errUnknownAPIKey {
+		t.Fatalf("unknown key error %v", err)
+	}
+	if _, err := ts.resolve(req("Authorization", "Bearer typo")); err != errUnknownAPIKey {
+		t.Fatalf("unknown bearer error %v", err)
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newTokenBucket(2, 4) // 2 tokens/sec, burst 4
+	b.now = func() time.Time { return now }
+	b.tokens, b.last = 4, now
+
+	for i := 0; i < 4; i++ {
+		if ok, _ := b.take(1); !ok {
+			t.Fatalf("burst take %d refused", i)
+		}
+	}
+	ok, retry := b.take(1)
+	if ok {
+		t.Fatal("empty bucket granted a token")
+	}
+	// One whole token refills in 1/rate = 500ms.
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Fatalf("retryAfter %v, want ≈500ms", retry)
+	}
+
+	now = now.Add(time.Second) // refills 2 tokens
+	if ok, _ := b.take(2); !ok {
+		t.Fatal("refill did not restore tokens")
+	}
+	if ok, _ := b.take(1); ok {
+		t.Fatal("bucket over-refilled")
+	}
+
+	now = now.Add(time.Hour) // refill clamps at burst, not rate*3600
+	for i := 0; i < 4; i++ {
+		if ok, _ := b.take(1); !ok {
+			t.Fatalf("take %d after clamp refused", i)
+		}
+	}
+	if ok, _ := b.take(1); ok {
+		t.Fatal("burst clamp not applied")
+	}
+}
+
+func TestParsePriority(t *testing.T) {
+	for in, want := range map[string]int{
+		"": PriorityNormal, "normal": PriorityNormal,
+		"low": PriorityLow, "batch": PriorityLow,
+		"high": PriorityHigh, "interactive": PriorityHigh, "HIGH": PriorityHigh,
+	} {
+		got, err := parsePriority(in)
+		if err != nil || got != want {
+			t.Errorf("parsePriority(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	if _, err := parsePriority("urgent"); err == nil {
+		t.Error("parsePriority accepted an unknown class")
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int64
+	}{
+		{0, 1}, {-time.Second, 1}, {300 * time.Millisecond, 1},
+		{time.Second, 1}, {1100 * time.Millisecond, 2}, {90 * time.Second, 90},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestJobUsageDelta(t *testing.T) {
+	stats := core.Stats{Nodes: 42}
+	d := jobUsageDelta(StatusDone, false, stats, 7, 1500*time.Millisecond)
+	if d.Completed != 1 || d.Nodes != 42 || d.Clusters != 7 || d.NodeSeconds != 1.5 {
+		t.Fatalf("done delta %+v", d)
+	}
+	if d := jobUsageDelta(StatusFailed, false, stats, 0, 0); d.Failed != 1 || d.Completed != 0 {
+		t.Fatalf("failed delta %+v", d)
+	}
+	if d := jobUsageDelta(StatusCancelled, false, stats, 0, 0); d.Cancelled != 1 {
+		t.Fatalf("cancelled delta %+v", d)
+	}
+	// A shed job is recorded as shed, not as a caller cancellation.
+	if d := jobUsageDelta(StatusCancelled, true, stats, 0, 0); d.Shed != 1 || d.Cancelled != 0 {
+		t.Fatalf("shed delta %+v", d)
+	}
+}
+
+func TestTenantAccounting(t *testing.T) {
+	tn := schedTenant("a", 1, PriorityNormal)
+	snap := tn.account(TenantUsage{Jobs: 1, Completed: 1, Nodes: 10})
+	if snap.Jobs != 1 || snap.Nodes != 10 {
+		t.Fatalf("first snapshot %+v", snap)
+	}
+	snap = tn.account(TenantUsage{Jobs: 1, Failed: 1, Nodes: 5, NodeSeconds: 0.5})
+	if snap.Jobs != 2 || snap.Completed != 1 || snap.Failed != 1 || snap.Nodes != 15 {
+		t.Fatalf("cumulative snapshot %+v", snap)
+	}
+	// restoreUsage replaces the ledger wholesale (replay installs the last
+	// journaled snapshot, it does not re-add deltas).
+	tn.restoreUsage(TenantUsage{Jobs: 9})
+	if got := tn.usageSnapshot(); got.Jobs != 9 || got.Nodes != 0 {
+		t.Fatalf("restored snapshot %+v", got)
+	}
+}

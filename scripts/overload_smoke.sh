@@ -1,0 +1,168 @@
+#!/usr/bin/env bash
+# Overload smoke test of multi-tenant admission control: burst 50 submissions
+# from two API-key tenants at a 2-slot durable server. The quota-bounded heavy
+# tenant is rejected fast — 429 with a Retry-After header — while the light
+# tenant's jobs all complete; no request ever sees a 5xx; and a graceful
+# restart replays byte-identical per-tenant usage ledgers from the journal.
+set -euo pipefail
+
+GO=${GO:-go}
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -9 "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() { echo "overload-smoke: FAIL: $*" >&2; exit 1; }
+
+$GO build -o "$workdir/regserver" ./cmd/regserver
+$GO build -o "$workdir/datagen" ./cmd/datagen
+"$workdir/datagen" -kind synthetic -genes 260 -conds 13 -clusters 10 -seed 7 \
+    -out "$workdir/matrix.tsv"
+
+# heavy: normal priority, at most 4 jobs in flight — the burst overruns it.
+# light: high priority, no bounds — its work must ride through the overload.
+cat >"$workdir/tenants.json" <<'JSON'
+[
+  {"id": "heavy", "api_key": "heavy-key", "max_active": 4},
+  {"id": "light", "api_key": "light-key", "priority": "high", "weight": 2}
+]
+JSON
+
+start_server() { # start_server <log>
+    "$workdir/regserver" -addr 127.0.0.1:0 -jobs 2 -workers 1 \
+        -data-dir "$workdir/datadir" -tenants "$workdir/tenants.json" \
+        -shed-watermark 16 >"$1" 2>&1 &
+    server_pid=$!
+    base=""
+    for _ in $(seq 1 100); do
+        base=$(sed -n 's/^regserver: listening on \(http:\/\/.*\)$/\1/p' "$1")
+        [[ -n "$base" ]] && break
+        kill -0 "$server_pid" 2>/dev/null || fail "server died: $(cat "$1")"
+        sleep 0.1
+    done
+    [[ -n "$base" ]] || fail "server never announced its address"
+}
+
+stop_server() { # graceful
+    kill -TERM "$server_pid"
+    wait "$server_pid" || fail "server exited non-zero after SIGTERM"
+    server_pid=""
+}
+
+# submit_as <api-key> <params-json>: sets reply_status, reply_retry, reply_id.
+submit_as() {
+    local hdrs="$workdir/hdrs"
+    local body
+    body=$(curl -s -D "$hdrs" -X POST -H 'Content-Type: application/json' \
+        -H "X-API-Key: $1" \
+        -d '{"dataset":"'"$dataset"'","params":'"$2"'}' "$base/jobs")
+    reply_status=$(sed -n '1s/^[^ ]* \([0-9]\{3\}\).*/\1/p' "$hdrs")
+    reply_retry=$(sed -n 's/^[Rr]etry-[Aa]fter: *\([0-9]*\).*/\1/p' "$hdrs")
+    reply_id=$(printf '%s' "$body" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+}
+
+job_status() {
+    curl -sf "$base/jobs/$1" \
+        | sed -n 's/.*"status": *"\([a-z]*\)".*/\1/p' | head -1
+}
+
+wait_terminal() { # wait_terminal <job-id> <want-status-regex>
+    local status=""
+    for _ in $(seq 1 600); do
+        status=$(job_status "$1")
+        if [[ -n "$status" ]] && printf '%s' "$status" | grep -qE "^($2)$"; then
+            return 0
+        fi
+        case "$status" in done|failed|cancelled|interrupted)
+            fail "job $1 ended $status, want $2" ;;
+        esac
+        sleep 0.2
+    done
+    fail "job $1 stuck in '$status', want $2"
+}
+
+start_server "$workdir/boot.log"
+dataset=$(curl -sf -X POST --data-binary @"$workdir/matrix.tsv" \
+    "$base/datasets?name=overload" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[[ -n "$dataset" ]] || fail "upload returned no dataset ID"
+
+# --- Phase 1: the burst — 40 heavy + 10 light submissions -------------------
+heavy_params() { # distinct (never-reached) MaxClusters per point: unique
+    # cache keys without capping the multi-second mining run short.
+    echo '{"MinG":3,"MinC":3,"Gamma":0.05,"Epsilon":1.5,"MaxClusters":'"$((100000 + $1))"'}'
+}
+light_params() {
+    echo '{"MinG":3,"MinC":5,"Gamma":0.15,"Epsilon":0.1,"MaxClusters":'"$((200 + $1))"'}'
+}
+
+heavy_jobs=()
+heavy_rejects=0
+first_retry=""
+for i in $(seq 1 40); do
+    submit_as heavy-key "$(heavy_params "$i")"
+    case "$reply_status" in
+        202) heavy_jobs+=("$reply_id") ;;
+        429) heavy_rejects=$((heavy_rejects + 1))
+             [[ -n "$first_retry" ]] || first_retry="$reply_retry" ;;
+        5*)  fail "heavy submission $i answered $reply_status" ;;
+        *)   fail "heavy submission $i answered unexpected $reply_status" ;;
+    esac
+done
+light_jobs=()
+for i in $(seq 1 10); do
+    submit_as light-key "$(light_params "$i")"
+    case "$reply_status" in
+        202) light_jobs+=("$reply_id") ;;
+        *)   fail "light submission $i answered $reply_status (burst must not touch the light tenant)" ;;
+    esac
+done
+
+[[ ${#heavy_jobs[@]} -eq 4 ]] || fail "heavy tenant got ${#heavy_jobs[@]} slots, want its max_active of 4"
+[[ "$heavy_rejects" -eq 36 ]] || fail "heavy tenant saw $heavy_rejects rejections, want 36"
+[[ -n "$first_retry" && "$first_retry" -ge 1 ]] \
+    || fail "429 carried Retry-After '$first_retry', want a positive integer"
+echo "overload-smoke: burst done (heavy: 4 accepted + 36x 429 with Retry-After ${first_retry}s)"
+
+# --- Phase 2: the light tenant's work completes; heavy unwinds --------------
+for id in "${heavy_jobs[@]}"; do
+    curl -sf -X POST "$base/jobs/$id/cancel" >/dev/null
+done
+for id in "${heavy_jobs[@]}"; do
+    # A heavy job may have finished before its cancel landed; both are clean.
+    wait_terminal "$id" 'cancelled|done'
+done
+for id in "${light_jobs[@]}"; do
+    wait_terminal "$id" done
+done
+echo "overload-smoke: light tenant completed all 10 jobs through the overload"
+
+curl -sf "$base/healthz" | grep -q '"queue_depth"' \
+    || fail "healthz lost its saturation fields"
+curl -sf "$base/metrics" | grep -q '^regserver_tenant_jobs_rejected_total{tenant="heavy"} 36$' \
+    || fail "labeled rejection counter missing or wrong"
+
+curl -sf "$base/tenants/heavy/usage" >"$workdir/heavy.before"
+curl -sf "$base/tenants/light/usage" >"$workdir/light.before"
+grep -q '"rejected": *36' "$workdir/heavy.before" || fail "heavy ledger: $(cat "$workdir/heavy.before")"
+grep -q '"completed": *10' "$workdir/light.before" || fail "light ledger: $(cat "$workdir/light.before")"
+
+# --- Phase 3: restart and compare the replayed ledgers ----------------------
+stop_server
+start_server "$workdir/restart.log"
+curl -sf "$base/tenants/heavy/usage" >"$workdir/heavy.after"
+curl -sf "$base/tenants/light/usage" >"$workdir/light.after"
+cmp -s "$workdir/heavy.before" "$workdir/heavy.after" \
+    || fail "heavy usage drifted across restart: $(cat "$workdir/heavy.after")"
+cmp -s "$workdir/light.before" "$workdir/light.after" \
+    || fail "light usage drifted across restart: $(cat "$workdir/light.after")"
+stop_server
+
+echo "overload-smoke: PASS (0 5xx; 36 honest 429s; usage ledgers replay byte-identical)"
