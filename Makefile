@@ -9,7 +9,7 @@ GO ?= go
 COVER_FLOOR_CORE ?= 95.0
 COVER_FLOOR_SERVICE ?= 82.0
 
-.PHONY: build test vet race service-race check lint cover bench bench-baseline bench-compare bench-smoke serve-smoke crash-smoke dist-smoke overload-smoke
+.PHONY: build test vet race service-race check lint cover bench bench-baseline bench-compare bench-smoke bench-kernels profile serve-smoke crash-smoke dist-smoke overload-smoke
 
 build:
 	$(GO) build ./...
@@ -83,6 +83,22 @@ bench-compare:
 # build proves the bench harness still compiles and runs.
 bench-smoke:
 	$(GO) test -run XXX -bench 'BenchmarkRunningExample$$|BenchmarkRWaveBuild$$' -benchtime 1x -benchmem .
+
+# Kernel microbenchmarks (internal/core kernel_bench_test.go): the isolated
+# inner-loop primitives of the columnar hot path — frontier lookups,
+# candidate scan, Equation 7 scoring, bitset walk. -benchtime 100x keeps it
+# cheap enough for the CI smoke pass while still exercising the loops.
+bench-kernels:
+	$(GO) test -run XXX -bench 'BenchmarkKernel' -benchtime 100x -benchmem ./internal/core
+
+# CPU-profile the mining hot path: one iteration of a Figure 7 panel under
+# -cpuprofile, then the top cumulative functions. Override PROFILE_BENCH to
+# profile a different benchmark (e.g. PROFILE_BENCH='BenchmarkFig7Conds/c=30$$').
+PROFILE_BENCH ?= BenchmarkFig7Genes/g=3000$$
+profile:
+	$(GO) test -run XXX -bench '$(PROFILE_BENCH)' -benchtime 1x \
+		-cpuprofile cpu.prof -o profile.test .
+	$(GO) tool pprof -top -cum -nodecount=10 profile.test cpu.prof
 
 # Boot regserver on a random port and run one mining job end to end over
 # HTTP with curl, asserting a cache hit on the second submission.

@@ -1,0 +1,146 @@
+package core
+
+// Kernel microbenchmarks — the `make bench-kernels` suite. Each benchmark
+// isolates one inner-loop primitive of the columnar mining hot path (flat
+// frontier lookups, the candidate scan, Equation 7 scoring, the word-wise
+// bitset walk) on a slab-packed model set, so a regression in the packed
+// layout or the memoized arrays shows up here before it shows up in the
+// minutes-long Figure 7 runs.
+
+import (
+	"math"
+	"testing"
+
+	"regcluster/internal/matrix"
+	"regcluster/internal/rwave"
+	"regcluster/internal/synthetic"
+)
+
+var kernelSink int
+var kernelSinkF float64
+
+func kernelBenchSetup(b *testing.B, genes, conds int) (*matrix.Matrix, []rwave.Kernel) {
+	b.Helper()
+	cfg := synthetic.Config{Genes: genes, Conds: conds, Clusters: 6, Seed: 3}
+	m, _, err := synthetic.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	models, err := BuildModels(m, Params{MinG: 4, MinC: 4, Gamma: 0.1, Epsilon: 0.05}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, rwave.Kernels(models)
+}
+
+// BenchmarkKernelFrontierLookup measures the memoized Lemma 3.1 queries:
+// one SuccStart and one PredEnd load per (gene, condition) pair.
+func BenchmarkKernelFrontierLookup(b *testing.B) {
+	m, kern := kernelBenchSetup(b, 500, 30)
+	conds := m.Cols()
+	b.ReportAllocs()
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		for g := range kern {
+			k := &kern[g]
+			for c := 0; c < conds; c++ {
+				r := k.Rank[c]
+				sum += k.SuccStart[r] + k.PredEnd[r]
+			}
+		}
+	}
+	kernelSink = sum
+}
+
+// BenchmarkKernelCandidateScan measures the extend-style successor scan: for
+// every gene, walk order[SuccStart(last):] and dedup against a chain-seeded
+// bitset, exactly as the miner collects candidate conditions.
+func BenchmarkKernelCandidateScan(b *testing.B) {
+	m, kern := kernelBenchSetup(b, 500, 30)
+	conds := m.Cols()
+	inChain := newCondSet(conds)
+	inChain.set(0)
+	inChain.set(conds / 2)
+	seen := newCondSet(conds)
+	cand := make([]int, 0, conds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		const last = 0
+		cand = cand[:0]
+		seen.copyFrom(inChain)
+		for g := range kern {
+			k := &kern[g]
+			order := k.Order
+			for r := k.SuccStart[k.Rank[last]]; r < len(order); r++ {
+				if c := order[r]; !seen.has(c) {
+					seen.set(c)
+					cand = append(cand, c)
+				}
+			}
+		}
+		seen.zero()
+		kernelSink += len(cand)
+	}
+}
+
+// BenchmarkKernelEquation7 measures the flat-value coherence scoring: one
+// Equation 7 quotient per gene against a fixed baseline chain, including the
+// non-finite guard of the real member loop.
+func BenchmarkKernelEquation7(b *testing.B) {
+	m, kern := kernelBenchSetup(b, 500, 30)
+	c0, c1 := 0, 1
+	last, ci := 1, m.Cols()-1
+	b.ReportAllocs()
+	b.ResetTimer()
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		for g := range kern {
+			v := kern[g].ValueByCond
+			h := (v[ci] - v[last]) / (v[c1] - v[c0])
+			if math.IsInf(h, 0) || math.IsNaN(h) {
+				continue
+			}
+			sum += h
+		}
+	}
+	kernelSinkF = sum
+}
+
+// BenchmarkKernelCondSetAppendClear measures the word-at-a-time complement
+// walk the NaiveCandidates path uses to enumerate off-chain conditions.
+func BenchmarkKernelCondSetAppendClear(b *testing.B) {
+	const conds = 200
+	s := newCondSet(conds)
+	for c := 0; c < conds; c += 3 {
+		s.set(c)
+	}
+	dst := make([]int, 0, conds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = s.appendClear(dst[:0], conds)
+		kernelSink += len(dst)
+	}
+}
+
+// BenchmarkKernelMineSmall ties the primitives together: a complete mining
+// run on a small synthetic workload, cheap enough for the CI smoke pass.
+func BenchmarkKernelMineSmall(b *testing.B) {
+	cfg := synthetic.Config{Genes: 120, Conds: 14, Clusters: 4, Seed: 7}
+	m, _, err := synthetic.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := Params{MinG: 4, MinC: 4, Gamma: 0.08, Epsilon: 0.05}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Mine(m, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kernelSink += len(res.Clusters)
+	}
+}

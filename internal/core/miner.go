@@ -56,11 +56,11 @@ func MineContext(ctx context.Context, m *matrix.Matrix, p Params) (*Result, erro
 // stream to the visitor as MineFunc documents. A non-nil models slice reuses
 // a prebuilt RWave index instead of building one (see BuildModels).
 func mineSequential(ctx context.Context, m *matrix.Matrix, p Params, models []*rwave.Model, visit Visitor) (*miner, error) {
-	models, err := resolveModels(m, p, models, nil)
+	_, kern, err := resolveModels(m, p, models, nil)
 	if err != nil {
 		return nil, err
 	}
-	mn := newMiner(m, p, models, newBudget(p, ctx))
+	mn := newMiner(m, p, kern, newBudget(p, ctx))
 	if visit != nil {
 		mn.sink = func(b *Bicluster, _ int) bool { return visit(b) }
 	}
@@ -87,12 +87,15 @@ func validateInputs(m *matrix.Matrix, p Params) error {
 	return nil
 }
 
-// prepare validates the inputs and builds the per-gene RWave models, fanning
+// prepare validates the inputs, builds the per-gene RWave models — fanning
 // the construction out across CPUs for large gene counts (the models are
 // independent per gene, and MineParallel shares the one resulting slice
-// between all workers and reconciliation reruns). When sp is non-nil the
-// index construction is recorded as an "rwave.build" child span with
-// per-chunk children; a nil sp costs nothing.
+// between all workers and reconciliation reruns) — and packs the fresh set
+// into a contiguous ModelSlab (rwave.PackModels), so every downstream miner
+// walks a few large cache-friendly backing arrays instead of ~nGenes
+// scattered objects. When sp is non-nil the index construction is recorded
+// as an "rwave.build" child span with per-chunk children; a nil sp costs
+// nothing.
 func prepare(m *matrix.Matrix, p Params, sp *obs.Span) ([]*rwave.Model, error) {
 	if err := validateInputs(m, p); err != nil {
 		return nil, err
@@ -108,6 +111,12 @@ func prepare(m *matrix.Matrix, p Params, sp *obs.Span) ([]*rwave.Model, error) {
 			return rwave.Build(m, g, p.Gamma)
 		}
 	}, bsp)
+	// Packing rebinds the models' storage in place; it must happen here,
+	// while the freshly built set is still exclusively ours. Prebuilt sets
+	// arriving through resolveModels are already packed (they came from
+	// BuildModels) and may be shared concurrently, so they are never
+	// repacked.
+	rwave.PackModels(models)
 	bsp.End()
 	return models, nil
 }
@@ -117,27 +126,33 @@ func prepare(m *matrix.Matrix, p Params, sp *obs.Span) ([]*rwave.Model, error) {
 // slice it still validates the inputs — the prebuilt index must have come
 // from an equivalent BuildModels call, which these checks keep honest — and
 // only verifies the gene count, since re-deriving the per-gene thresholds to
-// cross-check each Model would cost as much as rebuilding.
-func resolveModels(m *matrix.Matrix, p Params, models []*rwave.Model, sp *obs.Span) ([]*rwave.Model, error) {
+// cross-check each Model would cost as much as rebuilding. Alongside the
+// models it returns their flat kernel views (rwave.Kernels), which every
+// miner of the run shares read-only.
+func resolveModels(m *matrix.Matrix, p Params, models []*rwave.Model, sp *obs.Span) ([]*rwave.Model, []rwave.Kernel, error) {
 	if models == nil {
-		return prepare(m, p, sp)
+		built, err := prepare(m, p, sp)
+		if err != nil {
+			return nil, nil, err
+		}
+		return built, rwave.Kernels(built), nil
 	}
 	if err := validateInputs(m, p); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(models) != m.Rows() {
-		return nil, fmt.Errorf("core: %d prebuilt models for %d genes", len(models), m.Rows())
+		return nil, nil, fmt.Errorf("core: %d prebuilt models for %d genes", len(models), m.Rows())
 	}
-	return models, nil
+	return models, rwave.Kernels(models), nil
 }
 
 type miner struct {
-	m      *matrix.Matrix
-	p      Params
-	models []*rwave.Model
-	bud    *budget  // global caps + cancellation, shared across workers
-	dedup  dedupSet // pruning (3b) duplicate-state suppression
-	out    []*Bicluster
+	m     *matrix.Matrix
+	p     Params
+	kern  []rwave.Kernel // flat per-gene model views, shared read-only across the run
+	bud   *budget        // global caps + cancellation, shared across workers
+	dedup dedupSet       // pruning (3b) duplicate-state suppression
+	out   []*Bicluster
 	// sink, when set, receives each cluster as it is found together with the
 	// miner-local node ordinal of its emission (stats.Nodes at that moment),
 	// instead of the cluster landing on out. Returning false stops this
@@ -153,9 +168,10 @@ type miner struct {
 
 // newMiner builds one mining session bound to the given (usually shared)
 // budget. Every construction site must come through here so the scratch
-// arena and dedup set are always initialized.
-func newMiner(m *matrix.Matrix, p Params, models []*rwave.Model, bud *budget) *miner {
-	return &miner{m: m, p: p, models: models, bud: bud, dedup: newDedupSet()}
+// arena and dedup set are always initialized. kern is the run's shared flat
+// view of the model set (resolveModels builds it once per run).
+func newMiner(m *matrix.Matrix, p Params, kern []rwave.Kernel, bud *budget) *miner {
+	return &miner{m: m, p: p, kern: kern, bud: bud, dedup: newDedupSet()}
 }
 
 func (mn *miner) run() {
@@ -197,13 +213,14 @@ func (mn *miner) runFrom(c int) {
 	nGenes := mn.m.Rows()
 	members := mn.sc.root[:0]
 	for g := 0; g < nGenes; g++ {
-		mod := mn.models[g]
-		if mn.p.DisableChainLengthPruning || mod.MaxUpChainFrom(c) >= mn.p.MinC {
+		k := &mn.kern[g]
+		r := k.Rank[c]
+		if mn.p.DisableChainLengthPruning || k.UpLen[r] >= mn.p.MinC {
 			members = append(members, member{g, true})
 		} else {
 			mn.stats.MembersDroppedByLength++
 		}
-		if mn.p.DisableChainLengthPruning || mod.MaxDownChainFrom(c) >= mn.p.MinC {
+		if mn.p.DisableChainLengthPruning || k.DownLen[r] >= mn.p.MinC {
 			members = append(members, member{g, false})
 		} else {
 			mn.stats.MembersDroppedByLength++
@@ -289,32 +306,33 @@ func (mn *miner) extend(members []member, pCount int) {
 
 	cand := f.cand[:0]
 	if mn.p.NaiveCandidates {
-		for c := 0; c < mn.m.Cols(); c++ {
-			if !mn.sc.inChain.has(c) {
-				cand = append(cand, c)
-			}
-		}
+		// Walk the chain bitset one 64-condition word at a time and emit the
+		// complement: identical to testing every condition, at 1/64th the
+		// branches.
+		cand = mn.sc.inChain.appendClear(cand, mn.m.Cols())
 	} else {
 		// Scan only the regulation successors of the chain tail over the
 		// p-members' RWave models (justified by pruning (3a): a candidate
 		// supported by no p-member cannot lead to a representative chain).
+		// Seeding the dedup bitset with the chain membership (one word-wise
+		// copy) folds the two per-condition tests of the loop into one.
 		seen := mn.sc.candSeen
+		seen.copyFrom(mn.sc.inChain)
 		for _, mb := range members {
 			if !mb.up {
 				continue
 			}
-			mod := mn.models[mb.gene]
-			for r := mod.SuccessorStartRank(last); r < mod.Conditions(); r++ {
-				c := mod.Order(r)
-				if !seen.has(c) && !mn.sc.inChain.has(c) {
+			k := &mn.kern[mb.gene]
+			order := k.Order
+			for r := k.SuccStart[k.Rank[last]]; r < len(order); r++ {
+				c := order[r]
+				if !seen.has(c) {
 					seen.set(c)
 					cand = append(cand, c)
 				}
 			}
 		}
-		for _, c := range cand {
-			seen.clear(c) // leave the shared bitset empty for the next extend
-		}
+		seen.zero() // leave the shared bitset empty for the next extend
 		slices.Sort(cand)
 	}
 	f.cand = cand
@@ -356,28 +374,41 @@ func (mn *miner) extend(members []member, pCount int) {
 func (mn *miner) matchCandidate(members []member, last, ci int, f *frame) []extMember {
 	chain := mn.sc.chain
 	chainLen := len(chain)
+	scored := chainLen >= 2
+	var c0, c1 int
+	if scored {
+		c0, c1 = chain[0], chain[1]
+	}
+	prune := !mn.p.DisableChainLengthPruning
+	minC := mn.p.MinC
 	ext := f.ext[:0]
 	for _, mb := range members {
-		mod := mn.models[mb.gene]
+		// Every test below is a flat array load on the gene's kernel view:
+		// the Lemma 3.1 frontier (SuccStart/PredEnd) and the chain-length
+		// bound (UpLen/DownLen) were memoized at build time, and the
+		// Equation 7 values come from the condition-indexed row copy, so the
+		// member loop does arithmetic, not binary searches.
+		k := &mn.kern[mb.gene]
+		rLast, rCi := k.Rank[last], k.Rank[ci]
 		if mb.up {
-			if !mod.IsSuccessor(last, ci) {
+			if rCi < k.SuccStart[rLast] {
 				continue
 			}
-			if !mn.p.DisableChainLengthPruning && chainLen+mod.MaxUpChainFrom(ci) < mn.p.MinC {
+			if prune && chainLen+k.UpLen[rCi] < minC {
 				mn.stats.MembersDroppedByLength++
 				continue
 			}
 		} else {
-			if !mod.IsPredecessor(last, ci) {
+			if rCi > k.PredEnd[rLast] {
 				continue
 			}
-			if !mn.p.DisableChainLengthPruning && chainLen+mod.MaxDownChainFrom(ci) < mn.p.MinC {
+			if prune && chainLen+k.DownLen[rCi] < minC {
 				mn.stats.MembersDroppedByLength++
 				continue
 			}
 		}
 		h := 1.0
-		if chainLen >= 2 {
+		if scored {
 			// Equation 7: relative step size against the baseline step of the
 			// first two chain conditions. γ_i = 0 admits regulation steps of
 			// denormal (or, for an externally supplied chain, zero) magnitude,
@@ -385,8 +416,9 @@ func (mn *miner) matchCandidate(members []member, last, ci int, f *frame) []extM
 			// non-finite score can never satisfy an ε-window with any other
 			// member, and NaN would corrupt the sort below, so such members
 			// are dropped here and counted in stats.NonFiniteH.
-			base := mod.ValueOf(chain[1]) - mod.ValueOf(chain[0])
-			h = (mod.ValueOf(ci) - mod.ValueOf(last)) / base
+			v := k.ValueByCond
+			base := v[c1] - v[c0]
+			h = (v[ci] - v[last]) / base
 			if math.IsInf(h, 0) || math.IsNaN(h) {
 				mn.stats.NonFiniteH++
 				continue

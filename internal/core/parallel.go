@@ -85,7 +85,7 @@ type mineOpts struct {
 // nodes the interrupted workers already counted.
 func mineParallelOpts(ctx context.Context, m *matrix.Matrix, p Params, workers int, visit Visitor, opts mineOpts) (Stats, error) {
 	sp := opts.obs.traceSpan()
-	models, err := resolveModels(m, p, opts.models, sp)
+	_, kern, err := resolveModels(m, p, opts.models, sp)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -103,7 +103,7 @@ func mineParallelOpts(ctx context.Context, m *matrix.Matrix, p Params, workers i
 		// Resumable runs always take the engine path below: it is the emitter
 		// accounting that knows subtree boundaries and watermarks, and its
 		// worker pool contains panics instead of crossing the API with them.
-		mn := newMiner(m, p, models, bud)
+		mn := newMiner(m, p, kern, bud)
 		mn.obs = opts.obs
 		mn.span = sp
 		mn.sink = func(b *Bicluster, _ int) bool { return visit(b) }
@@ -120,7 +120,7 @@ func mineParallelOpts(ctx context.Context, m *matrix.Matrix, p Params, workers i
 		workers = 1
 	}
 
-	e := &engine{m: m, p: p, models: models, bud: bud, visit: visit, obs: opts.obs, sp: sp,
+	e := &engine{m: m, p: p, kern: kern, bud: bud, visit: visit, obs: opts.obs, sp: sp,
 		ck: opts.ck, subs: make([]*subtree, nConds)}
 	if r := opts.resume; r != nil {
 		e.start = r.NextCond
@@ -143,7 +143,7 @@ func mineParallelOpts(ctx context.Context, m *matrix.Matrix, p Params, workers i
 		go e.worker(queue)
 	}
 	go func() {
-		for _, c := range subtreeOrder(m, p, models) {
+		for _, c := range subtreeOrder(m, p, kern) {
 			if c < e.start {
 				continue // settled before the resume snapshot
 			}
@@ -161,15 +161,15 @@ func mineParallelOpts(ctx context.Context, m *matrix.Matrix, p Params, workers i
 // goroutine, see emit) that reassembles the deterministic sequential output
 // from the per-subtree reordering buffers.
 type engine struct {
-	m      *matrix.Matrix
-	p      Params
-	models []*rwave.Model
-	bud    *budget
-	visit  Visitor
-	obs    *Observer
-	sp     *obs.Span // optional trace parent for subtree/rerun spans; nil = off
-	subs   []*subtree
-	wg     sync.WaitGroup
+	m     *matrix.Matrix
+	p     Params
+	kern  []rwave.Kernel // shared flat model views (see resolveModels)
+	bud   *budget
+	visit Visitor
+	obs   *Observer
+	sp    *obs.Span // optional trace parent for subtree/rerun spans; nil = off
+	subs  []*subtree
+	wg    sync.WaitGroup
 
 	// start/skip position a resumed run: subtrees before start are settled
 	// (their totals pre-loaded into agg below), and the first skip clusters
@@ -221,7 +221,7 @@ func (e *engine) mineSubtree(c int) {
 		return
 	}
 	ssp := e.sp.Start("subtree")
-	mn := newMiner(e.m, e.p, e.models, e.bud)
+	mn := newMiner(e.m, e.p, e.kern, e.bud)
 	mn.sink = sub.push
 	mn.obs = e.obs
 	mn.runFrom(c)
@@ -452,7 +452,7 @@ func (e *engine) rerun(c, skip int, deliver bool, clusterCap int) Stats {
 		}
 	}()
 	emitted := 0
-	mn := newMiner(e.m, e.p, e.models, rbud)
+	mn := newMiner(e.m, e.p, e.kern, rbud)
 	mn.sink = func(b *Bicluster, _ int) bool {
 		emitted++
 		if !deliver || emitted <= skip {
@@ -543,21 +543,22 @@ func (s *subtree) final() (Stats, bool) {
 // highly skewed, so dispatching the largest first keeps the pool busy to the
 // end instead of leaving one worker grinding a giant subtree after the queue
 // drains. Ties keep ascending condition order, so dispatch is deterministic.
-func subtreeOrder(m *matrix.Matrix, p Params, models []*rwave.Model) []int {
+func subtreeOrder(m *matrix.Matrix, p Params, kern []rwave.Kernel) []int {
 	nConds := m.Cols()
 	size := make([]int, nConds)
-	for c := 0; c < nConds; c++ {
-		n := 0
-		for g := 0; g < m.Rows(); g++ {
-			mod := models[g]
-			if p.DisableChainLengthPruning || mod.MaxUpChainFrom(c) >= p.MinC {
-				n++
+	// Gene-major walk so each kernel's Rank/UpLen/DownLen stripes are
+	// streamed once, instead of revisiting every gene per condition.
+	for g := range kern {
+		k := &kern[g]
+		for c := 0; c < nConds; c++ {
+			r := k.Rank[c]
+			if p.DisableChainLengthPruning || k.UpLen[r] >= p.MinC {
+				size[c]++
 			}
-			if p.DisableChainLengthPruning || mod.MaxDownChainFrom(c) >= p.MinC {
-				n++
+			if p.DisableChainLengthPruning || k.DownLen[r] >= p.MinC {
+				size[c]++
 			}
 		}
-		size[c] = n
 	}
 	order := make([]int, nConds)
 	for c := range order {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"regcluster/internal/matrix"
+	"regcluster/internal/rwave"
 )
 
 // equivalenceWorkers are the pool sizes the ISSUE acceptance criteria pin
@@ -269,7 +270,7 @@ func TestSubtreeOrderLargestFirst(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	order := subtreeOrder(m, p, models)
+	order := subtreeOrder(m, p, rwave.Kernels(models))
 	if len(order) != m.Cols() {
 		t.Fatalf("order has %d entries for %d conditions", len(order), m.Cols())
 	}

@@ -8,7 +8,10 @@ package core
 // bookkeeping. The differential tests (differential_test.go) pin the
 // resulting behaviour to the frozen pre-optimization reference bit for bit.
 
-import "slices"
+import (
+	"math/bits"
+	"slices"
+)
 
 // condSet is a bitset over condition ids (one uint64 word per 64 ids).
 type condSet []uint64
@@ -17,6 +20,34 @@ func newCondSet(n int) condSet   { return make(condSet, (n+63)/64) }
 func (s condSet) has(c int) bool { return s[c>>6]&(1<<(uint(c)&63)) != 0 }
 func (s condSet) set(c int)      { s[c>>6] |= 1 << (uint(c) & 63) }
 func (s condSet) clear(c int)    { s[c>>6] &^= 1 << (uint(c) & 63) }
+
+// copyFrom overwrites s with o word for word. Both sets must come from the
+// same newCondSet size.
+func (s condSet) copyFrom(o condSet) { copy(s, o) }
+
+// zero clears the whole set word-at-a-time.
+func (s condSet) zero() { clear(s) }
+
+// appendClear appends the ids in [0, n) NOT in s to dst, in ascending order,
+// walking the set one 64-id word at a time and popping the complement's bits
+// instead of testing every id.
+func (s condSet) appendClear(dst []int, n int) []int {
+	for w, word := range s {
+		free := ^word
+		base := w << 6
+		if rest := n - base; rest < 64 {
+			if rest <= 0 {
+				break
+			}
+			free &= 1<<uint(rest) - 1
+		}
+		for free != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(free))
+			free &= free - 1
+		}
+	}
+	return dst
+}
 
 // frame is the reusable working set of one recursion depth: the candidate
 // conditions, the surviving extensions with their H scores, the validated

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// naiveAppendClear is the per-id reference for condSet.appendClear.
+func naiveAppendClear(s condSet, dst []int, n int) []int {
+	for c := 0; c < n; c++ {
+		if !s.has(c) {
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// TestCondSetAppendClear drives the word-at-a-time complement walk across
+// the boundary cases a 64-bit word layout can get wrong: empty sets, full
+// sets, and universe sizes just below, at, and above word multiples.
+func TestCondSetAppendClear(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	sizes := []int{1, 2, 63, 64, 65, 127, 128, 129, 200}
+	for _, n := range sizes {
+		for trial := 0; trial < 20; trial++ {
+			s := newCondSet(n)
+			for c := 0; c < n; c++ {
+				switch trial {
+				case 0: // empty set: every id is free
+				case 1: // full set: nothing is free
+					s.set(c)
+				default:
+					if rng.Intn(2) == 0 {
+						s.set(c)
+					}
+				}
+			}
+			got := s.appendClear(nil, n)
+			want := naiveAppendClear(s, nil, n)
+			if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+				t.Fatalf("n=%d trial=%d: appendClear = %v, want %v", n, trial, got, want)
+			}
+			// Appending onto a prefix must preserve it.
+			prefix := []int{-1, -2}
+			got = s.appendClear(prefix, n)
+			if !reflect.DeepEqual(got[:2], prefix[:2]) || !reflect.DeepEqual(got[2:], want) &&
+				!(len(got) == 2 && len(want) == 0) {
+				t.Fatalf("n=%d trial=%d: appendClear with prefix = %v", n, trial, got)
+			}
+		}
+	}
+}
+
+// TestCondSetCopyFromZero checks the word-level bulk ops against per-id state.
+func TestCondSetCopyFromZero(t *testing.T) {
+	const n = 130
+	rng := rand.New(rand.NewSource(82))
+	src := newCondSet(n)
+	for c := 0; c < n; c++ {
+		if rng.Intn(3) == 0 {
+			src.set(c)
+		}
+	}
+	dst := newCondSet(n)
+	dst.set(7) // stale state that copyFrom must overwrite
+	dst.copyFrom(src)
+	for c := 0; c < n; c++ {
+		if dst.has(c) != src.has(c) {
+			t.Fatalf("copyFrom: id %d differs", c)
+		}
+	}
+	dst.zero()
+	for c := 0; c < n; c++ {
+		if dst.has(c) {
+			t.Fatalf("zero: id %d still set", c)
+		}
+	}
+}

@@ -48,11 +48,11 @@ type SubtreePartial struct {
 // A coordinator leasing subtrees to workers should issue them in this order
 // so the skewed tail does not land last.
 func SubtreeOrder(m *matrix.Matrix, p Params, models []*rwave.Model) ([]int, error) {
-	models, err := resolveModels(m, p, models, nil)
+	_, kern, err := resolveModels(m, p, models, nil)
 	if err != nil {
 		return nil, err
 	}
-	return subtreeOrder(m, p, models), nil
+	return subtreeOrder(m, p, kern), nil
 }
 
 // MineSubtreeFunc mines the single level-1 subtree rooted at cond, streaming
@@ -67,7 +67,7 @@ func MineSubtreeFunc(ctx context.Context, m *matrix.Matrix, p Params, cond int, 
 	if visit == nil {
 		return Stats{}, fmt.Errorf("core: MineSubtreeFunc requires a visitor")
 	}
-	models, err := resolveModels(m, p, models, nil)
+	_, kern, err := resolveModels(m, p, models, nil)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -77,7 +77,7 @@ func MineSubtreeFunc(ctx context.Context, m *matrix.Matrix, p Params, cond int, 
 	iso := p
 	iso.MaxNodes, iso.MaxClusters = 0, 0
 	bud := newBudget(iso, ctx)
-	mn := newMiner(m, iso, models, bud)
+	mn := newMiner(m, iso, kern, bud)
 	mn.sink = func(b *Bicluster, node int) bool {
 		return visit(SubtreeCluster{Cluster: b, Node: node})
 	}
@@ -113,13 +113,13 @@ func MineSubtree(ctx context.Context, m *matrix.Matrix, p Params, cond int, mode
 // sequential run's Stats exactly. Not safe for concurrent use; one goroutine
 // owns a merger.
 type SubtreeMerger struct {
-	ctx    context.Context
-	m      *matrix.Matrix
-	p      Params
-	models []*rwave.Model
-	visit  Visitor
-	ck     CheckpointConfig
-	sp     *obs.Span // optional trace parent for reconciliation reruns
+	ctx   context.Context
+	m     *matrix.Matrix
+	p     Params
+	kern  []rwave.Kernel // shared flat model views for reconciliation reruns
+	visit Visitor
+	ck    CheckpointConfig
+	sp    *obs.Span // optional trace parent for reconciliation reruns
 
 	next    int                     // first condition not yet folded
 	resume  int                     // the resumed subtree; its first `skip` clusters are suppressed
@@ -149,11 +149,11 @@ func NewSubtreeMerger(ctx context.Context, m *matrix.Matrix, p Params, models []
 	if visit == nil {
 		return nil, fmt.Errorf("core: SubtreeMerger requires a visitor")
 	}
-	models, err := resolveModels(m, p, models, nil)
+	_, kern, err := resolveModels(m, p, models, nil)
 	if err != nil {
 		return nil, err
 	}
-	g := &SubtreeMerger{ctx: ctx, m: m, p: p, models: models, visit: visit, ck: ck,
+	g := &SubtreeMerger{ctx: ctx, m: m, p: p, kern: kern, visit: visit, ck: ck,
 		pending: make(map[int]*SubtreePartial)}
 	if resume != nil {
 		if err := resume.Validate(m.Cols()); err != nil {
@@ -317,7 +317,7 @@ func (g *SubtreeMerger) truncate(c, taken, effClusterCap int) {
 		rbud.done = g.ctx.Done()
 		rbud.ctxErr = g.ctx.Err
 	}
-	mn := newMiner(g.m, g.p, g.models, rbud)
+	mn := newMiner(g.m, g.p, g.kern, rbud)
 	mn.sink = func(*Bicluster, int) bool { return true }
 	mn.runFrom(c)
 	if err := rbud.contextErr(); err != nil {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"regcluster/internal/matrix"
+	"regcluster/internal/rwave"
 	"regcluster/internal/synthetic"
 )
 
@@ -274,7 +275,7 @@ func TestSubtreeOrderMatchesEngineDispatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := subtreeOrder(m, p, models)
+	want := subtreeOrder(m, p, rwave.Kernels(models))
 	if !reflect.DeepEqual(want, got) {
 		t.Errorf("exported order %v != engine order %v", got, want)
 	}

@@ -65,8 +65,11 @@ func ThresholdsMeanFraction(m *matrix.Matrix, gamma float64) []float64 {
 // finite for any finite matrix.
 func ThresholdsNearestPair(m *matrix.Matrix) []float64 {
 	out := make([]float64, m.Rows())
+	// One scratch buffer sized to the condition count serves every gene:
+	// Row returns a live view of the matrix, and sorting must not mutate it.
+	row := make([]float64, m.Cols())
 	for g := range out {
-		row := append([]float64(nil), m.Row(g)...)
+		copy(row, m.Row(g))
 		sort.Float64s(row)
 		if len(row) < 2 {
 			continue

@@ -30,6 +30,17 @@ type Pointer struct {
 }
 
 // Model is the RWave^γ model of one gene.
+//
+// Besides the pointer list itself, the model memoizes the Lemma 3.1 frontier
+// as two flat arrays (succStart, predEnd) and keeps a condition-indexed copy
+// of the row (valueByCond), so every hot-path query — IsSuccessor,
+// IsPredecessor, SuccessorStartRank, PredecessorEndRank, ValueOf — is an O(1)
+// array load with no binary search and no rank indirection. The slice fields
+// follow the packed slab layout (see ModelSlab): one int backing holds the
+// order|rank|succStart|predEnd|upLen|downLen stripes and one float64 backing
+// holds values|valueByCond, whether the model stands alone (its own
+// mini-slab, allocated by BuildAbsolute) or is a view into a shared
+// multi-gene slab (PackModels).
 type Model struct {
 	gene     int
 	gamma    float64   // absolute regulation threshold γ_i
@@ -39,6 +50,33 @@ type Model struct {
 	pointers []Pointer // minimal non-embedded pointer set, A and B strictly increasing
 	upLen    []int     // rank -> max regulation-chain length starting upward at this rank
 	downLen  []int     // rank -> max regulation-chain length starting downward at this rank
+
+	succStart   []int     // rank -> smallest successor rank (== Conditions() when none)
+	predEnd     []int     // rank -> largest predecessor rank (== -1 when none)
+	valueByCond []float64 // condition index -> expression value (row copy)
+}
+
+// slabIntStripes and slabFloatStripes are the per-gene stripe counts of the
+// packed layout: every model owns slabIntStripes×n ints and slabFloatStripes×n
+// float64s, n = Conditions(). PackModels and BuildAbsolute must agree on them.
+const (
+	slabIntStripes   = 6 // order | rank | succStart | predEnd | upLen | downLen
+	slabFloatStripes = 2 // values | valueByCond
+)
+
+// bindStripes carves the model's slice fields out of a backing pair laid out
+// in the slab stripe order. The three-index slices cap every view at its
+// stripe boundary, so an append through a leaked view can never bleed into a
+// neighbouring stripe (or gene).
+func (mod *Model) bindStripes(ints []int, floats []float64, n int) {
+	mod.order = ints[0*n : 1*n : 1*n]
+	mod.rank = ints[1*n : 2*n : 2*n]
+	mod.succStart = ints[2*n : 3*n : 3*n]
+	mod.predEnd = ints[3*n : 4*n : 4*n]
+	mod.upLen = ints[4*n : 5*n : 5*n]
+	mod.downLen = ints[5*n : 6*n : 6*n]
+	mod.values = floats[0*n : 1*n : 1*n]
+	mod.valueByCond = floats[1*n : 2*n : 2*n]
 }
 
 // Build constructs the RWave^γ model for the given gene row of m using the
@@ -63,13 +101,10 @@ func BuildAbsolute(m *matrix.Matrix, gene int, gammaAbs float64) *Model {
 		panic(fmt.Sprintf("rwave: gamma %v must be a non-negative number", gammaAbs))
 	}
 	n := m.Cols()
-	mod := &Model{
-		gene:   gene,
-		gamma:  gammaAbs,
-		order:  make([]int, n),
-		rank:   make([]int, n),
-		values: make([]float64, n),
-	}
+	mod := &Model{gene: gene, gamma: gammaAbs}
+	// One int and one float64 allocation cover all eight per-gene arrays:
+	// the model is born in the packed stripe layout PackModels concatenates.
+	mod.bindStripes(make([]int, slabIntStripes*n), make([]float64, slabFloatStripes*n), n)
 	for j := 0; j < n; j++ {
 		mod.order[j] = j
 	}
@@ -82,8 +117,10 @@ func BuildAbsolute(m *matrix.Matrix, gene int, gammaAbs float64) *Model {
 	for r, c := range mod.order {
 		mod.rank[c] = r
 		mod.values[r] = row[c]
+		mod.valueByCond[c] = row[c]
 	}
 	mod.buildPointers()
+	mod.buildFrontiers()
 	mod.buildChainLengths()
 	return mod
 }
@@ -110,24 +147,56 @@ func (mod *Model) buildPointers() {
 	}
 }
 
+// buildFrontiers memoizes the Lemma 3.1 answers as flat per-rank arrays.
+// successorStart(r) is the B of the first pointer with A >= r (the nearest
+// pointer after r), or n when none exists; predecessorEnd(r) is the A of the
+// last pointer with B <= r, or -1. Pointers have strictly increasing A and B,
+// so both arrays fill in one merged linear walk — no binary search, at build
+// time or ever after.
+func (mod *Model) buildFrontiers() {
+	n := len(mod.values)
+	ptrs := mod.pointers
+	i := 0 // first pointer with A >= r
+	for r := 0; r < n; r++ {
+		for i < len(ptrs) && ptrs[i].A < r {
+			i++
+		}
+		if i < len(ptrs) {
+			mod.succStart[r] = ptrs[i].B
+		} else {
+			mod.succStart[r] = n
+		}
+	}
+	j := -1 // last pointer with B <= r
+	for r := 0; r < n; r++ {
+		for j+1 < len(ptrs) && ptrs[j+1].B <= r {
+			j++
+		}
+		if j >= 0 {
+			mod.predEnd[r] = ptrs[j].A
+		} else {
+			mod.predEnd[r] = -1
+		}
+	}
+}
+
 // buildChainLengths precomputes, for every rank, the length of the longest
 // regulation chain that starts there and walks upward (upLen) or downward
 // (downLen). Jumping to the nearest admissible rank is optimal because the
 // successor (predecessor) set only shrinks (grows) with rank, so chain
-// lengths are monotone in rank.
+// lengths are monotone in rank. Runs after buildFrontiers so the hops are
+// array loads.
 func (mod *Model) buildChainLengths() {
 	n := len(mod.values)
-	mod.upLen = make([]int, n)
-	mod.downLen = make([]int, n)
 	for r := n - 1; r >= 0; r-- {
 		mod.upLen[r] = 1
-		if b := mod.successorStart(r); b < n {
+		if b := mod.succStart[r]; b < n {
 			mod.upLen[r] = 1 + mod.upLen[b]
 		}
 	}
 	for r := 0; r < n; r++ {
 		mod.downLen[r] = 1
-		if a := mod.predecessorEnd(r); a >= 0 {
+		if a := mod.predEnd[r]; a >= 0 {
 			mod.downLen[r] = 1 + mod.downLen[a]
 		}
 	}
@@ -136,27 +205,14 @@ func (mod *Model) buildChainLengths() {
 // successorStart returns the smallest rank b such that every rank >= b is a
 // regulation successor of rank r, or len(values) when r has no successors.
 // It is the B of the nearest pointer after r in the sense of Lemma 3.1 (the
-// pointer with minimal B among those with A >= r).
-func (mod *Model) successorStart(r int) int {
-	// pointers have strictly increasing A, so binary-search the first with
-	// A >= r.
-	i := sort.Search(len(mod.pointers), func(i int) bool { return mod.pointers[i].A >= r })
-	if i == len(mod.pointers) {
-		return len(mod.values)
-	}
-	return mod.pointers[i].B
-}
+// pointer with minimal B among those with A >= r), memoized at build time.
+func (mod *Model) successorStart(r int) int { return mod.succStart[r] }
 
 // predecessorEnd returns the largest rank a such that every rank <= a is a
 // regulation predecessor of rank r, or -1 when r has no predecessors. It is
-// the A of the nearest pointer before r (the pointer with maximal B <= r).
-func (mod *Model) predecessorEnd(r int) int {
-	i := sort.Search(len(mod.pointers), func(i int) bool { return mod.pointers[i].B > r })
-	if i == 0 {
-		return -1
-	}
-	return mod.pointers[i-1].A
-}
+// the A of the nearest pointer before r (the pointer with maximal B <= r),
+// memoized at build time.
+func (mod *Model) predecessorEnd(r int) int { return mod.predEnd[r] }
 
 // Gene returns the row index this model was built from.
 func (mod *Model) Gene() int { return mod.gene }
@@ -176,8 +232,9 @@ func (mod *Model) Rank(c int) int { return mod.rank[c] }
 // Value returns the expression value at the given sorted rank.
 func (mod *Model) Value(rank int) float64 { return mod.values[rank] }
 
-// ValueOf returns the expression value of condition c.
-func (mod *Model) ValueOf(c int) float64 { return mod.values[mod.rank[c]] }
+// ValueOf returns the expression value of condition c. The flat valueByCond
+// copy answers it in one load, without the rank indirection.
+func (mod *Model) ValueOf(c int) float64 { return mod.valueByCond[c] }
 
 // Pointers returns a copy of the regulation pointer list.
 func (mod *Model) Pointers() []Pointer {
@@ -213,26 +270,34 @@ func (mod *Model) SuccessorStartRank(c int) int { return mod.successorStart(mod.
 // whose conditions are regulation predecessors of c (== -1 if none).
 func (mod *Model) PredecessorEndRank(c int) int { return mod.predecessorEnd(mod.rank[c]) }
 
+// AppendSuccessors appends the condition indices that are regulation
+// successors of c to dst, in rank order, and returns the extended slice. It
+// allocates only when dst lacks capacity, so callers with a reusable buffer
+// pay nothing per call.
+func (mod *Model) AppendSuccessors(dst []int, c int) []int {
+	return append(dst, mod.order[mod.succStart[mod.rank[c]]:]...)
+}
+
+// AppendPredecessors appends the condition indices that are regulation
+// predecessors of c to dst, in rank order, and returns the extended slice.
+func (mod *Model) AppendPredecessors(dst []int, c int) []int {
+	return append(dst, mod.order[:mod.predEnd[mod.rank[c]]+1]...)
+}
+
 // Successors returns the condition indices that are regulation successors of
-// c, in rank order.
+// c, in rank order. It allocates a fresh slice per call; hot paths should use
+// AppendSuccessors with a reusable buffer.
 func (mod *Model) Successors(c int) []int {
-	b := mod.successorStart(mod.rank[c])
-	out := make([]int, 0, len(mod.order)-b)
-	for r := b; r < len(mod.order); r++ {
-		out = append(out, mod.order[r])
-	}
-	return out
+	b := mod.succStart[mod.rank[c]]
+	return mod.AppendSuccessors(make([]int, 0, len(mod.order)-b), c)
 }
 
 // Predecessors returns the condition indices that are regulation predecessors
-// of c, in rank order.
+// of c, in rank order. It allocates a fresh slice per call; hot paths should
+// use AppendPredecessors with a reusable buffer.
 func (mod *Model) Predecessors(c int) []int {
-	a := mod.predecessorEnd(mod.rank[c])
-	out := make([]int, 0, a+1)
-	for r := 0; r <= a; r++ {
-		out = append(out, mod.order[r])
-	}
-	return out
+	a := mod.predEnd[mod.rank[c]]
+	return mod.AppendPredecessors(make([]int, 0, a+1), c)
 }
 
 // MaxUpChainFrom returns the length of the longest regulation chain that

@@ -1,0 +1,127 @@
+package rwave
+
+// Packed columnar storage for whole model sets.
+//
+// A mining run touches every gene's model arrays millions of times; built
+// one by one, those arrays are ~nGenes scattered heap objects and the hot
+// loops spend their time pointer-chasing between them. PackModels rewrites a
+// freshly built model set into two contiguous gene-major backing
+// allocations — every gene's order|rank|succStart|predEnd|upLen|downLen
+// stripes adjacent in one []int, its values|valueByCond stripes adjacent in
+// one []float64 — and rebinds each Model's slice fields to full-capacity
+// views of its stripes. The models keep their identity (same *Model
+// pointers, same method behaviour, bit-identical float64 values), so a slab
+// is purely a memory layout of the same model set: core.ModelKey, the
+// service and dist model caches, and every Mine*WithModels contract are
+// unaffected.
+
+// ModelSlab owns the packed backing arrays of one model set. The zero value
+// is an empty slab. A slab is immutable after PackModels returns and safe to
+// share between any number of concurrent readers.
+type ModelSlab struct {
+	genes, conds int
+	ints         []int     // gene-major: slabIntStripes stripes of conds ints per gene
+	floats       []float64 // gene-major: slabFloatStripes stripes of conds float64s per gene
+}
+
+// Genes returns the number of models packed into the slab.
+func (s ModelSlab) Genes() int { return s.genes }
+
+// Conditions returns the per-gene condition count.
+func (s ModelSlab) Conditions() int { return s.conds }
+
+// Words returns the backing sizes: total ints and total float64s.
+func (s ModelSlab) Words() (ints, floats int) { return len(s.ints), len(s.floats) }
+
+// Contains reports whether mod's arrays are views into this slab (i.e. mod's
+// order stripe starts at some gene's stripe base).
+func (s ModelSlab) Contains(mod *Model) bool {
+	if s.conds == 0 || len(mod.order) != s.conds {
+		return false
+	}
+	stride := slabIntStripes * s.conds
+	for g := 0; g < s.genes; g++ {
+		if &mod.order[0] == &s.ints[g*stride] {
+			return true
+		}
+	}
+	return false
+}
+
+// PackModels copies every model's per-gene arrays into one contiguous int
+// backing and one contiguous float64 backing (gene-major SoA stripes, in the
+// bindStripes order) and rebinds the models' slice fields to views of those
+// stripes. The models slice and its *Model pointers are unchanged; only the
+// storage behind them moves. All models must come from the same matrix (same
+// condition count) and must not be shared with a concurrent reader during
+// the pack — in practice PackModels runs once, at the end of a build, before
+// the set escapes.
+//
+// The pack performs exactly two heap allocations regardless of gene count
+// (the int backing and the float backing); the per-model mini-slabs it
+// replaces become garbage. Float64 values are copied bit for bit.
+func PackModels(models []*Model) ModelSlab {
+	if len(models) == 0 {
+		return ModelSlab{}
+	}
+	n := models[0].Conditions()
+	s := ModelSlab{
+		genes:  len(models),
+		conds:  n,
+		ints:   make([]int, slabIntStripes*n*len(models)),
+		floats: make([]float64, slabFloatStripes*n*len(models)),
+	}
+	for g, mod := range models {
+		ints := s.ints[slabIntStripes*n*g : slabIntStripes*n*(g+1)]
+		floats := s.floats[slabFloatStripes*n*g : slabFloatStripes*n*(g+1)]
+		copy(ints[0*n:1*n], mod.order)
+		copy(ints[1*n:2*n], mod.rank)
+		copy(ints[2*n:3*n], mod.succStart)
+		copy(ints[3*n:4*n], mod.predEnd)
+		copy(ints[4*n:5*n], mod.upLen)
+		copy(ints[5*n:6*n], mod.downLen)
+		copy(floats[0*n:1*n], mod.values)
+		copy(floats[1*n:2*n], mod.valueByCond)
+		mod.bindStripes(ints, floats, n)
+	}
+	return s
+}
+
+// Kernel is the flat read-only view of one model used by the miner's inner
+// loops: every Lemma 3.1 and Equation 7 lookup is a direct slice load, with
+// no method dispatch and no *Model dereference. The slices alias the model's
+// (usually slab-backed) storage — treat them as immutable; writing through a
+// Kernel corrupts the model.
+type Kernel struct {
+	Order       []int     // rank -> condition index
+	Rank        []int     // condition index -> rank
+	SuccStart   []int     // rank -> smallest successor rank (== len(Order) when none)
+	PredEnd     []int     // rank -> largest predecessor rank (== -1 when none)
+	UpLen       []int     // rank -> longest upward regulation chain from this rank
+	DownLen     []int     // rank -> longest downward regulation chain from this rank
+	ValueByCond []float64 // condition index -> expression value
+}
+
+// Kernel returns the flat view of mod.
+func (mod *Model) Kernel() Kernel {
+	return Kernel{
+		Order:       mod.order,
+		Rank:        mod.rank,
+		SuccStart:   mod.succStart,
+		PredEnd:     mod.predEnd,
+		UpLen:       mod.upLen,
+		DownLen:     mod.downLen,
+		ValueByCond: mod.valueByCond,
+	}
+}
+
+// Kernels returns one flat view per model, in one contiguous slice. The
+// result is cheap to build (one allocation, header copies only), immutable by
+// convention, and safe to share read-only across concurrent miners.
+func Kernels(models []*Model) []Kernel {
+	out := make([]Kernel, len(models))
+	for g, mod := range models {
+		out[g] = mod.Kernel()
+	}
+	return out
+}
