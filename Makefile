@@ -9,7 +9,7 @@ GO ?= go
 COVER_FLOOR_CORE ?= 95.0
 COVER_FLOOR_SERVICE ?= 82.0
 
-.PHONY: build test vet race service-race check lint cover bench bench-baseline bench-compare bench-smoke bench-kernels profile serve-smoke crash-smoke dist-smoke overload-smoke
+.PHONY: build test vet race service-race check lint cover bench bench-baseline bench-compare bench-smoke bench-kernels profile serve-smoke crash-smoke dist-smoke overload-smoke incr-smoke
 
 build:
 	$(GO) build ./...
@@ -121,3 +121,9 @@ dist-smoke: build
 # completes, no 5xx, and a restart replays identical usage ledgers.
 overload-smoke: build
 	GO=$(GO) ./scripts/overload_smoke.sh
+
+# Mine a dataset, append a one-condition delta, and re-mine: the second run
+# must take the incremental path (repaired models, dirty subtrees only) and
+# match a cold mine of the grown matrix byte for byte.
+incr-smoke: build
+	GO=$(GO) ./scripts/incr_smoke.sh

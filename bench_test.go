@@ -12,6 +12,7 @@ package regcluster_test
 // and the pruning ablation (E8).
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -208,6 +209,98 @@ func BenchmarkSweepSharedModel(b *testing.B) {
 				if _, err := core.MineWithModels(m, p, models); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}
+	})
+}
+
+// BenchmarkIncrementalRemine measures the append-delta re-mine against a
+// cold mine of the same grown matrix (DESIGN.md §15, E13). A condition is
+// clean only when the appended arrays stay within γ of it in EVERY gene, so
+// the scenario that benefits is the live-pipeline steady state: new arrays
+// that are near-replicates of an existing condition band. 400 genes share a
+// shifted ladder profile — 24 baseline arrays inside one γ band plus six
+// expression rungs at spacing 3 — under an absolute γ=2; the two appended
+// arrays land inside the baseline band, so they regulate only against the
+// six rungs and 24 of 32 subtrees splice from the parent run. The
+// incremental side pays RWave repair plus the dirty subtrees (each dirty
+// old root re-mined on both parent and child for the stats reconciliation);
+// both sides emit byte-identical output (pinned by the core differential
+// suite), so the delta is pure runtime.
+func BenchmarkIncrementalRemine(b *testing.B) {
+	const genes, baseConds, rungs, workers = 400, 24, 6, 4
+	parent := regcluster.NewMatrix(genes, baseConds+rungs)
+	for j := 0; j < baseConds+rungs; j++ {
+		parent.SetColName(j, fmt.Sprintf("c%02d", j))
+	}
+	for g := 0; g < genes; g++ {
+		parent.SetRowName(g, fmt.Sprintf("g%03d", g))
+		shift := 0.001 * float64(g)
+		for j := 0; j < baseConds; j++ {
+			parent.Set(g, j, 0.02*float64(j)+shift)
+		}
+		for k := 0; k < rungs; k++ {
+			parent.Set(g, baseConds+k, 3*float64(k+1)+shift)
+		}
+	}
+	delta := regcluster.NewMatrix(genes, 2)
+	delta.SetColName(0, "new-a")
+	delta.SetColName(1, "new-b")
+	for g := 0; g < genes; g++ {
+		delta.SetRowName(g, parent.RowName(g))
+		shift := 0.001 * float64(g)
+		delta.Set(g, 0, 0.25+shift)
+		delta.Set(g, 1, 0.31+shift)
+	}
+	grown, err := regcluster.AppendConditions(parent, delta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.Params{MinG: 40, MinC: 4, Gamma: 2, AbsoluteGamma: true, Epsilon: 0.05}
+
+	parentModels, err := core.BuildModels(parent, p, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parentResult, err := core.MineParallelWithModels(parent, p, workers, parentModels)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := core.MineParallel(grown, p, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Clusters) == 0 {
+				b.Fatal("no clusters")
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			childModels, _, err := core.RepairModels(grown, p, parentModels, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			visit := func(*core.Bicluster) bool { n++; return true }
+			_, info, err := core.MineIncremental(context.Background(), grown, parent, p,
+				workers, visit, nil, childModels, parentModels, parentResult)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !info.Incremental {
+				b.Fatal("fell back to a cold mine:", info.Fallback)
+			}
+			if info.SubtreesReused != baseConds {
+				b.Fatalf("reused %d subtrees, want the %d baseline roots", info.SubtreesReused, baseConds)
+			}
+			if n == 0 {
+				b.Fatal("no clusters")
 			}
 		}
 	})

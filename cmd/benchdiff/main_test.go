@@ -167,6 +167,15 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := run([]string{"-old", oldPath, "-new", newPath}, nil, &diff, os.Stderr); err == nil {
 		t.Fatalf("3x ns/op regression passed the gate:\n%s", diff.String())
 	}
+
+	// -report-only surfaces the same regression but exits clean.
+	diff.Reset()
+	if err := run([]string{"-old", oldPath, "-new", newPath, "-report-only"}, nil, &diff, os.Stderr); err != nil {
+		t.Fatalf("-report-only failed on a regression: %v", err)
+	}
+	if !strings.Contains(diff.String(), "report-only: ignoring 1 regression") {
+		t.Fatalf("-report-only output does not name the ignored regression:\n%s", diff.String())
+	}
 }
 
 func TestLoadBaselineRejectsForeignSchema(t *testing.T) {

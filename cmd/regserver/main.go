@@ -14,6 +14,15 @@
 //	GET    /datasets/{id}       dataset detail with per-gene row stats
 //	GET    /datasets/{id}/tsv   download the (imputed) matrix
 //	DELETE /datasets/{id}       remove a dataset
+//	POST   /datasets/{id}/append?axis=conditions|genes
+//	                            grow a dataset by a delta TSV: a new
+//	                            content-addressed version with recorded
+//	                            lineage; re-mining it under unchanged params
+//	                            repairs the RWave index and re-mines only the
+//	                            subtrees the delta dirtied
+//	GET    /datasets/{id}/diff/{parent}
+//	                            clusters added/removed/grown vs the parent's
+//	                            result (regcluster.diff/v1)
 //	POST   /jobs                submit a mining job (JSON body)
 //	POST   /sweep               submit a batch ε/γ/MinG/MinC parameter sweep
 //	GET    /sweeps, /sweeps/{id} sweep summaries (one RWave build per γ group)

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"regcluster/internal/matrix"
+	"regcluster/internal/rwave"
+)
+
+// TestStatsSubInvertsAdd mirrors TestStatsAddCoversAllFields: every counter
+// set by reflection must survive an Add followed by a sub unchanged, so a
+// Stats field extended into Add but forgotten in sub fails here instead of
+// silently skewing incremental aggregates.
+func TestStatsSubInvertsAdd(t *testing.T) {
+	var sentinel Stats
+	v := reflect.ValueOf(&sentinel).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Int:
+			f.SetInt(3)
+		case reflect.Bool:
+			f.SetBool(true)
+		default:
+			t.Fatalf("Stats field %s has unhandled kind %s — extend Stats.sub and this test",
+				v.Type().Field(i).Name, f.Kind())
+		}
+	}
+	got := sentinel
+	got.Add(sentinel)
+	got.sub(sentinel)
+	if !reflect.DeepEqual(got, sentinel) {
+		t.Fatalf("sub does not invert Add:\n  got  %+v\n  want %+v", got, sentinel)
+	}
+}
+
+// grownMatrix draws a random parent and appends k random conditions to it,
+// returning both the parent and the grown child.
+func grownMatrix(t *testing.T, rng *rand.Rand, rows, oldC, k int) (parent, child *matrix.Matrix) {
+	t.Helper()
+	parent = diffRandomMatrix(rng, rows, oldC)
+	delta := diffRandomMatrix(rng, rows, k)
+	for j := 0; j < k; j++ {
+		delta.SetColName(j, fmt.Sprintf("new%d", j))
+	}
+	child, err := matrix.AppendConditions(parent, delta)
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	return parent, child
+}
+
+// incrSchemes returns one Params per threshold scheme — relative, absolute
+// and custom per-gene — all over the small-integer value grid the random
+// matrices use.
+func incrSchemes(rng *rand.Rand, rows int) []Params {
+	custom := make([]float64, rows)
+	for g := range custom {
+		custom[g] = float64(rng.Intn(3))
+	}
+	return []Params{
+		{MinG: 2, MinC: 2, Gamma: 0.2, Epsilon: 0.5},
+		{MinG: 2, MinC: 2, Gamma: 1, AbsoluteGamma: true, Epsilon: 0.5},
+		// A threshold near the top of the value grid keeps regulation sparse,
+		// so appends leave most subtrees clean — the splice-heavy regime.
+		{MinG: 2, MinC: 2, Gamma: 5, AbsoluteGamma: true, Epsilon: 0.5},
+		{MinG: 2, MinC: 2, CustomGammas: custom, Epsilon: 0.25},
+	}
+}
+
+// sameModels compares two model sets field for field through their exported
+// views — the cross-package equivalent of the rwave package's byte-identity
+// check.
+func sameModels(t *testing.T, label string, got, want []*rwave.Model) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d models, want %d", label, len(got), len(want))
+	}
+	for g := range got {
+		if got[g].Gene() != want[g].Gene() ||
+			math.Float64bits(got[g].Gamma()) != math.Float64bits(want[g].Gamma()) {
+			t.Fatalf("%s: gene %d scalar mismatch (gene %d/%d γ %v/%v)", label, g,
+				got[g].Gene(), want[g].Gene(), got[g].Gamma(), want[g].Gamma())
+		}
+		if !reflect.DeepEqual(got[g].Kernel(), want[g].Kernel()) {
+			t.Fatalf("%s: gene %d kernel mismatch\ngot:  %+v\nwant: %+v", label, g,
+				got[g].Kernel(), want[g].Kernel())
+		}
+		if !reflect.DeepEqual(got[g].Pointers(), want[g].Pointers()) {
+			t.Fatalf("%s: gene %d pointer set mismatch", label, g)
+		}
+	}
+}
+
+// TestDifferentialRepairVsBuildModels: across all three threshold schemes and
+// random append deltas, RepairModels must produce a model set identical in
+// every field to a cold BuildModels of the grown matrix. Runs under -race in
+// CI alongside the other differential suites.
+func TestDifferentialRepairVsBuildModels(t *testing.T) {
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	rng := rand.New(rand.NewSource(20260807))
+	fastTotal := 0
+	for i := 0; i < trials; i++ {
+		rows := 2 + rng.Intn(8)
+		parent, child := grownMatrix(t, rng, rows, 2+rng.Intn(6), 1+rng.Intn(4))
+		for pi, p := range incrSchemes(rng, rows) {
+			label := fmt.Sprintf("trial %d scheme %d", i, pi)
+			parentModels, err := BuildModels(parent, p, nil)
+			if err != nil {
+				t.Fatalf("%s: parent build: %v", label, err)
+			}
+			repaired, nFast, err := RepairModels(child, p, parentModels, nil)
+			if err != nil {
+				t.Fatalf("%s: repair: %v", label, err)
+			}
+			cold, err := BuildModels(child, p, nil)
+			if err != nil {
+				t.Fatalf("%s: cold build: %v", label, err)
+			}
+			sameModels(t, label, repaired, cold)
+			// Absolute and custom thresholds never drift under an append, so
+			// every gene must take the fast path there.
+			if pi > 0 && nFast != rows {
+				t.Fatalf("%s: %d/%d genes repaired under a drift-free scheme", label, nFast, rows)
+			}
+			fastTotal += nFast
+		}
+	}
+	if fastTotal == 0 {
+		t.Fatal("no gene ever took the repair fast path — the differential is vacuous")
+	}
+}
+
+// TestDifferentialIncrementalVsCold is the tentpole differential: on random
+// append deltas across all threshold schemes, MineIncremental's cluster
+// stream and Stats must be byte-identical to a cold parallel mine of the
+// grown matrix, at 1, 2 and 8 workers. Runs under -race in CI.
+func TestDifferentialIncrementalVsCold(t *testing.T) {
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	rng := rand.New(rand.NewSource(42))
+	sawIncremental, sawReused, sawFallback := 0, 0, 0
+	for i := 0; i < trials; i++ {
+		rows := 2 + rng.Intn(8)
+		parent, child := grownMatrix(t, rng, rows, 3+rng.Intn(5), 1+rng.Intn(3))
+		for pi, p := range incrSchemes(rng, rows) {
+			label := fmt.Sprintf("trial %d scheme %d", i, pi)
+			parentModels, err := BuildModels(parent, p, nil)
+			if err != nil {
+				t.Fatalf("%s: parent models: %v", label, err)
+			}
+			parentRes, err := MineParallelWithModels(parent, p, 4, parentModels)
+			if err != nil {
+				t.Fatalf("%s: parent mine: %v", label, err)
+			}
+			childModels, _, err := RepairModels(child, p, parentModels, nil)
+			if err != nil {
+				t.Fatalf("%s: repair: %v", label, err)
+			}
+			cold, err := MineParallelWithModels(child, p, 4, childModels)
+			if err != nil {
+				t.Fatalf("%s: cold mine: %v", label, err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				var got []*Bicluster
+				stats, info, err := MineIncremental(context.Background(), child, parent, p, workers,
+					func(b *Bicluster) bool { got = append(got, b); return true },
+					nil, childModels, parentModels, parentRes)
+				if err != nil {
+					t.Fatalf("%s workers %d: %v", label, workers, err)
+				}
+				if !sameClustersExact(cold.Clusters, got) {
+					t.Fatalf("%s workers %d: clusters diverge from cold mine\ncold: %v\ngot:  %v",
+						label, workers, cold.Clusters, got)
+				}
+				if stats != cold.Stats {
+					t.Fatalf("%s workers %d: stats diverge\ncold: %+v\ngot:  %+v",
+						label, workers, cold.Stats, stats)
+				}
+				if info.Incremental {
+					sawIncremental++
+					sawReused += info.SubtreesReused
+					if info.SubtreesReused+info.SubtreesMined != child.Cols() {
+						t.Fatalf("%s workers %d: reused %d + mined %d != %d conditions",
+							label, workers, info.SubtreesReused, info.SubtreesMined, child.Cols())
+					}
+				} else {
+					sawFallback++
+				}
+			}
+		}
+	}
+	if sawIncremental == 0 || sawReused == 0 {
+		t.Fatalf("fast path never reused a subtree (incremental runs %d, reused %d) — the differential is vacuous",
+			sawIncremental, sawReused)
+	}
+	t.Logf("incremental runs %d (reused %d subtrees), fallbacks %d", sawIncremental, sawReused, sawFallback)
+}
+
+// TestMineIncrementalFallbacks: every ineligible input must take the cold
+// path — reporting a reason — and still produce output identical to a plain
+// parallel mine under the same Params.
+func TestMineIncrementalFallbacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rows := 6
+	parent, child := grownMatrix(t, rng, rows, 5, 2)
+	p := Params{MinG: 2, MinC: 2, Gamma: 1, AbsoluteGamma: true, Epsilon: 0.5}
+	parentModels, err := BuildModels(parent, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parentRes, err := MineParallelWithModels(parent, p, 1, parentModels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	childModels, _, err := RepairModels(child, p, parentModels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	geneDelta := diffRandomMatrix(rng, 1, child.Cols())
+	geneDelta.SetRowName(0, "extra")
+	for j := 0; j < child.Cols(); j++ {
+		geneDelta.SetColName(j, child.ColName(j))
+	}
+	grownGenes, err := matrix.AppendGenes(child, geneDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grownGenesModels, _, err := RepairModels(grownGenes, p, parentModels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten := child.Clone()
+	rewritten.Set(0, 0, rewritten.At(0, 0)+1)
+	rewrittenModels, _, err := RepairModels(rewritten, p, parentModels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncatedRes := &Result{Clusters: parentRes.Clusters, Stats: parentRes.Stats}
+	truncatedRes.Stats.Truncated = true
+	capped := p
+	capped.MaxClusters = 2
+	naive := p
+	naive.NaiveCandidates = true
+
+	cases := []struct {
+		name      string
+		m, parent *matrix.Matrix
+		p         Params
+		models    []*rwave.Model
+		parentRes *Result
+		reason    string
+	}{
+		{"no parent", child, nil, p, childModels, nil, "no parent result"},
+		{"gene axis changed", grownGenes, parent, p, grownGenesModels, parentRes, "gene axis changed"},
+		{"no appended conditions", parent, parent, p, parentModels, parentRes, "no appended conditions"},
+		{"caps set", child, parent, capped, childModels, parentRes, "budget caps require sequential accounting"},
+		{"naive candidates", child, parent, naive, childModels, parentRes, "naive-candidates ablation"},
+		{"parent truncated", child, parent, p, childModels, truncatedRes, "parent result truncated"},
+		{"values rewritten", rewritten, parent, p, rewrittenModels, parentRes, "parent values rewritten"},
+	}
+	for _, tc := range cases {
+		cold, err := MineParallelWithModels(tc.m, tc.p, 1, tc.models)
+		if err != nil {
+			t.Fatalf("%s: cold mine: %v", tc.name, err)
+		}
+		var got []*Bicluster
+		stats, info, err := MineIncremental(context.Background(), tc.m, tc.parent, tc.p, 1,
+			func(b *Bicluster) bool { got = append(got, b); return true },
+			nil, tc.models, parentModels, tc.parentRes)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if info.Incremental || info.Fallback != tc.reason {
+			t.Errorf("%s: info %+v, want fallback %q", tc.name, info, tc.reason)
+		}
+		if !sameClustersExact(cold.Clusters, got) || stats != cold.Stats {
+			t.Errorf("%s: fallback output diverges from cold mine", tc.name)
+		}
+	}
+}
+
+// TestMineIncrementalVisitorStop: a stopping visitor must abandon the stream
+// after the delivered prefix and mark the returned Stats truncated.
+func TestMineIncrementalVisitorStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := Params{MinG: 2, MinC: 2, Gamma: 1, AbsoluteGamma: true, Epsilon: 0.5}
+	for trial := 0; trial < 20; trial++ {
+		parent, child := grownMatrix(t, rng, 2+rng.Intn(6), 4, 2)
+		parentModels, err := BuildModels(parent, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parentRes, err := MineParallelWithModels(parent, p, 2, parentModels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		childModels, _, err := RepairModels(child, p, parentModels, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := MineParallelWithModels(child, p, 2, childModels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cold.Clusters) < 2 {
+			continue
+		}
+		var got []*Bicluster
+		stats, _, err := MineIncremental(context.Background(), child, parent, p, 2,
+			func(b *Bicluster) bool { got = append(got, b); return len(got) < 1 },
+			nil, childModels, parentModels, parentRes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || !sameClustersExact(cold.Clusters[:1], got) {
+			t.Fatalf("stop after 1: delivered %d clusters, want the cold prefix of 1", len(got))
+		}
+		if !stats.Truncated {
+			t.Fatal("stats not marked truncated after a visitor stop")
+		}
+		return
+	}
+	t.Skip("no trial produced 2+ clusters")
+}
+
+// TestMineIncrementalCancelled: a pre-cancelled context must surface as an
+// error from the fast path.
+func TestMineIncrementalCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := Params{MinG: 2, MinC: 2, Gamma: 1, AbsoluteGamma: true, Epsilon: 0.5}
+	parent, child := grownMatrix(t, rng, 6, 5, 2)
+	parentModels, err := BuildModels(parent, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parentRes, err := MineParallelWithModels(parent, p, 2, parentModels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	childModels, _, err := RepairModels(child, p, parentModels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = MineIncremental(ctx, child, parent, p, 2,
+		func(*Bicluster) bool { return true },
+		nil, childModels, parentModels, parentRes)
+	if err == nil {
+		t.Fatal("cancelled context produced no error")
+	}
+}

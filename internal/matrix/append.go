@@ -1,0 +1,86 @@
+package matrix
+
+import "fmt"
+
+// Dataset deltas: growing a matrix along one axis.
+//
+// Live expression pipelines accumulate data incrementally — a new batch of
+// experimental conditions for the same gene panel, or newly profiled genes
+// under the same conditions. AppendConditions and AppendGenes construct the
+// grown matrix from the base and a delta matrix, validating that the shared
+// axis matches exactly (same names, same order) so the old indices of the
+// base remain valid in the result. New entries always land AFTER the old
+// ones; downstream consumers (the RWave repair path, the incremental miner)
+// rely on that ordering invariant.
+
+// AppendConditions returns a new matrix extending base with the delta's
+// columns: the delta must carry exactly base's genes (same row names, same
+// order) and only new condition names. Base rows keep their indices; delta
+// conditions are appended after base's, in delta order. Neither input is
+// modified.
+func AppendConditions(base, delta *Matrix) (*Matrix, error) {
+	if delta.rows != base.rows {
+		return nil, fmt.Errorf("matrix: append-conditions delta has %d genes, base has %d", delta.rows, base.rows)
+	}
+	if delta.cols == 0 {
+		return nil, fmt.Errorf("matrix: append-conditions delta has no conditions")
+	}
+	for i := range base.rowNames {
+		if base.rowNames[i] != delta.rowNames[i] {
+			return nil, fmt.Errorf("matrix: append-conditions delta row %d is %q, base has %q (gene order must match)",
+				i, delta.rowNames[i], base.rowNames[i])
+		}
+	}
+	if err := checkNewNames(base.colNames, delta.colNames, "condition"); err != nil {
+		return nil, err
+	}
+	out := NewWithNames(base.RowNames(), append(base.ColNames(), delta.colNames...))
+	for i := 0; i < base.rows; i++ {
+		dst := out.Row(i)
+		copy(dst, base.Row(i))
+		copy(dst[base.cols:], delta.Row(i))
+	}
+	return out, nil
+}
+
+// AppendGenes returns a new matrix extending base with the delta's rows: the
+// delta must carry exactly base's conditions (same column names, same order)
+// and only new gene names. Base conditions keep their indices; delta genes
+// are appended after base's, in delta order. Neither input is modified.
+func AppendGenes(base, delta *Matrix) (*Matrix, error) {
+	if delta.cols != base.cols {
+		return nil, fmt.Errorf("matrix: append-genes delta has %d conditions, base has %d", delta.cols, base.cols)
+	}
+	if delta.rows == 0 {
+		return nil, fmt.Errorf("matrix: append-genes delta has no genes")
+	}
+	for j := range base.colNames {
+		if base.colNames[j] != delta.colNames[j] {
+			return nil, fmt.Errorf("matrix: append-genes delta column %d is %q, base has %q (condition order must match)",
+				j, delta.colNames[j], base.colNames[j])
+		}
+	}
+	if err := checkNewNames(base.rowNames, delta.rowNames, "gene"); err != nil {
+		return nil, err
+	}
+	out := NewWithNames(append(base.RowNames(), delta.rowNames...), base.ColNames())
+	copy(out.data, base.data)
+	copy(out.data[len(base.data):], delta.data)
+	return out, nil
+}
+
+// checkNewNames rejects a delta whose appended axis collides with the base's
+// existing names or repeats a name within itself.
+func checkNewNames(existing, added []string, kind string) error {
+	seen := make(map[string]struct{}, len(existing)+len(added))
+	for _, n := range existing {
+		seen[n] = struct{}{}
+	}
+	for _, n := range added {
+		if _, dup := seen[n]; dup {
+			return fmt.Errorf("matrix: delta %s %q already present", kind, n)
+		}
+		seen[n] = struct{}{}
+	}
+	return nil
+}

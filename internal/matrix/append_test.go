@@ -1,0 +1,114 @@
+package matrix
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAppendConditions(t *testing.T) {
+	base := FromRows([][]float64{{1, 2}, {3, 4}})
+	delta := FromRows([][]float64{{5, 6}, {7, 8}})
+	delta.SetColName(0, "c2")
+	delta.SetColName(1, "c3")
+	got, err := AppendConditions(base, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{{1, 2, 5, 6}, {3, 4, 7, 8}})
+	if !got.Equal(want) {
+		t.Fatalf("appended:\n%v\nwant:\n%v", got, want)
+	}
+	// Inputs untouched.
+	if base.Cols() != 2 || delta.Cols() != 2 {
+		t.Fatal("append mutated an input")
+	}
+	// Old indices stable, new conditions after old ones.
+	if got.ColIndex("c1") != 1 || got.ColIndex("c2") != 2 {
+		t.Fatalf("condition order: %v", got.ColNames())
+	}
+}
+
+func TestAppendGenes(t *testing.T) {
+	base := FromRows([][]float64{{1, 2, 3}})
+	delta := FromRows([][]float64{{4, 5, 6}, {7, 8, 9}})
+	delta.SetRowName(0, "g1")
+	delta.SetRowName(1, "g2")
+	got, err := AppendGenes(base, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	if !got.Equal(want) {
+		t.Fatalf("appended:\n%v\nwant:\n%v", got, want)
+	}
+	if got.RowIndex("g0") != 0 || got.RowIndex("g2") != 2 {
+		t.Fatalf("gene order: %v", got.RowNames())
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	base := FromRows([][]float64{{1, 2}, {3, 4}})
+	cases := []struct {
+		name string
+		run  func() error
+		want string
+	}{
+		{"conds gene count mismatch", func() error {
+			_, err := AppendConditions(base, FromRows([][]float64{{9}}))
+			return err
+		}, "genes"},
+		{"conds gene order mismatch", func() error {
+			d := FromRows([][]float64{{9}, {9}})
+			d.SetRowName(0, "g1")
+			d.SetRowName(1, "g0")
+			d.SetColName(0, "cX")
+			_, err := AppendConditions(base, d)
+			return err
+		}, "order must match"},
+		{"conds name collision", func() error {
+			d := FromRows([][]float64{{9}, {9}})
+			d.SetColName(0, "c0")
+			_, err := AppendConditions(base, d)
+			return err
+		}, "already present"},
+		{"conds duplicate within delta", func() error {
+			d := FromRows([][]float64{{9, 9}, {9, 9}})
+			d.SetColName(0, "cX")
+			d.SetColName(1, "cX")
+			_, err := AppendConditions(base, d)
+			return err
+		}, "already present"},
+		{"conds empty delta", func() error {
+			_, err := AppendConditions(base, New(2, 0))
+			return err
+		}, "no conditions"},
+		{"genes cond count mismatch", func() error {
+			_, err := AppendGenes(base, FromRows([][]float64{{9}}))
+			return err
+		}, "conditions"},
+		{"genes cond order mismatch", func() error {
+			d := FromRows([][]float64{{9, 9}})
+			d.SetColName(0, "c1")
+			d.SetColName(1, "c0")
+			d.SetRowName(0, "gX")
+			_, err := AppendGenes(base, d)
+			return err
+		}, "order must match"},
+		{"genes name collision", func() error {
+			d := FromRows([][]float64{{9, 9}})
+			d.SetRowName(0, "g0")
+			_, err := AppendGenes(base, d)
+			return err
+		}, "already present"},
+		{"genes empty delta", func() error {
+			_, err := AppendGenes(base, New(0, 2))
+			return err
+		}, "no genes"},
+	}
+	for _, tc := range cases {
+		err := tc.run()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

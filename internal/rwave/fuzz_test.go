@@ -1,0 +1,51 @@
+package rwave
+
+import (
+	"testing"
+
+	"regcluster/internal/matrix"
+)
+
+// FuzzRepair is the nightly differential fuzz target: an arbitrary byte
+// string decodes into a base row, an appended suffix and a threshold, and the
+// repaired model must equal a from-scratch build of the grown row in every
+// field. The decoder keeps values on a small integer grid so ties — the
+// stable-sort edge the merge must reproduce — dominate the corpus.
+func FuzzRepair(f *testing.F) {
+	f.Add([]byte{3, 2, 1, 0, 7, 3, 3, 5}, uint8(3), uint8(2))
+	f.Add([]byte{0, 0, 0, 0, 0}, uint8(2), uint8(0))
+	f.Add([]byte{9, 1, 9, 1, 9, 1, 2, 2}, uint8(5), uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, oldLen, gammaGrid uint8) {
+		vals := make([]float64, len(raw))
+		for i, b := range raw {
+			vals[i] = float64(b % 16)
+		}
+		oldN := int(oldLen)
+		if oldN < 1 || oldN >= len(vals) {
+			return // need a non-empty base and at least one appended value
+		}
+		gamma := float64(gammaGrid % 8)
+		base := matrix.FromRows([][]float64{vals[:oldN]})
+		grown := matrix.FromRows([][]float64{vals})
+		old := BuildAbsolute(base, 0, gamma)
+		repaired, fast := Repair(old, grown, 0, gamma)
+		if !fast {
+			t.Fatalf("fast path refused a valid append (oldN=%d n=%d γ=%v)", oldN, len(vals), gamma)
+		}
+		cold := BuildAbsolute(grown, 0, gamma)
+		if !modelsIdentical(repaired, cold) {
+			t.Fatalf("repaired model differs from cold build\nvals=%v oldN=%d γ=%v\nrepaired: %v\ncold:     %v",
+				vals, oldN, gamma, repaired, cold)
+		}
+		// The repaired model must satisfy Lemma 3.1 exactness on a sample
+		// condition, independent of the cold build agreeing.
+		for c := 0; c < grown.Cols(); c++ {
+			for d := 0; d < grown.Cols(); d++ {
+				wantSucc := vals[d]-vals[c] > gamma
+				if got := repaired.IsSuccessor(c, d); got != wantSucc {
+					t.Fatalf("IsSuccessor(%d,%d)=%v, want %v", c, d, got, wantSucc)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package rwave
+
+import (
+	"sort"
+
+	"regcluster/internal/matrix"
+)
+
+// Index repair under dataset growth.
+//
+// When a gene's row gains conditions at the END of the matrix (the
+// append-conditions delta of the service layer), the expensive part of a
+// model rebuild — the O(n log n) stable sort of the full row — is avoidable:
+// the old sorted order is a sorted run already, and the k new entries form a
+// second sorted run whose condition indices are all larger than any old one.
+// A stable two-run merge therefore reproduces sort.SliceStable's output
+// exactly (stability breaks value ties by original position, and the
+// original position order is "all old conditions, then the new ones in index
+// order"), after which the pointer, frontier and chain-length passes are the
+// same O(n) scans a cold build runs. Repair is O(n + k log k) instead of
+// O(n log n), and its output is byte-identical to BuildAbsolute on the grown
+// row — the property TestRepairMatchesBuild and FuzzRepair pin.
+
+// Repair builds the model for gene of m by splicing the appended conditions
+// of m (those at index >= old.Conditions()) into old's sorted order. The fast
+// path applies only when old genuinely is the model of this row's prefix
+// under the same absolute threshold: same gene, same γ bit pattern, a prefix
+// of identical values, and at least one appended condition. Any mismatch —
+// including a γ drift from a relative-gamma row whose range grew — falls back
+// to a cold BuildAbsolute. The second return reports whether the fast path
+// ran; either way the returned model is correct for (m, gene, gammaAbs).
+func Repair(old *Model, m *matrix.Matrix, gene int, gammaAbs float64) (*Model, bool) {
+	if old == nil || !repairable(old, m, gene, gammaAbs) {
+		return BuildAbsolute(m, gene, gammaAbs), false
+	}
+	oldN, n := old.Conditions(), m.Cols()
+	row := m.Row(gene)
+
+	// Sort the appended conditions by value; sort.SliceStable keeps equal
+	// values in ascending index order, matching a cold build's tie-break.
+	fresh := make([]int, n-oldN)
+	for i := range fresh {
+		fresh[i] = oldN + i
+	}
+	sort.SliceStable(fresh, func(a, b int) bool { return row[fresh[a]] < row[fresh[b]] })
+
+	mod := &Model{gene: gene, gamma: gammaAbs}
+	mod.bindStripes(make([]int, slabIntStripes*n), make([]float64, slabFloatStripes*n), n)
+
+	// Stable merge of the two sorted runs: every old condition precedes every
+	// new one in original position, so on a value tie the old run wins.
+	oi, fi := 0, 0
+	for r := 0; r < n; r++ {
+		switch {
+		case oi < oldN && (fi == len(fresh) || !(row[fresh[fi]] < old.values[oi])):
+			mod.order[r] = old.order[oi]
+			oi++
+		default:
+			mod.order[r] = fresh[fi]
+			fi++
+		}
+	}
+	for r, c := range mod.order {
+		mod.rank[c] = r
+		mod.values[r] = row[c]
+		mod.valueByCond[c] = row[c]
+	}
+	mod.buildPointers()
+	mod.buildFrontiers()
+	mod.buildChainLengths()
+	return mod, true
+}
+
+// repairable reports whether the merge fast path of Repair is sound for
+// (old, m, gene, gammaAbs). The prefix scan is exact float equality, so a
+// NaN anywhere in the prefix (which never compares equal) also forces the
+// cold build — Repair never has to reason about NaN ordering.
+func repairable(old *Model, m *matrix.Matrix, gene int, gammaAbs float64) bool {
+	oldN := old.Conditions()
+	if old.gene != gene || old.gamma != gammaAbs || m.Cols() <= oldN {
+		return false
+	}
+	row := m.Row(gene)
+	for c := 0; c < oldN; c++ {
+		if old.valueByCond[c] != row[c] {
+			return false
+		}
+	}
+	return true
+}

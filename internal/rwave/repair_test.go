@@ -1,0 +1,134 @@
+package rwave
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"regcluster/internal/matrix"
+)
+
+// modelsIdentical compares every array and scalar of two models exactly —
+// the byte-identity contract Repair promises against a cold build.
+func modelsIdentical(a, b *Model) bool {
+	return a.gene == b.gene &&
+		math.Float64bits(a.gamma) == math.Float64bits(b.gamma) &&
+		reflect.DeepEqual(a.order, b.order) &&
+		reflect.DeepEqual(a.rank, b.rank) &&
+		floatsIdentical(a.values, b.values) &&
+		floatsIdentical(a.valueByCond, b.valueByCond) &&
+		reflect.DeepEqual(a.succStart, b.succStart) &&
+		reflect.DeepEqual(a.predEnd, b.predEnd) &&
+		reflect.DeepEqual(a.upLen, b.upLen) &&
+		reflect.DeepEqual(a.downLen, b.downLen) &&
+		reflect.DeepEqual(a.Pointers(), b.Pointers())
+}
+
+func floatsIdentical(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// grownRow builds a 1-gene matrix over row and its extension by extra values.
+func grownRow(row, extra []float64) (base, grown *matrix.Matrix) {
+	base = matrix.FromRows([][]float64{row})
+	grown = matrix.FromRows([][]float64{append(append([]float64(nil), row...), extra...)})
+	return base, grown
+}
+
+// TestRepairMatchesBuild is the differential property test: across random
+// rows, random appended suffixes (duplicates and ties included) and a range
+// of absolute thresholds, Repair's fast path must produce a model identical
+// in every field to a cold BuildAbsolute of the grown row.
+func TestRepairMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		oldN := 1 + rng.Intn(20)
+		k := 1 + rng.Intn(10)
+		vals := make([]float64, oldN+k)
+		for i := range vals {
+			// Coarse grid so value ties (the stable-sort edge case) occur often.
+			vals[i] = float64(rng.Intn(8))
+		}
+		gamma := float64(rng.Intn(4)) // 0 included: strict-inequality edge
+		base, grown := grownRow(vals[:oldN], vals[oldN:])
+		old := BuildAbsolute(base, 0, gamma)
+		repaired, fast := Repair(old, grown, 0, gamma)
+		if !fast {
+			t.Fatalf("trial %d: fast path refused (oldN=%d k=%d γ=%v)", trial, oldN, k, gamma)
+		}
+		cold := BuildAbsolute(grown, 0, gamma)
+		if !modelsIdentical(repaired, cold) {
+			t.Fatalf("trial %d: repaired model differs from cold build\nrepaired: %v\ncold:     %v",
+				trial, repaired, cold)
+		}
+	}
+}
+
+// TestRepairPackedModelSource: the fast path must also work when the old
+// model lives in a packed slab (the form the service's model cache holds).
+func TestRepairPackedModelSource(t *testing.T) {
+	base := matrix.FromRows([][]float64{{1, 5, 3, 9}, {2, 2, 8, 4}})
+	grown := matrix.FromRows([][]float64{{1, 5, 3, 9, 4, 0}, {2, 2, 8, 4, 6, 2}})
+	models := []*Model{BuildAbsolute(base, 0, 2), BuildAbsolute(base, 1, 2)}
+	PackModels(models)
+	for g, old := range models {
+		repaired, fast := Repair(old, grown, g, 2)
+		if !fast {
+			t.Fatalf("gene %d: fast path refused for packed source", g)
+		}
+		if cold := BuildAbsolute(grown, g, 2); !modelsIdentical(repaired, cold) {
+			t.Fatalf("gene %d: packed-source repair differs from cold build", g)
+		}
+	}
+}
+
+// TestRepairFallbacks: every soundness violation must take the cold path
+// (fast == false) and still return the correct model for the grown row.
+func TestRepairFallbacks(t *testing.T) {
+	base, grown := grownRow([]float64{3, 1, 4, 1}, []float64{5, 9})
+	old := BuildAbsolute(base, 0, 1)
+	cases := []struct {
+		name  string
+		old   *Model
+		m     *matrix.Matrix
+		gene  int
+		gamma float64
+	}{
+		{"nil old model", nil, grown, 0, 1},
+		{"gamma drift", old, grown, 0, 2},
+		{"gene mismatch", old, matrix.FromRows([][]float64{{9, 9, 9, 9, 9, 9}, {3, 1, 4, 1, 5, 9}}), 1, 1},
+		{"no appended conditions", old, base, 0, 1},
+		{"prefix rewritten", old, matrix.FromRows([][]float64{{3, 1, 7, 1, 5, 9}}), 0, 1},
+	}
+	for _, tc := range cases {
+		got, fast := Repair(tc.old, tc.m, tc.gene, tc.gamma)
+		if fast {
+			t.Errorf("%s: fast path ran on an ineligible input", tc.name)
+		}
+		if cold := BuildAbsolute(tc.m, tc.gene, tc.gamma); !modelsIdentical(got, cold) {
+			t.Errorf("%s: fallback model differs from cold build", tc.name)
+		}
+	}
+}
+
+// TestRepairNaNPrefixFallsBack: a NaN in the shared prefix never compares
+// equal, so Repair must refuse the merge and rebuild cold.
+func TestRepairNaNPrefixFallsBack(t *testing.T) {
+	base := matrix.FromRows([][]float64{{1, math.NaN(), 3}})
+	old := &Model{gene: 0, gamma: 1}
+	old.bindStripes(make([]int, slabIntStripes*3), make([]float64, slabFloatStripes*3), 3)
+	copy(old.valueByCond, base.Row(0))
+	grown := matrix.FromRows([][]float64{{1, math.NaN(), 3, 4}})
+	if _, fast := Repair(old, grown, 0, 1); fast {
+		t.Fatal("fast path ran over a NaN prefix")
+	}
+}

@@ -202,15 +202,15 @@ func TestReplayAuditRecordsSkipped(t *testing.T) {
 	withAudit := []journalRecord{jobRecs[0], audit[0], audit[1], jobRecs[1], audit[2], jobRecs[2]}
 
 	var lcPlain, lcAudit logCapture
-	plainJobs, _, _, plainSeq := replayRecords(jobRecs, lcPlain.logf)
-	auditJobs, _, _, auditSeq := replayRecords(withAudit, lcAudit.logf)
+	plainJobs, _, _, _, plainSeq := replayRecords(jobRecs, lcPlain.logf)
+	auditJobs, _, _, _, auditSeq := replayRecords(withAudit, lcAudit.logf)
 	if !reflect.DeepEqual(plainJobs, auditJobs) || plainSeq != auditSeq {
 		t.Fatalf("audit records changed replayed state:\n%+v\nvs\n%+v", auditJobs, plainJobs)
 	}
 	if lcAudit.contains("unknown record type") {
 		t.Fatalf("audit records hit the unknown-type path: %v", lcAudit.snapshot())
 	}
-	for _, rec := range canonicalRecords(auditJobs, nil, nil) {
+	for _, rec := range canonicalRecords(auditJobs, nil, nil, nil) {
 		if rec.Type == recWorker || rec.Type == recLease {
 			t.Fatalf("compaction kept audit record %+v", rec)
 		}

@@ -13,6 +13,7 @@ import (
 	"regcluster/internal/core"
 	"regcluster/internal/dist"
 	"regcluster/internal/faultinject"
+	"regcluster/internal/matrix"
 	"regcluster/internal/obs"
 	"regcluster/internal/report"
 )
@@ -98,6 +99,10 @@ type Job struct {
 	journaled int
 	attempts  int
 
+	// incr reports how the incremental re-mine path handled this job (nil
+	// when the job had no delta lineage to exploit).
+	incr *core.IncrementalInfo
+
 	// Phase durations, settled as each phase ends (for the slow-job log).
 	queuedFor time.Duration
 	ranFor    time.Duration
@@ -148,9 +153,13 @@ type JobView struct {
 	LiveNodes    int64       `json:"live_nodes"`
 	LiveClusters int64       `json:"live_clusters"`
 	Stats        *core.Stats `json:"stats,omitempty"` // settled, terminal only
-	CreatedAt    time.Time   `json:"created_at"`
-	StartedAt    *time.Time  `json:"started_at,omitempty"`
-	FinishedAt   *time.Time  `json:"finished_at,omitempty"`
+	// Incremental reports how the delta-reuse path handled the job: subtrees
+	// spliced from the parent result versus re-mined, or the fallback reason.
+	// Omitted for jobs without delta lineage.
+	Incremental *core.IncrementalInfo `json:"incremental,omitempty"`
+	CreatedAt   time.Time             `json:"created_at"`
+	StartedAt   *time.Time            `json:"started_at,omitempty"`
+	FinishedAt  *time.Time            `json:"finished_at,omitempty"`
 }
 
 // View snapshots the job for serialization.
@@ -189,6 +198,10 @@ func (j *Job) View() JobView {
 	if j.status.terminal() {
 		st := j.stats
 		v.Stats = &st
+	}
+	if j.incr != nil {
+		inf := *j.incr
+		v.Incremental = &inf
 	}
 	return v
 }
@@ -267,6 +280,11 @@ type jobManager struct {
 	// models is the shared RWave-build cache; nil means every attempt builds
 	// its own index (the pre-cache behavior, kept for bare-manager tests).
 	models *modelCache
+
+	// datasets resolves a dataset ID to its live registry entry; the Server
+	// wires it so delta-lineage jobs can reach their parent matrix. Nil (bare
+	// managers) disables the incremental path.
+	datasets func(id string) (*Dataset, bool)
 
 	// coord, when non-nil, routes mining through the distributed
 	// coordinator (subtree leases to remote workers plus local loops)
@@ -638,9 +656,20 @@ func (m *jobManager) mine(ctx context.Context, j *Job) (core.Stats, error) {
 		// and retry that agrees on the ModelKey. Passing the job's Observer
 		// lands the "rwave.build" span under this job's attempt span when the
 		// build actually runs here; jobs that reuse the set skip the span
-		// along with the work.
+		// along with the work. A dataset grown by an append-conditions delta
+		// builds by repairing the parent's cached models where that set is
+		// still resident — same key, same output, less work.
 		var err error
 		models, err = m.models.getOrBuild(core.ModelKey(j.Dataset.ID, j.Params), func() ([]*core.RWaveModel, error) {
+			if d := j.Dataset.Delta; d != nil && d.Axis == DeltaAxisConditions {
+				if old, ok := m.models.peek(core.ModelKey(d.Parent, j.Params)); ok {
+					ms, repaired, err := core.RepairModels(mat, j.Params, old, &j.obs)
+					if err == nil {
+						m.metrics.ModelRepairs.Add(int64(repaired))
+					}
+					return ms, err
+				}
+			}
 			return core.BuildModels(mat, j.Params, &j.obs)
 		})
 		if err != nil {
@@ -655,6 +684,31 @@ func (m *jobManager) mine(ctx context.Context, j *Job) (core.Stats, error) {
 		j.mu.Unlock()
 		m.metrics.ClustersStreamed.Add(1)
 		return true
+	}
+	if m.coord == nil && resume == nil && models != nil {
+		if plan := m.incrementalPlan(j); plan != nil {
+			// Subtree-reuse attempt. The incremental engine takes no
+			// checkpoint cadence: a crash mid-run restarts the attempt from
+			// scratch, which is cheap by construction (only dirty subtrees
+			// mine). Output — cluster stream and Stats — is byte-identical
+			// to the cold path, so the cache and journal are oblivious.
+			stats, info, err := core.MineIncremental(ctx, mat, plan.parentMat, j.Params, j.Workers,
+				visit, &j.obs, models, plan.parentModels, plan.parentResult)
+			if err == nil {
+				if info.Incremental {
+					m.metrics.IncrementalMines.Add(1)
+					m.metrics.IncrementalSubtreesReused.Add(int64(info.SubtreesReused))
+					m.metrics.IncrementalSubtreesMined.Add(int64(info.SubtreesMined))
+				} else {
+					m.metrics.IncrementalFallbacks.Add(1)
+				}
+				inf := info
+				j.mu.Lock()
+				j.incr = &inf
+				j.mu.Unlock()
+			}
+			return stats, err
+		}
 	}
 	if m.coord != nil {
 		// Coordinator mode: the same visitor, resume point, and checkpoint
@@ -673,6 +727,54 @@ func (m *jobManager) mine(ctx context.Context, j *Job) (core.Stats, error) {
 		}, visit)
 	}
 	return core.MineParallelFuncResumableWithModels(ctx, mat, j.Params, j.Workers, visit, &j.obs, resume, ck, models)
+}
+
+// incrPlan holds everything a delta-lineage job needs to take the
+// subtree-reuse path: the parent's live matrix, its cached RWave model set,
+// and its settled result resolved back to index form.
+type incrPlan struct {
+	parentMat    *matrix.Matrix
+	parentModels []*core.RWaveModel
+	parentResult *core.Result
+}
+
+// incrementalPlan assembles the subtree-reuse inputs for a delta-lineage job.
+// Any missing piece — no lineage, a gene-axis delta, an unregistered parent,
+// an evicted parent model set or result, or names that no longer resolve —
+// returns nil and the job mines cold without touching the incremental
+// metrics: the fallback counter is reserved for runs where reuse was
+// plausible but the engine itself declined.
+func (m *jobManager) incrementalPlan(j *Job) *incrPlan {
+	d := j.Dataset.Delta
+	if d == nil || d.Axis != DeltaAxisConditions || m.datasets == nil || m.models == nil || m.cache == nil {
+		return nil
+	}
+	parent, ok := m.datasets(d.Parent)
+	if !ok {
+		return nil
+	}
+	pm, ok := m.models.peek(core.ModelKey(d.Parent, j.Params))
+	if !ok {
+		return nil
+	}
+	res, ok := m.cache.get(cacheKey(d.Parent, j.Params))
+	if !ok {
+		return nil
+	}
+	// The child grew by appending, so the parent's gene/condition names keep
+	// their indices; resolving against the child therefore reproduces the
+	// parent result's index form exactly (and validates the lineage while
+	// doing so).
+	doc := report.Document{Clusters: res.clusters}
+	bs, err := doc.Resolve(j.Dataset.Matrix())
+	if err != nil {
+		return nil
+	}
+	return &incrPlan{
+		parentMat:    parent.Matrix(),
+		parentModels: pm,
+		parentResult: &core.Result{Clusters: bs, Stats: res.stats},
+	}
 }
 
 // noteCheckpoint records a miner snapshot: it becomes the job's resume point

@@ -47,6 +47,12 @@ const (
 	// predate them.
 	recShed  = "shed"
 	recUsage = "usage"
+	// recDelta records a dataset produced by an append delta: the child's
+	// content hash plus its lineage (parent hash, grown axis, prefix sizes).
+	// Replay re-attaches the lineage to the restored dataset so incremental
+	// re-mining survives restarts; compaction keeps one record per dataset
+	// still present. Servers predating it skip it as an unknown type.
+	recDelta = "delta"
 )
 
 // journalRecord is one line of the job journal. Fields are a union over the
@@ -83,6 +89,10 @@ type journalRecord struct {
 	// (recUsage); Usage is the cumulative per-tenant ledger at append time.
 	Tenant string       `json:"tenant,omitempty"`
 	Usage  *TenantUsage `json:"usage,omitempty"`
+
+	// delta: lineage of an appended dataset (recDelta); Dataset above carries
+	// the child's content hash.
+	Delta *DeltaInfo `json:"delta,omitempty"`
 
 	// coordinator-mode audit records (recWorker / recLease)
 	Worker     string `json:"worker,omitempty"`

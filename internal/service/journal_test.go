@@ -93,7 +93,7 @@ func TestReplayUnknownRecordType(t *testing.T) {
 	if len(recs) != 3 {
 		t.Fatalf("replayed %d records, want 3", len(recs))
 	}
-	jobs, _, _, maxSeq := replayRecords(recs, lc.logf)
+	jobs, _, _, _, maxSeq := replayRecords(recs, lc.logf)
 	if len(jobs) != 1 || maxSeq != 1 {
 		t.Fatalf("replay state: %d jobs, seq %d", len(jobs), maxSeq)
 	}
@@ -157,7 +157,7 @@ func TestReplayRecordsReconcilesOverlap(t *testing.T) {
 			Ckpt:        &core.Checkpoint{Version: 1, NextCond: 1, SkipClusters: 3},
 			NewClusters: namedClusters("b", "c")},
 	}
-	jobs, _, _, _ := replayRecords(recs, lc.logf)
+	jobs, _, _, _, _ := replayRecords(recs, lc.logf)
 	if len(jobs) != 1 {
 		t.Fatalf("%d jobs", len(jobs))
 	}

@@ -36,6 +36,19 @@ type Metrics struct {
 
 	DatasetsUploaded atomic.Int64
 
+	// Incremental-mining counters. DatasetAppends counts append-delta uploads
+	// that created a new dataset version; ModelRepairs counts per-gene RWave
+	// models spliced by the repair fast path (vs rebuilt cold); the
+	// Incremental* counters split jobs that took the subtree-reuse path from
+	// those that fell back to a cold mine, and total the subtrees spliced
+	// versus re-mined across all incremental runs.
+	DatasetAppends            atomic.Int64
+	ModelRepairs              atomic.Int64
+	IncrementalMines          atomic.Int64
+	IncrementalFallbacks      atomic.Int64
+	IncrementalSubtreesReused atomic.Int64
+	IncrementalSubtreesMined  atomic.Int64
+
 	// Durability and failure-containment counters (regserver_* exposition
 	// names; they arrived with the crash-recovery layer, after the
 	// regcluster_* counters above were already scraped in the wild).
@@ -148,6 +161,12 @@ func (mt *Metrics) WriteTo(w io.Writer, gauges []gauge) {
 	counter("regserver_model_cache_evictions_total", "Shared RWave model sets evicted by the LRU bound.", mt.ModelCacheEvictions.Load())
 	counter("regserver_jobs_rejected_total", "Submissions refused by admission control (429s).", mt.JobsRejected.Load())
 	counter("regserver_jobs_shed_total", "Queued jobs evicted by the overload shedder.", mt.JobsShed.Load())
+	counter("regserver_dataset_appends_total", "Append-delta uploads that created a new dataset version.", mt.DatasetAppends.Load())
+	counter("regserver_model_repairs_total", "Per-gene RWave models spliced by the repair fast path.", mt.ModelRepairs.Load())
+	counter("regserver_incremental_mines_total", "Jobs mined via the incremental subtree-reuse path.", mt.IncrementalMines.Load())
+	counter("regserver_incremental_fallbacks_total", "Delta-lineage jobs that fell back to a cold mine.", mt.IncrementalFallbacks.Load())
+	counter("regserver_incremental_subtrees_reused_total", "Subtrees spliced from parent results without re-mining.", mt.IncrementalSubtreesReused.Load())
+	counter("regserver_incremental_subtrees_mined_total", "Subtrees re-mined by incremental runs.", mt.IncrementalSubtreesMined.Load())
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.value())
 	}

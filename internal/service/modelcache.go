@@ -121,6 +121,21 @@ func (c *modelCache) getOrBuild(key string, build func() ([]*rwave.Model, error)
 	return b.models, b.err
 }
 
+// peek returns the cached model set for key without building, joining an
+// in-flight build, or touching the hit/miss counters — the "misses == distinct
+// γ groups built" invariant is unaffected by peeks. A found entry is still
+// promoted: a peek that enables a model repair is a use worth retaining.
+func (c *modelCache) peek(key string) ([]*rwave.Model, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*modelItem).models, true
+}
+
 // len returns the number of retained entries (in-flight builds excluded).
 func (c *modelCache) len() int {
 	c.mu.Lock()

@@ -41,10 +41,22 @@ type replayedJob struct {
 // sequence number. Unknown record types are skipped (forward compatibility: a
 // journal written by a newer server still boots here), as are records for
 // jobs whose submit record was lost.
-func replayRecords(recs []journalRecord, logf func(string, ...any)) (ordered []*replayedJob, sweeps []journalRecord, usage map[string]TenantUsage, maxSeq int) {
+func replayRecords(recs []journalRecord, logf func(string, ...any)) (ordered []*replayedJob, sweeps []journalRecord, deltas map[string]*DeltaInfo, usage map[string]TenantUsage, maxSeq int) {
 	byID := make(map[string]*replayedJob)
 	for _, rec := range recs {
 		switch rec.Type {
+		case recDelta:
+			// Dataset lineage: the last record per child wins (appends are
+			// idempotent on content hashes, so duplicates agree anyway).
+			if rec.Dataset == "" || rec.Delta == nil {
+				logf("service: journal: malformed delta record; skipping")
+				continue
+			}
+			if deltas == nil {
+				deltas = make(map[string]*DeltaInfo)
+			}
+			d := *rec.Delta
+			deltas[rec.Dataset] = &d
 		case recSubmit:
 			if rec.Job == "" || rec.Params == nil || rec.Dataset == "" {
 				logf("service: journal: malformed submit record for %q; skipping", rec.Job)
@@ -119,7 +131,7 @@ func replayRecords(recs []journalRecord, logf func(string, ...any)) (ordered []*
 			logf("service: journal: unknown record type %q; skipping (newer server?)", rec.Type)
 		}
 	}
-	return ordered, sweeps, usage, maxSeq
+	return ordered, sweeps, deltas, usage, maxSeq
 }
 
 // canonicalRecords renders the replayed state back into a minimal journal
@@ -128,8 +140,19 @@ func replayRecords(recs []journalRecord, logf func(string, ...any)) (ordered []*
 // sweep bindings (which only reference jobs, so they compact verbatim and
 // stay after every point's submit record), then one cumulative usage record
 // per tenant (stable ID order).
-func canonicalRecords(jobs []*replayedJob, sweeps []journalRecord, usage map[string]TenantUsage) []journalRecord {
+func canonicalRecords(jobs []*replayedJob, sweeps []journalRecord, deltas map[string]*DeltaInfo, usage map[string]TenantUsage) []journalRecord {
 	var out []journalRecord
+	// Lineage records lead (stable child-ID order): they reference no jobs,
+	// and replay attaches them to datasets before any job resumes.
+	dsIDs := make([]string, 0, len(deltas))
+	for id := range deltas {
+		dsIDs = append(dsIDs, id)
+	}
+	sort.Strings(dsIDs)
+	for _, id := range dsIDs {
+		d := *deltas[id]
+		out = append(out, journalRecord{Type: recDelta, Dataset: id, Delta: &d})
+	}
 	for _, j := range jobs {
 		out = append(out, j.submit)
 		switch {
@@ -167,7 +190,19 @@ func (s *Server) bootRecover() error {
 	}
 
 	recs := replayJournalFile(s.store.journalPath(), s.logf)
-	jobs, sweeps, usage, maxSeq := replayRecords(recs, s.logf)
+	jobs, sweeps, deltas, usage, maxSeq := replayRecords(recs, s.logf)
+	// Lineage re-attaches to the restored datasets; records for datasets no
+	// longer on disk (deleted, or lost to corruption) compact away.
+	for id, d := range deltas {
+		ds, ok := s.registry.get(id)
+		if !ok {
+			delete(deltas, id)
+			continue
+		}
+		if ds.Delta == nil {
+			ds.Delta = d
+		}
+	}
 	s.jobs.mu.Lock()
 	if maxSeq > s.jobs.seq {
 		s.jobs.seq = maxSeq
@@ -188,7 +223,7 @@ func (s *Server) bootRecover() error {
 		}
 	}
 
-	if err := s.store.compactJournal(canonicalRecords(jobs, sweeps, usage)); err != nil {
+	if err := s.store.compactJournal(canonicalRecords(jobs, sweeps, deltas, usage)); err != nil {
 		return err
 	}
 	wal, err := openJournal(s.store.journalPath())

@@ -36,9 +36,30 @@ type Dataset struct {
 	// (the miners require a complete matrix).
 	ImputedCells int       `json:"imputed_cells"`
 	UploadedAt   time.Time `json:"uploaded_at"`
+	// Delta records how this dataset was derived from another via an append
+	// delta (nil for direct uploads). Lineage is what makes the incremental
+	// re-mine path eligible: the miner needs to know which prefix of this
+	// matrix is the parent.
+	Delta *DeltaInfo `json:"delta,omitempty"`
 
 	mat      *matrix.Matrix
 	rowStats []RowStat
+}
+
+// Delta axes: which dimension an append grew.
+const (
+	DeltaAxisConditions = "conditions"
+	DeltaAxisGenes      = "genes"
+)
+
+// DeltaInfo is the lineage of a dataset produced by an append delta: the
+// parent's content hash, the grown axis, and the parent's dimensions (the
+// prefix sizes — appended entries always land after the old ones).
+type DeltaInfo struct {
+	Parent   string `json:"parent"`
+	Axis     string `json:"axis"`
+	OldConds int    `json:"old_conds"`
+	OldGenes int    `json:"old_genes"`
 }
 
 // Matrix returns the dataset's matrix. The matrix is immutable once
@@ -94,6 +115,56 @@ func (r *registry) add(name string, tsv io.Reader) (ds *Dataset, created bool, e
 		return nil, false, fmt.Errorf("service: dataset registry full (%d datasets); delete one first", len(r.byID))
 	}
 	ds = newDataset(m, name, imputed, time.Now().UTC())
+	r.byID[ds.ID] = ds
+	return ds, true, nil
+}
+
+// appendDelta parses a delta TSV and registers the parent's matrix grown by
+// it along the given axis, recording the lineage. The child is
+// content-addressed like any dataset: appending the same delta twice (or
+// uploading the full grown matrix directly) converges on one entry. When the
+// grown matrix already exists the existing dataset is returned unchanged
+// (created = false) — in particular a direct upload keeps its lineage-free
+// identity, and re-appends keep the lineage recorded first.
+func (r *registry) appendDelta(parentID, axis, name string, tsv io.Reader) (ds *Dataset, created bool, err error) {
+	parent, ok := r.get(parentID)
+	if !ok {
+		return nil, false, fmt.Errorf("service: unknown dataset %q", parentID)
+	}
+	delta, err := matrix.ReadTSV(tsv)
+	if err != nil {
+		return nil, false, err
+	}
+	imputed := delta.FillNaN()
+	var grown *matrix.Matrix
+	switch axis {
+	case DeltaAxisConditions:
+		grown, err = matrix.AppendConditions(parent.mat, delta)
+	case DeltaAxisGenes:
+		grown, err = matrix.AppendGenes(parent.mat, delta)
+	default:
+		return nil, false, fmt.Errorf("service: unknown append axis %q (want %s or %s)",
+			axis, DeltaAxisConditions, DeltaAxisGenes)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	id := grown.Hash()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.byID[id]; ok {
+		return existing, false, nil
+	}
+	if r.max > 0 && len(r.byID) >= r.max {
+		return nil, false, fmt.Errorf("service: dataset registry full (%d datasets); delete one first", len(r.byID))
+	}
+	if name == "" {
+		name = parent.Name + "+delta"
+	}
+	ds = newDataset(grown, name, parent.ImputedCells+imputed, time.Now().UTC())
+	ds.Delta = &DeltaInfo{Parent: parentID, Axis: axis,
+		OldConds: parent.mat.Cols(), OldGenes: parent.mat.Rows()}
 	r.byID[ds.ID] = ds
 	return ds, true, nil
 }

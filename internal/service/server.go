@@ -11,6 +11,8 @@
 //	GET  /datasets/{id}           dataset detail including per-gene row stats
 //	GET  /datasets/{id}/tsv       download the canonical TSV serialization
 //	DELETE /datasets/{id}         unregister a dataset
+//	POST /datasets/{id}/append    grow a dataset by a delta TSV (?axis=conditions|genes)
+//	GET  /datasets/{id}/diff/{p}  result diff vs dataset p (regcluster.diff/v1)
 //	POST /jobs                    submit {dataset, params, workers, timeout_ms}
 //	POST /sweep                   submit a batch ε/γ/MinG/MinC parameter sweep
 //	GET  /sweeps                  list sweeps with per-point status
@@ -43,6 +45,8 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"reflect"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -269,6 +273,7 @@ func Open(cfg Config) (*Server, error) {
 	s.jobs.tenants = tenants
 	s.jobs.sched = newScheduler(cfg.MaxConcurrentJobs, cfg.ShedWatermark, s.metrics)
 	s.jobs.models = newModelCache(cfg.ModelCacheEntries, s.metrics)
+	s.jobs.datasets = s.registry.get
 	s.sweeps = newSweepManager()
 	s.jobs.ckEvery = cfg.CheckpointEveryClusters
 	s.jobs.maxRetries = cfg.MaxJobRetries
@@ -435,6 +440,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /datasets/{id}", s.handleGetDataset)
 	s.mux.HandleFunc("GET /datasets/{id}/tsv", s.handleDatasetTSV)
 	s.mux.HandleFunc("DELETE /datasets/{id}", s.handleDeleteDataset)
+	s.mux.HandleFunc("POST /datasets/{id}/append", s.handleAppend)
+	s.mux.HandleFunc("GET /datasets/{id}/diff/{parent}", s.handleDiff)
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("POST /sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /sweeps", s.handleListSweeps)
@@ -543,6 +550,158 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 		s.store.deleteDataset(r.PathValue("id"))
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleAppend grows a dataset by an append delta. The body is a TSV holding
+// only the appended entries — new columns for axis=conditions (the default),
+// new rows for axis=genes. The result is a NEW content-addressed dataset
+// version with its lineage recorded and journaled; the parent is never
+// mutated, so prior results stay valid and diffable.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	axis := r.URL.Query().Get("axis")
+	if axis == "" {
+		axis = DeltaAxisConditions
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	ds, created, err := s.registry.appendDelta(r.PathValue("id"), axis, r.URL.Query().Get("name"), body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "delta exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		if _, ok := s.registry.get(r.PathValue("id")); !ok {
+			writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("id"))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "append delta: %v", err)
+		return
+	}
+	if created && s.store != nil {
+		if err := s.store.saveDataset(ds); err != nil {
+			s.registry.remove(ds.ID)
+			writeError(w, http.StatusInternalServerError, "persist dataset: %v", err)
+			return
+		}
+	}
+	status := http.StatusOK // delta converged on an existing dataset
+	if created {
+		s.metrics.DatasetAppends.Add(1)
+		if ds.Delta != nil {
+			// Journal the lineage so incremental re-mining survives restarts.
+			// Best-effort like every WAL append: a failure degrades the next
+			// boot to cold mining, never availability.
+			s.jobs.journalAppend(journalRecord{Type: recDelta, Dataset: ds.ID, Delta: ds.Delta})
+		}
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, datasetView{Dataset: *ds})
+}
+
+// DiffSchemaID identifies the result-diff document format.
+const DiffSchemaID = "regcluster.diff/v1"
+
+// ClusterGrowth pairs the parent- and child-side versions of one cluster
+// whose chain survived the delta but whose membership changed.
+type ClusterGrowth struct {
+	Before report.NamedCluster `json:"before"`
+	After  report.NamedCluster `json:"after"`
+}
+
+// DiffDocument is the response of GET /datasets/{id}/diff/{parent}: the
+// settled child result compared against the parent's, keyed by (chain,
+// direction). Added/Removed hold clusters present on only one side; Grown
+// holds chains present on both with different membership; Unchanged counts
+// identical clusters.
+type DiffDocument struct {
+	Schema    string                `json:"schema"`
+	Dataset   string                `json:"dataset"`
+	Parent    string                `json:"parent"`
+	Job       string                `json:"job"`
+	Params    core.Params           `json:"params"`
+	Added     []report.NamedCluster `json:"added"`
+	Removed   []report.NamedCluster `json:"removed"`
+	Grown     []ClusterGrowth       `json:"grown"`
+	Unchanged int                   `json:"unchanged"`
+}
+
+// diffKey identifies a cluster across the two results: the condition chain
+// (names, in chain order) plus the orientation.
+func diffKey(nc report.NamedCluster) string {
+	return strings.Join(nc.Chain, "\x1f") + "\x1f|" + nc.Direction
+}
+
+// handleDiff compares the latest settled result on a dataset against the
+// parent's cached result under the same parameters. The endpoint works for
+// any dataset pair that has both results resident — lineage makes the diff
+// meaningful but is not required.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	childID, parentID := r.PathValue("id"), r.PathValue("parent")
+	if _, ok := s.registry.get(childID); !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", childID)
+		return
+	}
+	if _, ok := s.registry.get(parentID); !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", parentID)
+		return
+	}
+	// Latest done job on the child fixes the parameter point of the diff.
+	var child *JobView
+	for _, j := range s.jobs.list() {
+		v := j.View()
+		if v.Dataset == childID && v.Status == StatusDone {
+			child = &v
+		}
+	}
+	if child == nil {
+		writeError(w, http.StatusNotFound, "no settled result for dataset %q; mine it first", childID)
+		return
+	}
+	childRes, ok := s.cache.get(cacheKey(childID, child.Params))
+	if !ok {
+		writeError(w, http.StatusNotFound, "result for dataset %q evicted; re-mine it", childID)
+		return
+	}
+	parentRes, ok := s.cache.get(cacheKey(parentID, child.Params))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no result for dataset %q under the same params; mine it first", parentID)
+		return
+	}
+
+	parentBy := make(map[string]report.NamedCluster, len(parentRes.clusters))
+	for _, nc := range parentRes.clusters {
+		parentBy[diffKey(nc)] = nc
+	}
+	diff := DiffDocument{
+		Schema:  DiffSchemaID,
+		Dataset: childID,
+		Parent:  parentID,
+		Job:     child.ID,
+		Params:  child.Params,
+		Added:   []report.NamedCluster{},
+		Removed: []report.NamedCluster{},
+		Grown:   []ClusterGrowth{},
+	}
+	seen := make(map[string]bool, len(childRes.clusters))
+	for _, nc := range childRes.clusters {
+		key := diffKey(nc)
+		seen[key] = true
+		old, ok := parentBy[key]
+		switch {
+		case !ok:
+			diff.Added = append(diff.Added, nc)
+		case reflect.DeepEqual(old.Members, nc.Members):
+			diff.Unchanged++
+		default:
+			diff.Grown = append(diff.Grown, ClusterGrowth{Before: old, After: nc})
+		}
+	}
+	for _, nc := range parentRes.clusters {
+		if !seen[diffKey(nc)] {
+			diff.Removed = append(diff.Removed, nc)
+		}
+	}
+	writeJSON(w, http.StatusOK, diff)
 }
 
 // submitRequest is the body of POST /jobs.

@@ -415,7 +415,7 @@ func TestReplayShedAndUsageRecords(t *testing.T) {
 	}
 
 	var lc logCapture
-	jobs, _, usage, _ := replayRecords(recs, lc.logf)
+	jobs, _, _, usage, _ := replayRecords(recs, lc.logf)
 	if len(jobs) != 1 || jobs[0].terminal == nil || jobs[0].terminal.Type != recShed {
 		t.Fatalf("shed record did not settle the job: %+v", jobs)
 	}
@@ -430,7 +430,7 @@ func TestReplayShedAndUsageRecords(t *testing.T) {
 	// per tenant — unlike audit records, these survive rewrites.
 	var shedKept bool
 	var usageKept int
-	for _, rec := range canonicalRecords(jobs, nil, usage) {
+	for _, rec := range canonicalRecords(jobs, nil, nil, usage) {
 		switch rec.Type {
 		case recShed:
 			shedKept = true

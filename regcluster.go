@@ -169,6 +169,48 @@ func MineParallelWithModels(m *Matrix, p Params, workers int, models []*RWaveMod
 	return core.MineParallelWithModels(m, p, workers, models)
 }
 
+// AppendConditions grows base with the delta's columns: the delta must carry
+// exactly base's genes (same names, same order) and only new condition names.
+// Base indices stay valid in the result; the delta's conditions land after
+// them. Neither input is modified.
+func AppendConditions(base, delta *Matrix) (*Matrix, error) {
+	return matrix.AppendConditions(base, delta)
+}
+
+// AppendGenes grows base with the delta's rows, symmetric to
+// AppendConditions along the gene axis.
+func AppendGenes(base, delta *Matrix) (*Matrix, error) {
+	return matrix.AppendGenes(base, delta)
+}
+
+// RepairModels updates a parent matrix's model set for a child matrix grown
+// by AppendConditions, splicing the appended columns into each gene's sorted
+// order instead of rebuilding from scratch. The returned set is byte-identical
+// to BuildModels(child, p, o); the int reports how many genes took the
+// splice fast path (the rest rebuilt — e.g. on a per-gene threshold that
+// drifted with the grown value range).
+func RepairModels(child *Matrix, p Params, parentModels []*RWaveModel, o *Observer) ([]*RWaveModel, int, error) {
+	return core.RepairModels(child, p, parentModels, o)
+}
+
+// IncrementalInfo reports how MineIncremental handled a run: the subtrees
+// spliced from the parent result versus re-mined, or the reason it fell back
+// to a cold mine.
+type IncrementalInfo = core.IncrementalInfo
+
+// MineIncremental re-mines a matrix grown by AppendConditions, reusing the
+// parent's result wherever the appended conditions cannot have changed it:
+// only subtrees rooted at dirty conditions (those within regulation reach of
+// an appended condition, plus the appended ones) are re-mined; the rest
+// splice from parentResult. The cluster stream delivered to visit and the
+// returned Stats are byte-identical to a cold mine of child for any worker
+// count. When reuse is unsound (see IncrementalInfo.Fallback) the call
+// transparently runs the cold path instead.
+func MineIncremental(ctx context.Context, child, parent *Matrix, p Params, workers int,
+	visit Visitor, o *Observer, childModels, parentModels []*RWaveModel, parentResult *Result) (Stats, IncrementalInfo, error) {
+	return core.MineIncremental(ctx, child, parent, p, workers, visit, o, childModels, parentModels, parentResult)
+}
+
 // ThresholdsRangeFraction, ThresholdsMeanFraction and ThresholdsNearestPair
 // compute alternative per-gene regulation thresholds (Section 3.1) for
 // Params.CustomGammas.
@@ -275,6 +317,11 @@ func ReadReport(r io.Reader) (*Document, error) { return report.Read(r) }
 
 // ServiceConfig parameterizes the mining HTTP service.
 type ServiceConfig = service.Config
+
+// DeltaInfo is the lineage the service records for a dataset produced by an
+// append delta (POST /datasets/{id}/append): the parent's content hash, the
+// grown axis, and the parent's dimensions.
+type DeltaInfo = service.DeltaInfo
 
 // Service is the embeddable mining service: dataset registry, async job
 // manager, result cache and metrics behind an http.Handler. Run it

@@ -5,95 +5,35 @@
 # result byte-identical to an uninterrupted run's.
 set -euo pipefail
 
-GO=${GO:-go}
-cd "$(dirname "$0")/.."
+script_dir=$(cd "$(dirname "$0")" && pwd)
+cd "$script_dir/.."
+SMOKE_NAME=crash-smoke
+# shellcheck source=scripts/lib.sh
+. "$script_dir/lib.sh"
+smoke_init
 
-workdir=$(mktemp -d)
-server_pid=""
-cleanup() {
-    if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
-        kill -9 "$server_pid" 2>/dev/null || true
-        wait "$server_pid" 2>/dev/null || true
-    fi
-    rm -rf "$workdir"
-}
-trap cleanup EXIT
-
-fail() { echo "crash-smoke: FAIL: $*" >&2; exit 1; }
-
-$GO build -o "$workdir/regserver" ./cmd/regserver
-$GO build -o "$workdir/datagen" ./cmd/datagen
+build_tools regserver datagen
 # A workload slow enough that SIGKILL reliably lands mid-run (tens of
 # thousands of clusters, a few seconds of mining plus journal fsyncs).
 "$workdir/datagen" -kind synthetic -genes 260 -conds 13 -clusters 10 -seed 7 \
     -out "$workdir/matrix.tsv"
 params='{"MinG":3,"MinC":3,"Gamma":0.05,"Epsilon":1.5}'
 
-# start_server <data-dir> <log>: boots regserver and sets $server_pid/$base.
-start_server() {
-    "$workdir/regserver" -addr 127.0.0.1:0 -jobs 1 -workers 1 \
-        -data-dir "$1" >"$2" 2>&1 &
-    server_pid=$!
-    base=""
-    for _ in $(seq 1 100); do
-        base=$(sed -n 's/^regserver: listening on \(http:\/\/.*\)$/\1/p' "$2")
-        [[ -n "$base" ]] && break
-        kill -0 "$server_pid" 2>/dev/null || fail "server died: $(cat "$2")"
-        sleep 0.1
-    done
-    [[ -n "$base" ]] || fail "server never announced its address"
-}
-
-stop_server() { # graceful
-    kill -TERM "$server_pid"
-    wait "$server_pid" || fail "server exited non-zero after SIGTERM"
-    server_pid=""
-}
-
-upload() {
-    curl -sf -X POST --data-binary @"$workdir/matrix.tsv" \
-        "$base/datasets?name=crash" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p'
-}
-
-submit() {
-    curl -sf -X POST -H 'Content-Type: application/json' \
-        -d '{"dataset":"'"$1"'","params":'"$params"'}' "$base/jobs" \
-        | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p'
-}
-
-job_field() { # job_field <job-id> <field>: numeric or quoted-string field
-    curl -sf "$base/jobs/$1" \
-        | sed -n 's/.*"'"$2"'": *"\{0,1\}\([a-zA-Z0-9_-]*\)"\{0,1\}[,}].*/\1/p' | head -1
-}
-
-wait_done() { # wait_done <job-id> <tries>
-    local status=""
-    for _ in $(seq 1 "$2"); do
-        status=$(job_field "$1" status)
-        case "$status" in
-            done) return 0 ;;
-            failed|cancelled|interrupted) fail "job $1 ended $status" ;;
-        esac
-        sleep 0.2
-    done
-    fail "job $1 stuck in '$status'"
-}
-
 # --- Phase 1: the uninterrupted reference run -------------------------------
-start_server "$workdir/refdir" "$workdir/ref.log"
-dataset=$(upload)
+start_server "$workdir/ref.log" -jobs 1 -workers 1 -data-dir "$workdir/refdir"
+dataset=$(upload "$workdir/matrix.tsv" crash)
 [[ -n "$dataset" ]] || fail "upload returned no dataset ID"
-job=$(submit "$dataset")
+job=$(submit "$dataset" "$params")
 [[ -n "$job" ]] || fail "reference submission returned no job ID"
 wait_done "$job" 600
 curl -sf "$base/jobs/$job/result" >"$workdir/reference.json"
 stop_server
-echo "crash-smoke: reference run done ($(wc -c <"$workdir/reference.json") bytes)"
+note "reference run done ($(wc -c <"$workdir/reference.json") bytes)"
 
 # --- Phase 2: the crashed run -----------------------------------------------
-start_server "$workdir/datadir" "$workdir/crash.log"
-dataset=$(upload)
-job=$(submit "$dataset")
+start_server "$workdir/crash.log" -jobs 1 -workers 1 -data-dir "$workdir/datadir"
+dataset=$(upload "$workdir/matrix.tsv" crash)
+job=$(submit "$dataset" "$params")
 [[ -n "$job" ]] || fail "crash-run submission returned no job ID"
 clusters=0
 for _ in $(seq 1 600); do
@@ -104,13 +44,11 @@ for _ in $(seq 1 600); do
     sleep 0.05
 done
 [[ "${clusters:-0}" -ge 500 ]] || fail "job never reached 500 clusters (at '$clusters')"
-kill -9 "$server_pid"
-wait "$server_pid" 2>/dev/null || true
-server_pid=""
-echo "crash-smoke: SIGKILL at $clusters clusters"
+kill_server
+note "SIGKILL at $clusters clusters"
 
 # --- Phase 3: restart, resume, compare --------------------------------------
-start_server "$workdir/datadir" "$workdir/recover.log"
+start_server "$workdir/recover.log" -jobs 1 -workers 1 -data-dir "$workdir/datadir"
 recovered=$(job_field "$job" recovered)
 [[ "$recovered" == true ]] || fail "job not marked recovered after restart"
 curl -sf "$base/metrics" | grep -q '^regserver_recoveries_total 1$' \
@@ -120,5 +58,5 @@ curl -sf "$base/jobs/$job/result" >"$workdir/recovered.json"
 cmp -s "$workdir/reference.json" "$workdir/recovered.json" \
     || fail "recovered result differs from the uninterrupted run"
 stop_server
-echo "crash-smoke: recovered result byte-identical to the reference run"
-echo "crash-smoke: OK"
+note "recovered result byte-identical to the reference run"
+note "OK"

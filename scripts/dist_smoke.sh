@@ -5,114 +5,46 @@
 # subtrees and the final result is byte-identical to a single-node run's.
 set -euo pipefail
 
-GO=${GO:-go}
-cd "$(dirname "$0")/.."
+script_dir=$(cd "$(dirname "$0")" && pwd)
+cd "$script_dir/.."
+SMOKE_NAME=dist-smoke
+# shellcheck source=scripts/lib.sh
+. "$script_dir/lib.sh"
+smoke_init
 
-workdir=$(mktemp -d)
-server_pid=""
-worker1_pid=""
-worker2_pid=""
-cleanup() {
-    for pid in "$worker1_pid" "$worker2_pid" "$server_pid"; do
-        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
-            kill -9 "$pid" 2>/dev/null || true
-            wait "$pid" 2>/dev/null || true
-        fi
-    done
-    rm -rf "$workdir"
-}
-trap cleanup EXIT
-
-fail() { echo "dist-smoke: FAIL: $*" >&2; exit 1; }
-
-$GO build -o "$workdir/regserver" ./cmd/regserver
-$GO build -o "$workdir/datagen" ./cmd/datagen
+build_tools regserver datagen
 # A workload with enough subtrees (= conditions) and enough mining per
 # subtree that the kill reliably lands while leases are outstanding.
 "$workdir/datagen" -kind synthetic -genes 260 -conds 13 -clusters 10 -seed 7 \
     -out "$workdir/matrix.tsv"
 params='{"MinG":3,"MinC":3,"Gamma":0.05,"Epsilon":1.5}'
 
-# start_server <log> <extra flags...>: boots regserver, sets $server_pid/$base.
-start_server() {
-    local log=$1
-    shift
-    "$workdir/regserver" -addr 127.0.0.1:0 -jobs 1 "$@" >"$log" 2>&1 &
-    server_pid=$!
-    base=""
-    for _ in $(seq 1 100); do
-        base=$(sed -n 's/^regserver: listening on \(http:\/\/[^ ]*\).*$/\1/p' "$log")
-        [[ -n "$base" ]] && break
-        kill -0 "$server_pid" 2>/dev/null || fail "server died: $(cat "$log")"
-        sleep 0.1
-    done
-    [[ -n "$base" ]] || fail "server never announced its address"
-}
-
-stop_server() { # graceful
-    kill -TERM "$server_pid"
-    wait "$server_pid" || fail "server exited non-zero after SIGTERM"
-    server_pid=""
-}
-
 start_worker() { # start_worker <name> <log>: sets $worker_pid
     "$workdir/regserver" -addr 127.0.0.1:0 -mode worker -join "$base" \
         -advertise "$1" >"$2" 2>&1 &
     worker_pid=$!
-}
-
-upload() {
-    curl -sf -X POST --data-binary @"$workdir/matrix.tsv" \
-        "$base/datasets?name=dist" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p'
-}
-
-submit() {
-    curl -sf -X POST -H 'Content-Type: application/json' \
-        -d '{"dataset":"'"$1"'","params":'"$params"'}' "$base/jobs" \
-        | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p'
-}
-
-job_field() { # job_field <job-id> <field>: numeric or quoted-string field
-    curl -sf "$base/jobs/$1" \
-        | sed -n 's/.*"'"$2"'": *"\{0,1\}\([a-zA-Z0-9_-]*\)"\{0,1\}[,}].*/\1/p' | head -1
-}
-
-metric() { # metric <name>: current value, 0 when absent
-    curl -sf "$base/metrics" | sed -n "s/^$1 \([0-9]*\)$/\1/p" | head -1
-}
-
-wait_done() { # wait_done <job-id> <tries>
-    local status=""
-    for _ in $(seq 1 "$2"); do
-        status=$(job_field "$1" status)
-        case "$status" in
-            done) return 0 ;;
-            failed|cancelled|interrupted) fail "job $1 ended $status" ;;
-        esac
-        sleep 0.2
-    done
-    fail "job $1 stuck in '$status'"
+    extra_pids+=("$worker_pid")
 }
 
 # --- Phase 1: the single-node reference run ---------------------------------
-start_server "$workdir/ref.log" -workers 1
-dataset=$(upload)
+start_server "$workdir/ref.log" -jobs 1 -workers 1
+dataset=$(upload "$workdir/matrix.tsv" dist)
 [[ -n "$dataset" ]] || fail "upload returned no dataset ID"
-job=$(submit "$dataset")
+job=$(submit "$dataset" "$params")
 [[ -n "$job" ]] || fail "reference submission returned no job ID"
 wait_done "$job" 600
 curl -sf "$base/jobs/$job/result" >"$workdir/reference.json"
 stop_server
-echo "dist-smoke: single-node reference done ($(wc -c <"$workdir/reference.json") bytes)"
+note "single-node reference done ($(wc -c <"$workdir/reference.json") bytes)"
 
 # --- Phase 2: coordinator + two workers, one killed mid-run -----------------
-start_server "$workdir/coord.log" -mode coordinator -local-workers 0 -lease-ttl 2s
+start_server "$workdir/coord.log" -jobs 1 -mode coordinator -local-workers 0 -lease-ttl 2s
 start_worker w1 "$workdir/w1.log"
 worker1_pid=$worker_pid
 start_worker w2 "$workdir/w2.log"
 worker2_pid=$worker_pid
-dataset=$(upload)
-job=$(submit "$dataset")
+dataset=$(upload "$workdir/matrix.tsv" dist)
+job=$(submit "$dataset" "$params")
 [[ -n "$job" ]] || fail "distributed submission returned no job ID"
 
 # Let a few subtrees complete so the run is demonstrably distributed, then
@@ -129,7 +61,7 @@ done
 kill -9 "$worker1_pid"
 wait "$worker1_pid" 2>/dev/null || true
 worker1_pid=""
-echo "dist-smoke: SIGKILL worker w1 at $completed completed leases"
+note "SIGKILL worker w1 at $completed completed leases"
 
 wait_done "$job" 600
 reassigned=$(metric regserver_leases_reassigned_total)
@@ -138,10 +70,10 @@ reassigned=$(metric regserver_leases_reassigned_total)
 curl -sf "$base/jobs/$job/result" >"$workdir/distributed.json"
 cmp -s "$workdir/reference.json" "$workdir/distributed.json" \
     || fail "distributed result differs from the single-node run"
-echo "dist-smoke: result byte-identical after $reassigned lease reassignment(s)"
+note "result byte-identical after $reassigned lease reassignment(s)"
 
 kill -TERM "$worker2_pid" && wait "$worker2_pid" \
     || fail "surviving worker exited non-zero after SIGTERM"
 worker2_pid=""
 stop_server
-echo "dist-smoke: OK"
+note "OK"

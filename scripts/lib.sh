@@ -1,0 +1,114 @@
+# Shared helpers for the smoke-test scripts. Source after setting SMOKE_NAME
+# (the prefix of every log/fail line):
+#
+#     SMOKE_NAME=serve-smoke
+#     . "$(dirname "$0")/lib.sh"
+#     smoke_init
+#
+# smoke_init creates $workdir and installs an EXIT trap that kills every
+# process registered in $server_pid / $extra_pids and removes $workdir.
+# start_server boots regserver on a random port, scrapes the announced
+# address into $base, and fails fast if the process dies while starting.
+#
+# shellcheck shell=bash
+
+GO=${GO:-go}
+
+workdir=""
+server_pid=""
+extra_pids=()
+base=""
+
+fail() { echo "${SMOKE_NAME:-smoke}: FAIL: $*" >&2; exit 1; }
+
+note() { echo "${SMOKE_NAME:-smoke}: $*"; }
+
+smoke_cleanup() {
+    local pid
+    for pid in "${extra_pids[@]}" "$server_pid"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill -9 "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
+    [[ -n "$workdir" ]] && rm -rf "$workdir"
+}
+
+smoke_init() {
+    workdir=$(mktemp -d)
+    trap smoke_cleanup EXIT
+}
+
+build_tools() { # build_tools <cmd>...: builds each ./cmd/<name> into $workdir
+    local c
+    for c in "$@"; do
+        $GO build -o "$workdir/$c" "./cmd/$c"
+    done
+}
+
+# wait_listening <pid> <log>: sets $base from the "listening on" line.
+wait_listening() {
+    local pid=$1 log=$2
+    base=""
+    for _ in $(seq 1 100); do
+        base=$(sed -n 's/^regserver: listening on \(http:\/\/[^ ]*\).*$/\1/p' "$log")
+        [[ -n "$base" ]] && break
+        kill -0 "$pid" 2>/dev/null || fail "server died: $(cat "$log")"
+        sleep 0.1
+    done
+    [[ -n "$base" ]] || fail "server never announced its address"
+}
+
+# start_server <log> [flags...]: boots regserver, sets $server_pid and $base.
+start_server() {
+    local log=$1
+    shift
+    "$workdir/regserver" -addr 127.0.0.1:0 "$@" >"$log" 2>&1 &
+    server_pid=$!
+    wait_listening "$server_pid" "$log"
+}
+
+stop_server() { # graceful shutdown; the server must exit zero
+    kill -TERM "$server_pid"
+    wait "$server_pid" || fail "server exited non-zero after SIGTERM"
+    server_pid=""
+}
+
+kill_server() { # simulated crash
+    kill -9 "$server_pid"
+    wait "$server_pid" 2>/dev/null || true
+    server_pid=""
+}
+
+upload() { # upload <tsv-file> <name>: prints the dataset ID
+    curl -sf -X POST --data-binary @"$1" "$base/datasets?name=$2" \
+        | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p'
+}
+
+submit() { # submit <dataset-id> <params-json>: prints the job ID
+    curl -sf -X POST -H 'Content-Type: application/json' \
+        -d '{"dataset":"'"$1"'","params":'"$2"'}' "$base/jobs" \
+        | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p'
+}
+
+job_field() { # job_field <job-id> <field>: numeric or quoted-string field
+    curl -sf "$base/jobs/$1" \
+        | sed -n 's/.*"'"$2"'": *"\{0,1\}\([a-zA-Z0-9_.-]*\)"\{0,1\}[,}].*/\1/p' | head -1
+}
+
+metric() { # metric <name>: current value, empty when absent
+    curl -sf "$base/metrics" | sed -n "s/^$1 \([0-9]*\)$/\1/p" | head -1
+}
+
+wait_done() { # wait_done <job-id> <tries> (5 tries/second)
+    local status=""
+    for _ in $(seq 1 "$2"); do
+        status=$(job_field "$1" status)
+        case "$status" in
+            done) return 0 ;;
+            failed|cancelled|interrupted) fail "job $1 ended $status" ;;
+        esac
+        sleep 0.2
+    done
+    fail "job $1 stuck in '$status'"
+}

@@ -6,24 +6,14 @@
 # restart replays byte-identical per-tenant usage ledgers from the journal.
 set -euo pipefail
 
-GO=${GO:-go}
-cd "$(dirname "$0")/.."
+script_dir=$(cd "$(dirname "$0")" && pwd)
+cd "$script_dir/.."
+SMOKE_NAME=overload-smoke
+# shellcheck source=scripts/lib.sh
+. "$script_dir/lib.sh"
+smoke_init
 
-workdir=$(mktemp -d)
-server_pid=""
-cleanup() {
-    if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
-        kill -9 "$server_pid" 2>/dev/null || true
-        wait "$server_pid" 2>/dev/null || true
-    fi
-    rm -rf "$workdir"
-}
-trap cleanup EXIT
-
-fail() { echo "overload-smoke: FAIL: $*" >&2; exit 1; }
-
-$GO build -o "$workdir/regserver" ./cmd/regserver
-$GO build -o "$workdir/datagen" ./cmd/datagen
+build_tools regserver datagen
 "$workdir/datagen" -kind synthetic -genes 260 -conds 13 -clusters 10 -seed 7 \
     -out "$workdir/matrix.tsv"
 
@@ -36,25 +26,9 @@ cat >"$workdir/tenants.json" <<'JSON'
 ]
 JSON
 
-start_server() { # start_server <log>
-    "$workdir/regserver" -addr 127.0.0.1:0 -jobs 2 -workers 1 \
-        -data-dir "$workdir/datadir" -tenants "$workdir/tenants.json" \
-        -shed-watermark 16 >"$1" 2>&1 &
-    server_pid=$!
-    base=""
-    for _ in $(seq 1 100); do
-        base=$(sed -n 's/^regserver: listening on \(http:\/\/.*\)$/\1/p' "$1")
-        [[ -n "$base" ]] && break
-        kill -0 "$server_pid" 2>/dev/null || fail "server died: $(cat "$1")"
-        sleep 0.1
-    done
-    [[ -n "$base" ]] || fail "server never announced its address"
-}
-
-stop_server() { # graceful
-    kill -TERM "$server_pid"
-    wait "$server_pid" || fail "server exited non-zero after SIGTERM"
-    server_pid=""
+boot() { # boot <log>: the tenant-aware durable server under test
+    start_server "$1" -jobs 2 -workers 1 -data-dir "$workdir/datadir" \
+        -tenants "$workdir/tenants.json" -shed-watermark 16
 }
 
 # submit_as <api-key> <params-json>: sets reply_status, reply_retry, reply_id.
@@ -69,15 +43,10 @@ submit_as() {
     reply_id=$(printf '%s' "$body" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
 }
 
-job_status() {
-    curl -sf "$base/jobs/$1" \
-        | sed -n 's/.*"status": *"\([a-z]*\)".*/\1/p' | head -1
-}
-
 wait_terminal() { # wait_terminal <job-id> <want-status-regex>
     local status=""
     for _ in $(seq 1 600); do
-        status=$(job_status "$1")
+        status=$(job_field "$1" status)
         if [[ -n "$status" ]] && printf '%s' "$status" | grep -qE "^($2)$"; then
             return 0
         fi
@@ -89,9 +58,8 @@ wait_terminal() { # wait_terminal <job-id> <want-status-regex>
     fail "job $1 stuck in '$status', want $2"
 }
 
-start_server "$workdir/boot.log"
-dataset=$(curl -sf -X POST --data-binary @"$workdir/matrix.tsv" \
-    "$base/datasets?name=overload" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+boot "$workdir/boot.log"
+dataset=$(upload "$workdir/matrix.tsv" overload)
 [[ -n "$dataset" ]] || fail "upload returned no dataset ID"
 
 # --- Phase 1: the burst — 40 heavy + 10 light submissions -------------------
@@ -129,7 +97,7 @@ done
 [[ "$heavy_rejects" -eq 36 ]] || fail "heavy tenant saw $heavy_rejects rejections, want 36"
 [[ -n "$first_retry" && "$first_retry" -ge 1 ]] \
     || fail "429 carried Retry-After '$first_retry', want a positive integer"
-echo "overload-smoke: burst done (heavy: 4 accepted + 36x 429 with Retry-After ${first_retry}s)"
+note "burst done (heavy: 4 accepted + 36x 429 with Retry-After ${first_retry}s)"
 
 # --- Phase 2: the light tenant's work completes; heavy unwinds --------------
 for id in "${heavy_jobs[@]}"; do
@@ -142,7 +110,7 @@ done
 for id in "${light_jobs[@]}"; do
     wait_terminal "$id" done
 done
-echo "overload-smoke: light tenant completed all 10 jobs through the overload"
+note "light tenant completed all 10 jobs through the overload"
 
 curl -sf "$base/healthz" | grep -q '"queue_depth"' \
     || fail "healthz lost its saturation fields"
@@ -156,7 +124,7 @@ grep -q '"completed": *10' "$workdir/light.before" || fail "light ledger: $(cat 
 
 # --- Phase 3: restart and compare the replayed ledgers ----------------------
 stop_server
-start_server "$workdir/restart.log"
+boot "$workdir/restart.log"
 curl -sf "$base/tenants/heavy/usage" >"$workdir/heavy.after"
 curl -sf "$base/tenants/light/usage" >"$workdir/light.after"
 cmp -s "$workdir/heavy.before" "$workdir/heavy.after" \
@@ -165,4 +133,4 @@ cmp -s "$workdir/light.before" "$workdir/light.after" \
     || fail "light usage drifted across restart: $(cat "$workdir/light.after")"
 stop_server
 
-echo "overload-smoke: PASS (0 5xx; 36 honest 429s; usage ledgers replay byte-identical)"
+note "PASS (0 5xx; 36 honest 429s; usage ledgers replay byte-identical)"

@@ -4,54 +4,33 @@
 # identical resubmission is served from the result cache.
 set -euo pipefail
 
-GO=${GO:-go}
-cd "$(dirname "$0")/.."
+script_dir=$(cd "$(dirname "$0")" && pwd)
+cd "$script_dir/.."
+SMOKE_NAME=serve-smoke
+# shellcheck source=scripts/lib.sh
+. "$script_dir/lib.sh"
+smoke_init
 
-workdir=$(mktemp -d)
-server_pid=""
-cleanup() {
-    if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
-        kill "$server_pid" 2>/dev/null || true
-        wait "$server_pid" 2>/dev/null || true
-    fi
-    rm -rf "$workdir"
-}
-trap cleanup EXIT
-
-fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
-
-$GO build -o "$workdir/regserver" ./cmd/regserver
-$GO build -o "$workdir/datagen" ./cmd/datagen
+build_tools regserver datagen
 "$workdir/datagen" -kind synthetic -genes 80 -conds 12 -clusters 3 -seed 7 \
     -out "$workdir/matrix.tsv"
 
-"$workdir/regserver" -addr 127.0.0.1:0 -jobs 1 -trace >"$workdir/server.log" 2>&1 &
-server_pid=$!
-
-base=""
-for _ in $(seq 1 100); do
-    base=$(sed -n 's/^regserver: listening on \(http:\/\/.*\)$/\1/p' "$workdir/server.log")
-    [[ -n "$base" ]] && break
-    kill -0 "$server_pid" 2>/dev/null || fail "server died: $(cat "$workdir/server.log")"
-    sleep 0.1
-done
-[[ -n "$base" ]] || fail "server never announced its address"
-echo "serve-smoke: server at $base"
+start_server "$workdir/server.log" -jobs 1 -trace
+note "server at $base"
 
 curl -sf "$base/healthz" >/dev/null || fail "healthz"
 
-dataset=$(curl -sf -X POST --data-binary @"$workdir/matrix.tsv" \
-    "$base/datasets?name=smoke" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+dataset=$(upload "$workdir/matrix.tsv" smoke)
 [[ -n "$dataset" ]] || fail "upload returned no dataset ID"
-echo "serve-smoke: dataset $dataset"
+note "dataset $dataset"
 
-submit() {
+submit_full() { # prints the whole submission reply, not just the ID
     curl -sf -X POST -H 'Content-Type: application/json' -d \
         '{"dataset":"'"$dataset"'","params":{"MinG":4,"MinC":4,"Gamma":0.1,"Epsilon":0.05}}' \
         "$base/jobs"
 }
 
-job=$(submit)
+job=$(submit_full)
 job_id=$(echo "$job" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
 [[ -n "$job_id" ]] || fail "submission returned no job ID: $job"
 echo "$job" | grep -q '"cached": *false' || fail "first submission claims a cache hit: $job"
@@ -68,7 +47,7 @@ for _ in $(seq 1 300); do
 done
 [[ "$status" == done ]] || fail "job stuck in '$status'"
 clusters=$(echo "$view" | sed -n 's/.*"clusters": *\([0-9]*\).*/\1/p' | head -1)
-echo "serve-smoke: job $job_id done with $clusters clusters"
+note "job $job_id done with $clusters clusters"
 
 # The NDJSON stream of a finished job replays every cluster plus a summary.
 lines=$(curl -sf "$base/jobs/$job_id/stream" | wc -l)
@@ -81,9 +60,9 @@ echo "$trace" | grep -q '"name": *"job"' || fail "trace has no job span: $trace"
 for span in queue attempt rwave.build subtree; do
     echo "$trace" | grep -q '"name": *"'"$span"'"' || fail "trace missing $span span"
 done
-echo "serve-smoke: trace has job/queue/attempt/rwave.build/subtree spans"
+note "trace has job/queue/attempt/rwave.build/subtree spans"
 
-resubmit=$(submit)
+resubmit=$(submit_full)
 echo "$resubmit" | grep -q '"cached": *true' || fail "resubmission missed the cache: $resubmit"
 
 metrics=$(curl -sf "$base/metrics")
@@ -113,7 +92,7 @@ done
 points=$(echo "$sview" | grep -c '"job": *"job-') || true
 [[ "$points" -eq 4 ]] || fail "sweep has $points points, want 4"
 echo "$sview" | grep -q '"failed"' && fail "sweep has failed points: $sview"
-echo "serve-smoke: sweep $sweep_id done with $points points"
+note "sweep $sweep_id done with $points points"
 
 metrics=$(curl -sf "$base/metrics")
 echo "$metrics" | grep -q '^regserver_model_cache_misses_total 2$' \
@@ -121,8 +100,6 @@ echo "$metrics" | grep -q '^regserver_model_cache_misses_total 2$' \
 echo "$metrics" | grep -q '^regserver_model_cache_hits_total 3$' \
     || fail "model cache hits: $(echo "$metrics" | grep model_cache)"
 
-kill -TERM "$server_pid"
-wait "$server_pid" || fail "server exited non-zero after SIGTERM"
-server_pid=""
+stop_server
 grep -q '^regserver: bye$' "$workdir/server.log" || fail "no clean shutdown line"
-echo "serve-smoke: OK"
+note "OK"
